@@ -1,0 +1,97 @@
+"""Distributed CPU ALS vs cuMF_ALS (paper §I / Table V).
+
+Quantifies the introduction's argument: adding cluster nodes to ALS
+stops paying once communication and framework overhead dominate, while
+one GPU (let alone four) runs past the whole cluster.
+"""
+
+from conftest import run_once
+
+from repro.baselines import DistributedALS, ReplicationStrategy
+from repro.core import ALSConfig, ALSModel
+from repro.data import get_dataset
+from repro.gpusim import MAXWELL_TITANX
+from repro.harness import print_table
+
+NETFLIX = get_dataset("netflix").paper
+
+
+def test_distributed_strategies_vs_gpu(benchmark):
+    def measure():
+        rows = []
+        for strategy in ReplicationStrategy:
+            for nodes in (4, 16, 64):
+                model = DistributedALS(
+                    ALSConfig(f=100), strategy=strategy, num_nodes=nodes
+                )
+                cost = model.half_step_cost(NETFLIX)
+                rows.append(
+                    (strategy.value, nodes, 2 * cost.total, 2 * cost.comm)
+                )
+        return rows
+
+    rows = run_once(benchmark, measure)
+    from repro.core import Precision, cg_iteration_spec, hermitian_spec
+    from repro.gpusim import time_kernel
+
+    gpu_epoch = (
+        time_kernel(
+            MAXWELL_TITANX, hermitian_spec(MAXWELL_TITANX, NETFLIX, ALSConfig(f=100))
+        ).seconds
+        + time_kernel(
+            MAXWELL_TITANX,
+            hermitian_spec(MAXWELL_TITANX, NETFLIX.transpose(), ALSConfig(f=100)),
+        ).seconds
+        + 6
+        * (
+            time_kernel(
+                MAXWELL_TITANX,
+                cg_iteration_spec(MAXWELL_TITANX, NETFLIX.m, 100, Precision.FP16),
+            ).seconds
+            + time_kernel(
+                MAXWELL_TITANX,
+                cg_iteration_spec(MAXWELL_TITANX, NETFLIX.n, 100, Precision.FP16),
+            ).seconds
+        )
+    )
+    print_table(
+        "Distributed CPU ALS vs one Maxwell GPU — epoch seconds (Netflix, f=100)",
+        ["strategy", "nodes", "epoch (s)", "comm (s)"],
+        rows + [("cuMF_ALS (1 GPU)", 1, gpu_epoch, 0.0)],
+    )
+    # The paper's §I claim, scoped honestly: the single GPU beats every
+    # framework-based cluster (Spark/Giraph) at any size, and bare-MPI
+    # full replication up to 16 nodes; only an idealized 64-node MPI
+    # cluster gets close — and NOMAD@32 vs cuMF@M in Table IV shows the
+    # same near-tie on real hardware.
+    for strategy, nodes, total, _ in rows:
+        if strategy != "full" or nodes <= 16:
+            assert gpu_epoch < total, (strategy, nodes)
+    # And the communication share grows with node count for replication.
+    full = {n: (t, c) for s, n, t, c in rows if s == "full"}
+    assert full[64][1] / full[64][0] > full[4][1] / full[4][0]
+
+
+def test_scaling_wall(benchmark):
+    """Full replication: past some node count, epochs stop improving."""
+
+    def measure():
+        out = {}
+        for nodes in (1, 4, 16, 64, 256):
+            model = DistributedALS(
+                ALSConfig(f=100),
+                strategy=ReplicationStrategy.FULL,
+                num_nodes=nodes,
+            )
+            out[nodes] = 2 * model.half_step_cost(NETFLIX).total
+        return out
+
+    t = run_once(benchmark, measure)
+    print_table(
+        "Scaling wall - full-replication ALS epoch seconds vs node count",
+        ["nodes", "epoch (s)", "speedup vs 1"],
+        [(n, v, round(t[1] / v, 2)) for n, v in t.items()],
+    )
+    # Speedup must saturate: 4x the nodes (64 -> 256) returns < 3x.
+    assert t[64] / t[256] < 3.0
+    assert t[1] / t[64] > 5.0  # but scaling does help initially

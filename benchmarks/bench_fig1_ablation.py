@@ -1,0 +1,27 @@
+"""Figure 1 — the headline ablation: GPU-ALS + memory optimization +
+approximate computing = cuMF_ALS, with 2x-4x total speedup.
+
+Stacks the two optimization families one at a time and prints the
+per-epoch seconds at Netflix scale on Maxwell.
+"""
+
+from conftest import run_once
+
+from repro.harness import fig1_ablation, print_table
+
+
+def test_fig1_ablation(benchmark):
+    r = run_once(benchmark, fig1_ablation)
+    base = r["gpu_als"]
+    print_table(
+        "Figure 1 - optimization ablation, per-epoch seconds (Netflix, Maxwell, f=100)",
+        ["configuration", "seconds/epoch", "speedup vs GPU-ALS"],
+        [(k, v, round(base / v, 2)) for k, v in r.items()],
+    )
+    # Each stage helps.
+    assert r["+memopt"] < r["gpu_als"]
+    assert r["+cg"] < r["+memopt"]
+    assert r["+fp16 (cumf_als)"] < r["+cg"]
+    # Combined speedup is the paper's 2x-4x.
+    speedup = r["gpu_als"] / r["+fp16 (cumf_als)"]
+    assert 2.0 < speedup < 4.5

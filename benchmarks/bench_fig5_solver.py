@@ -1,0 +1,66 @@
+"""Figure 5 — solver time of 10 ALS iterations on Netflix, Maxwell.
+
+Reproduces the LU-FP32 / CG-FP32 / CG-FP16 comparison (f=100, f_s=6)
+with the get_hermitian reference bar and the solve-L1 == solve-noL1
+observation.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.harness import fig5_solver, print_table
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig5_solver()
+
+
+def test_fig5_table(benchmark, result):
+    r = run_once(benchmark, fig5_solver)
+    print_table(
+        "Figure 5 - solver seconds over 10 ALS iterations (Netflix, Maxwell, f=100, fs=6)",
+        ["component", "seconds", "vs LU-FP32"],
+        [
+            (k, v, round(v / r["LU-FP32"], 3))
+            for k, v in r.items()
+        ],
+    )
+    assert r["LU-FP32"] > 0
+
+
+def test_fig5_observation3_lu_dominates(benchmark, result):
+    """Paper: 'the time taken by the LU solver is almost twice as much
+    as that by get_hermitian'."""
+    r = run_once(benchmark, lambda: result)
+    ratio = r["LU-FP32"] / r["get_hermitian"]
+    assert 1.5 < ratio < 3.0
+
+
+def test_fig5_cg_fp32_quarter_of_lu(benchmark, result):
+    """Paper: 'CG-FP32 is 1/4 of the LU-FP32 time'."""
+    r = run_once(benchmark, lambda: result)
+    ratio = r["CG-FP32"] / r["LU-FP32"]
+    assert 0.12 < ratio < 0.40
+
+
+def test_fig5_fp16_halves_cg(benchmark, result):
+    """Paper: 'CG-FP16 takes 1/2 of the time compared with CG-FP32'."""
+    r = run_once(benchmark, lambda: result)
+    ratio = r["CG-FP16"] / r["CG-FP32"]
+    assert 0.4 < ratio < 0.65
+
+
+def test_fig5_total_speedup_to_one_eighth(benchmark, result):
+    """Paper: 'CG-FP16 can reduce the run-time to 1/8 compared with
+    LU-FP32'."""
+    r = run_once(benchmark, lambda: result)
+    ratio = r["LU-FP32"] / r["CG-FP16"]
+    assert 5.0 < ratio < 14.0
+
+
+def test_fig5_l1_does_not_help_solver(benchmark, result):
+    """Paper: 'solve-L1 takes the same time as solve-noL1'."""
+    r = run_once(benchmark, lambda: result)
+    assert r["CG-FP32-L1"] == pytest.approx(r["CG-FP32"], rel=0.02)
+    assert r["CG-FP16-L1"] == pytest.approx(r["CG-FP16"], rel=0.02)

@@ -1,0 +1,31 @@
+"""§V-F — implicit matrix factorization per-iteration comparison.
+
+Reproduces the cuMF_ALS (2.2 s) vs `implicit` (90 s) vs QMF (360 s)
+per-iteration times at Netflix scale, and checks the implicit trainer
+actually optimizes its confidence-weighted objective.
+"""
+
+from conftest import run_once
+
+from repro.harness import implicit_comparison, print_table
+
+
+def test_implicit_per_iteration(benchmark):
+    r = run_once(benchmark, implicit_comparison)
+    print_table(
+        "Section V-F - implicit MF per-iteration seconds (Netflix scale)",
+        ["system", "seconds/iteration", "paper"],
+        [
+            ("cuMF_ALS", r["cumf_als"], 2.2),
+            ("implicit", r["implicit"], 90.0),
+            ("QMF", r["qmf"], 360.0),
+        ],
+    )
+    # Convergence under the implicit setting.
+    assert r["loss_decreased"] == 1.0
+    # Orderings and rough magnitudes of the paper.
+    assert r["cumf_als"] < r["implicit"] / 10.0
+    assert r["implicit"] < r["qmf"]
+    assert 0.5 < r["cumf_als"] < 10.0  # paper: 2.2 s
+    assert 20.0 < r["implicit"] < 250.0  # paper: 90 s
+    assert 100.0 < r["qmf"] < 900.0  # paper: 360 s

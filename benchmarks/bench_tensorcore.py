@@ -1,0 +1,59 @@
+"""§VII future-work projection: cuMF_ALS with Volta Tensor Cores.
+
+Beyond the paper's evaluation: projects the speedup the authors name as
+future work, with the Amdahl ceiling from the memory-bound CG solve made
+explicit.
+"""
+
+from conftest import run_once
+
+from repro.core import project_tensor_core_epoch, tune_hermitian
+from repro.data import get_dataset
+from repro.gpusim import MAXWELL_TITANX, VOLTA_V100
+from repro.harness import print_table
+
+NETFLIX = get_dataset("netflix").paper
+
+
+def test_tensor_core_projection(benchmark):
+    p = run_once(benchmark, project_tensor_core_epoch, NETFLIX)
+    print_table(
+        "Tensor-core projection - ALS epoch on V100 (Netflix, f=100)",
+        ["component", "FP32/plain (s)", "with HMMA (s)"],
+        [
+            ("get_hermitian", p.hermitian_fp32, p.hermitian_tensor),
+            ("solve (CG-FP16)", p.solve_fp16, p.solve_fp16),
+            ("epoch", p.epoch_without, p.epoch_with),
+        ],
+    )
+    print(
+        f"hermitian speedup {p.hermitian_speedup:.2f}x, "
+        f"epoch speedup {p.epoch_speedup:.2f}x (Amdahl-capped by the solver)"
+    )
+    assert p.hermitian_speedup > 1.3
+    assert 1.0 < p.epoch_speedup < p.hermitian_speedup
+
+
+def test_autotuner_vs_paper_config(benchmark):
+    """Simulator-driven sweep of (T, threads, BIN) vs the paper's choice."""
+    r = run_once(benchmark, tune_hermitian, MAXWELL_TITANX, NETFLIX)
+    paper = next(
+        c
+        for c in r.candidates
+        if (c.tile, c.threads_per_block, c.bin_size) == (10, 64, 32)
+    )
+    rows = sorted(
+        (c for c in r.candidates if c.launchable), key=lambda c: c.seconds
+    )[:5]
+    print_table(
+        "Autotuner - top configurations (Netflix, Maxwell, f=100)",
+        ["T", "threads", "BIN", "seconds", "blocks/SM", "regs/thread"],
+        [
+            (c.tile, c.threads_per_block, c.bin_size, c.seconds,
+             c.blocks_per_sm, c.registers_per_thread)
+            for c in rows
+        ]
+        + [("paper:10", 64, 32, paper.seconds, paper.blocks_per_sm,
+            paper.registers_per_thread)],
+    )
+    assert paper.seconds < 1.5 * r.best.seconds

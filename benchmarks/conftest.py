@@ -1,0 +1,33 @@
+"""Shared configuration for the reproduction benches.
+
+Every bench uses the ``benchmark`` fixture (so ``--benchmark-only``
+selects them) but wraps its experiment in a single round — these are
+experiment harnesses whose output is the reproduced table/figure, not
+microbenchmarks hunting nanoseconds.
+"""
+
+from __future__ import annotations
+
+from repro.harness import set_sink
+
+#: Collected table/figure text, re-emitted after the run — the benches'
+#: printed reproductions ARE the deliverable, and pytest's capture would
+#: otherwise swallow them on passing runs.
+_TABLES: list[str] = []
+
+
+def pytest_configure(config):
+    set_sink(_TABLES)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    terminalreporter.section("reproduced tables and figures")
+    for text in _TABLES:
+        terminalreporter.write_line(text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Movie recommender: end-to-end explicit-feedback workflow.
+
+The workload the paper's introduction motivates — a recommender system
+over user/movie ratings.  Builds a rating matrix, trains cuMF_ALS,
+evaluates held-out RMSE, and produces top-N recommendations for a few
+users (excluding movies they already rated).
+
+Run:  python examples/movie_recommender.py
+"""
+
+import numpy as np
+
+from repro import ALSConfig, ALSModel, load_surrogate
+
+
+def top_n_unseen(model: ALSModel, train, user: int, n: int = 5) -> list[tuple[int, float]]:
+    """Highest-predicted unrated items for ``user``."""
+    seen, _ = train.user_items(user)
+    scores = model.x_[user] @ model.theta_.T
+    scores[seen] = -np.inf
+    best = np.argpartition(scores, -n)[-n:]
+    best = best[np.argsort(scores[best])[::-1]]
+    return [(int(i), float(scores[i])) for i in best]
+
+
+def main() -> None:
+    split, spec = load_surrogate("netflix", scale=0.3)
+    train, test = split.train, split.test
+    print(f"training on {train} (ratings {spec.rating_min}-{spec.rating_max})")
+
+    model = ALSModel(ALSConfig(f=48, lam=spec.lam), sim_shape=spec.paper)
+    curve = model.fit(train, test, epochs=12)
+    print(f"test RMSE after {len(curve.points)} epochs: {curve.final_rmse:.4f}")
+    print(f"simulated full-Netflix training time: {curve.total_seconds:.1f}s on Maxwell")
+
+    # Recommend for the three most active users.
+    active = np.argsort(train.row_counts())[::-1][:3]
+    for u in active:
+        recs = top_n_unseen(model, train, int(u))
+        pretty = ", ".join(f"movie {i} ({s:.2f})" for i, s in recs)
+        print(f"user {u} ({train.row_counts()[u]} ratings) -> {pretty}")
+
+    # Sanity: recommendations score above the user's average prediction.
+    u = int(active[0])
+    seen, _ = train.user_items(u)
+    avg_seen = float(np.mean(model.x_[u] @ model.theta_[seen].T))
+    best_score = top_n_unseen(model, train, u, 1)[0][1]
+    print(f"\nuser {u}: best unseen score {best_score:.2f} vs seen average {avg_seen:.2f}")
+
+
+if __name__ == "__main__":
+    main()

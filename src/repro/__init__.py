@@ -1,0 +1,79 @@
+"""repro — reproduction of *Matrix Factorization on GPUs with Memory
+Optimization and Approximate Computing* (Tan et al., ICPP 2018).
+
+The package provides:
+
+* :mod:`repro.core` — cuMF_ALS: memory-optimized ALS with a truncated-CG
+  approximate solver and FP16 storage, plus implicit-feedback and
+  multi-GPU variants;
+* :mod:`repro.gpusim` — the simulated GPU substrate (Kepler / Maxwell /
+  Pascal presets, occupancy, caches, roofline/latency timing);
+* :mod:`repro.sgd` — SGD matrix factorization (Hogwild-style and blocked)
+  and the cuMF_SGD GPU cost model;
+* :mod:`repro.baselines` — LIBMF, NOMAD, BIDMach, HPC-ALS, GPU-ALS and
+  CPU implicit-MF comparators;
+* :mod:`repro.data` — sparse containers and synthetic dataset surrogates;
+* :mod:`repro.metrics` — RMSE and convergence-curve utilities.
+
+Quickstart::
+
+    from repro import ALSModel, ALSConfig, load_surrogate
+
+    split, spec = load_surrogate("netflix")
+    model = ALSModel(ALSConfig(f=32, lam=spec.lam), sim_shape=spec.paper)
+    curve = model.fit(split.train, split.test, epochs=10)
+    print(curve.final_rmse, curve.total_seconds)
+"""
+
+from .core import (
+    ALSConfig,
+    ALSModel,
+    CGConfig,
+    ImplicitALSConfig,
+    ImplicitALSModel,
+    MultiGpuALS,
+    Precision,
+    ReadScheme,
+    SolverKind,
+)
+from .data import (
+    RatingMatrix,
+    SyntheticConfig,
+    WorkloadShape,
+    generate_ratings,
+    load_surrogate,
+)
+from .gpusim import KEPLER_K40, MAXWELL_TITANX, PASCAL_P100, DeviceSpec, get_device
+from .metrics import TrainingCurve, rmse
+from .recommender import MFRecommender
+from .sgd import CuMFSGD, SGDConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALSConfig",
+    "ALSModel",
+    "CGConfig",
+    "CuMFSGD",
+    "DeviceSpec",
+    "ImplicitALSConfig",
+    "ImplicitALSModel",
+    "KEPLER_K40",
+    "MFRecommender",
+    "MAXWELL_TITANX",
+    "MultiGpuALS",
+    "PASCAL_P100",
+    "Precision",
+    "RatingMatrix",
+    "ReadScheme",
+    "SGDConfig",
+    "SolverKind",
+    "SyntheticConfig",
+    "TrainingCurve",
+    "WorkloadShape",
+    "__version__",
+    "generate_ratings",
+    "get_device",
+    "load_surrogate",
+    "rmse",
+]

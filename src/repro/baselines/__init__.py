@@ -1,0 +1,30 @@
+"""Competing systems re-implemented for the paper's comparisons."""
+
+from .distributed_als import DistributedALS, ReplicationStrategy, distributed_comm_bytes
+from .gpu_als import BIDMACH_ALS_GFLOPS, BIDMachALS, gpu_als, hpc_als
+from .implicit_cpu import (
+    IMPLICIT_LIB,
+    QMF_LIB,
+    CpuImplicitLibrary,
+    implicit_epoch_seconds,
+)
+from .libmf import LibMF, LibMFConfig
+from .nomad import Nomad, NomadConfig
+
+__all__ = [
+    "BIDMACH_ALS_GFLOPS",
+    "DistributedALS",
+    "ReplicationStrategy",
+    "distributed_comm_bytes",
+    "BIDMachALS",
+    "CpuImplicitLibrary",
+    "IMPLICIT_LIB",
+    "LibMF",
+    "LibMFConfig",
+    "Nomad",
+    "NomadConfig",
+    "QMF_LIB",
+    "gpu_als",
+    "hpc_als",
+    "implicit_epoch_seconds",
+]

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``    train cuMF_ALS on a dataset surrogate and print the curve
+``advise``   run the §VII algorithm advisor for a workload shape
+``tune``     autotune the hermitian kernel for a device and f
+``devices``  list the simulated GPU presets
+``report``   regenerate EXPERIMENTS.md (heavy)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro", description="cuMF_ALS reproduction toolkit"
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("train", help="train cuMF_ALS on a dataset surrogate")
+    t.add_argument("--dataset", default="netflix",
+                   choices=["netflix", "yahoomusic", "hugewiki"])
+    t.add_argument("--device", default="maxwell")
+    t.add_argument("--factors", type=int, default=32)
+    t.add_argument("--epochs", type=int, default=10)
+    t.add_argument("--scale", type=float, default=0.2)
+    t.add_argument("--solver", default="cg", choices=["cg", "lu"])
+    t.add_argument("--precision", default="fp16", choices=["fp16", "fp32"])
+    t.add_argument("--gpus", type=int, default=1)
+
+    a = sub.add_parser("advise", help="recommend ALS or SGD for a workload")
+    a.add_argument("--users", type=int, required=True)
+    a.add_argument("--items", type=int, required=True)
+    a.add_argument("--ratings", type=int, required=True)
+    a.add_argument("--factors", type=int, default=100)
+    a.add_argument("--device", default="maxwell")
+    a.add_argument("--gpus", type=int, default=1)
+    a.add_argument("--implicit", action="store_true")
+
+    u = sub.add_parser("tune", help="autotune the hermitian kernel")
+    u.add_argument("--dataset", default="netflix",
+                   choices=["netflix", "yahoomusic", "hugewiki"])
+    u.add_argument("--device", default="maxwell")
+
+    sub.add_parser("devices", help="list simulated GPU presets")
+
+    r = sub.add_parser("report", help="regenerate EXPERIMENTS.md (slow)")
+    r.add_argument("--output", default="EXPERIMENTS.md")
+    r.add_argument("--scale", type=float, default=0.2)
+    return p
+
+
+def _cmd_train(args) -> int:
+    from .core import ALSConfig, ALSModel, MultiGpuALS, Precision, SolverKind
+    from .data import load_surrogate
+    from .gpusim import get_device
+
+    split, spec = load_surrogate(args.dataset, scale=args.scale)
+    cfg = ALSConfig(
+        f=args.factors,
+        lam=spec.lam,
+        solver=SolverKind(args.solver),
+        precision=Precision(args.precision),
+    )
+    device = get_device(args.device)
+    if args.gpus == 1:
+        model = ALSModel(cfg, device=device, sim_shape=spec.paper)
+    else:
+        model = MultiGpuALS(cfg, device=device, num_gpus=args.gpus,
+                            sim_shape=spec.paper)
+    curve = model.fit(split.train, split.test, epochs=args.epochs)
+    print(f"{args.dataset} surrogate ({split.train}) on {args.gpus}x {device.name}")
+    print("epoch  sim-seconds  test-RMSE")
+    for pt in curve.points:
+        print(f"{pt.epoch:5d}  {pt.seconds:11.2f}  {pt.rmse:9.4f}")
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from .core import recommend_algorithm
+    from .data import WorkloadShape
+    from .gpusim import get_device
+
+    shape = WorkloadShape(m=args.users, n=args.items, nnz=args.ratings,
+                          f=args.factors)
+    choice = recommend_algorithm(
+        shape, device=get_device(args.device), num_gpus=args.gpus,
+        implicit=args.implicit,
+    )
+    print(f"recommendation: {choice.algorithm.upper()}")
+    print(f"  estimated ALS epoch: {choice.est_als_epoch_seconds:.3f}s")
+    print(f"  estimated SGD epoch: {choice.est_sgd_epoch_seconds:.3f}s")
+    for reason in choice.reasons:
+        print(f"  - {reason}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .core import tune_hermitian
+    from .data import get_dataset
+    from .gpusim import get_device
+
+    device = get_device(args.device)
+    result = tune_hermitian(device, get_dataset(args.dataset).paper)
+    b = result.best
+    print(f"best get_hermitian config on {device.name}:")
+    print(f"  tile T={b.tile}, threads/block={b.threads_per_block}, "
+          f"BIN={b.bin_size}")
+    print(f"  {b.registers_per_thread} regs/thread, {b.blocks_per_sm} blocks/SM, "
+          f"{b.seconds:.4f}s per pass")
+    return 0
+
+
+def _cmd_devices(_args) -> int:
+    from .gpusim import DEVICE_PRESETS
+
+    seen = {}
+    for dev in DEVICE_PRESETS.values():
+        seen[dev.name] = dev
+    for dev in seen.values():
+        tc = f", {dev.tensor_core_flops / 1e12:.0f} TF tensor" if dev.tensor_core_flops else ""
+        print(
+            f"{dev.name:22s} {dev.generation:8s} {dev.num_sms:3d} SMs, "
+            f"{dev.peak_flops_fp32 / 1e12:5.1f} TFLOPS, "
+            f"{dev.dram_bandwidth / 1e9:5.0f} GB/s{tc}"
+        )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .harness.report import generate_report
+
+    text = generate_report(scale=args.scale)
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+_COMMANDS = {
+    "train": _cmd_train,
+    "advise": _cmd_advise,
+    "tune": _cmd_tune,
+    "devices": _cmd_devices,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""CUMFALS: the paper's ALS trainer with simulated GPU timing.
+
+:class:`ALSModel` alternates the two half-steps of §II:
+
+* **update-X** — form A_u, b_u for every user (``get_hermitian`` +
+  ``get_bias``) and solve the m systems;
+* **update-Θ** — the same on Rᵀ for every item.
+
+All numerics are real NumPy; simultaneously every kernel is *priced* on a
+:class:`~repro.gpusim.engine.SimEngine` so training curves carry the
+simulated seconds of a chosen GPU.  The cost model can be driven at a
+different (e.g. paper-scale) :class:`~repro.data.datasets.WorkloadShape`
+than the numeric surrogate — that is how benches report Netflix-size
+seconds while computing on a laptop-size surrogate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.datasets import WorkloadShape
+from ..data.sparse import RatingMatrix
+from ..gpusim.device import MAXWELL_TITANX, DeviceSpec
+from ..gpusim.engine import SimEngine
+from ..metrics.convergence import TrainingCurve
+from ..metrics.rmse import predict_entries, rmse
+from .cg import cg_solve_batched
+from .config import ALSConfig, SolverKind
+from .direct import lu_solve_batched
+from .hermitian import hermitian_and_bias
+from .kernels import bias_spec, cg_iteration_spec, hermitian_spec, lu_solver_seconds
+
+__all__ = ["ALSModel", "EpochBreakdown"]
+
+
+@dataclass(frozen=True)
+class EpochBreakdown:
+    """Simulated seconds of one epoch, split the way Figure 5 reports."""
+
+    get_hermitian: float
+    get_bias: float
+    solve: float
+
+    @property
+    def total(self) -> float:
+        return self.get_hermitian + self.get_bias + self.solve
+
+
+class ALSModel:
+    """Matrix factorization via ALS on a simulated GPU.
+
+    Parameters
+    ----------
+    config:
+        Algorithmic knobs (f, λ, solver, precision, read scheme).
+    device:
+        GPU preset used for timing; defaults to the paper's Maxwell.
+    sim_shape:
+        Workload shape fed to the cost model.  ``None`` prices the actual
+        training data.
+    engine:
+        Optional externally owned :class:`SimEngine` (multi-GPU driver).
+    """
+
+    def __init__(
+        self,
+        config: ALSConfig | None = None,
+        device: DeviceSpec = MAXWELL_TITANX,
+        sim_shape: WorkloadShape | None = None,
+        engine: SimEngine | None = None,
+    ) -> None:
+        self.config = config or ALSConfig()
+        self.device = device
+        self.sim_shape = sim_shape
+        self.engine = engine or SimEngine(device)
+        self.x_: np.ndarray | None = None
+        self.theta_: np.ndarray | None = None
+        self.history_: TrainingCurve | None = None
+        self.epoch_breakdowns_: list[EpochBreakdown] = []
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: RatingMatrix,
+        test: RatingMatrix | None = None,
+        *,
+        epochs: int = 10,
+        target_rmse: float | None = None,
+        label: str | None = None,
+    ) -> TrainingCurve:
+        """Train until ``epochs`` or until test RMSE ≤ ``target_rmse``.
+
+        Returns the :class:`TrainingCurve` of (simulated seconds, RMSE)
+        samples; also stored as ``self.history_``.
+        """
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if target_rmse is not None and test is None:
+            raise ValueError("target_rmse requires a test set")
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self.x_ = rng.normal(0, cfg.init_scale, (train.m, cfg.f)).astype(np.float32)
+        self.theta_ = rng.normal(0, cfg.init_scale, (train.n, cfg.f)).astype(
+            np.float32
+        )
+        curve = TrainingCurve(label or f"cumf_als@{self.device.generation}")
+        self.history_ = curve
+        self.epoch_breakdowns_ = []
+
+        train_t = train.transpose()
+        for epoch in range(1, epochs + 1):
+            herm0 = self.engine.total_seconds("get_hermitian")
+            bias0 = self.engine.total_seconds("get_bias")
+            solve0 = self._solver_seconds()
+
+            self.x_ = self._half_step(train, self.theta_, self.x_, side="x")
+            self.theta_ = self._half_step(train_t, self.x_, self.theta_, side="theta")
+
+            self.epoch_breakdowns_.append(
+                EpochBreakdown(
+                    get_hermitian=self.engine.total_seconds("get_hermitian") - herm0,
+                    get_bias=self.engine.total_seconds("get_bias") - bias0,
+                    solve=self._solver_seconds() - solve0,
+                )
+            )
+            test_rmse = rmse(self.x_, self.theta_, test) if test is not None else float("nan")
+            curve.record(
+                epoch,
+                self.engine.clock,
+                test_rmse,
+                train_rmse=rmse(self.x_, self.theta_, train),
+            )
+            if target_rmse is not None and test_rmse <= target_rmse:
+                break
+        return curve
+
+    def predict(self, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+        """Predicted ratings for (user, item) index arrays."""
+        self._check_fitted()
+        return predict_entries(self.x_, self.theta_, rows, cols)
+
+    def score(self, ratings: RatingMatrix) -> float:
+        """RMSE over the observed entries of ``ratings``."""
+        self._check_fitted()
+        return rmse(self.x_, self.theta_, ratings)
+
+    # ------------------------------------------------------------------
+    # Internals.
+    # ------------------------------------------------------------------
+    def _check_fitted(self) -> None:
+        if self.x_ is None or self.theta_ is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+
+    def _solver_seconds(self) -> float:
+        return self.engine.total_seconds("cg_iteration") + self.engine.total_seconds(
+            "solve_lu"
+        )
+
+    def _cost_shape(self, data_shape: WorkloadShape, side: str) -> WorkloadShape:
+        base = self.sim_shape or data_shape
+        return base if side == "x" else base.transpose()
+
+    def _half_step(
+        self,
+        ratings: RatingMatrix,
+        fixed: np.ndarray,
+        warm: np.ndarray,
+        *,
+        side: str,
+    ) -> np.ndarray:
+        """One ALS half-step: build the normal equations and solve them."""
+        cfg = self.config
+        A, b = hermitian_and_bias(ratings, fixed, cfg.lam)
+
+        # Price the two formation kernels.  The cost shape is in the
+        # "rows being updated" orientation.
+        data_shape = WorkloadShape(
+            m=ratings.m, n=ratings.n, nnz=max(ratings.nnz, 1), f=cfg.f
+        )
+        shape = self._cost_shape(
+            data_shape if side == "x" else data_shape.transpose(), side
+        )
+        tag = f"update_{side}"
+        self.engine.launch(hermitian_spec(self.device, shape, cfg), tag=tag)
+        self.engine.launch(bias_spec(self.device, shape), tag=tag)
+
+        # Solve the batch.
+        if cfg.solver is SolverKind.CG:
+            result = cg_solve_batched(A, b, x0=warm, config=cfg.cg, precision=cfg.precision)
+            spec = cg_iteration_spec(self.device, shape.m, shape.f, cfg.precision)
+            for _ in range(result.iterations):
+                self.engine.launch(spec, tag=tag)
+            return result.x
+        self.engine.host(
+            "solve_lu", lu_solver_seconds(self.device, shape.m, shape.f), tag=tag
+        )
+        return lu_solve_batched(A, b)

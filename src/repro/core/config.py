@@ -1,0 +1,88 @@
+"""Configuration objects for the cuMF_ALS reproduction."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["ReadScheme", "SolverKind", "Precision", "CGConfig", "ALSConfig"]
+
+
+class ReadScheme(str, enum.Enum):
+    """Global→shared staging scheme for ``get_hermitian`` (paper Fig. 3/4).
+
+    * ``COALESCED`` — threads cooperatively read one θ column at a time.
+    * ``NONCOAL_L1`` — each thread walks its own column; L1 enabled
+      (the paper's Solution 2, default and fastest at low occupancy).
+    * ``NONCOAL_NOL1`` — same access pattern with L1 bypassed
+      (``-Xptxas -dlcm=cg``), the middle bar of Figure 4.
+    """
+
+    COALESCED = "coalesced"
+    NONCOAL_L1 = "noncoal-l1"
+    NONCOAL_NOL1 = "noncoal-nol1"
+
+
+class SolverKind(str, enum.Enum):
+    """Linear-system solver for the ``solve`` step (paper §IV)."""
+
+    LU = "lu"  # exact batched solver (cuBLAS-style baseline)
+    CG = "cg"  # approximate truncated conjugate gradient (Solution 3)
+
+
+class Precision(str, enum.Enum):
+    """Storage precision of A_u inside the solver (paper Solution 4)."""
+
+    FP32 = "fp32"
+    FP16 = "fp16"
+
+    @property
+    def itemsize(self) -> int:
+        return 4 if self is Precision.FP32 else 2
+
+
+@dataclass(frozen=True)
+class CGConfig:
+    """Truncated-CG parameters (paper Algorithm 1).
+
+    ``max_iters`` is the paper's f_s; 6 is "the smallest number that does
+    not hurt convergence" on Netflix (Figure 5 caption).  ``tol`` is the
+    ε residual tolerance of Algorithm 1 line 7.
+    """
+
+    max_iters: int = 6
+    tol: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if self.max_iters <= 0:
+            raise ValueError("max_iters must be positive")
+        if self.tol < 0:
+            raise ValueError("tol must be non-negative")
+
+
+@dataclass(frozen=True)
+class ALSConfig:
+    """Full configuration of one ALS training run."""
+
+    f: int = 100  # latent feature dimension
+    lam: float = 0.05  # regularization λ (weighted by n_xu / n_θv)
+    solver: SolverKind = SolverKind.CG
+    precision: Precision = Precision.FP16
+    read_scheme: ReadScheme = ReadScheme.NONCOAL_L1
+    cg: CGConfig = field(default_factory=CGConfig)
+    bin_size: int = 32  # θ columns staged per shared-memory batch
+    tile: int = 10  # register tile edge T (paper Figure 2)
+    seed: int = 0
+    init_scale: float = 0.1  # stddev of the random factor init
+
+    def __post_init__(self) -> None:
+        if self.f <= 0:
+            raise ValueError("f must be positive")
+        if self.lam < 0:
+            raise ValueError("lam must be non-negative")
+        if self.bin_size <= 0:
+            raise ValueError("bin_size must be positive")
+        if self.tile <= 0:
+            raise ValueError("tile must be positive")
+        if self.init_scale <= 0:
+            raise ValueError("init_scale must be positive")

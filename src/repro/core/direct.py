@@ -1,0 +1,47 @@
+"""Exact batched solver — the LU-FP32 baseline of the paper's Figure 5.
+
+cuBLAS's ``getrfBatched``/``getrsBatched`` compute an exact O(f³) LU
+solve per system.  Numerically we use numpy's batched ``solve`` (LAPACK
+``gesv`` — also LU with partial pivoting), plus a Cholesky variant since
+A_u is SPD and that is what CPU ALS implementations typically call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["lu_solve_batched", "cholesky_solve_batched"]
+
+
+def _check(A: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    A = np.asarray(A, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    if A.ndim != 3 or A.shape[1] != A.shape[2]:
+        raise ValueError(f"A must be (batch, f, f), got {A.shape}")
+    if b.shape != A.shape[:2]:
+        raise ValueError(f"b must be {A.shape[:2]}, got {b.shape}")
+    return A, b
+
+
+def lu_solve_batched(A: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact solutions of the batch via LU with partial pivoting."""
+    A, b = _check(A, b)
+    # float64 internally: the exact baseline should be exact.  The
+    # explicit trailing axis keeps NumPy's gufunc treating b as a stack
+    # of vectors, not one matrix.
+    x = np.linalg.solve(A.astype(np.float64), b.astype(np.float64)[..., None])
+    return x[..., 0].astype(np.float32)
+
+
+def cholesky_solve_batched(A: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact solutions via batched Cholesky (A must be SPD).
+
+    Raises :class:`numpy.linalg.LinAlgError` when any A_u is not positive
+    definite — a loud signal of a broken regularizer upstream.
+    """
+    A, b = _check(A, b)
+    L = np.linalg.cholesky(A.astype(np.float64))
+    # Forward then backward substitution, batched.
+    y = np.linalg.solve(L, b.astype(np.float64)[..., None])
+    x = np.linalg.solve(np.swapaxes(L, 1, 2), y)
+    return x[..., 0].astype(np.float32)

@@ -1,0 +1,170 @@
+"""Future-work features from the paper's §VII, implemented.
+
+* :class:`HybridALSSGD` — "using ALS for the initial batch training and
+  SGD for incremental updates of the model": ALS burns down the bulk of
+  the error in a few expensive epochs, then cheap SGD epochs absorb
+  newly arriving ratings without re-solving the normal equations.
+* :func:`recommend_algorithm` — "algorithm selection based on dataset
+  characteristics such as dimensions and sparsity, and hardware resource
+  constraints such as number of GPUs".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.datasets import WorkloadShape
+from ..data.sparse import RatingMatrix
+from ..gpusim.device import MAXWELL_TITANX, DeviceSpec
+from ..metrics.convergence import TrainingCurve
+from ..metrics.rmse import rmse
+from ..sgd.cumf_sgd import gpu_sgd_epoch_seconds
+from ..sgd.sgd import coo_arrays, hogwild_epoch
+from .als import ALSModel
+from .config import ALSConfig
+
+__all__ = ["HybridALSSGD", "AlgorithmChoice", "recommend_algorithm"]
+
+
+class HybridALSSGD:
+    """ALS warm start + SGD incremental updates.
+
+    ``fit`` runs ALS; ``update`` folds a batch of new ratings into the
+    model with a few SGD passes touching only the affected entries —
+    O(|new| · f) instead of a full O(Nz f²) ALS epoch.
+    """
+
+    def __init__(
+        self,
+        config: ALSConfig | None = None,
+        device: DeviceSpec = MAXWELL_TITANX,
+        sim_shape: WorkloadShape | None = None,
+        sgd_lr: float = 0.05,
+        sgd_passes: int = 3,
+    ) -> None:
+        if sgd_lr <= 0:
+            raise ValueError("sgd_lr must be positive")
+        if sgd_passes <= 0:
+            raise ValueError("sgd_passes must be positive")
+        self.als = ALSModel(config, device=device, sim_shape=sim_shape)
+        self.sgd_lr = sgd_lr
+        self.sgd_passes = sgd_passes
+        self.update_count = 0
+
+    @property
+    def engine(self):
+        return self.als.engine
+
+    def fit(
+        self,
+        train: RatingMatrix,
+        test: RatingMatrix | None = None,
+        *,
+        epochs: int = 8,
+    ) -> TrainingCurve:
+        """Batch phase: plain cuMF_ALS."""
+        return self.als.fit(train, test, epochs=epochs)
+
+    def update(self, new_ratings: RatingMatrix) -> float:
+        """Incremental phase: absorb ``new_ratings`` with SGD passes.
+
+        Returns the RMSE on the new batch after the update.  The matrix
+        must share the fitted model's shape (new users/items require a
+        refit — growing the factors is out of scope for this phase).
+        """
+        self.als._check_fitted()
+        x, theta = self.als.x_, self.als.theta_
+        if new_ratings.m != x.shape[0] or new_ratings.n != theta.shape[0]:
+            raise ValueError("new ratings must match the fitted shape")
+        if new_ratings.nnz == 0:
+            return float("nan")
+        rows, cols, vals = coo_arrays(new_ratings)
+        rng = np.random.default_rng(self.als.config.seed + 17 + self.update_count)
+        lr_scale = 1.0 / max(float(vals.std()), 0.25)
+        for _ in range(self.sgd_passes):
+            hogwild_epoch(
+                x, theta, rows, cols, vals,
+                self.sgd_lr * lr_scale, self.als.config.lam, rng,
+            )
+        # Price the incremental pass: an SGD epoch over just the delta.
+        shape = WorkloadShape(
+            m=new_ratings.m, n=new_ratings.n, nnz=new_ratings.nnz,
+            f=self.als.config.f,
+        )
+        secs = self.sgd_passes * gpu_sgd_epoch_seconds(self.als.device, shape)
+        self.engine.host("sgd_incremental", secs, tag="incremental")
+        self.update_count += 1
+        return rmse(x, theta, new_ratings)
+
+
+@dataclass(frozen=True)
+class AlgorithmChoice:
+    """Advisor verdict with the reasoning spelled out."""
+
+    algorithm: str  # "als" | "sgd"
+    reasons: tuple[str, ...]
+    est_als_epoch_seconds: float
+    est_sgd_epoch_seconds: float
+
+
+def recommend_algorithm(
+    shape: WorkloadShape,
+    device: DeviceSpec = MAXWELL_TITANX,
+    num_gpus: int = 1,
+    implicit: bool = False,
+) -> AlgorithmChoice:
+    """Pick ALS or SGD for a workload (paper §VII's future-work advisor).
+
+    Decision rules distilled from the paper's §V-E/§V-F findings:
+    implicit inputs ⇒ ALS (SGD cost is O(m·n·f)); dense rows ⇒ ALS;
+    multi-GPU ⇒ ALS scales better; otherwise SGD's cheap epochs win on
+    very sparse explicit data.
+    """
+    from .kernels import cg_iteration_spec, hermitian_spec
+    from ..gpusim.kernel import time_kernel
+    from .config import Precision
+
+    reasons: list[str] = []
+    als_epoch = (
+        time_kernel(device, hermitian_spec(device, shape, ALSConfig(f=shape.f))).seconds
+        + time_kernel(
+            device, hermitian_spec(device, shape.transpose(), ALSConfig(f=shape.f))
+        ).seconds
+        + 6
+        * (
+            time_kernel(
+                device, cg_iteration_spec(device, shape.m, shape.f, Precision.FP16)
+            ).seconds
+            + time_kernel(
+                device, cg_iteration_spec(device, shape.n, shape.f, Precision.FP16)
+            ).seconds
+        )
+    ) / num_gpus
+    sgd_epoch = gpu_sgd_epoch_seconds(device, shape, num_gpus=num_gpus)
+
+    if implicit:
+        reasons.append("implicit inputs: SGD would cost O(m*n*f) per epoch")
+        return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch)
+
+    density = shape.nnz / (shape.m * shape.n)
+    mean_degree = shape.nnz / min(shape.m, shape.n)
+    if density > 0.01 or mean_degree > 10_000:
+        reasons.append(
+            f"dense rating matrix (density {density:.2e}, mean degree "
+            f"{mean_degree:.0f}): ALS epochs amortize"
+        )
+        return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch)
+    if num_gpus > 1:
+        reasons.append("multiple GPUs: ALS parallelizes without update conflicts")
+        return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch)
+    # SGD needs ~3-5x the epochs; prefer it only when its epoch is much cheaper.
+    if sgd_epoch * 5 < als_epoch:
+        reasons.append(
+            f"sparse explicit data: 5 SGD epochs ({5 * sgd_epoch:.2f}s) still beat "
+            f"one ALS epoch ({als_epoch:.2f}s)"
+        )
+        return AlgorithmChoice("sgd", tuple(reasons), als_epoch, sgd_epoch)
+    reasons.append("comparable epoch costs: ALS's faster convergence wins")
+    return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch)

@@ -1,0 +1,43 @@
+"""Reduced-precision storage emulation (paper Solution 4).
+
+The paper stores A_u in FP16 to halve the CG solver's memory traffic,
+converting to FP32 on load.  Without FP16 hardware we emulate exactly the
+numerical effect — a round-trip through IEEE binary16 — while the cost
+models account for the halved bytes separately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .config import Precision
+
+__all__ = ["quantize", "storage_bytes", "max_abs_error"]
+
+#: Largest finite binary16 value; inputs beyond it would overflow to inf.
+FP16_MAX = 65504.0
+
+
+def quantize(a: np.ndarray, precision: Precision) -> np.ndarray:
+    """Round-trip ``a`` through the requested storage precision.
+
+    FP16 values that would overflow are clamped to ±FP16_MAX, matching
+    what a saturating conversion instruction does (and keeping the solver
+    finite on extreme inputs, which plain ``astype`` would not).
+    """
+    if precision is Precision.FP32:
+        return np.asarray(a, dtype=np.float32)
+    clipped = np.clip(a, -FP16_MAX, FP16_MAX)
+    return clipped.astype(np.float16).astype(np.float32)
+
+
+def storage_bytes(num_elements: int, precision: Precision) -> int:
+    """Bytes needed to store ``num_elements`` values at ``precision``."""
+    if num_elements < 0:
+        raise ValueError("num_elements must be non-negative")
+    return num_elements * precision.itemsize
+
+
+def max_abs_error(a: np.ndarray, precision: Precision) -> float:
+    """Worst-case absolute quantization error over ``a``."""
+    return float(np.max(np.abs(np.asarray(a) - quantize(a, precision)), initial=0.0))

@@ -1,0 +1,105 @@
+"""Tensor-core projection (paper §VII: "exploit the new Nvidia Tensor
+Cores ... to further speed up CUMFALS").
+
+The future-work idea, implemented as a projection over the cost model:
+
+* ``get_hermitian`` — the Σ θθᵀ outer products are FP16 matmuls of
+  exactly the shape HMMA tiles accelerate.  Mixed-precision formation
+  (FP16 inputs, FP32 accumulators) keeps the accumulation exact enough
+  for ALS (the same argument as Solution 4).  Irregular row lengths cap
+  achievable tensor utilization well below peak.
+* the CG solver is memory-bound (Figure 5), so tensor cores buy nothing
+  there — the projection makes that explicit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.datasets import WorkloadShape
+from ..gpusim.device import VOLTA_V100, DeviceSpec
+from ..gpusim.kernel import time_kernel
+from .config import ALSConfig, Precision
+from .kernels import cg_iteration_spec, hermitian_spec
+
+__all__ = ["TensorCoreProjection", "project_tensor_core_epoch"]
+
+#: Fraction of tensor-core peak a batched, variable-length Σθθᵀ reaches
+#: (ragged batches, fragment fill, epilogue) — in line with published
+#: mixed-precision batched-GEMM efficiencies on ragged shapes.
+TENSOR_CORE_EFFICIENCY = 0.25
+
+
+@dataclass(frozen=True)
+class TensorCoreProjection:
+    """Per-epoch seconds with and without tensor cores on one device."""
+
+    hermitian_fp32: float
+    hermitian_tensor: float
+    solve_fp16: float
+
+    @property
+    def epoch_without(self) -> float:
+        return self.hermitian_fp32 + self.solve_fp16
+
+    @property
+    def epoch_with(self) -> float:
+        return self.hermitian_tensor + self.solve_fp16
+
+    @property
+    def hermitian_speedup(self) -> float:
+        return self.hermitian_fp32 / self.hermitian_tensor
+
+    @property
+    def epoch_speedup(self) -> float:
+        return self.epoch_without / self.epoch_with
+
+
+def project_tensor_core_epoch(
+    shape: WorkloadShape,
+    device: DeviceSpec = VOLTA_V100,
+    fs: int = 6,
+) -> TensorCoreProjection:
+    """Project one ALS epoch with HMMA-accelerated ``get_hermitian``.
+
+    Raises ValueError on devices without tensor cores — the projection
+    would silently equal the baseline otherwise.
+    """
+    if device.tensor_core_flops <= 0:
+        raise ValueError(f"{device.name} has no tensor cores")
+    cfg = ALSConfig(f=shape.f)
+
+    def herm(tensor: bool) -> float:
+        total = 0.0
+        for s in (shape, shape.transpose()):
+            t = time_kernel(device, hermitian_spec(device, s, cfg))
+            compute = t.compute.seconds
+            if tensor:
+                # Same FLOPs retimed at the tensor-core roofline; the
+                # memory phases (staging loads halve in FP16) dominate
+                # unchanged writes.
+                flops = float(s.nnz) * s.f * s.f
+                compute = flops / (device.tensor_core_flops * TENSOR_CORE_EFFICIENCY)
+                t16 = time_kernel(
+                    device, hermitian_spec(device, s, cfg, element_bytes=2)
+                )
+                total += t16.phase_seconds("load") + compute + t16.phase_seconds(
+                    "write"
+                )
+            else:
+                total += t.seconds
+        return total
+
+    solve = fs * (
+        time_kernel(
+            device, cg_iteration_spec(device, shape.m, shape.f, Precision.FP16)
+        ).seconds
+        + time_kernel(
+            device, cg_iteration_spec(device, shape.n, shape.f, Precision.FP16)
+        ).seconds
+    )
+    return TensorCoreProjection(
+        hermitian_fp32=herm(False),
+        hermitian_tensor=herm(True),
+        solve_fp16=solve,
+    )

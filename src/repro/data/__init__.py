@@ -1,0 +1,25 @@
+"""Data substrate: sparse containers, synthetic datasets, splits, I/O."""
+
+from .datasets import DATASETS, DatasetSpec, WorkloadShape, get_dataset, load_surrogate
+from .io import load_npz, load_triplets, save_npz, save_triplets
+from .sparse import RatingMatrix
+from .split import TrainTestSplit, train_test_split
+from .synthetic import SyntheticConfig, generate_ratings, planted_factors
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "RatingMatrix",
+    "SyntheticConfig",
+    "TrainTestSplit",
+    "WorkloadShape",
+    "generate_ratings",
+    "get_dataset",
+    "load_npz",
+    "load_surrogate",
+    "load_triplets",
+    "planted_factors",
+    "save_npz",
+    "save_triplets",
+    "train_test_split",
+]

@@ -1,0 +1,191 @@
+"""Dataset registry: the paper's benchmarks and their synthetic surrogates.
+
+Table II of the paper:
+
+=========== ========== ======== ======= === ==== ===========
+Dataset     m          n        Nz      f   λ    target RMSE
+=========== ========== ======== ======= === ==== ===========
+Netflix     480,189    17,770   99M     100 0.05 0.92
+YahooMusic  1,000,990  624,961  252.8M  100 1.4  22
+Hugewiki    50,082,603 39,780   3.1B    100 0.05 0.52
+=========== ========== ======== ======= === ==== ===========
+
+Numerics run on scaled-down synthetic surrogates (see
+:mod:`repro.data.synthetic`); simulated timings use the *paper-scale*
+shapes via :class:`WorkloadShape`, so the seconds reported by the benches
+correspond to the full datasets the way the paper measured them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .split import TrainTestSplit, train_test_split
+from .synthetic import SyntheticConfig, generate_ratings
+
+__all__ = [
+    "WorkloadShape",
+    "DatasetSpec",
+    "DATASETS",
+    "get_dataset",
+    "load_surrogate",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadShape:
+    """Problem dimensions consumed by the gpusim cost models."""
+
+    m: int
+    n: int
+    nnz: int
+    f: int
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.n, self.nnz, self.f) <= 0:
+            raise ValueError("all dimensions must be positive")
+
+    @property
+    def rows_mean_nnz(self) -> float:
+        return self.nnz / self.m
+
+    @property
+    def cols_mean_nnz(self) -> float:
+        return self.nnz / self.n
+
+    def transpose(self) -> "WorkloadShape":
+        return WorkloadShape(m=self.n, n=self.m, nnz=self.nnz, f=self.f)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One registry entry: paper-scale stats plus the surrogate recipe."""
+
+    name: str
+    paper: WorkloadShape  # full-size shape from Table II
+    lam: float  # λ used by the paper
+    target_rmse: float  # "acceptable" RMSE from Table II
+    rating_min: float
+    rating_max: float
+    surrogate: SyntheticConfig  # scaled synthetic stand-in
+
+    @property
+    def paper_density(self) -> float:
+        return self.paper.nnz / (self.paper.m * self.paper.n)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "netflix": DatasetSpec(
+        name="netflix",
+        paper=WorkloadShape(m=480_189, n=17_770, nnz=99_072_112, f=100),
+        lam=0.05,
+        target_rmse=0.92,
+        rating_min=1.0,
+        rating_max=5.0,
+        surrogate=SyntheticConfig(
+            m=9_600,
+            n=2_220,
+            nnz=240_000,
+            true_rank=16,
+            noise=0.35,
+            rating_min=1.0,
+            rating_max=5.0,
+            zipf_exponent=1.1,
+            seed=42,
+        ),
+    ),
+    "yahoomusic": DatasetSpec(
+        name="yahoomusic",
+        paper=WorkloadShape(m=1_000_990, n=624_961, nnz=252_800_000, f=100),
+        lam=1.4,
+        target_rmse=22.0,
+        rating_min=1.0,
+        rating_max=100.0,
+        surrogate=SyntheticConfig(
+            m=12_000,
+            n=7_500,
+            nnz=300_000,
+            true_rank=16,
+            noise=0.4,
+            rating_min=1.0,
+            rating_max=100.0,
+            zipf_exponent=1.0,
+            seed=43,
+        ),
+    ),
+    "hugewiki": DatasetSpec(
+        name="hugewiki",
+        paper=WorkloadShape(m=50_082_603, n=39_780, nnz=3_100_000_000, f=100),
+        lam=0.05,
+        target_rmse=0.52,
+        rating_min=0.5,
+        rating_max=10.0,
+        surrogate=SyntheticConfig(
+            m=25_000,
+            n=1_000,
+            nnz=1_500_000,  # preserves the real ~62 ratings/user
+            true_rank=16,
+            noise=0.2,
+            rating_min=0.5,
+            rating_max=10.0,
+            zipf_exponent=0.9,
+            seed=44,
+        ),
+    ),
+}
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    key = name.strip().lower()
+    if key not in DATASETS:
+        raise KeyError(f"unknown dataset {name!r}; available: {sorted(DATASETS)}")
+    return DATASETS[key]
+
+
+def load_surrogate(
+    name: str,
+    *,
+    test_fraction: float = 0.1,
+    scale: float = 1.0,
+    seed: int | None = None,
+) -> tuple[TrainTestSplit, DatasetSpec]:
+    """Generate the surrogate for ``name`` and split it.
+
+    ``scale`` < 1 shrinks the surrogate further (for fast tests):
+    m, n and nnz are multiplied by ``scale`` with sane floors.
+    """
+    spec = get_dataset(name)
+    cfg = spec.surrogate
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if scale != 1.0:
+        m = max(64, int(cfg.m * scale))
+        n = max(32, int(cfg.n * scale))
+        # Dense surrogates (Hugewiki) can exceed the shrunken capacity;
+        # cap the density rather than fail.
+        cfg = SyntheticConfig(
+            m=m,
+            n=n,
+            nnz=min(max(512, int(cfg.nnz * scale)), int(0.6 * m * n)),
+            true_rank=cfg.true_rank,
+            noise=cfg.noise,
+            rating_min=cfg.rating_min,
+            rating_max=cfg.rating_max,
+            zipf_exponent=cfg.zipf_exponent,
+            seed=cfg.seed if seed is None else seed,
+        )
+    elif seed is not None:
+        cfg = SyntheticConfig(
+            m=cfg.m,
+            n=cfg.n,
+            nnz=cfg.nnz,
+            true_rank=cfg.true_rank,
+            noise=cfg.noise,
+            rating_min=cfg.rating_min,
+            rating_max=cfg.rating_max,
+            zipf_exponent=cfg.zipf_exponent,
+            seed=seed,
+        )
+    ratings = generate_ratings(cfg)
+    split = train_test_split(ratings, test_fraction=test_fraction, seed=cfg.seed + 1)
+    return split, spec

@@ -1,0 +1,66 @@
+"""Persistence for rating matrices.
+
+Supports the two formats a downstream user actually meets:
+
+* ``.npz`` — fast binary round-trip of a :class:`RatingMatrix`;
+* text triplets — the ``user item rating`` lines used by the original
+  Netflix/MovieLens-style dumps and by LIBMF/NOMAD input files.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .sparse import RatingMatrix
+
+__all__ = ["save_npz", "load_npz", "save_triplets", "load_triplets"]
+
+
+def save_npz(path: str | os.PathLike, ratings: RatingMatrix) -> None:
+    """Write a compressed binary snapshot."""
+    np.savez_compressed(
+        path,
+        m=ratings.m,
+        n=ratings.n,
+        row_ptr=ratings.row_ptr,
+        col_idx=ratings.col_idx,
+        row_val=ratings.row_val,
+    )
+
+
+def load_npz(path: str | os.PathLike) -> RatingMatrix:
+    """Read a snapshot written by :func:`save_npz`."""
+    with np.load(path) as z:
+        rows = np.repeat(np.arange(int(z["m"])), np.diff(z["row_ptr"]))
+        return RatingMatrix.from_coo(
+            rows, z["col_idx"], z["row_val"], m=int(z["m"]), n=int(z["n"])
+        )
+
+
+def save_triplets(path: str | os.PathLike, ratings: RatingMatrix) -> None:
+    """Write ``user item rating`` text lines (LIBMF-compatible)."""
+    rows = np.repeat(np.arange(ratings.m), ratings.row_counts())
+    data = np.column_stack(
+        [rows.astype(np.float64), ratings.col_idx.astype(np.float64), ratings.row_val]
+    )
+    np.savetxt(path, data, fmt=["%d", "%d", "%.6g"])
+
+
+def load_triplets(
+    path: str | os.PathLike, m: int | None = None, n: int | None = None
+) -> RatingMatrix:
+    """Read ``user item rating`` text lines."""
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)  # empty-file warning
+        data = np.loadtxt(path, ndmin=2)
+    if data.size == 0:
+        raise ValueError(f"no triplets found in {path}")
+    if data.shape[1] != 3:
+        raise ValueError("expected exactly 3 columns: user item rating")
+    return RatingMatrix.from_coo(
+        data[:, 0].astype(np.int64), data[:, 1].astype(np.int64), data[:, 2], m=m, n=n
+    )

@@ -1,0 +1,163 @@
+"""Lightweight sparse rating-matrix container.
+
+ALS consumes the rating matrix in both orientations — CSR for update-X
+(iterate a user's ratings) and CSC for update-Θ (iterate an item's
+ratings).  :class:`RatingMatrix` keeps both index structures, built once,
+plus the per-row/column counts (``n_xu`` and ``n_θv`` in the paper's
+regularization term).
+
+scipy.sparse is used for construction/conversion; the kernels consume the
+raw ``indptr/indices/data`` arrays directly to keep inner loops allocation
+free (see the HPC guide: views not copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["RatingMatrix"]
+
+
+@dataclass(frozen=True)
+class RatingMatrix:
+    """A sparse m x n rating matrix with dual CSR/CSC indexing.
+
+    Attributes mirror the paper's notation: ``m`` users, ``n`` items,
+    ``nnz`` = Nz observed entries.
+    """
+
+    m: int
+    n: int
+    # CSR (row = user) view.
+    row_ptr: np.ndarray  # int64[m+1]
+    col_idx: np.ndarray  # int32[nnz]
+    row_val: np.ndarray  # float32[nnz]
+    # CSC (column = item) view.
+    col_ptr: np.ndarray  # int64[n+1]
+    row_idx: np.ndarray  # int32[nnz]
+    col_val: np.ndarray  # float32[nnz]
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_coo(
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+        m: int | None = None,
+        n: int | None = None,
+    ) -> "RatingMatrix":
+        """Build from COO triplets. Duplicate entries are summed."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals, dtype=np.float32)
+        if not (rows.shape == cols.shape == vals.shape) or rows.ndim != 1:
+            raise ValueError("rows, cols, vals must be equal-length 1-D arrays")
+        if rows.size and (rows.min() < 0 or cols.min() < 0):
+            raise ValueError("indices must be non-negative")
+        m = int(m if m is not None else (rows.max() + 1 if rows.size else 0))
+        n = int(n if n is not None else (cols.max() + 1 if cols.size else 0))
+        if rows.size and (rows.max() >= m or cols.max() >= n):
+            raise ValueError("index exceeds given shape")
+        coo = sp.coo_matrix((vals, (rows, cols)), shape=(m, n))
+        return RatingMatrix.from_scipy(coo)
+
+    @staticmethod
+    def from_scipy(mat: sp.spmatrix) -> "RatingMatrix":
+        """Build from any scipy.sparse matrix."""
+        csr = mat.tocsr().astype(np.float32)
+        csr.sum_duplicates()
+        csc = csr.tocsc()
+        m, n = csr.shape
+        return RatingMatrix(
+            m=m,
+            n=n,
+            row_ptr=csr.indptr.astype(np.int64),
+            col_idx=csr.indices.astype(np.int32),
+            row_val=csr.data,
+            col_ptr=csc.indptr.astype(np.int64),
+            row_idx=csc.indices.astype(np.int32),
+            col_val=csc.data.astype(np.float32),
+        )
+
+    def to_scipy(self) -> sp.csr_matrix:
+        return sp.csr_matrix(
+            (self.row_val, self.col_idx, self.row_ptr), shape=(self.m, self.n)
+        )
+
+    # ------------------------------------------------------------------
+    # Queries.
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.row_val.size)
+
+    @property
+    def density(self) -> float:
+        cells = self.m * self.n
+        return self.nnz / cells if cells else 0.0
+
+    def row_counts(self) -> np.ndarray:
+        """n_xu: number of observed ratings per user."""
+        return np.diff(self.row_ptr)
+
+    def col_counts(self) -> np.ndarray:
+        """n_θv: number of observed ratings per item."""
+        return np.diff(self.col_ptr)
+
+    def user_items(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        """Item indices and ratings of user ``u`` (zero-copy views)."""
+        if not 0 <= u < self.m:
+            raise IndexError(f"user {u} outside [0, {self.m})")
+        lo, hi = self.row_ptr[u], self.row_ptr[u + 1]
+        return self.col_idx[lo:hi], self.row_val[lo:hi]
+
+    def item_users(self, v: int) -> tuple[np.ndarray, np.ndarray]:
+        """User indices and ratings of item ``v`` (zero-copy views)."""
+        if not 0 <= v < self.n:
+            raise IndexError(f"item {v} outside [0, {self.n})")
+        lo, hi = self.col_ptr[v], self.col_ptr[v + 1]
+        return self.row_idx[lo:hi], self.col_val[lo:hi]
+
+    def transpose(self) -> "RatingMatrix":
+        """Swap users and items (update-Θ reuses update-X kernels on Rᵀ)."""
+        return RatingMatrix(
+            m=self.n,
+            n=self.m,
+            row_ptr=self.col_ptr,
+            col_idx=self.row_idx,
+            row_val=self.col_val,
+            col_ptr=self.row_ptr,
+            row_idx=self.col_idx,
+            col_val=self.row_val,
+        )
+
+    def validate(self) -> None:
+        """Check structural invariants; raises ValueError on corruption."""
+        if self.row_ptr.shape != (self.m + 1,):
+            raise ValueError("row_ptr has wrong length")
+        if self.col_ptr.shape != (self.n + 1,):
+            raise ValueError("col_ptr has wrong length")
+        if self.row_ptr[0] != 0 or self.row_ptr[-1] != self.nnz:
+            raise ValueError("row_ptr endpoints corrupt")
+        if self.col_ptr[0] != 0 or self.col_ptr[-1] != self.nnz:
+            raise ValueError("col_ptr endpoints corrupt")
+        if np.any(np.diff(self.row_ptr) < 0) or np.any(np.diff(self.col_ptr) < 0):
+            raise ValueError("pointer arrays must be non-decreasing")
+        if self.nnz:
+            if self.col_idx.min() < 0 or self.col_idx.max() >= self.n:
+                raise ValueError("col_idx out of range")
+            if self.row_idx.min() < 0 or self.row_idx.max() >= self.m:
+                raise ValueError("row_idx out of range")
+        if not np.isclose(self.row_val.sum(), self.col_val.sum(), rtol=1e-4):
+            raise ValueError("CSR/CSC views disagree")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RatingMatrix(m={self.m}, n={self.n}, nnz={self.nnz}, "
+            f"density={self.density:.2e})"
+        )

@@ -1,0 +1,101 @@
+"""Simulated GPU substrate: devices, occupancy, caches, timing.
+
+This package stands in for the CUDA hardware the paper ran on.  It does
+not execute GPU code; it *prices* it.  Library kernels report FLOP,
+byte and transaction counts measured from their real NumPy execution, and
+this package converts those into seconds on a modeled Kepler / Maxwell /
+Pascal device using occupancy rules, cache working-set analysis, a
+Little's-law latency engine and a roofline compute model.
+"""
+
+from .cache import CacheStats, SetAssociativeCache, analytic_hit_rate
+from .coalescing import AccessPattern, broadcast, coalesced, strided
+from .cpu import (
+    NOMAD_HPC_NODE,
+    POWER8,
+    XEON_E5_2667,
+    XEON_E5_2670,
+    ClusterSpec,
+    CpuSpec,
+    cpu_als_epoch_time,
+    cpu_sgd_epoch_time,
+)
+from .cublas import gemm_batched_cost, lu_batched_cost
+from .device import (
+    DEVICE_PRESETS,
+    KEPLER_K40,
+    MAXWELL_TITANX,
+    PASCAL_P100,
+    VOLTA_V100,
+    DeviceSpec,
+    get_device,
+)
+from .engine import LaunchRecord, SimEngine
+from .interconnect import (
+    ETHERNET_10G,
+    INFINIBAND_FDR,
+    NVLINK_P100,
+    PCIE_GEN3_X16,
+    Link,
+    allgather_time,
+    broadcast_time,
+)
+from .kernel import KernelSpec, LaunchTiming, MemoryPhase, time_kernel
+from .latency import LevelFractions, MemoryPhaseTiming, memory_phase_time
+from .memcpy import memcpy_bandwidth, memcpy_time
+from .occupancy import KernelResources, Occupancy, compute_occupancy
+from .roofline import ComputePhaseTiming, compute_phase_time, occupancy_efficiency
+from .trace import StagingTraceResult, simulate_staging
+
+__all__ = [
+    "AccessPattern",
+    "CacheStats",
+    "ClusterSpec",
+    "ComputePhaseTiming",
+    "CpuSpec",
+    "DEVICE_PRESETS",
+    "DeviceSpec",
+    "ETHERNET_10G",
+    "INFINIBAND_FDR",
+    "KEPLER_K40",
+    "KernelResources",
+    "KernelSpec",
+    "LaunchRecord",
+    "LaunchTiming",
+    "LevelFractions",
+    "Link",
+    "MAXWELL_TITANX",
+    "MemoryPhase",
+    "MemoryPhaseTiming",
+    "NOMAD_HPC_NODE",
+    "NVLINK_P100",
+    "Occupancy",
+    "PASCAL_P100",
+    "PCIE_GEN3_X16",
+    "POWER8",
+    "SetAssociativeCache",
+    "SimEngine",
+    "StagingTraceResult",
+    "VOLTA_V100",
+    "simulate_staging",
+    "XEON_E5_2667",
+    "XEON_E5_2670",
+    "allgather_time",
+    "analytic_hit_rate",
+    "broadcast",
+    "broadcast_time",
+    "coalesced",
+    "compute_occupancy",
+    "compute_phase_time",
+    "cpu_als_epoch_time",
+    "cpu_sgd_epoch_time",
+    "gemm_batched_cost",
+    "get_device",
+    "lu_batched_cost",
+    "memcpy_bandwidth",
+    "memcpy_time",
+    "memory_phase_time",
+    "occupancy_efficiency",
+    "strided",
+    "time_kernel",
+]

@@ -1,0 +1,185 @@
+"""Warp-level memory-access coalescing model.
+
+A warp of 32 threads issues one memory *request*; the hardware breaks it
+into 32-byte *transactions* (L2 sectors).  A fully coalesced FP32 request
+(32 consecutive 4-byte words) needs ``32*4/32 = 4`` transactions; a
+fully scattered request needs up to 32 — an 8x waste of bandwidth unless
+a cache absorbs the extra sectors.
+
+This module turns an access-pattern description into transaction counts
+and in-flight request parallelism, which :mod:`repro.gpusim.latency`
+converts into time.  It models the two staging schemes of the paper's
+Figure 3:
+
+* ``coalesced()`` — threads cooperatively read one θ column at a time
+  (few requests in flight, perfect transaction efficiency);
+* ``strided()`` — each thread walks its own θ column (many independent
+  request streams, poor transaction efficiency, but cache-friendly when
+  the columns fit in L1/L2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["AccessPattern", "coalesced", "strided", "broadcast"]
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Transaction-level summary of a warp-strided load/store loop.
+
+    Attributes
+    ----------
+    total_bytes:
+        Useful payload bytes moved by the loop (across all warps).
+    transactions:
+        Number of 32B transactions issued to the memory system.
+    requests:
+        Number of warp-level memory instructions issued.
+    concurrent_streams:
+        Independent address streams per warp — a proxy for memory-level
+        parallelism available *within* one warp's instruction window.
+        Coalesced loops have 1 (each request depends on loop progress of
+        the whole warp); per-thread strided loops have up to 32.
+    transaction_bytes:
+        Sector size (32 on NVIDIA hardware).
+    pipeline_depth:
+        Independent requests a warp keeps in flight through loop
+        unrolling.  Streaming loops (batched CG's matvec) unroll to 4+;
+        staging loops bounded by a shared-memory barrier stay at 1 —
+        the lack of parallelism behind the paper's Observation 2.
+    """
+
+    total_bytes: int
+    transactions: int
+    requests: int
+    concurrent_streams: int
+    transaction_bytes: int = 32
+    pipeline_depth: int = 1
+
+    def __post_init__(self) -> None:
+        if min(self.total_bytes, self.transactions, self.requests) < 0:
+            raise ValueError("counts must be non-negative")
+        if self.concurrent_streams < 1:
+            raise ValueError("concurrent_streams must be >= 1")
+        if self.pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+
+    @property
+    def moved_bytes(self) -> int:
+        """Bytes actually moved on the wire (transactions x sector)."""
+        return self.transactions * self.transaction_bytes
+
+    @property
+    def efficiency(self) -> float:
+        """Useful payload / wire traffic, in (0, 1]."""
+        if self.transactions == 0:
+            return 1.0
+        return min(1.0, self.total_bytes / self.moved_bytes)
+
+    def scaled(self, factor: float) -> "AccessPattern":
+        """Scale all counters (e.g. extrapolate a sampled trace)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return AccessPattern(
+            total_bytes=int(round(self.total_bytes * factor)),
+            transactions=int(round(self.transactions * factor)),
+            requests=int(round(self.requests * factor)),
+            concurrent_streams=self.concurrent_streams,
+            transaction_bytes=self.transaction_bytes,
+            pipeline_depth=self.pipeline_depth,
+        )
+
+    def combined(self, other: "AccessPattern") -> "AccessPattern":
+        """Merge two phases executed back-to-back."""
+        return AccessPattern(
+            total_bytes=self.total_bytes + other.total_bytes,
+            transactions=self.transactions + other.transactions,
+            requests=self.requests + other.requests,
+            concurrent_streams=min(self.concurrent_streams, other.concurrent_streams),
+            transaction_bytes=self.transaction_bytes,
+            pipeline_depth=min(self.pipeline_depth, other.pipeline_depth),
+        )
+
+
+def _transactions_for_contiguous(bytes_per_request: int, sector: int) -> int:
+    return max(1, math.ceil(bytes_per_request / sector))
+
+
+def coalesced(
+    num_elements: int,
+    element_bytes: int = 4,
+    warp_size: int = 32,
+    sector: int = 32,
+    pipeline_depth: int = 1,
+) -> AccessPattern:
+    """Pattern for a coalesced loop: warp reads consecutive elements.
+
+    ``num_elements`` is the total element count moved by the loop.  Each
+    warp iteration touches ``warp_size`` consecutive elements, producing
+    ``warp_size*element_bytes/sector`` transactions.
+    """
+    if num_elements < 0:
+        raise ValueError("num_elements must be non-negative")
+    requests = math.ceil(num_elements / warp_size)
+    per_request = _transactions_for_contiguous(warp_size * element_bytes, sector)
+    # The tail request may touch fewer sectors; ignore (second order).
+    return AccessPattern(
+        total_bytes=num_elements * element_bytes,
+        transactions=requests * per_request,
+        requests=requests,
+        concurrent_streams=1,
+        transaction_bytes=sector,
+        pipeline_depth=pipeline_depth,
+    )
+
+
+def strided(
+    num_elements: int,
+    stride_bytes: int,
+    element_bytes: int = 4,
+    warp_size: int = 32,
+    sector: int = 32,
+    pipeline_depth: int = 1,
+) -> AccessPattern:
+    """Pattern for the paper's non-coalesced scheme: each thread of the
+    warp walks its own column separated by ``stride_bytes``.
+
+    When ``stride_bytes >= sector`` every lane of every request touches a
+    distinct sector, so a request costs ``warp_size`` transactions — the
+    worst case.  When strides are smaller, lanes share sectors.
+    """
+    if num_elements < 0:
+        raise ValueError("num_elements must be non-negative")
+    if stride_bytes <= 0:
+        raise ValueError("stride_bytes must be positive")
+    requests = math.ceil(num_elements / warp_size)
+    lanes_per_sector = max(1, sector // max(stride_bytes, element_bytes))
+    sectors_per_request = math.ceil(warp_size / lanes_per_sector)
+    return AccessPattern(
+        total_bytes=num_elements * element_bytes,
+        transactions=requests * sectors_per_request,
+        requests=requests,
+        concurrent_streams=warp_size,
+        transaction_bytes=sector,
+        pipeline_depth=pipeline_depth,
+    )
+
+
+def broadcast(
+    num_requests: int,
+    element_bytes: int = 4,
+    sector: int = 32,
+) -> AccessPattern:
+    """All lanes read the same address (e.g. a scalar coefficient)."""
+    if num_requests < 0:
+        raise ValueError("num_requests must be non-negative")
+    return AccessPattern(
+        total_bytes=num_requests * element_bytes,
+        transactions=num_requests,
+        requests=num_requests,
+        concurrent_streams=1,
+        transaction_bytes=sector,
+    )

@@ -1,0 +1,252 @@
+"""GPU device specifications for the simulated substrate.
+
+The paper (Table III) evaluates on three generations of NVIDIA GPUs:
+Kepler K40, Maxwell Titan X and Pascal P100.  :class:`DeviceSpec` captures
+the architectural parameters that the cost models in this package consume —
+peak FLOP rates, DRAM bandwidth, SM count, register file, shared memory and
+cache geometry, and memory-system latencies.
+
+Values are taken from NVIDIA whitepapers and the figures quoted in the
+paper itself (e.g. "4 TFLOPS, 12 GB RAM, 288 GB/s" for the K40).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "DeviceSpec",
+    "KEPLER_K40",
+    "MAXWELL_TITANX",
+    "PASCAL_P100",
+    "VOLTA_V100",
+    "DEVICE_PRESETS",
+    "get_device",
+]
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Architectural description of one GPU.
+
+    All sizes are bytes, all rates are per-second, all latencies are in
+    clock cycles of ``core_clock_hz`` unless noted otherwise.
+    """
+
+    name: str
+    generation: str
+
+    # Compute.
+    num_sms: int
+    core_clock_hz: float
+    peak_flops_fp32: float  # fused multiply-add counted as 2 FLOPs
+    fp16_throughput_ratio: float  # FP16 FLOPs relative to FP32 (2.0 on P100)
+
+    # Register file / occupancy limits (per SM).
+    registers_per_sm: int  # number of 32-bit registers
+    max_registers_per_thread: int
+    max_threads_per_sm: int
+    max_blocks_per_sm: int
+    warp_size: int = 32
+
+    # Shared memory (per SM).
+    shared_mem_per_sm: int = 96 * 1024
+    max_shared_mem_per_block: int = 48 * 1024
+
+    # Caches.
+    l1_size: int = 48 * 1024  # per SM
+    l1_line_size: int = 128
+    l1_associativity: int = 4
+    l2_size: int = 3 * 1024 * 1024  # device-wide
+    l2_line_size: int = 32  # L2 services 32B sectors
+    l2_associativity: int = 16
+
+    # Memory system.
+    dram_bandwidth: float = 288e9  # bytes/s
+    dram_capacity: int = 12 * 1024**3
+    dram_latency_cycles: int = 400
+    l2_latency_cycles: int = 150
+    l1_latency_cycles: int = 30
+    smem_latency_cycles: int = 24
+
+    # Latency hiding: maximum memory requests in flight per SM (MSHRs
+    # and LSU queue depth combined; coarse but sufficient for Little's law).
+    max_outstanding_requests_per_sm: int = 256
+
+    # Whether FP16 storage/arithmetic is natively supported (Pascal+).
+    # Maxwell supports FP16 storage with convert-on-load, which is what the
+    # paper's CG-FP16 uses, so storage support is assumed on all presets.
+    native_fp16_arithmetic: bool = False
+
+    # Tensor-core FP16 matmul throughput (FLOPs/s); 0 when absent.
+    # The paper's §VII names Tensor Cores as future work — the Volta
+    # preset exists to project that speedup.
+    tensor_core_flops: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Derived quantities.
+    # ------------------------------------------------------------------
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+    @property
+    def peak_flops_fp16(self) -> float:
+        return self.peak_flops_fp32 * self.fp16_throughput_ratio
+
+    @property
+    def flops_per_sm(self) -> float:
+        return self.peak_flops_fp32 / self.num_sms
+
+    @property
+    def l2_size_per_sm(self) -> float:
+        """L2 capacity notionally available to one SM (uniform share)."""
+        return self.l2_size / self.num_sms
+
+    def with_(self, **overrides) -> "DeviceSpec":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **overrides)
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on physically impossible parameters."""
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.peak_flops_fp32 <= 0:
+            raise ValueError("peak_flops_fp32 must be positive")
+        if self.dram_bandwidth <= 0:
+            raise ValueError("dram_bandwidth must be positive")
+        if self.warp_size <= 0 or self.max_threads_per_sm % self.warp_size:
+            raise ValueError("max_threads_per_sm must be a warp multiple")
+        if self.l1_line_size % self.l2_line_size:
+            raise ValueError("L1 line size must be a multiple of L2 sector size")
+
+
+# ----------------------------------------------------------------------
+# Presets matching Table III of the paper.
+# ----------------------------------------------------------------------
+
+#: Kepler K40: "4 TFLOPS, 12 GB RAM, 288 GB/s" (paper Table III).
+KEPLER_K40 = DeviceSpec(
+    name="Tesla K40",
+    generation="Kepler",
+    num_sms=15,
+    core_clock_hz=745e6,
+    peak_flops_fp32=4.29e12,
+    fp16_throughput_ratio=1.0,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=16,
+    shared_mem_per_sm=48 * 1024,
+    max_shared_mem_per_block=48 * 1024,
+    l1_size=16 * 1024,  # 16KB L1 / 48KB smem split
+    l2_size=1536 * 1024,
+    dram_bandwidth=288e9,
+    dram_capacity=12 * 1024**3,
+    dram_latency_cycles=440,
+    l2_latency_cycles=180,
+    l1_latency_cycles=35,
+    max_outstanding_requests_per_sm=224,
+    native_fp16_arithmetic=False,
+)
+
+#: Maxwell Titan X: "7 TFLOPS, 12 GB RAM, 340 GB/s" (paper Table III).
+#: The paper's cache discussion assumes Maxwell's 48 KB L1 (unified with
+#: texture cache) and 3 MB L2 shared by 24 SMs.
+MAXWELL_TITANX = DeviceSpec(
+    name="GeForce GTX Titan X",
+    generation="Maxwell",
+    num_sms=24,
+    core_clock_hz=1.0e9,
+    peak_flops_fp32=6.98e12,
+    fp16_throughput_ratio=1.0,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=96 * 1024,
+    max_shared_mem_per_block=48 * 1024,
+    l1_size=48 * 1024,
+    l2_size=3 * 1024 * 1024,
+    dram_bandwidth=340e9,
+    dram_capacity=12 * 1024**3,
+    dram_latency_cycles=400,
+    l2_latency_cycles=150,
+    l1_latency_cycles=30,
+    max_outstanding_requests_per_sm=256,
+    native_fp16_arithmetic=False,
+)
+
+#: Pascal P100: "11 TFLOPS, 16 GB, 740 GB/s" (paper Table III). HBM2.
+PASCAL_P100 = DeviceSpec(
+    name="Tesla P100",
+    generation="Pascal",
+    num_sms=56,
+    core_clock_hz=1.328e9,
+    peak_flops_fp32=10.6e12,
+    fp16_throughput_ratio=2.0,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=64 * 1024,
+    max_shared_mem_per_block=48 * 1024,
+    l1_size=24 * 1024,
+    l2_size=4 * 1024 * 1024,
+    dram_bandwidth=732e9,
+    dram_capacity=16 * 1024**3,
+    dram_latency_cycles=380,
+    l2_latency_cycles=140,
+    l1_latency_cycles=28,
+    max_outstanding_requests_per_sm=512,
+    native_fp16_arithmetic=True,
+)
+
+#: Volta V100 (§VII future work): 15.7 TFLOPS fp32, 125 TFLOPS tensor,
+#: 900 GB/s HBM2, 80 SMs.  Not part of the paper's evaluation; used by
+#: the tensor-core projection bench.
+VOLTA_V100 = DeviceSpec(
+    name="Tesla V100",
+    generation="Volta",
+    num_sms=80,
+    core_clock_hz=1.53e9,
+    peak_flops_fp32=15.7e12,
+    fp16_throughput_ratio=2.0,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    max_threads_per_sm=2048,
+    max_blocks_per_sm=32,
+    shared_mem_per_sm=96 * 1024,
+    max_shared_mem_per_block=96 * 1024,
+    l1_size=128 * 1024,
+    l2_size=6 * 1024 * 1024,
+    dram_bandwidth=900e9,
+    dram_capacity=16 * 1024**3,
+    dram_latency_cycles=400,
+    l2_latency_cycles=130,
+    l1_latency_cycles=28,
+    max_outstanding_requests_per_sm=768,
+    native_fp16_arithmetic=True,
+    tensor_core_flops=125e12,
+)
+
+DEVICE_PRESETS: dict[str, DeviceSpec] = {
+    "volta": VOLTA_V100,
+    "v100": VOLTA_V100,
+    "kepler": KEPLER_K40,
+    "k40": KEPLER_K40,
+    "maxwell": MAXWELL_TITANX,
+    "titanx": MAXWELL_TITANX,
+    "pascal": PASCAL_P100,
+    "p100": PASCAL_P100,
+}
+
+
+def get_device(name: str) -> DeviceSpec:
+    """Look up a device preset by (case-insensitive) name or alias."""
+    key = name.strip().lower()
+    if key not in DEVICE_PRESETS:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(set(DEVICE_PRESETS))}"
+        )
+    return DEVICE_PRESETS[key]

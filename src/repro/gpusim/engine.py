@@ -1,0 +1,110 @@
+"""Simulation engine: a clock plus a per-kernel launch ledger.
+
+:class:`SimEngine` is what the instrumented library code talks to.  Every
+simulated kernel launch (or host-side event such as an interconnect
+transfer) advances the clock and is recorded, so benches can ask "how much
+time went into ``get_hermitian`` vs ``solve``" exactly the way the paper's
+Figure 5 does.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+from .kernel import KernelSpec, LaunchTiming, time_kernel
+
+__all__ = ["LaunchRecord", "SimEngine"]
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One entry in the engine's ledger."""
+
+    kind: str  # "kernel" | "transfer" | "host"
+    name: str
+    seconds: float
+    start: float
+    timing: LaunchTiming | None = None
+    tag: str | None = None
+
+
+class SimEngine:
+    """Accumulates simulated time for one device.
+
+    The engine is deliberately simple: a monotonically advancing clock and
+    an append-only ledger.  Multi-GPU simulations hold one engine per
+    device and synchronize clocks at communication barriers (see
+    :mod:`repro.core.multi_gpu`).
+    """
+
+    def __init__(self, device: DeviceSpec) -> None:
+        self.device = device
+        self.clock: float = 0.0
+        self.records: list[LaunchRecord] = []
+
+    # -- event sources -----------------------------------------------------
+    def launch(self, spec: KernelSpec, *, tag: str | None = None) -> LaunchTiming:
+        """Time ``spec`` on this engine's device and advance the clock."""
+        timing = time_kernel(self.device, spec)
+        self.records.append(
+            LaunchRecord(
+                kind="kernel",
+                name=spec.name,
+                seconds=timing.seconds,
+                start=self.clock,
+                timing=timing,
+                tag=tag,
+            )
+        )
+        self.clock += timing.seconds
+        return timing
+
+    def transfer(self, name: str, seconds: float, *, tag: str | None = None) -> None:
+        """Record a data transfer (PCIe/NVLink/network) of known duration."""
+        if seconds < 0:
+            raise ValueError("transfer duration must be non-negative")
+        self.records.append(
+            LaunchRecord(kind="transfer", name=name, seconds=seconds, start=self.clock, tag=tag)
+        )
+        self.clock += seconds
+
+    def host(self, name: str, seconds: float, *, tag: str | None = None) -> None:
+        """Record host-side time (e.g. CPU baseline epochs)."""
+        if seconds < 0:
+            raise ValueError("host duration must be non-negative")
+        self.records.append(
+            LaunchRecord(kind="host", name=name, seconds=seconds, start=self.clock, tag=tag)
+        )
+        self.clock += seconds
+
+    def sync_to(self, time: float) -> None:
+        """Advance the clock to ``time`` (barrier wait). No-op if behind."""
+        if time > self.clock:
+            self.records.append(
+                LaunchRecord(kind="host", name="barrier_wait", seconds=time - self.clock, start=self.clock)
+            )
+            self.clock = time
+
+    # -- ledger queries ------------------------------------------------------
+    def seconds_by_name(self) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for r in self.records:
+            out[r.name] += r.seconds
+        return dict(out)
+
+    def seconds_by_tag(self) -> dict[str, float]:
+        out: dict[str, float] = defaultdict(float)
+        for r in self.records:
+            out[r.tag or ""] += r.seconds
+        return dict(out)
+
+    def total_seconds(self, name: str | None = None) -> float:
+        if name is None:
+            return self.clock
+        return sum(r.seconds for r in self.records if r.name == name)
+
+    def reset(self) -> None:
+        self.clock = 0.0
+        self.records.clear()

@@ -1,0 +1,80 @@
+"""Interconnect models: NVLink, PCIe and cluster Ethernet/InfiniBand.
+
+The paper motivates GPUs partly by interconnect bandwidth: "NVLink (40
+GB/s per link with four links per GPU) which is much faster than any
+existing network."  Multi-GPU ALS broadcasts the freshly updated factor
+matrix between update-X and update-Θ; NOMAD-style baselines pay network
+cost per rotated block.  These simple α-β (latency-bandwidth) models feed
+both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Link",
+    "NVLINK_P100",
+    "PCIE_GEN3_X16",
+    "ETHERNET_10G",
+    "INFINIBAND_FDR",
+    "allgather_time",
+    "broadcast_time",
+]
+
+
+@dataclass(frozen=True)
+class Link:
+    """An α-β link: ``time = latency + bytes / bandwidth``."""
+
+    name: str
+    bandwidth: float  # bytes/s, unidirectional per peer pair
+    latency: float  # seconds per message
+
+    def transfer_time(self, nbytes: float) -> float:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+
+#: Four NVLink 1.0 bricks per GPU pair on P100 systems: 4 x 20 GB/s
+#: unidirectional usable ≈ 40 GB/s as quoted in the paper's introduction.
+NVLINK_P100 = Link(name="NVLink", bandwidth=40e9, latency=5e-6)
+
+#: PCIe 3.0 x16: ~12 GB/s usable of the 16 GB/s raw.
+PCIE_GEN3_X16 = Link(name="PCIe3x16", bandwidth=12e9, latency=10e-6)
+
+#: Datacenter 10 GbE as used by commodity CPU clusters.
+ETHERNET_10G = Link(name="10GbE", bandwidth=1.1e9, latency=50e-6)
+
+#: FDR InfiniBand (56 Gb/s) as in HPC clusters running NOMAD.
+INFINIBAND_FDR = Link(name="IB-FDR", bandwidth=6.0e9, latency=2e-6)
+
+
+def broadcast_time(link: Link, nbytes: float, num_peers: int) -> float:
+    """Tree broadcast of ``nbytes`` from one rank to ``num_peers`` others."""
+    if num_peers < 0:
+        raise ValueError("num_peers must be non-negative")
+    if num_peers == 0 or nbytes == 0:
+        return 0.0
+    import math
+
+    rounds = math.ceil(math.log2(num_peers + 1))
+    return rounds * link.transfer_time(nbytes)
+
+
+def allgather_time(link: Link, nbytes_per_rank: float, num_ranks: int) -> float:
+    """Ring allgather: each rank contributes ``nbytes_per_rank``.
+
+    Ring allgather moves ``(p-1)/p`` of the aggregate through each link —
+    the standard bandwidth-optimal schedule.
+    """
+    if num_ranks < 1:
+        raise ValueError("num_ranks must be >= 1")
+    if num_ranks == 1 or nbytes_per_rank == 0:
+        return 0.0
+    total = nbytes_per_rank * num_ranks
+    steps = num_ranks - 1
+    return steps * link.latency + (total * (num_ranks - 1) / num_ranks) / link.bandwidth

@@ -1,0 +1,129 @@
+"""Kernel descriptors: bind resource usage, FLOP and traffic counts.
+
+A simulated "kernel launch" is described by a :class:`KernelSpec` —
+occupancy-relevant resources plus a list of memory phases and a compute
+phase.  :func:`time_kernel` produces a :class:`LaunchTiming` with the
+per-phase breakdown used by the Figure 4 / Figure 5 benches.
+
+Phases can be combined two ways, matching how real kernels behave:
+
+* ``overlap="sum"`` — phases are serialized (a staging loop that must
+  finish before the FMA loop of the same batch; this is how the paper
+  instruments load/compute/write separately in Figure 4);
+* ``overlap="max"`` — compute and memory are double-buffered across
+  batches and the kernel runs at the slower of the two rooflines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from .coalescing import AccessPattern
+from .device import DeviceSpec
+from .latency import LevelFractions, MemoryPhaseTiming, memory_phase_time
+from .occupancy import KernelResources, Occupancy, compute_occupancy
+from .roofline import ComputePhaseTiming, compute_phase_time
+
+__all__ = ["MemoryPhase", "KernelSpec", "LaunchTiming", "time_kernel"]
+
+
+@dataclass(frozen=True)
+class MemoryPhase:
+    """One named memory phase of a kernel (e.g. ``load``, ``write``)."""
+
+    name: str
+    pattern: AccessPattern
+    fractions: LevelFractions
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Complete cost description of one kernel launch."""
+
+    name: str
+    resources: KernelResources
+    grid_blocks: int
+    flops: float = 0.0
+    memory_phases: tuple[MemoryPhase, ...] = ()
+    instruction_efficiency: float = 0.75
+    compute_dtype_bytes: int = 4
+    overlap: Literal["sum", "max"] = "sum"
+
+    def __post_init__(self) -> None:
+        if self.grid_blocks < 0:
+            raise ValueError("grid_blocks must be non-negative")
+        if self.flops < 0:
+            raise ValueError("flops must be non-negative")
+
+
+@dataclass(frozen=True)
+class LaunchTiming:
+    """Timing result for one kernel launch."""
+
+    kernel: str
+    seconds: float
+    compute: ComputePhaseTiming
+    memory: dict[str, MemoryPhaseTiming]
+    occupancy: Occupancy
+    tail_factor: float
+
+    @property
+    def memory_seconds(self) -> float:
+        return sum(p.seconds for p in self.memory.values())
+
+    def phase_seconds(self, name: str) -> float:
+        if name == "compute":
+            return self.compute.seconds * self.tail_factor
+        return self.memory[name].seconds * self.tail_factor
+
+
+def _tail_factor(device: DeviceSpec, occ: Occupancy, grid_blocks: int) -> float:
+    """Quantization penalty for partially filled waves of blocks.
+
+    A grid of ``grid_blocks`` executes in ``ceil(grid / (blocks_per_sm *
+    num_sms))`` waves; the final, partially filled wave still costs a full
+    wave.  Negligible for large grids, significant for tiny ones.
+    """
+    wave = occ.blocks_per_sm * device.num_sms
+    if grid_blocks == 0:
+        return 1.0
+    import math
+
+    waves = math.ceil(grid_blocks / wave)
+    full_equivalent = grid_blocks / wave
+    return waves / full_equivalent if full_equivalent > 0 else 1.0
+
+
+def time_kernel(device: DeviceSpec, spec: KernelSpec) -> LaunchTiming:
+    """Time a kernel launch on ``device`` with a per-phase breakdown."""
+    occ = compute_occupancy(device, spec.resources)
+    compute = compute_phase_time(
+        device,
+        spec.flops,
+        occupancy=occ.occupancy,
+        instruction_efficiency=spec.instruction_efficiency,
+        dtype_bytes=spec.compute_dtype_bytes,
+    )
+    memory: dict[str, MemoryPhaseTiming] = {}
+    for phase in spec.memory_phases:
+        if phase.name in memory:
+            raise ValueError(f"duplicate memory phase {phase.name!r}")
+        memory[phase.name] = memory_phase_time(
+            device, phase.pattern, phase.fractions, occ.warps_per_sm
+        )
+
+    mem_total = sum(p.seconds for p in memory.values())
+    if spec.overlap == "sum":
+        body = compute.seconds + mem_total
+    else:
+        body = max(compute.seconds, mem_total)
+    tail = _tail_factor(device, occ, spec.grid_blocks)
+    return LaunchTiming(
+        kernel=spec.name,
+        seconds=body * tail,
+        compute=compute,
+        memory=memory,
+        occupancy=occ,
+        tail_factor=tail,
+    )

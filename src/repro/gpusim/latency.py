@@ -1,0 +1,164 @@
+"""Little's-law memory timing engine.
+
+Converts a memory phase — an :class:`~repro.gpusim.coalescing.AccessPattern`
+plus the fractions of its transactions served by L1 / L2 / DRAM — into
+seconds on a given device.
+
+Three ceilings bound a memory phase:
+
+``latency``
+    With ``C`` transactions in flight per SM and average service latency
+    ``L``, an SM sustains ``C * 32B / L`` of wire traffic (Little's law).
+    ``C`` is the product of resident warps and the per-warp memory-level
+    parallelism of the access pattern, clamped by the LSU/MSHR capacity.
+    This is the regime of the paper's Observation 2: with 6 resident
+    blocks, coalesced reads cannot cover DRAM latency.
+
+``dram bandwidth``
+    Transactions that miss L2 move 32B sectors across the DRAM pins.
+
+``l2 bandwidth``
+    Transactions that miss L1 cross the SM↔L2 crossbar, whose bandwidth
+    is a small multiple of DRAM bandwidth.
+
+The phase time is the maximum of the three.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .coalescing import AccessPattern
+from .device import DeviceSpec
+
+__all__ = ["LevelFractions", "MemoryPhaseTiming", "memory_phase_time"]
+
+#: SM↔L2 crossbar bandwidth relative to DRAM bandwidth.
+L2_BANDWIDTH_RATIO = 4.0
+
+
+@dataclass(frozen=True)
+class LevelFractions:
+    """Fractions of a phase's transactions served at each level.
+
+    Fractions refer to where a warp-issued transaction is *resolved*:
+    ``l1`` hits never leave the SM, ``l2`` hits cross the crossbar only,
+    ``dram`` misses pay the full trip.  Must sum to 1.
+    """
+
+    l1: float
+    l2: float
+    dram: float
+
+    def __post_init__(self) -> None:
+        for name, v in (("l1", self.l1), ("l2", self.l2), ("dram", self.dram)):
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"fraction {name}={v} outside [0, 1]")
+        total = self.l1 + self.l2 + self.dram
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"fractions must sum to 1, got {total}")
+
+    @staticmethod
+    def all_dram() -> "LevelFractions":
+        return LevelFractions(0.0, 0.0, 1.0)
+
+    @staticmethod
+    def from_hit_rates(l1_hit: float, l2_hit: float) -> "LevelFractions":
+        """Compose from per-level conditional hit rates."""
+        l1 = l1_hit
+        l2 = (1.0 - l1_hit) * l2_hit
+        return LevelFractions(l1=l1, l2=l2, dram=1.0 - l1 - l2)
+
+    def average_latency_cycles(self, device: DeviceSpec) -> float:
+        return (
+            self.l1 * device.l1_latency_cycles
+            + self.l2 * device.l2_latency_cycles
+            + self.dram * device.dram_latency_cycles
+        )
+
+
+@dataclass(frozen=True)
+class MemoryPhaseTiming:
+    """Breakdown of one memory phase."""
+
+    seconds: float
+    latency_bound_seconds: float
+    dram_bound_seconds: float
+    l2_bound_seconds: float
+    concurrency_per_sm: float
+    dram_bytes: float
+    l2_bytes: float
+
+    @property
+    def limiter(self) -> str:
+        bounds = {
+            "latency": self.latency_bound_seconds,
+            "dram_bandwidth": self.dram_bound_seconds,
+            "l2_bandwidth": self.l2_bound_seconds,
+        }
+        return max(bounds, key=bounds.get)  # type: ignore[arg-type]
+
+    @property
+    def achieved_bandwidth(self) -> float:
+        """Useful DRAM bytes per second achieved by the phase."""
+        if self.seconds == 0:
+            return 0.0
+        return self.dram_bytes / self.seconds
+
+
+def memory_phase_time(
+    device: DeviceSpec,
+    pattern: AccessPattern,
+    fractions: LevelFractions,
+    warps_per_sm: int,
+    *,
+    l2_bandwidth_ratio: float = L2_BANDWIDTH_RATIO,
+) -> MemoryPhaseTiming:
+    """Time one memory phase on ``device``.
+
+    Parameters
+    ----------
+    pattern:
+        Transaction counts and per-warp memory-level parallelism.
+    fractions:
+        Where transactions are resolved (L1/L2/DRAM).
+    warps_per_sm:
+        Resident warps per SM (from the occupancy calculator).
+    """
+    if warps_per_sm <= 0:
+        raise ValueError("warps_per_sm must be positive")
+    if pattern.transactions == 0:
+        return MemoryPhaseTiming(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+    sector = pattern.transaction_bytes
+    txns_per_request = max(1.0, pattern.transactions / max(1, pattern.requests))
+    # Memory-level parallelism per warp: all sectors of one request are in
+    # flight together; independent per-lane streams add further requests.
+    mlp_per_warp = (
+        txns_per_request
+        * max(1.0, pattern.concurrent_streams / txns_per_request)
+        * pattern.pipeline_depth
+    )
+    concurrency = min(
+        warps_per_sm * mlp_per_warp,
+        float(device.max_outstanding_requests_per_sm),
+    )
+
+    avg_latency_s = fractions.average_latency_cycles(device) / device.core_clock_hz
+    device_rate = concurrency * device.num_sms / avg_latency_s  # txns/s
+    latency_bound = pattern.transactions / device_rate
+
+    dram_bytes = pattern.transactions * fractions.dram * sector
+    l2_bytes = pattern.transactions * (fractions.l2 + fractions.dram) * sector
+    dram_bound = dram_bytes / device.dram_bandwidth
+    l2_bound = l2_bytes / (device.dram_bandwidth * l2_bandwidth_ratio)
+
+    return MemoryPhaseTiming(
+        seconds=max(latency_bound, dram_bound, l2_bound),
+        latency_bound_seconds=latency_bound,
+        dram_bound_seconds=dram_bound,
+        l2_bound_seconds=l2_bound,
+        concurrency_per_sm=concurrency,
+        dram_bytes=dram_bytes,
+        l2_bytes=l2_bytes,
+    )

@@ -1,0 +1,34 @@
+"""``cudaMemcpy`` device-to-device yardstick (paper Figure 7b).
+
+The paper validates the CG solver's memory efficiency by comparing its
+achieved DRAM bandwidth against ``cudaMemcpy``.  A device-to-device copy
+reads and writes every byte, so it sustains roughly ``peak/2`` of payload
+bandwidth in each direction — in practice 75-85% of that after DRAM
+inefficiencies.  The CG solver, which mostly *reads* a matrix that is
+resident and streams perfectly, can exceed the memcpy payload rate —
+exactly the effect Figure 7b shows.
+"""
+
+from __future__ import annotations
+
+from .device import DeviceSpec
+
+__all__ = ["memcpy_bandwidth", "memcpy_time"]
+
+#: Fraction of theoretical pin bandwidth a large d2d copy achieves.
+MEMCPY_EFFICIENCY = 0.80
+
+
+def memcpy_bandwidth(device: DeviceSpec) -> float:
+    """Payload bytes/s of a device-to-device ``cudaMemcpy``.
+
+    A d2d copy moves 2 bytes on the pins per payload byte (read + write),
+    so payload rate is half the achieved pin rate.
+    """
+    return device.dram_bandwidth * MEMCPY_EFFICIENCY / 2.0
+
+
+def memcpy_time(device: DeviceSpec, nbytes: float) -> float:
+    if nbytes < 0:
+        raise ValueError("nbytes must be non-negative")
+    return nbytes / memcpy_bandwidth(device)

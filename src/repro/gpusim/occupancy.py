@@ -1,0 +1,109 @@
+"""CUDA occupancy calculator.
+
+Reproduces the arithmetic in the paper's Observation 2: with ``f = 100``
+each ``get_hermitian`` thread needs 168 registers and each block 64
+threads, so an SM holds ``65536 / (168 * 64) ≈ 6`` thread blocks — far
+below the 32-block capacity, hence low occupancy and latency-bound loads.
+
+The calculator follows NVIDIA's occupancy rules at warp granularity:
+the number of resident blocks per SM is the minimum over the register,
+shared-memory, thread and block-count limits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = ["KernelResources", "Occupancy", "compute_occupancy"]
+
+
+@dataclass(frozen=True)
+class KernelResources:
+    """Per-kernel resource usage, as reported by a compiler (``ptxas``)."""
+
+    registers_per_thread: int
+    threads_per_block: int
+    shared_mem_per_block: int = 0
+
+    def __post_init__(self) -> None:
+        if self.registers_per_thread <= 0:
+            raise ValueError("registers_per_thread must be positive")
+        if self.threads_per_block <= 0:
+            raise ValueError("threads_per_block must be positive")
+        if self.shared_mem_per_block < 0:
+            raise ValueError("shared_mem_per_block must be non-negative")
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Result of an occupancy computation for one kernel on one device."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    threads_per_sm: int
+    occupancy: float  # active warps / max warps, in [0, 1]
+    limiter: str  # which resource bounds residency
+
+    @property
+    def is_latency_limited(self) -> bool:
+        """Heuristic threshold below which loads are latency- not
+        bandwidth-bound (the regime of the paper's Observation 2)."""
+        return self.occupancy < 0.5
+
+
+def _register_limit(device: DeviceSpec, res: KernelResources) -> int:
+    # Registers are allocated per warp in hardware granules; model the
+    # first-order behaviour: regs/block = regs/thread * threads/block.
+    regs_per_block = res.registers_per_thread * res.threads_per_block
+    if regs_per_block > device.registers_per_sm:
+        return 0
+    return device.registers_per_sm // regs_per_block
+
+
+def _smem_limit(device: DeviceSpec, res: KernelResources) -> int:
+    if res.shared_mem_per_block == 0:
+        return 10**9  # unlimited: never the limiter
+    if res.shared_mem_per_block > device.max_shared_mem_per_block:
+        return 0
+    return device.shared_mem_per_sm // res.shared_mem_per_block
+
+
+def compute_occupancy(device: DeviceSpec, res: KernelResources) -> Occupancy:
+    """Compute resident blocks/warps per SM and the limiting resource.
+
+    Raises :class:`ValueError` if the kernel cannot launch at all (a single
+    block exceeds an SM's resources), matching CUDA's launch-failure
+    behaviour rather than silently returning zero occupancy.
+    """
+    if res.registers_per_thread > device.max_registers_per_thread:
+        raise ValueError(
+            f"kernel uses {res.registers_per_thread} registers/thread, "
+            f"device maximum is {device.max_registers_per_thread}"
+        )
+    if res.threads_per_block > device.max_threads_per_sm:
+        raise ValueError("threads_per_block exceeds device limit")
+
+    limits = {
+        "registers": _register_limit(device, res),
+        "shared_memory": _smem_limit(device, res),
+        "threads": device.max_threads_per_sm // res.threads_per_block,
+        "blocks": device.max_blocks_per_sm,
+    }
+    blocks = min(limits.values())
+    if blocks <= 0:
+        bad = min(limits, key=limits.get)  # type: ignore[arg-type]
+        raise ValueError(f"kernel cannot launch: {bad} limit is zero")
+
+    limiter = min(limits, key=limits.get)  # type: ignore[arg-type]
+    warps_per_block = math.ceil(res.threads_per_block / device.warp_size)
+    warps = blocks * warps_per_block
+    return Occupancy(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        threads_per_sm=blocks * res.threads_per_block,
+        occupancy=min(1.0, warps / device.max_warps_per_sm),
+        limiter=limiter,
+    )

@@ -1,0 +1,152 @@
+"""Trace-driven validation of the staging cache model.
+
+The Figure-4 cost model rests on analytic hit-rate assumptions (sector
+reuse 7/8 in L1 for strided FP32 reads; no L1 reuse for coalesced ones).
+This module *measures* those rates by replaying the actual address
+stream of the ``get_hermitian`` staging loop — real users, real item
+lists, real θ layout — through the exact LRU caches, at the scale of one
+SM with its resident thread blocks.
+
+Used by tests (model validation) and available to users who want to
+check the model against their own sparsity patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.sparse import RatingMatrix
+from .cache import SetAssociativeCache
+from .device import DeviceSpec
+
+__all__ = ["StagingTraceResult", "simulate_staging"]
+
+_FLOAT = 4
+
+
+@dataclass(frozen=True)
+class StagingTraceResult:
+    """Measured cache behaviour of a staging replay."""
+
+    accesses: int
+    l1_hit_rate: float
+    l2_hit_rate: float  # conditional: of L1 misses
+    dram_fraction: float
+
+    def as_level_fractions(self):
+        from .latency import LevelFractions
+
+        return LevelFractions.from_hit_rates(self.l1_hit_rate, self.l2_hit_rate)
+
+
+def _block_request_stream(
+    items: np.ndarray, f: int, warp_size: int, coalesced_scheme: bool
+):
+    """Yield per-warp-request address arrays for one block staging its
+    user's θ columns (batches of ``warp_size`` columns at a time)."""
+    for lo in range(0, len(items), warp_size):
+        batch = items[lo : lo + warp_size]
+        if coalesced_scheme:
+            # Threads cooperate: column after column, 32 elements a time.
+            for v in batch:
+                base = int(v) * f * _FLOAT
+                for i in range(0, f, warp_size):
+                    width = min(warp_size, f - i)
+                    yield base + (np.arange(i, i + width) * _FLOAT)
+        else:
+            # Each thread walks its own column: one request per element
+            # index, touching all columns of the batch at that index.
+            bases = batch.astype(np.int64) * f * _FLOAT
+            for i in range(f):
+                yield bases + i * _FLOAT
+
+
+def simulate_staging(
+    device: DeviceSpec,
+    ratings: RatingMatrix,
+    f: int,
+    *,
+    coalesced_scheme: bool = False,
+    use_l1: bool = True,
+    blocks_per_sm: int = 6,
+    num_rows: int = 48,
+    warp_size: int = 32,
+    seed: int = 0,
+) -> StagingTraceResult:
+    """Replay the staging loads of ``num_rows`` sampled users on one SM.
+
+    ``blocks_per_sm`` blocks run concurrently (each owns one user row);
+    their warp requests interleave round-robin — the arrival order the
+    LRU caches actually see.  L1 is per-SM; the replay conservatively
+    gives L2 only this SM's share of capacity.
+    """
+    if f <= 0 or blocks_per_sm <= 0 or num_rows <= 0:
+        raise ValueError("f, blocks_per_sm and num_rows must be positive")
+    rng = np.random.default_rng(seed)
+    candidates = np.flatnonzero(ratings.row_counts() > 0)
+    if candidates.size == 0:
+        raise ValueError("rating matrix has no non-empty rows")
+    sample = rng.choice(candidates, size=min(num_rows, candidates.size), replace=False)
+
+    # The memory system's unit is the 32B sector (L2 line): one warp
+    # request is coalesced into its unique sectors before touching any
+    # cache, so both caches are replayed at sector granularity — the same
+    # unit the cost model's AccessPattern counts.
+    sector = device.l2_line_size
+    l1 = SetAssociativeCache(
+        device.l1_size,
+        sector,
+        device.l1_associativity * (device.l1_line_size // sector),
+    )
+    l2_share = max(
+        device.l2_line_size * device.l2_associativity,
+        int(device.l2_size_per_sm)
+        // (device.l2_line_size * device.l2_associativity)
+        * (device.l2_line_size * device.l2_associativity),
+    )
+    l2 = SetAssociativeCache(l2_share, sector, device.l2_associativity)
+
+    accesses = 0
+    l1_hits = 0
+    l2_hits = 0
+
+    # Round-robin interleave the per-block request generators.
+    active = []
+    queue = list(sample)
+    while queue and len(active) < blocks_per_sm:
+        u = queue.pop()
+        items, _ = ratings.user_items(int(u))
+        active.append(_block_request_stream(items, f, warp_size, coalesced_scheme))
+    while active:
+        next_active = []
+        for gen in active:
+            req = next(gen, None)
+            if req is None:
+                if queue:
+                    u = queue.pop()
+                    items, _ = ratings.user_items(int(u))
+                    gen = _block_request_stream(items, f, warp_size, coalesced_scheme)
+                    req = next(gen, None)
+                if req is None:
+                    continue
+            sectors = np.unique(np.asarray(req, dtype=np.int64) // sector) * sector
+            for addr in sectors:
+                accesses += 1
+                if use_l1 and l1.access(int(addr)):
+                    l1_hits += 1
+                elif l2.access(int(addr)):
+                    l2_hits += 1
+            next_active.append(gen)
+        active = next_active
+
+    if accesses == 0:
+        raise ValueError("no staging accesses generated")
+    misses_l1 = accesses - l1_hits
+    return StagingTraceResult(
+        accesses=accesses,
+        l1_hit_rate=l1_hits / accesses,
+        l2_hit_rate=l2_hits / misses_l1 if misses_l1 else 0.0,
+        dram_fraction=(misses_l1 - l2_hits) / accesses,
+    )

@@ -1,0 +1,46 @@
+"""Benchmark harness: per-figure experiment drivers and table printers."""
+
+from .ascii_plot import MARKERS, ascii_chart
+from .experiments import (
+    GPU_DEVICES,
+    ConvergenceResult,
+    fig1_ablation,
+    fig4_coalescing,
+    fig5_solver,
+    fig6_convergence,
+    fig7a_flops,
+    fig7b_bandwidth,
+    fig8_als_vs_sgd,
+    implicit_comparison,
+    table1_complexity,
+)
+from .tables import (
+    format_series,
+    format_table,
+    print_chart,
+    print_series,
+    print_table,
+    set_sink,
+)
+
+__all__ = [
+    "ConvergenceResult",
+    "MARKERS",
+    "ascii_chart",
+    "GPU_DEVICES",
+    "fig1_ablation",
+    "fig4_coalescing",
+    "fig5_solver",
+    "fig6_convergence",
+    "fig7a_flops",
+    "fig7b_bandwidth",
+    "fig8_als_vs_sgd",
+    "format_series",
+    "format_table",
+    "implicit_comparison",
+    "print_chart",
+    "print_series",
+    "print_table",
+    "set_sink",
+    "table1_complexity",
+]

@@ -1,0 +1,100 @@
+"""ASCII chart rendering for convergence figures.
+
+The paper's Figures 6 and 8 are RMSE-vs-time line plots; without a
+plotting stack the benches render them as ASCII scatter charts, one
+marker per system, so the crossover structure is visible directly in
+the bench output (and in EXPERIMENTS.md code blocks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_chart", "MARKERS"]
+
+MARKERS = "*o+x#@%&"
+
+
+def ascii_chart(
+    series: dict[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "seconds",
+    y_label: str = "RMSE",
+    log_x: bool = False,
+) -> str:
+    """Render multiple (x, y) series as an ASCII scatter chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping label -> (xs, ys).  Up to ``len(MARKERS)`` series.
+    log_x:
+        Log-scale the x axis — useful when CPU baselines take 100x the
+        GPU times (exactly the paper's Figure 6 situation).
+    """
+    import math
+
+    if not series:
+        raise ValueError("no series to plot")
+    if len(series) > len(MARKERS):
+        raise ValueError(f"at most {len(MARKERS)} series supported")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small")
+
+    def tx(x: float) -> float:
+        if log_x:
+            return math.log10(max(x, 1e-12))
+        return x
+
+    pts = {
+        label: [(tx(x), y) for x, y in zip(xs, ys) if y == y]  # drop NaN
+        for label, (xs, ys) in series.items()
+    }
+    all_pts = [p for ps in pts.values() for p in ps]
+    if not all_pts:
+        raise ValueError("all points are NaN")
+    xmin = min(p[0] for p in all_pts)
+    xmax = max(p[0] for p in all_pts)
+    ymin = min(p[1] for p in all_pts)
+    ymax = max(p[1] for p in all_pts)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (label, ps) in zip(MARKERS, pts.items()):
+        for x, y in ps:
+            col = int((x - xmin) / (xmax - xmin) * (width - 1))
+            row = int((ymax - y) / (ymax - ymin) * (height - 1))
+            grid[row][col] = marker
+
+    def xfmt(v: float) -> str:
+        if log_x:
+            return f"{10**v:.3g}"
+        return f"{v:.3g}"
+
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{ymax:.4g}"
+        elif i == height - 1:
+            label = f"{ymin:.4g}"
+        else:
+            label = ""
+        lines.append(f"{label:>9s} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(
+        " " * 10
+        + f"{xfmt(xmin)}"
+        + " " * max(1, width - len(xfmt(xmin)) - len(xfmt(xmax)))
+        + f"{xfmt(xmax)}"
+        + ("   [log x]" if log_x else "")
+    )
+    legend = "   ".join(
+        f"{m} {label}" for m, label in zip(MARKERS, pts)
+    )
+    lines.append(f"{y_label} vs {x_label}:  {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,419 @@
+"""Experiment drivers — one function per table/figure of the paper.
+
+Each driver returns plain data structures (dicts / TrainingCurves) that
+the benches print and assert on.  Numerics run on dataset surrogates;
+simulated seconds are priced at the paper-scale shapes unless stated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines import (
+    IMPLICIT_LIB,
+    QMF_LIB,
+    LibMF,
+    LibMFConfig,
+    Nomad,
+    NomadConfig,
+    gpu_als,
+    implicit_epoch_seconds,
+)
+from ..core import (
+    ALSConfig,
+    ALSModel,
+    ImplicitALSConfig,
+    ImplicitALSModel,
+    MultiGpuALS,
+    Precision,
+    ReadScheme,
+    SolverKind,
+    cg_iteration_spec,
+    hermitian_spec,
+    lu_solver_seconds,
+)
+from ..data import WorkloadShape, get_dataset, load_surrogate
+from ..gpusim import (
+    KEPLER_K40,
+    MAXWELL_TITANX,
+    PASCAL_P100,
+    DeviceSpec,
+    gemm_batched_cost,
+    memcpy_bandwidth,
+    time_kernel,
+)
+from ..metrics import TrainingCurve
+from ..sgd import CuMFSGD, SGDConfig
+
+__all__ = [
+    "table1_complexity",
+    "fig4_coalescing",
+    "fig5_solver",
+    "fig6_convergence",
+    "fig7a_flops",
+    "fig7b_bandwidth",
+    "fig8_als_vs_sgd",
+    "implicit_comparison",
+    "fig1_ablation",
+    "GPU_DEVICES",
+]
+
+GPU_DEVICES: dict[str, DeviceSpec] = {
+    "Kepler": KEPLER_K40,
+    "Maxwell": MAXWELL_TITANX,
+    "Pascal": PASCAL_P100,
+}
+
+
+# ----------------------------------------------------------------------
+# Table I — complexity per epoch.
+# ----------------------------------------------------------------------
+def table1_complexity(shape: WorkloadShape) -> list[dict]:
+    """Analytic compute/memory complexity instantiated at ``shape``.
+
+    Returns one row per (algorithm, step) with C, M and C/M — the same
+    structure as Table I, with concrete operation/byte counts.
+    """
+    f = shape.f
+    nz, m, n = shape.nnz, shape.m, shape.n
+    rows = [
+        {
+            "algorithm": "ALS",
+            "step": "get_hermitian",
+            "compute": nz * f * f,
+            "memory": nz * f + (m + n) * f * f,  # elements, paper convention
+            "ratio_order": f,
+        },
+        {
+            "algorithm": "ALS",
+            "step": "solve(LU)",
+            "compute": (m + n) * f**3 / 3,
+            "memory": (m + n) * f * f,
+            "ratio_order": f,
+        },
+        {
+            "algorithm": "ALS",
+            "step": "solve(CG,fs)",
+            "compute": 6 * 2 * (m + n) * f * f,
+            "memory": 6 * (m + n) * f * f,
+            "ratio_order": 1,
+        },
+        {
+            "algorithm": "SGD",
+            "step": "epoch",
+            "compute": 8 * nz * f,
+            "memory": 4 * nz * f,  # read+write of x_u and θ_v
+            "ratio_order": 1,
+        },
+    ]
+    for r in rows:
+        r["c_over_m"] = r["compute"] / r["memory"]
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — read schemes.
+# ----------------------------------------------------------------------
+def fig4_coalescing(
+    device: DeviceSpec = MAXWELL_TITANX,
+    dataset: str = "netflix",
+    f: int = 100,
+) -> dict[str, dict[str, dict[str, float]]]:
+    """Load/compute/write seconds per read scheme, update-X and update-Θ.
+
+    Pure cost-model experiment at the paper-scale shape (as the paper
+    instruments the kernel, not the training loop).
+    """
+    shape = get_dataset(dataset).paper
+    shape = WorkloadShape(m=shape.m, n=shape.n, nnz=shape.nnz, f=f)
+    out: dict[str, dict[str, dict[str, float]]] = {}
+    for side, s in (("update_x", shape), ("update_theta", shape.transpose())):
+        out[side] = {}
+        for scheme in ReadScheme:
+            cfg = ALSConfig(f=f, read_scheme=scheme)
+            t = time_kernel(device, hermitian_spec(device, s, cfg))
+            out[side][scheme.value] = {
+                "load": t.phase_seconds("load"),
+                "compute": t.phase_seconds("compute"),
+                "write": t.phase_seconds("write"),
+                "total": t.seconds,
+            }
+    return out
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — solver time over 10 ALS iterations.
+# ----------------------------------------------------------------------
+def fig5_solver(
+    device: DeviceSpec = MAXWELL_TITANX,
+    dataset: str = "netflix",
+    f: int = 100,
+    iterations: int = 10,
+    fs: int = 6,
+) -> dict[str, float]:
+    """Total solver seconds for LU-FP32 / CG-FP32 / CG-FP16 (+L1 probe),
+    plus the matching get_hermitian time, over ``iterations`` epochs."""
+    shape = get_dataset(dataset).paper
+    shape = WorkloadShape(m=shape.m, n=shape.n, nnz=shape.nnz, f=f)
+    herm = (
+        time_kernel(device, hermitian_spec(device, shape, ALSConfig(f=f))).seconds
+        + time_kernel(
+            device, hermitian_spec(device, shape.transpose(), ALSConfig(f=f))
+        ).seconds
+    ) * iterations
+
+    lu = (
+        lu_solver_seconds(device, shape.m, f) + lu_solver_seconds(device, shape.n, f)
+    ) * iterations
+
+    def cg_total(precision: Precision, use_l1: bool) -> float:
+        per_iter = (
+            time_kernel(
+                device, cg_iteration_spec(device, shape.m, f, precision, use_l1=use_l1)
+            ).seconds
+            + time_kernel(
+                device, cg_iteration_spec(device, shape.n, f, precision, use_l1=use_l1)
+            ).seconds
+        )
+        return per_iter * fs * iterations
+
+    return {
+        "get_hermitian": herm,
+        "LU-FP32": lu,
+        "CG-FP32": cg_total(Precision.FP32, False),
+        "CG-FP16": cg_total(Precision.FP16, False),
+        "CG-FP32-L1": cg_total(Precision.FP32, True),
+        "CG-FP16-L1": cg_total(Precision.FP16, True),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 6 / Table IV — convergence races.
+# ----------------------------------------------------------------------
+@dataclass
+class ConvergenceResult:
+    dataset: str
+    target_rmse: float
+    curves: dict[str, TrainingCurve]
+
+    def time_to_target(self) -> dict[str, float | None]:
+        return {k: c.time_to_rmse(self.target_rmse) for k, c in self.curves.items()}
+
+
+def fig6_convergence(
+    dataset: str = "netflix",
+    *,
+    scale: float = 0.25,
+    f: int = 32,
+    epochs: int = 12,
+    sgd_epochs: int = 35,
+    include_gpu_als: bool = True,
+) -> ConvergenceResult:
+    """Race LIBMF, NOMAD, cuMF_ALS@Maxwell and cuMF_ALS@Pascal.
+
+    Numerics on a ``scale`` surrogate with rank ``f``; clocks priced at
+    the paper-scale shape (f=100) so seconds line up with Table IV.
+    The RMSE target is derived from the best curve (the paper's absolute
+    targets belong to the real datasets).
+    """
+    split, spec = load_surrogate(dataset, scale=scale)
+    paper_shape = spec.paper
+    lam = spec.lam
+    curves: dict[str, TrainingCurve] = {}
+
+    libmf = LibMF(LibMFConfig(f=f, lam=lam, lr=0.08), sim_shape=paper_shape)
+    curves["LIBMF"] = libmf.fit(split.train, split.test, epochs=sgd_epochs, label="LIBMF")
+
+    nodes = 64 if dataset == "hugewiki" else 32
+    nomad = Nomad(
+        NomadConfig(f=f, lam=lam, lr=0.12, decay=0.1),
+        num_nodes=nodes,
+        sim_shape=paper_shape,
+    )
+    curves["NOMAD"] = nomad.fit(split.train, split.test, epochs=sgd_epochs, label="NOMAD")
+
+    gpus = 4 if dataset == "hugewiki" else 1
+    for name, dev in (("cuMFALS@M", MAXWELL_TITANX), ("cuMFALS@P", PASCAL_P100)):
+        if gpus == 1:
+            model = ALSModel(ALSConfig(f=f, lam=lam), device=dev, sim_shape=paper_shape)
+        else:
+            model = MultiGpuALS(
+                ALSConfig(f=f, lam=lam), device=dev, num_gpus=gpus, sim_shape=paper_shape
+            )
+        curves[name] = model.fit(split.train, split.test, epochs=epochs, label=name)
+
+    if include_gpu_als:
+        if gpus == 1:
+            base = gpu_als(f=f, lam=lam, device=MAXWELL_TITANX, sim_shape=paper_shape)
+        else:
+            # The paper runs GPU-ALS with four GPUs on Hugewiki too.
+            base = MultiGpuALS(
+                ALSConfig(
+                    f=f, lam=lam, solver=SolverKind.LU,
+                    precision=Precision.FP32, read_scheme=ReadScheme.COALESCED,
+                ),
+                device=MAXWELL_TITANX,
+                num_gpus=gpus,
+                sim_shape=paper_shape,
+            )
+        curves["GPU-ALS@M"] = base.fit(
+            split.train, split.test, epochs=epochs, label="GPU-ALS@M"
+        )
+
+    # The paper's "acceptable RMSE" is a quality level every compared
+    # system eventually reaches; the surrogate equivalent is the worst of
+    # the per-system bests (plus a hair of slack for interpolation).
+    target = max(c.best_rmse for c in curves.values()) * 1.005
+    return ConvergenceResult(dataset=dataset, target_rmse=target, curves=curves)
+
+
+# ----------------------------------------------------------------------
+# Figure 7a — get_hermitian FLOPS vs cuBLAS gemmBatched.
+# ----------------------------------------------------------------------
+def fig7a_flops(dataset: str = "netflix", f: int = 100) -> list[dict]:
+    """Achieved TFLOPS and efficiency per GPU generation."""
+    shape = get_dataset(dataset).paper
+    shape = WorkloadShape(m=shape.m, n=shape.n, nnz=shape.nnz, f=f)
+    k = max(1, round(shape.rows_mean_nnz))  # equalized inner dimension
+    rows = []
+    for name, dev in GPU_DEVICES.items():
+        t = time_kernel(dev, hermitian_spec(dev, shape, ALSConfig(f=f)))
+        flops = shape.nnz * f * f
+        cumf = flops / t.seconds
+        cublas = gemm_batched_cost(dev, shape.m, f, k, f)
+        rows.append(
+            {
+                "device": name,
+                "cumf_tflops": cumf / 1e12,
+                "cublas_tflops": cublas.achieved_flops / 1e12,
+                "cumf_efficiency": cumf / dev.peak_flops_fp32,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 7b — CG solver bandwidth vs cudaMemcpy.
+# ----------------------------------------------------------------------
+def fig7b_bandwidth(dataset: str = "netflix", f: int = 100) -> list[dict]:
+    """Achieved CG DRAM bandwidth per GPU vs the cudaMemcpy yardstick."""
+    shape = get_dataset(dataset).paper
+    rows = []
+    for name, dev in GPU_DEVICES.items():
+        t = time_kernel(dev, cg_iteration_spec(dev, shape.m, f, Precision.FP32))
+        bytes_read = sum(p.dram_bytes for p in t.memory.values())
+        rows.append(
+            {
+                "device": name,
+                "cg_gbps": bytes_read / t.seconds / 1e9,
+                "memcpy_gbps": memcpy_bandwidth(dev) / 1e9,
+                "bw_utilization": (bytes_read / t.seconds) / dev.dram_bandwidth,
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Figure 8 — ALS vs SGD on 1 and 4 GPUs.
+# ----------------------------------------------------------------------
+def fig8_als_vs_sgd(
+    dataset: str = "netflix",
+    *,
+    scale: float = 0.25,
+    f: int = 32,
+    als_epochs: int = 12,
+    sgd_epochs: int = 40,
+) -> ConvergenceResult:
+    """Race cuMF_ALS against cuMF_SGD at 1 GPU (and 4 for Hugewiki)."""
+    split, spec = load_surrogate(dataset, scale=scale)
+    paper_shape = spec.paper
+    lam = spec.lam
+    curves: dict[str, TrainingCurve] = {}
+
+    curves["als@1"] = ALSModel(
+        ALSConfig(f=f, lam=lam), device=MAXWELL_TITANX, sim_shape=paper_shape
+    ).fit(split.train, split.test, epochs=als_epochs, label="als@1")
+    curves["sgd@1"] = CuMFSGD(
+        SGDConfig(f=f, lam=lam, lr=0.12, decay=0.1),
+        device=MAXWELL_TITANX,
+        sim_shape=paper_shape,
+    ).fit(split.train, split.test, epochs=sgd_epochs, label="sgd@1")
+
+    if dataset == "hugewiki":
+        curves["als@4"] = MultiGpuALS(
+            ALSConfig(f=f, lam=lam), device=MAXWELL_TITANX, num_gpus=4,
+            sim_shape=paper_shape,
+        ).fit(split.train, split.test, epochs=als_epochs, label="als@4")
+        curves["sgd@4"] = CuMFSGD(
+            SGDConfig(f=f, lam=lam, lr=0.12, decay=0.1),
+            device=MAXWELL_TITANX,
+            num_gpus=4,
+            sim_shape=paper_shape,
+        ).fit(split.train, split.test, epochs=sgd_epochs, label="sgd@4")
+
+    target = max(c.best_rmse for c in curves.values()) * 1.005
+    return ConvergenceResult(dataset=dataset, target_rmse=target, curves=curves)
+
+
+# ----------------------------------------------------------------------
+# §V-F — implicit MF per-iteration time.
+# ----------------------------------------------------------------------
+def implicit_comparison(
+    dataset: str = "netflix", *, scale: float = 0.15, f: int = 16, epochs: int = 3
+) -> dict[str, float]:
+    """Per-iteration seconds: cuMF_ALS vs `implicit` vs QMF (paper §V-F)."""
+    split, spec = load_surrogate(dataset, scale=scale)
+    shape = spec.paper
+    model = ImplicitALSModel(
+        ImplicitALSConfig(f=f, lam=spec.lam, alpha=20.0), sim_shape=shape
+    )
+    model.fit(split.train, epochs=epochs)
+    return {
+        "cumf_als": model.seconds_per_epoch,
+        "implicit": implicit_epoch_seconds(IMPLICIT_LIB, shape),
+        "qmf": implicit_epoch_seconds(QMF_LIB, shape),
+        "final_loss": model.loss_history_[-1],
+        "loss_decreased": float(model.loss_history_[-1] < model.loss_history_[0]),
+    }
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — ablation: memory optimization x approximate computing.
+# ----------------------------------------------------------------------
+def fig1_ablation(
+    dataset: str = "netflix", f: int = 100, device: DeviceSpec = MAXWELL_TITANX
+) -> dict[str, float]:
+    """Per-epoch seconds of the four optimization stages (cost model only).
+
+    GPU-ALS → +memory optimization → +CG → +FP16 (= cuMF_ALS).
+    """
+    shape = get_dataset(dataset).paper
+    shape = WorkloadShape(m=shape.m, n=shape.n, nnz=shape.nnz, f=f)
+
+    def epoch_seconds(scheme: ReadScheme, solver: SolverKind, prec: Precision) -> float:
+        herm = (
+            time_kernel(device, hermitian_spec(device, shape, ALSConfig(f=f, read_scheme=scheme))).seconds
+            + time_kernel(
+                device,
+                hermitian_spec(device, shape.transpose(), ALSConfig(f=f, read_scheme=scheme)),
+            ).seconds
+        )
+        if solver is SolverKind.LU:
+            solve = lu_solver_seconds(device, shape.m, f) + lu_solver_seconds(
+                device, shape.n, f
+            )
+        else:
+            solve = 6 * (
+                time_kernel(device, cg_iteration_spec(device, shape.m, f, prec)).seconds
+                + time_kernel(device, cg_iteration_spec(device, shape.n, f, prec)).seconds
+            )
+        return herm + solve
+
+    return {
+        "gpu_als": epoch_seconds(ReadScheme.COALESCED, SolverKind.LU, Precision.FP32),
+        "+memopt": epoch_seconds(ReadScheme.NONCOAL_L1, SolverKind.LU, Precision.FP32),
+        "+cg": epoch_seconds(ReadScheme.NONCOAL_L1, SolverKind.CG, Precision.FP32),
+        "+fp16 (cumf_als)": epoch_seconds(
+            ReadScheme.NONCOAL_L1, SolverKind.CG, Precision.FP16
+        ),
+    }

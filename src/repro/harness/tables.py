@@ -1,0 +1,88 @@
+"""ASCII table / series printers for the benchmark harness.
+
+Every bench prints its reproduction in (roughly) the layout the paper
+uses, so EXPERIMENTS.md can be assembled by copying bench output.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "format_table",
+    "print_table",
+    "format_series",
+    "print_series",
+    "print_chart",
+    "set_sink",
+]
+
+#: Optional collector: when set (the bench harness does this), every
+#: printed table/series/chart is also appended here so the runner can
+#: re-emit them past pytest's output capture.
+_SINK: list[str] | None = None
+
+
+def set_sink(sink: list[str] | None) -> None:
+    """Install (or remove) the global output collector."""
+    global _SINK
+    _SINK = sink
+
+
+def _emit(text: str) -> None:
+    print(text)
+    if _SINK is not None:
+        _SINK.append(text)
+
+
+def _fmt(value, width: int) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            text = "0"
+        elif abs(value) >= 1000 or abs(value) < 0.01:
+            text = f"{value:.3g}"
+        else:
+            text = f"{value:.3f}".rstrip("0").rstrip(".")
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence]
+) -> str:
+    """Render a fixed-width table with a title rule."""
+    rows = [list(r) for r in rows]
+    widths = [len(h) for h in headers]
+    for r in rows:
+        if len(r) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(r):
+            widths[i] = max(widths[i], len(_fmt(cell, 0).strip()))
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * len(widths))]
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(_fmt(c, w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    _emit("\n" + format_table(title, headers, rows) + "\n")
+
+
+def format_series(label: str, xs: Sequence[float], ys: Sequence[float]) -> str:
+    """Render one convergence series as `label: (t, rmse) ...` pairs."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    pts = "  ".join(f"({x:.2f}, {y:.4f})" for x, y in zip(xs, ys))
+    return f"{label}: {pts}"
+
+
+def print_series(label: str, xs: Sequence[float], ys: Sequence[float]) -> None:
+    _emit(format_series(label, xs, ys))
+
+
+def print_chart(chart: str) -> None:
+    """Print a rendered ASCII chart through the sink-aware emitter."""
+    _emit(chart)

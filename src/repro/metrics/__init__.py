@@ -1,0 +1,15 @@
+"""Evaluation metrics: RMSE and convergence-curve bookkeeping."""
+
+from .convergence import CurvePoint, TrainingCurve
+from .ranking import mean_percentile_rank, ndcg_at_k, precision_recall_at_k
+from .rmse import predict_entries, rmse
+
+__all__ = [
+    "CurvePoint",
+    "TrainingCurve",
+    "mean_percentile_rank",
+    "ndcg_at_k",
+    "precision_recall_at_k",
+    "predict_entries",
+    "rmse",
+]

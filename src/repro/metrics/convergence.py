@@ -1,0 +1,90 @@
+"""Training curves and time-to-RMSE extraction (paper Figure 6 / Table IV).
+
+The paper's headline metric is *training time until the test RMSE reaches
+an acceptable level* (0.92 / 22.0 / 0.52).  :class:`TrainingCurve` stores
+(simulated seconds, test RMSE) samples per epoch and
+:meth:`TrainingCurve.time_to_rmse` interpolates the crossing point the
+same way the paper reads its convergence plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CurvePoint", "TrainingCurve"]
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    epoch: int
+    seconds: float
+    rmse: float
+    train_rmse: float | None = None
+
+
+@dataclass
+class TrainingCurve:
+    """An RMSE-vs-time trajectory for one system on one dataset."""
+
+    label: str
+    points: list[CurvePoint] = field(default_factory=list)
+
+    def record(
+        self,
+        epoch: int,
+        seconds: float,
+        rmse: float,
+        train_rmse: float | None = None,
+    ) -> None:
+        if self.points and seconds < self.points[-1].seconds:
+            raise ValueError("time must be non-decreasing")
+        self.points.append(CurvePoint(epoch, seconds, rmse, train_rmse))
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def final_rmse(self) -> float:
+        if not self.points:
+            raise ValueError("empty curve")
+        return self.points[-1].rmse
+
+    @property
+    def best_rmse(self) -> float:
+        if not self.points:
+            raise ValueError("empty curve")
+        return min(p.rmse for p in self.points)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.points[-1].seconds if self.points else 0.0
+
+    def seconds_array(self) -> np.ndarray:
+        return np.array([p.seconds for p in self.points])
+
+    def rmse_array(self) -> np.ndarray:
+        return np.array([p.rmse for p in self.points])
+
+    def time_to_rmse(self, target: float) -> float | None:
+        """Seconds until the curve first reaches ``target`` RMSE.
+
+        Linearly interpolates between the bracketing epochs; returns None
+        if the curve never gets there (the paper reports BIDMach this way:
+        "does not converge to the acceptance level").
+        """
+        prev: CurvePoint | None = None
+        for p in self.points:
+            if p.rmse <= target:
+                if prev is None or prev.rmse == p.rmse:
+                    return p.seconds
+                frac = (prev.rmse - target) / (prev.rmse - p.rmse)
+                return prev.seconds + frac * (p.seconds - prev.seconds)
+            prev = p
+        return None
+
+    def epochs_to_rmse(self, target: float) -> int | None:
+        """Number of epochs until ``target`` is reached (None if never)."""
+        for p in self.points:
+            if p.rmse <= target:
+                return p.epoch
+        return None

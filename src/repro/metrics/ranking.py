@@ -1,0 +1,107 @@
+"""Ranking metrics for implicit-feedback evaluation.
+
+Explicit MF is judged by RMSE (the paper's protocol); implicit MF in
+production is judged by ranking quality.  These are the standard
+top-N metrics (precision@k, recall@k, NDCG@k and Hu et al.'s mean
+percentile rank), computed against a held-out interaction set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.sparse import RatingMatrix
+
+__all__ = ["precision_recall_at_k", "ndcg_at_k", "mean_percentile_rank"]
+
+
+def _top_k(scores: np.ndarray, k: int, exclude: np.ndarray) -> np.ndarray:
+    s = scores.copy()
+    if exclude.size:
+        s[exclude] = -np.inf
+    k = min(k, s.size)
+    top = np.argpartition(s, -k)[-k:]
+    return top[np.argsort(s[top])[::-1]]
+
+
+def precision_recall_at_k(
+    x: np.ndarray,
+    theta: np.ndarray,
+    held_out: RatingMatrix,
+    k: int = 10,
+    train: RatingMatrix | None = None,
+) -> tuple[float, float]:
+    """Mean precision@k and recall@k over users with held-out items.
+
+    ``train`` items are excluded from each user's candidate ranking so
+    already-consumed items don't crowd the list.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    precisions, recalls = [], []
+    for u in np.flatnonzero(held_out.row_counts() > 0):
+        truth, _ = held_out.user_items(int(u))
+        seen = (
+            train.user_items(int(u))[0] if train is not None else np.empty(0, dtype=int)
+        )
+        top = _top_k(theta @ x[u], k, np.asarray(seen))
+        hits = len(set(top.tolist()) & set(truth.tolist()))
+        precisions.append(hits / k)
+        recalls.append(hits / len(truth))
+    if not precisions:
+        return float("nan"), float("nan")
+    return float(np.mean(precisions)), float(np.mean(recalls))
+
+
+def ndcg_at_k(
+    x: np.ndarray,
+    theta: np.ndarray,
+    held_out: RatingMatrix,
+    k: int = 10,
+    train: RatingMatrix | None = None,
+) -> float:
+    """Mean NDCG@k with binary relevance over held-out interactions."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    discounts = 1.0 / np.log2(np.arange(2, k + 2))
+    scores = []
+    for u in np.flatnonzero(held_out.row_counts() > 0):
+        truth, _ = held_out.user_items(int(u))
+        seen = (
+            train.user_items(int(u))[0] if train is not None else np.empty(0, dtype=int)
+        )
+        top = _top_k(theta @ x[u], k, np.asarray(seen))
+        rel = np.isin(top, truth).astype(float)
+        dcg = float((rel * discounts[: len(rel)]).sum())
+        ideal = float(discounts[: min(k, len(truth))].sum())
+        scores.append(dcg / ideal if ideal else 0.0)
+    return float(np.mean(scores)) if scores else float("nan")
+
+
+def mean_percentile_rank(
+    x: np.ndarray,
+    theta: np.ndarray,
+    held_out: RatingMatrix,
+) -> float:
+    """Hu-Koren-Volinsky expected percentile rank (lower is better).
+
+    0% means every held-out item tops its user's ranking; 50% is the
+    score of random recommendations.
+    """
+    total_weight = 0.0
+    weighted_rank = 0.0
+    n = theta.shape[0]
+    if n < 2:
+        raise ValueError("need at least two items to rank")
+    for u in np.flatnonzero(held_out.row_counts() > 0):
+        items, weights = held_out.user_items(int(u))
+        scores = theta @ x[u]
+        # rank_uv: fraction of items scored above item v.
+        order = scores.argsort()[::-1]
+        ranks = np.empty(n)
+        ranks[order] = np.arange(n) / (n - 1)
+        weighted_rank += float((ranks[items] * weights).sum())
+        total_weight += float(weights.sum())
+    if total_weight == 0.0:
+        return float("nan")
+    return weighted_rank / total_weight

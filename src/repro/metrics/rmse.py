@@ -1,0 +1,36 @@
+"""Root-mean-square error on held-out ratings (the paper's test metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.sparse import RatingMatrix
+
+__all__ = ["predict_entries", "rmse"]
+
+
+def predict_entries(
+    x: np.ndarray, theta: np.ndarray, rows: np.ndarray, cols: np.ndarray
+) -> np.ndarray:
+    """Predicted ratings ``x_uᵀ θ_v`` for the given (u, v) pairs."""
+    rows = np.asarray(rows)
+    cols = np.asarray(cols)
+    if rows.shape != cols.shape:
+        raise ValueError("rows and cols must have the same shape")
+    if rows.size and (rows.max() >= x.shape[0] or cols.max() >= theta.shape[0]):
+        raise IndexError("entry index outside factor matrices")
+    return np.einsum("ij,ij->i", x[rows], theta[cols])
+
+
+def rmse(x: np.ndarray, theta: np.ndarray, ratings: RatingMatrix) -> float:
+    """RMSE of the model ``X·Θᵀ`` over the observed entries of ``ratings``.
+
+    Only observed entries count (the paper's explicit-feedback protocol);
+    an empty matrix yields NaN rather than a misleading 0.
+    """
+    if ratings.nnz == 0:
+        return float("nan")
+    rows = np.repeat(np.arange(ratings.m), ratings.row_counts())
+    pred = predict_entries(x, theta, rows, ratings.col_idx)
+    err = pred - ratings.row_val
+    return float(np.sqrt(np.mean(err * err)))

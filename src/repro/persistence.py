@@ -1,0 +1,79 @@
+"""Model persistence: save/load factor matrices with their config.
+
+A production library must round-trip trained models.  The format is a
+single ``.npz``: factor matrices plus a JSON-encoded config header, so a
+model can be reloaded for serving without retraining (and without
+pickle's code-execution risk).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from .core.als import ALSModel
+from .core.config import ALSConfig, CGConfig, Precision, ReadScheme, SolverKind
+
+__all__ = ["save_model", "load_model"]
+
+_FORMAT_VERSION = 1
+
+
+def save_model(path: str | os.PathLike, model: ALSModel) -> None:
+    """Persist a fitted :class:`ALSModel`'s factors and config."""
+    if model.x_ is None or model.theta_ is None:
+        raise ValueError("model is not fitted; nothing to save")
+    cfg = model.config
+    header = {
+        "format_version": _FORMAT_VERSION,
+        "f": cfg.f,
+        "lam": cfg.lam,
+        "solver": cfg.solver.value,
+        "precision": cfg.precision.value,
+        "read_scheme": cfg.read_scheme.value,
+        "cg_max_iters": cfg.cg.max_iters,
+        "cg_tol": cfg.cg.tol,
+        "seed": cfg.seed,
+        "device": model.device.name,
+    }
+    np.savez_compressed(
+        path,
+        x=model.x_,
+        theta=model.theta_,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    )
+
+
+def load_model(path: str | os.PathLike) -> ALSModel:
+    """Reload a model saved by :func:`save_model`.
+
+    The returned model is ready for ``predict``/``score``; its engine
+    ledger starts empty (training history is not persisted).
+    """
+    with np.load(path) as z:
+        header = json.loads(bytes(z["header"].tobytes()).decode())
+        if header.get("format_version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format {header.get('format_version')!r}"
+            )
+        x = z["x"].astype(np.float32)
+        theta = z["theta"].astype(np.float32)
+    if x.ndim != 2 or theta.ndim != 2 or x.shape[1] != theta.shape[1]:
+        raise ValueError("corrupt model file: factor shapes disagree")
+    if x.shape[1] != header["f"]:
+        raise ValueError("corrupt model file: f does not match factors")
+    cfg = ALSConfig(
+        f=header["f"],
+        lam=header["lam"],
+        solver=SolverKind(header["solver"]),
+        precision=Precision(header["precision"]),
+        read_scheme=ReadScheme(header["read_scheme"]),
+        cg=CGConfig(max_iters=header["cg_max_iters"], tol=header["cg_tol"]),
+        seed=header["seed"],
+    )
+    model = ALSModel(cfg)
+    model.x_ = x
+    model.theta_ = theta
+    return model

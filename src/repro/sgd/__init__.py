@@ -1,0 +1,22 @@
+"""SGD matrix factorization: numerics, blocking, GPU cost model."""
+
+from .blocking import BlockGrid, build_grid, diagonal_schedule
+from .cumf_sgd import CuMFSGD, SGDConfig, gpu_sgd_epoch_seconds
+from .schedules import BoldDriver, FixedRate, InverseTimeDecay
+from .sgd import blocked_epoch, coo_arrays, hogwild_epoch, sgd_batch_update
+
+__all__ = [
+    "BlockGrid",
+    "BoldDriver",
+    "CuMFSGD",
+    "FixedRate",
+    "InverseTimeDecay",
+    "SGDConfig",
+    "blocked_epoch",
+    "build_grid",
+    "coo_arrays",
+    "diagonal_schedule",
+    "gpu_sgd_epoch_seconds",
+    "hogwild_epoch",
+    "sgd_batch_update",
+]

@@ -1,0 +1,80 @@
+"""Learning-rate schedules for SGD matrix factorization.
+
+LIBMF's headline contribution is a per-coordinate adaptive schedule
+(Chin et al., PAKDD'15); NOMAD and cuMF_SGD use inverse-time decay.
+``bold_driver`` is the classic heuristic used by several MF systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FixedRate", "InverseTimeDecay", "BoldDriver"]
+
+
+@dataclass
+class FixedRate:
+    """Constant learning rate."""
+
+    lr: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+
+    def rate(self, epoch: int) -> float:
+        return self.lr
+
+    def observe_loss(self, loss: float) -> None:  # noqa: D401 - protocol hook
+        """No-op; kept for schedule-protocol compatibility."""
+
+
+@dataclass
+class InverseTimeDecay:
+    """α_k = lr / (1 + decay·k) — the NOMAD/cuMF_SGD schedule."""
+
+    lr: float = 0.05
+    decay: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.decay < 0:
+            raise ValueError("decay must be non-negative")
+
+    def rate(self, epoch: int) -> float:
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        return self.lr / (1.0 + self.decay * epoch)
+
+    def observe_loss(self, loss: float) -> None:
+        pass
+
+
+@dataclass
+class BoldDriver:
+    """Grow the rate while the loss falls; cut it hard on any increase."""
+
+    lr: float = 0.02
+    grow: float = 1.05
+    shrink: float = 0.5
+    _last_loss: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if not self.grow >= 1.0:
+            raise ValueError("grow must be >= 1")
+        if not 0 < self.shrink < 1:
+            raise ValueError("shrink must be in (0, 1)")
+
+    def rate(self, epoch: int) -> float:
+        return self.lr
+
+    def observe_loss(self, loss: float) -> None:
+        if self._last_loss is not None:
+            if loss < self._last_loss:
+                self.lr *= self.grow
+            else:
+                self.lr *= self.shrink
+        self._last_loss = loss

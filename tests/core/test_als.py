@@ -1,0 +1,170 @@
+"""Tests for the end-to-end ALS trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import ALSConfig, ALSModel, CGConfig, Precision, SolverKind
+from repro.data import WorkloadShape, load_surrogate
+from repro.gpusim import KEPLER_K40, MAXWELL_TITANX, PASCAL_P100
+
+
+@pytest.fixture(scope="module")
+def netflix_small():
+    split, spec = load_surrogate("netflix", scale=0.08, seed=1)
+    return split, spec
+
+
+def quick_cfg(**kw):
+    base = dict(f=16, lam=0.05, cg=CGConfig(max_iters=6), seed=0)
+    base.update(kw)
+    return ALSConfig(**base)
+
+
+class TestConvergence:
+    def test_rmse_decreases(self, netflix_small):
+        split, _ = netflix_small
+        model = ALSModel(quick_cfg())
+        curve = model.fit(split.train, split.test, epochs=6)
+        rmses = curve.rmse_array()
+        assert rmses[-1] < rmses[0]
+        assert rmses[-1] < 1.0  # recovers most of the planted signal
+
+    def test_train_rmse_monotonic_enough(self, netflix_small):
+        """ALS minimizes the regularized train objective; train RMSE should
+        be non-increasing after the first epochs."""
+        split, _ = netflix_small
+        curve = ALSModel(quick_cfg()).fit(split.train, split.test, epochs=6)
+        tr = [p.train_rmse for p in curve.points]
+        assert all(a >= b - 1e-3 for a, b in zip(tr[1:], tr[2:]))
+
+    def test_cg_matches_lu_convergence(self, netflix_small):
+        """Paper Solution 3: truncated CG does not hurt ALS convergence."""
+        split, _ = netflix_small
+        cg = ALSModel(quick_cfg(solver=SolverKind.CG)).fit(
+            split.train, split.test, epochs=5
+        )
+        lu = ALSModel(quick_cfg(solver=SolverKind.LU)).fit(
+            split.train, split.test, epochs=5
+        )
+        assert cg.final_rmse == pytest.approx(lu.final_rmse, abs=0.02)
+
+    def test_fp16_matches_fp32_convergence(self, netflix_small):
+        """Paper Solution 4: FP16 A-storage preserves accuracy."""
+        split, _ = netflix_small
+        h = ALSModel(quick_cfg(precision=Precision.FP16)).fit(
+            split.train, split.test, epochs=5
+        )
+        s = ALSModel(quick_cfg(precision=Precision.FP32)).fit(
+            split.train, split.test, epochs=5
+        )
+        assert h.final_rmse == pytest.approx(s.final_rmse, abs=0.02)
+
+    def test_early_stop_at_target(self, netflix_small):
+        split, _ = netflix_small
+        model = ALSModel(quick_cfg())
+        curve = model.fit(split.train, split.test, epochs=50, target_rmse=1.1)
+        assert curve.points[-1].rmse <= 1.1
+        assert len(curve.points) < 50
+
+    def test_deterministic(self, netflix_small):
+        split, _ = netflix_small
+        a = ALSModel(quick_cfg()).fit(split.train, split.test, epochs=2)
+        b = ALSModel(quick_cfg()).fit(split.train, split.test, epochs=2)
+        assert a.final_rmse == b.final_rmse
+
+
+class TestSimulatedTiming:
+    def test_clock_advances_per_epoch(self, netflix_small):
+        split, _ = netflix_small
+        model = ALSModel(quick_cfg())
+        curve = model.fit(split.train, split.test, epochs=3)
+        secs = curve.seconds_array()
+        assert (np.diff(secs) > 0).all()
+
+    def test_paper_shape_pricing(self, netflix_small):
+        """With sim_shape=paper Netflix, epochs cost paper-scale seconds
+        regardless of the surrogate size."""
+        split, spec = netflix_small
+        model = ALSModel(quick_cfg(f=100), sim_shape=spec.paper)
+        curve = model.fit(split.train, split.test, epochs=2)
+        per_epoch = curve.total_seconds / 2
+        assert 0.4 < per_epoch < 3.0  # paper: ~0.65 s/iter on Maxwell
+
+    def test_pascal_faster_than_kepler(self, netflix_small):
+        split, spec = netflix_small
+        t = {}
+        for dev in (KEPLER_K40, PASCAL_P100):
+            m = ALSModel(quick_cfg(f=100), device=dev, sim_shape=spec.paper)
+            t[dev.generation] = m.fit(split.train, epochs=1).total_seconds
+        assert t["Pascal"] < t["Kepler"]
+
+    def test_lu_slower_than_cg(self, netflix_small):
+        """Figure 5's aggregate effect on epoch time."""
+        split, spec = netflix_small
+        cg = ALSModel(
+            quick_cfg(f=100, solver=SolverKind.CG, precision=Precision.FP16),
+            sim_shape=spec.paper,
+        ).fit(split.train, epochs=1)
+        lu = ALSModel(
+            quick_cfg(f=100, solver=SolverKind.LU), sim_shape=spec.paper
+        ).fit(split.train, epochs=1)
+        assert lu.total_seconds > cg.total_seconds * 1.5
+
+    def test_epoch_breakdown_recorded(self, netflix_small):
+        split, _ = netflix_small
+        model = ALSModel(quick_cfg())
+        model.fit(split.train, epochs=3)
+        assert len(model.epoch_breakdowns_) == 3
+        for bd in model.epoch_breakdowns_:
+            assert bd.get_hermitian > 0
+            assert bd.solve > 0
+            assert bd.total == pytest.approx(
+                bd.get_hermitian + bd.get_bias + bd.solve
+            )
+
+
+class TestAPI:
+    def test_predict_and_score(self, netflix_small):
+        split, _ = netflix_small
+        model = ALSModel(quick_cfg())
+        model.fit(split.train, epochs=3)
+        pred = model.predict(np.array([0, 1]), np.array([0, 1]))
+        assert pred.shape == (2,)
+        assert np.isfinite(model.score(split.test))
+
+    def test_unfitted_raises(self):
+        model = ALSModel(quick_cfg())
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict(np.array([0]), np.array([0]))
+        with pytest.raises(RuntimeError):
+            model.score(None)
+
+    def test_bad_epochs(self, netflix_small):
+        split, _ = netflix_small
+        with pytest.raises(ValueError):
+            ALSModel(quick_cfg()).fit(split.train, epochs=0)
+
+    def test_target_without_test(self, netflix_small):
+        split, _ = netflix_small
+        with pytest.raises(ValueError, match="test set"):
+            ALSModel(quick_cfg()).fit(split.train, epochs=1, target_rmse=1.0)
+
+    def test_factor_shapes(self, netflix_small):
+        split, _ = netflix_small
+        model = ALSModel(quick_cfg(f=16))
+        model.fit(split.train, epochs=1)
+        assert model.x_.shape == (split.train.m, 16)
+        assert model.theta_.shape == (split.train.n, 16)
+        assert model.x_.dtype == np.float32
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ALSConfig(f=0)
+        with pytest.raises(ValueError):
+            ALSConfig(lam=-1)
+        with pytest.raises(ValueError):
+            ALSConfig(bin_size=0)
+        with pytest.raises(ValueError):
+            ALSConfig(tile=-1)
+        with pytest.raises(ValueError):
+            ALSConfig(init_scale=0.0)

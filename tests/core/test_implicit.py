@@ -1,0 +1,99 @@
+"""Tests for implicit-feedback ALS."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CGConfig,
+    ImplicitALSConfig,
+    ImplicitALSModel,
+    Precision,
+    SolverKind,
+    implicit_loss,
+)
+from repro.data import RatingMatrix, SyntheticConfig, generate_ratings
+
+
+@pytest.fixture(scope="module")
+def clicks():
+    # Count-like implicit data: 1..20 "click counts".
+    return generate_ratings(
+        SyntheticConfig(m=300, n=120, nnz=4000, rating_min=1, rating_max=20, seed=8)
+    )
+
+
+def cfg(**kw):
+    base = dict(f=12, lam=0.1, alpha=10.0, cg=CGConfig(max_iters=8), seed=0)
+    base.update(kw)
+    return ImplicitALSConfig(**base)
+
+
+class TestImplicitLoss:
+    def test_dense_equivalence(self):
+        """The sparse trick must equal the brute-force dense loss."""
+        ratings = generate_ratings(
+            SyntheticConfig(m=20, n=10, nnz=60, rating_min=1, rating_max=5, seed=2)
+        )
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(20, 4)).astype(np.float32)
+        theta = rng.normal(size=(10, 4)).astype(np.float32)
+        alpha, lam = 5.0, 0.3
+
+        R = ratings.to_scipy().toarray()
+        P = (R > 0).astype(float)
+        C = 1.0 + alpha * R
+        pred = x @ theta.T
+        dense = np.sum(C * (P - pred) ** 2) + lam * (
+            np.sum(x.astype(np.float64) ** 2) + np.sum(theta.astype(np.float64) ** 2)
+        )
+        fast = implicit_loss(x, theta, ratings, alpha, lam)
+        assert fast == pytest.approx(dense, rel=1e-4)
+
+
+class TestImplicitTraining:
+    def test_loss_decreases_monotonically(self, clicks):
+        """Implicit ALS is exact block-coordinate descent (with enough CG
+        iterations), so the loss must fall every epoch."""
+        model = ImplicitALSModel(cfg(solver=SolverKind.LU))
+        model.fit(clicks, epochs=5)
+        losses = model.loss_history_
+        assert all(a >= b - 1e-6 for a, b in zip(losses, losses[1:]))
+
+    def test_cg_close_to_exact(self, clicks):
+        cg = ImplicitALSModel(cfg(solver=SolverKind.CG)).fit(clicks, epochs=4)
+        lu = ImplicitALSModel(cfg(solver=SolverKind.LU)).fit(clicks, epochs=4)
+        assert cg.loss_history_[-1] == pytest.approx(lu.loss_history_[-1], rel=0.05)
+
+    def test_observed_scored_above_unobserved(self, clicks):
+        """The point of one-class MF: observed items must outrank the
+        unobserved ones on average."""
+        model = ImplicitALSModel(cfg()).fit(clicks, epochs=6)
+        scores = model.recommend_scores(np.arange(clicks.m))
+        mask = (clicks.to_scipy().toarray() > 0)
+        assert scores[mask].mean() > scores[~mask].mean() + 0.1
+
+    def test_seconds_per_epoch(self, clicks):
+        model = ImplicitALSModel(cfg()).fit(clicks, epochs=2)
+        assert model.seconds_per_epoch > 0
+
+    def test_fp16_variant_finite(self, clicks):
+        model = ImplicitALSModel(cfg(precision=Precision.FP16)).fit(clicks, epochs=2)
+        assert np.isfinite(model.x_).all()
+        assert np.isfinite(model.loss_history_[-1])
+
+    def test_unfitted_raises(self, clicks):
+        model = ImplicitALSModel(cfg())
+        with pytest.raises(RuntimeError):
+            model.recommend_scores(np.array([0]))
+        with pytest.raises(RuntimeError):
+            _ = model.seconds_per_epoch
+        with pytest.raises(ValueError):
+            model.fit(clicks, epochs=0)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ImplicitALSConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            ImplicitALSConfig(f=-1)
+        with pytest.raises(ValueError):
+            ImplicitALSConfig(lam=-0.1)

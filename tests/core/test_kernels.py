@@ -1,0 +1,172 @@
+"""Tests for the kernel cost builders — where the paper's resource
+arithmetic must come out exactly."""
+
+import pytest
+
+from repro.core import (
+    ALSConfig,
+    Precision,
+    ReadScheme,
+    bias_spec,
+    cg_iteration_spec,
+    hermitian_resources,
+    hermitian_spec,
+    lu_solver_seconds,
+)
+from repro.data import WorkloadShape
+from repro.gpusim import MAXWELL_TITANX, compute_occupancy, time_kernel
+
+NETFLIX = WorkloadShape(m=480_189, n=17_770, nnz=99_072_112, f=100)
+
+
+class TestHermitianResources:
+    def test_paper_register_count(self):
+        """f=100, T=10, 64 threads → 168 registers/thread (paper §III)."""
+        res = hermitian_resources(100, tile=10, threads_per_block=64)
+        assert res.registers_per_thread == 168
+
+    def test_paper_occupancy(self):
+        res = hermitian_resources(100)
+        occ = compute_occupancy(MAXWELL_TITANX, res)
+        assert occ.blocks_per_sm == 6  # the paper's ≈6
+        assert occ.is_latency_limited
+
+    def test_shared_memory_is_bin_times_f(self):
+        res = hermitian_resources(100, bin_size=32)
+        assert res.shared_mem_per_block == 32 * 100 * 4  # 12.8 KB
+
+    def test_register_cap(self):
+        res = hermitian_resources(400, tile=20)
+        assert res.registers_per_thread == 255
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hermitian_resources(0)
+        with pytest.raises(ValueError):
+            hermitian_resources(100, tile=0)
+
+
+class TestHermitianSpec:
+    def cfg(self, scheme):
+        return ALSConfig(f=100, read_scheme=scheme)
+
+    def test_flops_are_nz_f_squared(self):
+        spec = hermitian_spec(MAXWELL_TITANX, NETFLIX, self.cfg(ReadScheme.NONCOAL_L1))
+        assert spec.flops == pytest.approx(NETFLIX.nnz * 100 * 100)
+
+    def test_figure4_scheme_ordering_on_load(self):
+        """nonCoal-L1 < nonCoal-noL1 < coal for the staging load phase."""
+        times = {}
+        for scheme in ReadScheme:
+            spec = hermitian_spec(MAXWELL_TITANX, NETFLIX, self.cfg(scheme))
+            t = time_kernel(MAXWELL_TITANX, spec)
+            times[scheme] = t.memory["load"].seconds
+        assert (
+            times[ReadScheme.NONCOAL_L1]
+            < times[ReadScheme.NONCOAL_NOL1]
+            < times[ReadScheme.COALESCED]
+        )
+
+    def test_compute_time_constant_across_schemes(self):
+        """Paper Fig 4: compute is the same for all read schemes."""
+        secs = [
+            time_kernel(
+                MAXWELL_TITANX, hermitian_spec(MAXWELL_TITANX, NETFLIX, self.cfg(s))
+            ).compute.seconds
+            for s in ReadScheme
+        ]
+        assert max(secs) == pytest.approx(min(secs))
+
+    def test_write_scales_with_rows(self):
+        """Paper Fig 4: update-X writes m·f², update-Θ writes n·f²."""
+        cfg = self.cfg(ReadScheme.NONCOAL_L1)
+        t_x = time_kernel(MAXWELL_TITANX, hermitian_spec(MAXWELL_TITANX, NETFLIX, cfg))
+        t_th = time_kernel(
+            MAXWELL_TITANX, hermitian_spec(MAXWELL_TITANX, NETFLIX.transpose(), cfg)
+        )
+        ratio = t_x.memory["write"].seconds / t_th.memory["write"].seconds
+        assert ratio == pytest.approx(NETFLIX.m / NETFLIX.n, rel=0.05)
+
+    def test_netflix_epoch_scale_plausible(self):
+        """One update-X hermitian pass on Maxwell lands in the 0.2-1.5 s
+        range consistent with the paper's per-iteration times."""
+        spec = hermitian_spec(MAXWELL_TITANX, NETFLIX, self.cfg(ReadScheme.NONCOAL_L1))
+        t = time_kernel(MAXWELL_TITANX, spec)
+        assert 0.2 < t.seconds < 1.5
+
+
+class TestBiasSpec:
+    def test_cheaper_than_hermitian(self):
+        cfg = ALSConfig(f=100)
+        herm = time_kernel(
+            MAXWELL_TITANX, hermitian_spec(MAXWELL_TITANX, NETFLIX, cfg)
+        ).seconds
+        bias = time_kernel(MAXWELL_TITANX, bias_spec(MAXWELL_TITANX, NETFLIX)).seconds
+        assert bias < herm / 10
+
+
+class TestCGIterationSpec:
+    def test_memory_bound(self):
+        spec = cg_iteration_spec(MAXWELL_TITANX, NETFLIX.m, 100, Precision.FP32)
+        t = time_kernel(MAXWELL_TITANX, spec)
+        assert t.memory_seconds > t.compute.seconds
+
+    def test_fp16_roughly_halves_time(self):
+        """Paper Fig 5: CG-FP16 takes ~1/2 of CG-FP32."""
+        t32 = time_kernel(
+            MAXWELL_TITANX,
+            cg_iteration_spec(MAXWELL_TITANX, NETFLIX.m, 100, Precision.FP32),
+        ).seconds
+        t16 = time_kernel(
+            MAXWELL_TITANX,
+            cg_iteration_spec(MAXWELL_TITANX, NETFLIX.m, 100, Precision.FP16),
+        ).seconds
+        assert t16 == pytest.approx(t32 / 2, rel=0.2)
+
+    def test_l1_does_not_help(self):
+        """Paper Fig 5: solve-L1 == solve-noL1 — the streamed A matrices
+        cannot be cached."""
+        base = dict(batch=NETFLIX.m, f=100, precision=Precision.FP32)
+        t_no = time_kernel(
+            MAXWELL_TITANX, cg_iteration_spec(MAXWELL_TITANX, **base, use_l1=False)
+        ).seconds
+        t_l1 = time_kernel(
+            MAXWELL_TITANX, cg_iteration_spec(MAXWELL_TITANX, **base, use_l1=True)
+        ).seconds
+        assert t_l1 == pytest.approx(t_no, rel=0.02)
+
+    def test_high_occupancy(self):
+        spec = cg_iteration_spec(MAXWELL_TITANX, NETFLIX.m, 100, Precision.FP32)
+        occ = compute_occupancy(MAXWELL_TITANX, spec.resources)
+        assert occ.occupancy > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cg_iteration_spec(MAXWELL_TITANX, 0, 100, Precision.FP32)
+
+
+class TestSolverComparison:
+    def test_figure5_cg_fp32_quarter_of_lu(self):
+        """Paper Fig 5: 'CG-FP32 is 1/4 of the LU-FP32 time' (f_s=6)."""
+        lu = lu_solver_seconds(MAXWELL_TITANX, NETFLIX.m, 100)
+        cg_iter = time_kernel(
+            MAXWELL_TITANX,
+            cg_iteration_spec(MAXWELL_TITANX, NETFLIX.m, 100, Precision.FP32),
+        ).seconds
+        ratio = lu / (6 * cg_iter)
+        assert 2.5 < ratio < 6.5  # ~4x, allow model slack
+
+    def test_figure5_solver_dominates_hermitian_for_lu(self):
+        """Paper Observation 3: LU solve time ≈ 2x get_hermitian."""
+        cfg = ALSConfig(f=100)
+        herm = (
+            time_kernel(MAXWELL_TITANX, hermitian_spec(MAXWELL_TITANX, NETFLIX, cfg)).seconds
+            + time_kernel(
+                MAXWELL_TITANX,
+                hermitian_spec(MAXWELL_TITANX, NETFLIX.transpose(), cfg),
+            ).seconds
+        )
+        lu = lu_solver_seconds(MAXWELL_TITANX, NETFLIX.m, 100) + lu_solver_seconds(
+            MAXWELL_TITANX, NETFLIX.n, 100
+        )
+        assert 1.0 < lu / herm < 4.0

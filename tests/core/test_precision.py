@@ -1,0 +1,57 @@
+"""Tests for FP16 storage emulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Precision, max_abs_error, quantize, storage_bytes
+
+
+class TestQuantize:
+    def test_fp32_identity(self):
+        a = np.array([1.234567, -9.87], dtype=np.float32)
+        np.testing.assert_array_equal(quantize(a, Precision.FP32), a)
+
+    def test_fp16_roundtrip_loses_precision(self):
+        a = np.array([1.0001], dtype=np.float32)
+        q = quantize(a, Precision.FP16)
+        assert q.dtype == np.float32  # arithmetic stays FP32
+        assert q[0] != a[0]
+        assert abs(q[0] - a[0]) < 1e-3
+
+    def test_fp16_relative_error_bound(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=1000).astype(np.float32)
+        q = quantize(a, Precision.FP16)
+        rel = np.abs(q - a) / np.maximum(np.abs(a), 1e-6)
+        assert rel.max() < 2**-10  # binary16 has 10 mantissa bits
+
+    def test_fp16_overflow_saturates(self):
+        a = np.array([1e6, -1e6], dtype=np.float32)
+        q = quantize(a, Precision.FP16)
+        assert np.isfinite(q).all()
+        assert q[0] == pytest.approx(65504.0)
+        assert q[1] == pytest.approx(-65504.0)
+
+    def test_exact_values_preserved(self):
+        a = np.array([0.0, 1.0, -2.0, 0.5, 1024.0], dtype=np.float32)
+        np.testing.assert_array_equal(quantize(a, Precision.FP16), a)
+
+
+class TestHelpers:
+    def test_storage_bytes(self):
+        assert storage_bytes(100, Precision.FP32) == 400
+        assert storage_bytes(100, Precision.FP16) == 200
+        with pytest.raises(ValueError):
+            storage_bytes(-1, Precision.FP32)
+
+    def test_max_abs_error(self):
+        a = np.array([1.0001], dtype=np.float32)
+        assert max_abs_error(a, Precision.FP32) == 0.0
+        assert 0 < max_abs_error(a, Precision.FP16) < 1e-3
+
+    def test_max_abs_error_empty(self):
+        assert max_abs_error(np.array([]), Precision.FP16) == 0.0
+
+    def test_itemsize(self):
+        assert Precision.FP32.itemsize == 4
+        assert Precision.FP16.itemsize == 2

@@ -1,0 +1,140 @@
+"""Tests for the batched CG and exact solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CGConfig,
+    Precision,
+    cg_solve_batched,
+    cholesky_solve_batched,
+    lu_solve_batched,
+)
+
+
+def random_spd_batch(batch, f, seed=0, cond=10.0):
+    rng = np.random.default_rng(seed)
+    Q = rng.normal(size=(batch, f, f))
+    A = np.einsum("bij,bkj->bik", Q, Q) / f + np.eye(f)[None]
+    x_true = rng.normal(size=(batch, f))
+    b = np.einsum("bij,bj->bi", A, x_true)
+    return A.astype(np.float32), b.astype(np.float32), x_true.astype(np.float32)
+
+
+class TestExactSolvers:
+    def test_lu_exact(self):
+        A, b, x_true = random_spd_batch(32, 16)
+        x = lu_solve_batched(A, b)
+        np.testing.assert_allclose(x, x_true, rtol=1e-3, atol=1e-3)
+
+    def test_cholesky_exact(self):
+        A, b, x_true = random_spd_batch(32, 16)
+        x = cholesky_solve_batched(A, b)
+        np.testing.assert_allclose(x, x_true, rtol=1e-3, atol=1e-3)
+
+    def test_cholesky_matches_lu(self):
+        A, b, _ = random_spd_batch(8, 24, seed=5)
+        np.testing.assert_allclose(
+            cholesky_solve_batched(A, b), lu_solve_batched(A, b), rtol=1e-3, atol=1e-4
+        )
+
+    def test_cholesky_rejects_indefinite(self):
+        A = -np.eye(4, dtype=np.float32)[None]
+        b = np.ones((1, 4), dtype=np.float32)
+        with pytest.raises(np.linalg.LinAlgError):
+            cholesky_solve_batched(A, b)
+
+    @pytest.mark.parametrize("solver", [lu_solve_batched, cholesky_solve_batched])
+    def test_shape_validation(self, solver):
+        with pytest.raises(ValueError):
+            solver(np.ones((4, 4), dtype=np.float32), np.ones((4,), dtype=np.float32))
+        with pytest.raises(ValueError):
+            solver(
+                np.ones((2, 4, 4), dtype=np.float32), np.ones((2, 5), dtype=np.float32)
+            )
+
+
+class TestCG:
+    def test_full_iterations_give_exact_solution(self):
+        A, b, x_true = random_spd_batch(16, 12)
+        res = cg_solve_batched(A, b, config=CGConfig(max_iters=50, tol=1e-7))
+        np.testing.assert_allclose(res.x, x_true, rtol=1e-2, atol=1e-2)
+
+    def test_truncation_approximate_but_close(self):
+        A, b, x_true = random_spd_batch(16, 32)
+        res = cg_solve_batched(A, b, config=CGConfig(max_iters=6, tol=0.0))
+        err = np.abs(res.x - x_true).max()
+        assert res.iterations == 6
+        assert err < 0.5  # approximate, not garbage
+
+    def test_warm_start_accelerates(self):
+        """The key property enabling f_s=6: starting near the solution,
+        few iterations reach high accuracy."""
+        A, b, x_true = random_spd_batch(16, 32)
+        x0 = x_true + 0.01 * np.random.default_rng(1).normal(size=x_true.shape).astype(
+            np.float32
+        )
+        cold = cg_solve_batched(A, b, config=CGConfig(max_iters=3, tol=0.0))
+        warm = cg_solve_batched(A, b, x0=x0, config=CGConfig(max_iters=3, tol=0.0))
+        assert np.abs(warm.x - x_true).max() < np.abs(cold.x - x_true).max()
+
+    def test_tolerance_stops_early(self):
+        A, b, _ = random_spd_batch(8, 16)
+        res = cg_solve_batched(A, b, config=CGConfig(max_iters=100, tol=1e-3))
+        assert res.iterations < 100
+        assert (res.residual_norms < 1e-2).all()
+
+    def test_per_system_freezing(self):
+        """Systems that converge early stop consuming matvecs."""
+        A, b, _ = random_spd_batch(8, 16)
+        # Make system 0 trivially converged: b = 0.
+        b = b.copy()
+        b[0] = 0.0
+        res = cg_solve_batched(A, b, config=CGConfig(max_iters=20, tol=1e-5))
+        assert res.matvec_count < res.iterations * 8
+        np.testing.assert_allclose(res.x[0], 0.0, atol=1e-6)
+
+    def test_fp16_storage_still_converges(self):
+        A, b, x_true = random_spd_batch(16, 16)
+        res = cg_solve_batched(
+            A, b, config=CGConfig(max_iters=30, tol=0.0), precision=Precision.FP16
+        )
+        # FP16 quantization of A limits accuracy but not stability.
+        assert np.abs(res.x - x_true).max() < 0.2
+        assert np.isfinite(res.x).all()
+
+    def test_fp16_error_larger_than_fp32(self):
+        A, b, x_true = random_spd_batch(32, 16, seed=9)
+        cfg = CGConfig(max_iters=40, tol=0.0)
+        e32 = np.abs(cg_solve_batched(A, b, config=cfg).x - x_true).max()
+        e16 = np.abs(
+            cg_solve_batched(A, b, config=cfg, precision=Precision.FP16).x - x_true
+        ).max()
+        assert e16 > e32
+
+    def test_zero_rhs(self):
+        A, _, _ = random_spd_batch(4, 8)
+        b = np.zeros((4, 8), dtype=np.float32)
+        res = cg_solve_batched(A, b)
+        np.testing.assert_allclose(res.x, 0.0, atol=1e-7)
+        assert res.iterations == 0  # all inactive immediately
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            cg_solve_batched(np.ones((4, 4), dtype=np.float32), np.ones((4,)))
+        A, b, _ = random_spd_batch(2, 4)
+        with pytest.raises(ValueError):
+            cg_solve_batched(A, b[:, :3])
+        with pytest.raises(ValueError):
+            cg_solve_batched(A, b, x0=np.ones((2, 3), dtype=np.float32))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CGConfig(max_iters=0)
+        with pytest.raises(ValueError):
+            CGConfig(tol=-1.0)
+
+    def test_matvec_accounting(self):
+        A, b, _ = random_spd_batch(10, 8)
+        res = cg_solve_batched(A, b, config=CGConfig(max_iters=4, tol=0.0))
+        assert res.matvec_count == 4 * 10

@@ -1,0 +1,47 @@
+"""Tests for the §VII tensor-core projection."""
+
+import pytest
+
+from repro.core import project_tensor_core_epoch
+from repro.data import get_dataset
+from repro.gpusim import MAXWELL_TITANX, VOLTA_V100
+
+NETFLIX = get_dataset("netflix").paper
+
+
+class TestVoltaPreset:
+    def test_validates(self):
+        VOLTA_V100.validate()
+
+    def test_tensor_flops_dominate_fp32(self):
+        assert VOLTA_V100.tensor_core_flops > 5 * VOLTA_V100.peak_flops_fp32
+
+    def test_paper_devices_have_none(self):
+        assert MAXWELL_TITANX.tensor_core_flops == 0.0
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def proj(self):
+        return project_tensor_core_epoch(NETFLIX)
+
+    def test_hermitian_speeds_up(self, proj):
+        assert proj.hermitian_speedup > 1.3
+
+    def test_epoch_speedup_bounded_by_amdahl(self, proj):
+        """The CG solve is memory-bound and unchanged: the epoch speedup
+        must sit strictly between 1 and the hermitian speedup."""
+        assert 1.0 < proj.epoch_speedup < proj.hermitian_speedup
+
+    def test_solver_untouched(self, proj):
+        assert proj.epoch_with == pytest.approx(
+            proj.hermitian_tensor + proj.solve_fp16
+        )
+
+    def test_projection_magnitude_sane(self, proj):
+        """HMMA at 25% utilization on this shape: ~2-4x on formation."""
+        assert 1.5 < proj.hermitian_speedup < 5.0
+
+    def test_rejects_tensorless_device(self):
+        with pytest.raises(ValueError, match="no tensor cores"):
+            project_tensor_core_epoch(NETFLIX, device=MAXWELL_TITANX)

@@ -1,0 +1,99 @@
+"""Tests for the simulator-driven hermitian autotuner."""
+
+import pytest
+
+from repro.core import ReadScheme
+from repro.core.tuning import tune_hermitian
+from repro.data import WorkloadShape, get_dataset
+from repro.gpusim import KEPLER_K40, MAXWELL_TITANX
+
+NETFLIX = get_dataset("netflix").paper
+
+
+@pytest.fixture(scope="module")
+def tuned():
+    return tune_hermitian(MAXWELL_TITANX, NETFLIX)
+
+
+class TestTuneHermitian:
+    def test_best_is_launchable_and_fastest(self, tuned):
+        assert tuned.best.launchable
+        launchable = [c for c in tuned.candidates if c.launchable]
+        assert tuned.best.seconds == min(c.seconds for c in launchable)
+
+    def test_paper_config_near_optimal(self, tuned):
+        """The paper's hand-tuned (T=10, 64 threads, BIN=32) must land
+        within ~1.5x of the sweep optimum — hand-tuning was good."""
+        paper = next(
+            c
+            for c in tuned.candidates
+            if (c.tile, c.threads_per_block, c.bin_size) == (10, 64, 32)
+        )
+        assert paper.seconds < 1.5 * tuned.best.seconds
+
+    def test_best_prefers_fma_dense_tiles(self, tuned):
+        """Tiny tiles waste issue slots on loads; the winner must be
+        reasonably FMA-dense."""
+        assert tuned.best.tile >= 8
+
+    def test_registers_reported(self, tuned):
+        paper = next(
+            c
+            for c in tuned.candidates
+            if (c.tile, c.threads_per_block, c.bin_size) == (10, 64, 32)
+        )
+        assert paper.registers_per_thread == 168  # the paper's figure
+
+    def test_as_config(self, tuned):
+        cfg = tuned.as_config(f=100, lam=0.05)
+        assert cfg.tile == tuned.best.tile
+        assert cfg.bin_size == tuned.best.bin_size
+        assert cfg.lam == 0.05
+
+    def test_kepler_differs_or_matches_maxwell(self):
+        """The sweep must run cross-device (different register budgets)."""
+        r = tune_hermitian(KEPLER_K40, NETFLIX)
+        assert r.best.launchable
+
+    def test_sweep_respects_f(self):
+        small = WorkloadShape(m=1000, n=500, nnz=20_000, f=8)
+        r = tune_hermitian(MAXWELL_TITANX, small, tiles=(4, 8, 16))
+        # tiles > f are skipped.
+        assert all(c.tile <= 8 for c in r.candidates)
+
+    def test_unlaunchable_configs_visible(self):
+        """Oversized BIN appears in candidates with seconds=inf."""
+        r = tune_hermitian(
+            MAXWELL_TITANX,
+            NETFLIX,
+            tiles=(10,),
+            thread_blocks=(64,),
+            bin_sizes=(32, 256),  # 256*100*4 = 100 KB > 48 KB/block
+        )
+        dead = [c for c in r.candidates if not c.launchable]
+        assert len(dead) == 1
+        assert dead[0].bin_size == 256
+        assert dead[0].seconds == float("inf")
+
+    def test_all_dead_sweep_raises(self):
+        with pytest.raises(ValueError, match="no launchable"):
+            tune_hermitian(
+                MAXWELL_TITANX,
+                NETFLIX,
+                tiles=(10,),
+                thread_blocks=(64,),
+                bin_sizes=(256,),
+            )
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            tune_hermitian(MAXWELL_TITANX, NETFLIX, tiles=())
+
+    def test_read_scheme_forwarded(self):
+        r_l1 = tune_hermitian(MAXWELL_TITANX, NETFLIX, tiles=(10,),
+                              thread_blocks=(64,), bin_sizes=(32,))
+        r_coal = tune_hermitian(
+            MAXWELL_TITANX, NETFLIX, read_scheme=ReadScheme.COALESCED,
+            tiles=(10,), thread_blocks=(64,), bin_sizes=(32,),
+        )
+        assert r_coal.best.seconds > r_l1.best.seconds

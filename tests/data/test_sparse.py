@@ -1,0 +1,132 @@
+"""Tests for the RatingMatrix container."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.data import RatingMatrix
+
+
+@pytest.fixture
+def tiny():
+    #     items: 0    1    2
+    # user 0:   5.0   -   3.0
+    # user 1:    -   2.0   -
+    # user 2:   1.0  4.0  2.5
+    rows = [0, 0, 1, 2, 2, 2]
+    cols = [0, 2, 1, 0, 1, 2]
+    vals = [5.0, 3.0, 2.0, 1.0, 4.0, 2.5]
+    return RatingMatrix.from_coo(rows, cols, vals)
+
+
+class TestConstruction:
+    def test_shape_inferred(self, tiny):
+        assert (tiny.m, tiny.n, tiny.nnz) == (3, 3, 6)
+
+    def test_explicit_shape(self):
+        r = RatingMatrix.from_coo([0], [0], [1.0], m=10, n=20)
+        assert (r.m, r.n) == (10, 20)
+
+    def test_shape_too_small_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            RatingMatrix.from_coo([5], [0], [1.0], m=3, n=3)
+
+    def test_negative_indices_rejected(self):
+        with pytest.raises(ValueError):
+            RatingMatrix.from_coo([-1], [0], [1.0])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            RatingMatrix.from_coo([0, 1], [0], [1.0])
+
+    def test_duplicates_summed(self):
+        r = RatingMatrix.from_coo([0, 0], [1, 1], [1.0, 2.0], m=1, n=2)
+        assert r.nnz == 1
+        _, vals = r.user_items(0)
+        assert vals[0] == pytest.approx(3.0)
+
+    def test_from_scipy_roundtrip(self, tiny):
+        again = RatingMatrix.from_scipy(tiny.to_scipy())
+        assert (tiny.to_scipy() != again.to_scipy()).nnz == 0
+
+    def test_empty_matrix(self):
+        r = RatingMatrix.from_scipy(sp.csr_matrix((4, 5)))
+        assert r.nnz == 0
+        assert r.density == 0.0
+        r.validate()
+
+
+class TestViews:
+    def test_user_items(self, tiny):
+        idx, vals = tiny.user_items(0)
+        assert idx.tolist() == [0, 2]
+        assert vals.tolist() == [5.0, 3.0]
+
+    def test_item_users(self, tiny):
+        idx, vals = tiny.item_users(1)
+        assert idx.tolist() == [1, 2]
+        assert vals.tolist() == [2.0, 4.0]
+
+    def test_views_are_zero_copy(self, tiny):
+        idx, vals = tiny.user_items(2)
+        assert idx.base is not None  # a view, not a copy
+        assert vals.base is not None
+        assert np.shares_memory(idx, tiny.col_idx)
+        assert np.shares_memory(vals, tiny.row_val)
+
+    def test_out_of_range(self, tiny):
+        with pytest.raises(IndexError):
+            tiny.user_items(3)
+        with pytest.raises(IndexError):
+            tiny.item_users(-1)
+
+    def test_counts(self, tiny):
+        assert tiny.row_counts().tolist() == [2, 1, 3]
+        assert tiny.col_counts().tolist() == [2, 2, 2]
+
+    def test_csr_csc_consistency(self, tiny):
+        dense_from_rows = tiny.to_scipy().toarray()
+        dense_from_cols = np.zeros_like(dense_from_rows)
+        for v in range(tiny.n):
+            users, vals = tiny.item_users(v)
+            dense_from_cols[users, v] = vals
+        np.testing.assert_allclose(dense_from_rows, dense_from_cols)
+
+
+class TestTranspose:
+    def test_transpose_swaps(self, tiny):
+        t = tiny.transpose()
+        assert (t.m, t.n) == (tiny.n, tiny.m)
+        idx, vals = t.user_items(1)  # item 1's users
+        assert idx.tolist() == [1, 2]
+        np.testing.assert_allclose(
+            t.to_scipy().toarray(), tiny.to_scipy().toarray().T
+        )
+
+    def test_double_transpose_identity(self, tiny):
+        tt = tiny.transpose().transpose()
+        assert (tt.to_scipy() != tiny.to_scipy()).nnz == 0
+
+
+class TestValidate:
+    def test_valid(self, tiny):
+        tiny.validate()
+
+    def test_detects_corrupt_ptr(self, tiny):
+        import dataclasses
+
+        bad = dataclasses.replace(tiny, row_ptr=tiny.row_ptr[:-1])
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_detects_bad_index(self, tiny):
+        import dataclasses
+
+        col = tiny.col_idx.copy()
+        col[0] = 99
+        bad = dataclasses.replace(tiny, col_idx=col)
+        with pytest.raises(ValueError):
+            bad.validate()
+
+    def test_density(self, tiny):
+        assert tiny.density == pytest.approx(6 / 9)

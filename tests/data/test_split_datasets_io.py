@@ -1,0 +1,137 @@
+"""Tests for splitting, the dataset registry and I/O."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASETS,
+    RatingMatrix,
+    SyntheticConfig,
+    WorkloadShape,
+    generate_ratings,
+    get_dataset,
+    load_npz,
+    load_surrogate,
+    load_triplets,
+    save_npz,
+    save_triplets,
+    train_test_split,
+)
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    return generate_ratings(SyntheticConfig(m=400, n=150, nnz=6000, seed=11))
+
+
+class TestSplit:
+    def test_partition_is_exact(self, ratings):
+        s = train_test_split(ratings, 0.2, seed=1)
+        assert s.train.nnz + s.test.nnz == ratings.nnz
+        total = (s.train.to_scipy() + s.test.to_scipy()) - ratings.to_scipy()
+        assert abs(total).max() < 1e-6
+
+    def test_fraction_respected(self, ratings):
+        s = train_test_split(ratings, 0.2, seed=1)
+        frac = s.test.nnz / ratings.nnz
+        assert 0.15 < frac < 0.25
+
+    def test_min_train_per_row(self, ratings):
+        s = train_test_split(ratings, 0.9, min_train_per_row=1, seed=2)
+        counts = s.train.row_counts()
+        active = ratings.row_counts() > 0
+        assert (counts[active] >= 1).all()
+
+    def test_shapes_preserved(self, ratings):
+        s = train_test_split(ratings, 0.1)
+        assert (s.train.m, s.train.n) == (ratings.m, ratings.n)
+        assert (s.test.m, s.test.n) == (ratings.m, ratings.n)
+
+    def test_deterministic(self, ratings):
+        a = train_test_split(ratings, 0.1, seed=5)
+        b = train_test_split(ratings, 0.1, seed=5)
+        assert (a.test.to_scipy() != b.test.to_scipy()).nnz == 0
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0, -0.5, 2.0])
+    def test_bad_fraction(self, ratings, bad):
+        with pytest.raises(ValueError):
+            train_test_split(ratings, bad)
+
+
+class TestRegistry:
+    def test_paper_table2_netflix(self):
+        spec = get_dataset("netflix")
+        assert spec.paper.m == 480_189
+        assert spec.paper.n == 17_770
+        assert spec.paper.nnz == pytest.approx(99e6, rel=0.01)
+        assert spec.paper.f == 100
+        assert spec.lam == 0.05
+        assert spec.target_rmse == 0.92
+
+    def test_paper_table2_yahoomusic(self):
+        spec = get_dataset("yahoomusic")
+        assert spec.paper.m == 1_000_990
+        assert spec.paper.n == 624_961
+        assert spec.lam == 1.4
+        assert spec.target_rmse == 22.0
+
+    def test_paper_table2_hugewiki(self):
+        spec = get_dataset("hugewiki")
+        assert spec.paper.m == 50_082_603
+        assert spec.paper.nnz == pytest.approx(3.1e9, rel=0.01)
+        assert spec.target_rmse == 0.52
+
+    def test_all_specs_have_surrogates(self):
+        for spec in DATASETS.values():
+            assert spec.surrogate.nnz > 0
+            # Surrogate preserves the rating scale.
+            assert spec.surrogate.rating_min == spec.rating_min
+            assert spec.surrogate.rating_max == spec.rating_max
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            get_dataset("movielens")
+
+    def test_load_surrogate_scaled(self):
+        split, spec = load_surrogate("netflix", scale=0.05)
+        assert split.train.m < spec.surrogate.m
+        assert split.train.nnz + split.test.nnz <= spec.surrogate.nnz
+
+    def test_load_surrogate_bad_scale(self):
+        with pytest.raises(ValueError):
+            load_surrogate("netflix", scale=0.0)
+
+    def test_workload_shape(self):
+        w = WorkloadShape(m=100, n=50, nnz=1000, f=10)
+        assert w.rows_mean_nnz == 10.0
+        assert w.transpose().m == 50
+        with pytest.raises(ValueError):
+            WorkloadShape(m=0, n=1, nnz=1, f=1)
+
+
+class TestIO:
+    def test_npz_roundtrip(self, ratings, tmp_path):
+        p = tmp_path / "r.npz"
+        save_npz(p, ratings)
+        again = load_npz(p)
+        assert (again.to_scipy() != ratings.to_scipy()).nnz == 0
+
+    def test_triplets_roundtrip(self, ratings, tmp_path):
+        p = tmp_path / "r.txt"
+        save_triplets(p, ratings)
+        again = load_triplets(p, m=ratings.m, n=ratings.n)
+        np.testing.assert_allclose(
+            again.to_scipy().toarray(), ratings.to_scipy().toarray(), rtol=1e-4
+        )
+
+    def test_triplets_bad_columns(self, tmp_path):
+        p = tmp_path / "bad.txt"
+        p.write_text("1 2\n3 4\n")
+        with pytest.raises(ValueError):
+            load_triplets(p)
+
+    def test_triplets_empty(self, tmp_path):
+        p = tmp_path / "empty.txt"
+        p.write_text("")
+        with pytest.raises(ValueError):
+            load_triplets(p)

@@ -1,0 +1,97 @@
+"""Tests for synthetic dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate_ratings, planted_factors
+
+
+def small_cfg(**kw):
+    base = dict(m=500, n=200, nnz=5000, true_rank=8, seed=7)
+    base.update(kw)
+    return SyntheticConfig(**base)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            dict(m=0),
+            dict(n=-1),
+            dict(nnz=0),
+            dict(nnz=500 * 200 + 1),
+            dict(true_rank=0),
+            dict(noise=-0.1),
+            dict(rating_min=5.0, rating_max=5.0),
+            dict(zipf_exponent=-1.0),
+        ],
+    )
+    def test_rejects(self, kw):
+        with pytest.raises(ValueError):
+            small_cfg(**kw)
+
+
+class TestGeneration:
+    def test_shape_and_count(self):
+        r = generate_ratings(small_cfg())
+        assert (r.m, r.n) == (500, 200)
+        assert r.nnz == 5000
+
+    def test_no_duplicates(self):
+        r = generate_ratings(small_cfg())
+        rows = np.repeat(np.arange(r.m), r.row_counts())
+        keys = rows * r.n + r.col_idx
+        assert len(np.unique(keys)) == r.nnz
+
+    def test_rating_range(self):
+        r = generate_ratings(small_cfg(rating_min=1.0, rating_max=5.0))
+        assert r.row_val.min() >= 1.0
+        assert r.row_val.max() <= 5.0
+
+    def test_yahoomusic_scale(self):
+        r = generate_ratings(small_cfg(rating_min=1.0, rating_max=100.0))
+        assert r.row_val.max() > 50.0  # actually uses the range
+
+    def test_deterministic_by_seed(self):
+        a = generate_ratings(small_cfg(seed=3))
+        b = generate_ratings(small_cfg(seed=3))
+        assert (a.to_scipy() != b.to_scipy()).nnz == 0
+
+    def test_different_seeds_differ(self):
+        a = generate_ratings(small_cfg(seed=3))
+        b = generate_ratings(small_cfg(seed=4))
+        assert (a.to_scipy() != b.to_scipy()).nnz > 0
+
+    def test_zipf_skew(self):
+        """Item degree distribution must be heavy-tailed at exponent>1."""
+        r = generate_ratings(small_cfg(nnz=20_000, zipf_exponent=1.2))
+        counts = np.sort(r.col_counts())[::-1]
+        top10 = counts[:20].sum() / counts.sum()
+        assert top10 > 0.3  # top 10% of items get >30% of ratings
+
+    def test_uniform_when_exponent_zero(self):
+        r = generate_ratings(small_cfg(nnz=20_000, zipf_exponent=0.0))
+        counts = r.col_counts()
+        assert counts.max() < 6 * counts.mean()
+
+    def test_low_rank_signal_present(self):
+        """Ratings must correlate with the planted model, else convergence
+        experiments are meaningless."""
+        cfg = small_cfg(nnz=20_000, noise=0.05)
+        r = generate_ratings(cfg)
+        rng = np.random.default_rng(cfg.seed)
+        x, theta = planted_factors(cfg, rng)
+        rows = np.repeat(np.arange(r.m), r.row_counts())
+        raw = np.einsum("ij,ij->i", x[rows], theta[r.col_idx])
+        corr = np.corrcoef(raw, r.row_val)[0, 1]
+        assert corr > 0.8
+
+    def test_nearly_dense_generation(self):
+        r = generate_ratings(SyntheticConfig(m=30, n=20, nnz=550, seed=1))
+        assert r.nnz >= 500  # best-effort near capacity
+
+    def test_planted_factor_shapes(self):
+        cfg = small_cfg()
+        x, theta = planted_factors(cfg, np.random.default_rng(0))
+        assert x.shape == (cfg.m, cfg.true_rank)
+        assert theta.shape == (cfg.n, cfg.true_rank)

@@ -1,0 +1,126 @@
+"""Tests for the trace-driven and analytic cache models."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import SetAssociativeCache, analytic_hit_rate
+
+
+class TestSetAssociativeCache:
+    def make(self, size=1024, line=32, ways=2):
+        return SetAssociativeCache(size_bytes=size, line_size=line, associativity=ways)
+
+    def test_geometry(self):
+        c = self.make()
+        assert c.num_sets == 1024 // (32 * 2)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 32, 2)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1000, 32, 3)  # not a multiple
+
+    def test_cold_miss_then_hit(self):
+        c = self.make()
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(31)  # same 32B line
+        assert not c.access(32)  # next line
+
+    def test_lru_eviction(self):
+        c = SetAssociativeCache(64, 32, 2)  # 1 set, 2 ways
+        c.access(0)
+        c.access(32)
+        c.access(0)  # touch line 0 -> line 1 (addr 32) is now LRU
+        c.access(64)  # evicts line 1
+        assert c.access(0)
+        assert not c.access(32)  # was evicted
+
+    def test_set_isolation(self):
+        c = SetAssociativeCache(128, 32, 1)  # 4 sets, direct-mapped
+        c.access(0)  # set 0
+        c.access(32)  # set 1
+        assert c.access(0)
+        assert c.access(32)
+
+    def test_stats(self):
+        c = self.make()
+        c.access(0)
+        c.access(0)
+        c.access(64)
+        assert c.stats.accesses == 3
+        assert c.stats.hits == 1
+        assert c.stats.misses == 2
+        assert c.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_trace_replay_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 4096, size=500)
+        c1 = self.make()
+        hits_vec = c1.access_trace(addrs)
+        c2 = self.make()
+        hits_scalar = sum(c2.access(int(a)) for a in addrs)
+        assert hits_vec == hits_scalar
+
+    def test_flush(self):
+        c = self.make()
+        c.access(0)
+        c.flush()
+        assert not c.access(0)
+        assert c.resident_lines() == 1
+
+    def test_contains(self):
+        c = self.make()
+        c.access(100)
+        assert 100 in c
+        assert 96 in c  # same line
+        assert 128 not in c
+
+    def test_sequential_stream_all_miss_at_line_granularity(self):
+        """A pure streaming read hits only within a line."""
+        c = self.make(size=1024, line=32, ways=2)
+        addrs = np.arange(0, 4096, 4)  # fp32 stream
+        hits = c.access_trace(addrs)
+        # 8 accesses per 32B line, first one misses.
+        assert hits == len(addrs) * 7 // 8
+
+
+class TestAnalyticHitRate:
+    def test_fits_in_cache(self):
+        # Working set fits: hit rate = (r-1)/r.
+        assert analytic_hit_rate(10_000, 48 * 1024, reuse_factor=8) == pytest.approx(
+            7 / 8
+        )
+
+    def test_no_reuse_no_hits(self):
+        assert analytic_hit_rate(10_000, 48 * 1024, reuse_factor=1) == 0.0
+
+    def test_spill_decay_monotone(self):
+        rates = [
+            analytic_hit_rate(ws, 48 * 1024, reuse_factor=8)
+            for ws in [40_000, 60_000, 100_000, 200_000]
+        ]
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+        assert rates[-1] < 0.01  # 4x over-subscription ~ no hits
+
+    def test_zero_cache(self):
+        assert analytic_hit_rate(100, 0, reuse_factor=8) == 0.0
+
+    def test_zero_working_set(self):
+        assert analytic_hit_rate(0, 1024, reuse_factor=4) == pytest.approx(3 / 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            analytic_hit_rate(-1, 10, reuse_factor=2)
+        with pytest.raises(ValueError):
+            analytic_hit_rate(1, 10, reuse_factor=0.5)
+
+    def test_paper_working_set_fits_l2_not_l1(self):
+        """Paper §III: 75 KB of active θ columns per SM sits between
+        Maxwell's 48 KB L1 and its 128 KB/SM share of L2."""
+        ws = 100 * 32 * 6 * 4  # f x BIN x blocks x sizeof(float) = 75 KB
+        assert ws == 76800
+        l1 = analytic_hit_rate(ws, 48 * 1024, reuse_factor=8)
+        l2 = analytic_hit_rate(ws, 128 * 1024, reuse_factor=8)
+        assert l2 == pytest.approx(7 / 8)  # fits L2 share
+        assert l1 < l2  # spills L1

@@ -1,0 +1,97 @@
+"""Tests for warp transaction counting."""
+
+import pytest
+
+from repro.gpusim import AccessPattern, broadcast, coalesced, strided
+
+
+class TestCoalesced:
+    def test_fp32_efficiency_is_one(self):
+        p = coalesced(num_elements=32 * 100, element_bytes=4)
+        assert p.requests == 100
+        assert p.transactions == 400  # 4 sectors per warp request
+        assert p.efficiency == 1.0
+        assert p.concurrent_streams == 1
+
+    def test_fp16_halves_transactions(self):
+        p32 = coalesced(num_elements=3200, element_bytes=4)
+        p16 = coalesced(num_elements=3200, element_bytes=2)
+        assert p16.transactions == p32.transactions // 2
+        assert p16.total_bytes == p32.total_bytes // 2
+
+    def test_zero_elements(self):
+        p = coalesced(0)
+        assert p.transactions == 0
+        assert p.moved_bytes == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            coalesced(-1)
+
+
+class TestStrided:
+    def test_large_stride_worst_case(self):
+        # Each lane touches its own sector: 32 transactions per request.
+        p = strided(num_elements=32 * 10, stride_bytes=400, element_bytes=4)
+        assert p.requests == 10
+        assert p.transactions == 320
+        assert p.efficiency == pytest.approx(4 / 32)
+        assert p.concurrent_streams == 32
+
+    def test_strided_has_8x_wire_amplification_vs_coalesced(self):
+        n = 32 * 1000
+        wire_ratio = (
+            strided(n, stride_bytes=400).moved_bytes / coalesced(n).moved_bytes
+        )
+        assert wire_ratio == pytest.approx(8.0)
+
+    def test_small_stride_shares_sectors(self):
+        # stride 8B: 4 lanes share a 32B sector -> 8 sectors per request.
+        p = strided(num_elements=32, stride_bytes=8, element_bytes=4)
+        assert p.transactions == 8
+
+    def test_stride_validation(self):
+        with pytest.raises(ValueError):
+            strided(10, stride_bytes=0)
+        with pytest.raises(ValueError):
+            strided(-5, stride_bytes=4)
+
+
+class TestBroadcast:
+    def test_one_transaction_per_request(self):
+        p = broadcast(num_requests=7)
+        assert p.transactions == 7
+        assert p.requests == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            broadcast(-1)
+
+
+class TestAccessPattern:
+    def test_scaled(self):
+        p = coalesced(3200).scaled(2.0)
+        assert p.transactions == 800
+        assert p.total_bytes == 25600
+
+    def test_scaled_negative(self):
+        with pytest.raises(ValueError):
+            coalesced(32).scaled(-1)
+
+    def test_combined(self):
+        a = coalesced(3200)
+        b = strided(3200, stride_bytes=400)
+        c = a.combined(b)
+        assert c.total_bytes == a.total_bytes + b.total_bytes
+        assert c.transactions == a.transactions + b.transactions
+        assert c.concurrent_streams == 1  # min of the two
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            AccessPattern(total_bytes=-1, transactions=0, requests=0, concurrent_streams=1)
+        with pytest.raises(ValueError):
+            AccessPattern(total_bytes=0, transactions=0, requests=0, concurrent_streams=0)
+
+    def test_empty_pattern_efficiency(self):
+        p = AccessPattern(total_bytes=0, transactions=0, requests=0, concurrent_streams=1)
+        assert p.efficiency == 1.0

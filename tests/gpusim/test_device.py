@@ -1,0 +1,99 @@
+"""Tests for device presets and DeviceSpec invariants."""
+
+import pytest
+
+from repro.gpusim import (
+    DEVICE_PRESETS,
+    KEPLER_K40,
+    MAXWELL_TITANX,
+    PASCAL_P100,
+    DeviceSpec,
+    get_device,
+)
+
+
+class TestPresets:
+    def test_paper_table3_kepler(self):
+        # "Two Kepler K40, each: 4 TFLOPS, 12 GB RAM, 288 GB/s"
+        assert KEPLER_K40.peak_flops_fp32 == pytest.approx(4.29e12, rel=0.1)
+        assert KEPLER_K40.dram_bandwidth == 288e9
+        assert KEPLER_K40.dram_capacity == 12 * 1024**3
+
+    def test_paper_table3_maxwell(self):
+        # "Four Titan X, each: 7 TFLOPS, 12 GB RAM, 340 GB/s"
+        assert MAXWELL_TITANX.peak_flops_fp32 == pytest.approx(7e12, rel=0.05)
+        assert MAXWELL_TITANX.dram_bandwidth == 340e9
+
+    def test_paper_table3_pascal(self):
+        # "Four Tesla P100, each: 11 TFLOPS, 16 GB, 740 GB/s"
+        assert PASCAL_P100.peak_flops_fp32 == pytest.approx(11e12, rel=0.05)
+        assert PASCAL_P100.dram_bandwidth == pytest.approx(740e9, rel=0.02)
+        assert PASCAL_P100.dram_capacity == 16 * 1024**3
+
+    def test_maxwell_cache_sizes_match_paper_section3(self):
+        # "Nvidia Maxwell's L1 cache of 48 KB and L2 cache ... 3 MB
+        # shared by 24 SMs" and "65536 float registers in each SM".
+        assert MAXWELL_TITANX.l1_size == 48 * 1024
+        assert MAXWELL_TITANX.l2_size == 3 * 1024 * 1024
+        assert MAXWELL_TITANX.num_sms == 24
+        assert MAXWELL_TITANX.registers_per_sm == 65536
+
+    def test_fp16_only_native_on_pascal(self):
+        assert PASCAL_P100.native_fp16_arithmetic
+        assert not MAXWELL_TITANX.native_fp16_arithmetic
+        assert not KEPLER_K40.native_fp16_arithmetic
+        assert PASCAL_P100.peak_flops_fp16 == 2 * PASCAL_P100.peak_flops_fp32
+
+    def test_all_presets_validate(self):
+        for dev in set(DEVICE_PRESETS.values()):
+            dev.validate()
+
+    def test_derived_quantities(self):
+        assert MAXWELL_TITANX.max_warps_per_sm == 64
+        assert MAXWELL_TITANX.l2_size_per_sm == pytest.approx(128 * 1024)
+        assert MAXWELL_TITANX.flops_per_sm == pytest.approx(
+            MAXWELL_TITANX.peak_flops_fp32 / 24
+        )
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("kepler", KEPLER_K40),
+            ("K40", KEPLER_K40),
+            ("Maxwell", MAXWELL_TITANX),
+            ("titanx", MAXWELL_TITANX),
+            ("PASCAL", PASCAL_P100),
+            ("p100", PASCAL_P100),
+        ],
+    )
+    def test_alias(self, alias, expected):
+        assert get_device(alias) is expected
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("ampere")
+
+
+class TestValidation:
+    def test_with_override(self):
+        dev = MAXWELL_TITANX.with_(l1_size=16 * 1024)
+        assert dev.l1_size == 16 * 1024
+        assert dev.l2_size == MAXWELL_TITANX.l2_size  # untouched
+
+    def test_invalid_sms(self):
+        with pytest.raises(ValueError):
+            MAXWELL_TITANX.with_(num_sms=0).validate()
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            MAXWELL_TITANX.with_(dram_bandwidth=-1.0).validate()
+
+    def test_thread_warp_multiple(self):
+        with pytest.raises(ValueError):
+            MAXWELL_TITANX.with_(max_threads_per_sm=100).validate()
+
+    def test_line_size_relation(self):
+        with pytest.raises(ValueError):
+            MAXWELL_TITANX.with_(l1_line_size=48).validate()

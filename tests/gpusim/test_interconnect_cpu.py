@@ -1,0 +1,134 @@
+"""Tests for interconnect, memcpy, cuBLAS yardsticks and CPU models."""
+
+import pytest
+
+from repro.gpusim import (
+    ETHERNET_10G,
+    KEPLER_K40,
+    MAXWELL_TITANX,
+    NOMAD_HPC_NODE,
+    NVLINK_P100,
+    PASCAL_P100,
+    PCIE_GEN3_X16,
+    XEON_E5_2670,
+    ClusterSpec,
+    Link,
+    allgather_time,
+    broadcast_time,
+    cpu_als_epoch_time,
+    cpu_sgd_epoch_time,
+    gemm_batched_cost,
+    lu_batched_cost,
+    memcpy_bandwidth,
+    memcpy_time,
+)
+
+
+class TestLinks:
+    def test_nvlink_much_faster_than_ethernet(self):
+        """Paper intro: NVLink 40 GB/s/link ≫ any existing network."""
+        nbytes = 1e9
+        assert NVLINK_P100.transfer_time(nbytes) < ETHERNET_10G.transfer_time(nbytes) / 20
+
+    def test_alpha_beta(self):
+        t = PCIE_GEN3_X16.transfer_time(12e9)
+        assert t == pytest.approx(1.0 + PCIE_GEN3_X16.latency, rel=1e-6)
+
+    def test_zero_bytes_free(self):
+        assert NVLINK_P100.transfer_time(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            NVLINK_P100.transfer_time(-1)
+
+    def test_broadcast_log_rounds(self):
+        one = broadcast_time(NVLINK_P100, 1e6, num_peers=1)
+        three = broadcast_time(NVLINK_P100, 1e6, num_peers=3)
+        assert three == pytest.approx(2 * one)
+        assert broadcast_time(NVLINK_P100, 1e6, 0) == 0.0
+
+    def test_allgather_ring(self):
+        t4 = allgather_time(NVLINK_P100, 1e8, 4)
+        # Ring moves total*(p-1)/p through each link.
+        expect = 3 * NVLINK_P100.latency + (4e8 * 3 / 4) / NVLINK_P100.bandwidth
+        assert t4 == pytest.approx(expect)
+        assert allgather_time(NVLINK_P100, 1e8, 1) == 0.0
+        with pytest.raises(ValueError):
+            allgather_time(NVLINK_P100, 1e8, 0)
+
+
+class TestMemcpy:
+    def test_pascal_faster_than_kepler(self):
+        assert memcpy_bandwidth(PASCAL_P100) > memcpy_bandwidth(KEPLER_K40)
+
+    def test_d2d_payload_under_half_pins(self):
+        assert memcpy_bandwidth(MAXWELL_TITANX) < MAXWELL_TITANX.dram_bandwidth / 2
+
+    def test_time(self):
+        bw = memcpy_bandwidth(MAXWELL_TITANX)
+        assert memcpy_time(MAXWELL_TITANX, bw) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            memcpy_time(MAXWELL_TITANX, -1)
+
+
+class TestCublas:
+    def test_gemm_batched_flops(self):
+        c = gemm_batched_cost(MAXWELL_TITANX, batch=1000, m=100, k=200, n=100)
+        assert c.flops == 2.0 * 1000 * 100 * 200 * 100
+        assert 0 < c.achieved_flops < MAXWELL_TITANX.peak_flops_fp32
+
+    def test_newer_devices_faster(self):
+        t_k = gemm_batched_cost(KEPLER_K40, 1000, 100, 200, 100).seconds
+        t_p = gemm_batched_cost(PASCAL_P100, 1000, 100, 200, 100).seconds
+        assert t_p < t_k
+
+    def test_lu_batched_scales_cubically(self):
+        t50 = lu_batched_cost(MAXWELL_TITANX, batch=10_000, f=50)
+        t100 = lu_batched_cost(MAXWELL_TITANX, batch=10_000, f=100)
+        assert t100 / t50 == pytest.approx(8.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gemm_batched_cost(MAXWELL_TITANX, -1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            lu_batched_cost(MAXWELL_TITANX, -1, 10)
+
+
+class TestCpu:
+    def test_peak_flops(self):
+        # 24 cores x 2.3 GHz x 32 flops/cycle.
+        assert XEON_E5_2670.peak_flops == pytest.approx(24 * 2.3e9 * 32)
+
+    def test_parallel_efficiency_decays(self):
+        e1 = XEON_E5_2670.effective_parallelism(1)
+        e40 = XEON_E5_2670.effective_parallelism(40)
+        assert e1 == pytest.approx(1.0)
+        assert e40 < 40
+        assert e40 > 20  # still mostly scales
+
+    def test_sgd_epoch_scales_with_nnz(self):
+        t1 = cpu_sgd_epoch_time(XEON_E5_2670, 10**6, 100, threads=40)
+        t2 = cpu_sgd_epoch_time(XEON_E5_2670, 2 * 10**6, 100, threads=40)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_als_epoch_has_cubic_solve_term(self):
+        base = dict(nnz=10**6, m=10_000, n=1_000, threads=40)
+        t50 = cpu_als_epoch_time(XEON_E5_2670, f=50, **base)
+        t100 = cpu_als_epoch_time(XEON_E5_2670, f=100, **base)
+        assert t100 > 2 * t50  # superlinear in f
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            cpu_sgd_epoch_time(XEON_E5_2670, -1, 100, threads=4)
+        with pytest.raises(ValueError):
+            cpu_als_epoch_time(XEON_E5_2670, 100, 10, 10, 0, threads=4)
+        with pytest.raises(ValueError):
+            XEON_E5_2670.effective_parallelism(0)
+
+    def test_cluster_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(node=NOMAD_HPC_NODE, num_nodes=0, link=ETHERNET_10G)
+        with pytest.raises(ValueError):
+            ClusterSpec(
+                node=NOMAD_HPC_NODE, num_nodes=2, link=ETHERNET_10G, comm_overlap=1.5
+            )

@@ -1,0 +1,135 @@
+"""Tests for KernelSpec timing and the SimEngine ledger."""
+
+import pytest
+
+from repro.gpusim import (
+    MAXWELL_TITANX,
+    PASCAL_P100,
+    KernelResources,
+    KernelSpec,
+    LevelFractions,
+    MemoryPhase,
+    SimEngine,
+    coalesced,
+    time_kernel,
+)
+
+
+def make_spec(**kw):
+    defaults = dict(
+        name="k",
+        resources=KernelResources(registers_per_thread=32, threads_per_block=256),
+        grid_blocks=10_000,
+        flops=1e9,
+        memory_phases=(
+            MemoryPhase("load", coalesced(32 * 100_000), LevelFractions.all_dram()),
+        ),
+    )
+    defaults.update(kw)
+    return KernelSpec(**defaults)
+
+
+class TestTimeKernel:
+    def test_phases_reported(self):
+        t = time_kernel(MAXWELL_TITANX, make_spec())
+        assert t.seconds > 0
+        assert "load" in t.memory
+        assert t.compute.seconds > 0
+        assert t.phase_seconds("compute") > 0
+        assert t.phase_seconds("load") > 0
+
+    def test_sum_vs_max_overlap(self):
+        t_sum = time_kernel(MAXWELL_TITANX, make_spec(overlap="sum"))
+        t_max = time_kernel(MAXWELL_TITANX, make_spec(overlap="max"))
+        assert t_sum.seconds > t_max.seconds
+        assert t_max.seconds == pytest.approx(
+            max(t_max.compute.seconds, t_max.memory_seconds) * t_max.tail_factor
+        )
+
+    def test_duplicate_phase_rejected(self):
+        spec = make_spec(
+            memory_phases=(
+                MemoryPhase("load", coalesced(32), LevelFractions.all_dram()),
+                MemoryPhase("load", coalesced(32), LevelFractions.all_dram()),
+            )
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            time_kernel(MAXWELL_TITANX, spec)
+
+    def test_tail_factor_penalizes_tiny_grids(self):
+        # Exactly one wave of blocks runs as fast per-block as many waves;
+        # a grid of wave+1 pays nearly 2x.
+        occ_blocks = 8 * MAXWELL_TITANX.num_sms  # 8 blocks/SM for these resources
+        small = time_kernel(MAXWELL_TITANX, make_spec(grid_blocks=occ_blocks))
+        straggler = time_kernel(MAXWELL_TITANX, make_spec(grid_blocks=occ_blocks + 1))
+        assert straggler.tail_factor > 1.5
+        assert small.tail_factor == pytest.approx(1.0)
+
+    def test_fp16_compute_faster_only_on_native_devices(self):
+        spec32 = make_spec(compute_dtype_bytes=4, memory_phases=())
+        spec16 = make_spec(compute_dtype_bytes=2, memory_phases=())
+        assert time_kernel(PASCAL_P100, spec16).seconds == pytest.approx(
+            time_kernel(PASCAL_P100, spec32).seconds / 2
+        )
+        assert time_kernel(MAXWELL_TITANX, spec16).seconds == pytest.approx(
+            time_kernel(MAXWELL_TITANX, spec32).seconds
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_spec(grid_blocks=-1)
+        with pytest.raises(ValueError):
+            make_spec(flops=-1.0)
+
+
+class TestSimEngine:
+    def test_clock_advances(self):
+        eng = SimEngine(MAXWELL_TITANX)
+        t = eng.launch(make_spec())
+        assert eng.clock == pytest.approx(t.seconds)
+        eng.launch(make_spec())
+        assert eng.clock == pytest.approx(2 * t.seconds)
+
+    def test_ledger_by_name(self):
+        eng = SimEngine(MAXWELL_TITANX)
+        eng.launch(make_spec(name="a"))
+        eng.launch(make_spec(name="a"))
+        eng.launch(make_spec(name="b"))
+        by = eng.seconds_by_name()
+        assert by["a"] == pytest.approx(2 * by["b"])
+        assert eng.total_seconds("b") == pytest.approx(by["b"])
+        assert eng.total_seconds() == pytest.approx(eng.clock)
+
+    def test_tags(self):
+        eng = SimEngine(MAXWELL_TITANX)
+        eng.launch(make_spec(name="a"), tag="update_x")
+        eng.transfer("bcast", 0.5, tag="comm")
+        tags = eng.seconds_by_tag()
+        assert tags["comm"] == 0.5
+        assert "update_x" in tags
+
+    def test_transfer_and_host(self):
+        eng = SimEngine(MAXWELL_TITANX)
+        eng.transfer("h2d", 0.25)
+        eng.host("setup", 0.75)
+        assert eng.clock == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            eng.transfer("bad", -1.0)
+        with pytest.raises(ValueError):
+            eng.host("bad", -1.0)
+
+    def test_sync_to(self):
+        eng = SimEngine(MAXWELL_TITANX)
+        eng.host("work", 1.0)
+        eng.sync_to(0.5)  # behind: no-op
+        assert eng.clock == pytest.approx(1.0)
+        eng.sync_to(2.0)
+        assert eng.clock == pytest.approx(2.0)
+        assert eng.records[-1].name == "barrier_wait"
+
+    def test_reset(self):
+        eng = SimEngine(MAXWELL_TITANX)
+        eng.host("x", 1.0)
+        eng.reset()
+        assert eng.clock == 0.0
+        assert not eng.records

@@ -1,0 +1,132 @@
+"""Tests for the Little's-law memory engine — including the qualitative
+reproduction of the paper's Figure 3/4 effect."""
+
+import pytest
+
+from repro.gpusim import (
+    MAXWELL_TITANX,
+    LevelFractions,
+    coalesced,
+    memory_phase_time,
+    strided,
+)
+
+
+class TestLevelFractions:
+    def test_sum_must_be_one(self):
+        with pytest.raises(ValueError):
+            LevelFractions(0.5, 0.5, 0.5)
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            LevelFractions(-0.1, 0.6, 0.5)
+
+    def test_from_hit_rates(self):
+        fr = LevelFractions.from_hit_rates(l1_hit=0.875, l2_hit=0.8)
+        assert fr.l1 == pytest.approx(0.875)
+        assert fr.l2 == pytest.approx(0.125 * 0.8)
+        assert fr.dram == pytest.approx(0.125 * 0.2)
+
+    def test_all_dram(self):
+        fr = LevelFractions.all_dram()
+        assert fr.dram == 1.0
+        assert fr.average_latency_cycles(MAXWELL_TITANX) == MAXWELL_TITANX.dram_latency_cycles
+
+    def test_average_latency_mixes(self):
+        fr = LevelFractions(0.5, 0.25, 0.25)
+        expect = (
+            0.5 * MAXWELL_TITANX.l1_latency_cycles
+            + 0.25 * MAXWELL_TITANX.l2_latency_cycles
+            + 0.25 * MAXWELL_TITANX.dram_latency_cycles
+        )
+        assert fr.average_latency_cycles(MAXWELL_TITANX) == pytest.approx(expect)
+
+
+class TestMemoryPhase:
+    def test_zero_pattern_is_free(self):
+        t = memory_phase_time(
+            MAXWELL_TITANX, coalesced(0), LevelFractions.all_dram(), warps_per_sm=12
+        )
+        assert t.seconds == 0.0
+
+    def test_warps_validation(self):
+        with pytest.raises(ValueError):
+            memory_phase_time(
+                MAXWELL_TITANX, coalesced(32), LevelFractions.all_dram(), warps_per_sm=0
+            )
+
+    def test_low_occupancy_coalesced_is_latency_bound(self):
+        """Paper Observation 2: at 12 warps/SM coalesced DRAM reads cannot
+        reach bandwidth."""
+        n = 32 * 1_000_000
+        t = memory_phase_time(
+            MAXWELL_TITANX, coalesced(n), LevelFractions.all_dram(), warps_per_sm=12
+        )
+        assert t.limiter == "latency"
+        assert t.achieved_bandwidth < 0.5 * MAXWELL_TITANX.dram_bandwidth
+
+    def test_high_occupancy_coalesced_is_bandwidth_bound(self):
+        n = 32 * 1_000_000
+        t = memory_phase_time(
+            MAXWELL_TITANX, coalesced(n), LevelFractions.all_dram(), warps_per_sm=64
+        )
+        assert t.limiter == "dram_bandwidth"
+        assert t.achieved_bandwidth == pytest.approx(
+            MAXWELL_TITANX.dram_bandwidth, rel=0.01
+        )
+
+    def test_figure4_ordering_noncoal_l1_fastest(self):
+        """The paper's central memory result: at low occupancy,
+        nonCoal-L1 < nonCoal-noL1 < coal for the staging load."""
+        n = 32 * 4_000_000  # elements
+        warps = 12  # 6 blocks x 64 threads on Maxwell
+
+        coal = memory_phase_time(
+            MAXWELL_TITANX, coalesced(n), LevelFractions.all_dram(), warps
+        )
+        # Non-coalesced: 8 fp32 of a column share a sector; with L1 the
+        # 7 follow-up touches hit L1 and half the sector fills hit L2.
+        noncoal_l1 = memory_phase_time(
+            MAXWELL_TITANX,
+            strided(n, stride_bytes=400),
+            LevelFractions.from_hit_rates(l1_hit=7 / 8, l2_hit=0.5),
+            warps,
+        )
+        # Without L1 the follow-up touches fall through to L2.
+        noncoal_nol1 = memory_phase_time(
+            MAXWELL_TITANX,
+            strided(n, stride_bytes=400),
+            LevelFractions.from_hit_rates(l1_hit=0.0, l2_hit=7 / 8 + 1 / 16),
+            warps,
+        )
+        assert noncoal_l1.seconds < noncoal_nol1.seconds < coal.seconds
+
+    def test_dram_bytes_accounting(self):
+        n = 32 * 1000
+        t = memory_phase_time(
+            MAXWELL_TITANX, coalesced(n), LevelFractions.all_dram(), warps_per_sm=64
+        )
+        assert t.dram_bytes == pytest.approx(n * 4)  # eff=1 for fp32 coalesced
+        assert t.l2_bytes == pytest.approx(n * 4)
+
+    def test_l1_hits_produce_no_dram_traffic(self):
+        n = 32 * 1000
+        t = memory_phase_time(
+            MAXWELL_TITANX,
+            coalesced(n),
+            LevelFractions(1.0, 0.0, 0.0),
+            warps_per_sm=64,
+        )
+        assert t.dram_bytes == 0.0
+        assert t.l2_bytes == 0.0
+        assert t.limiter == "latency"
+
+    def test_concurrency_is_capped(self):
+        n = 32 * 100_000
+        t = memory_phase_time(
+            MAXWELL_TITANX,
+            strided(n, stride_bytes=400),
+            LevelFractions.all_dram(),
+            warps_per_sm=64,
+        )
+        assert t.concurrency_per_sm <= MAXWELL_TITANX.max_outstanding_requests_per_sm

@@ -1,0 +1,95 @@
+"""Occupancy calculator tests, including the paper's worked example."""
+
+import pytest
+
+from repro.gpusim import (
+    KEPLER_K40,
+    MAXWELL_TITANX,
+    KernelResources,
+    compute_occupancy,
+)
+
+
+class TestPaperObservation2:
+    """Paper §III: f=100 → 168 regs/thread, 64 threads/block → ≈6 blocks/SM."""
+
+    def test_get_hermitian_resident_blocks(self):
+        res = KernelResources(registers_per_thread=168, threads_per_block=64)
+        occ = compute_occupancy(MAXWELL_TITANX, res)
+        assert occ.blocks_per_sm == 6  # 65536 // (168 * 64)
+        assert occ.limiter == "registers"
+
+    def test_low_occupancy_flag(self):
+        res = KernelResources(registers_per_thread=168, threads_per_block=64)
+        occ = compute_occupancy(MAXWELL_TITANX, res)
+        # 6 blocks x 2 warps = 12 warps of 64 possible -> 18.75%.
+        assert occ.warps_per_sm == 12
+        assert occ.occupancy == pytest.approx(12 / 64)
+        assert occ.is_latency_limited
+
+
+class TestLimits:
+    def test_thread_limited(self):
+        res = KernelResources(registers_per_thread=16, threads_per_block=1024)
+        occ = compute_occupancy(MAXWELL_TITANX, res)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "threads"
+        assert occ.occupancy == 1.0
+
+    def test_block_limited(self):
+        res = KernelResources(registers_per_thread=16, threads_per_block=32)
+        occ = compute_occupancy(MAXWELL_TITANX, res)
+        assert occ.blocks_per_sm == MAXWELL_TITANX.max_blocks_per_sm
+        assert occ.limiter == "blocks"
+
+    def test_shared_memory_limited(self):
+        res = KernelResources(
+            registers_per_thread=16,
+            threads_per_block=64,
+            shared_mem_per_block=24 * 1024,
+        )
+        occ = compute_occupancy(MAXWELL_TITANX, res)
+        assert occ.blocks_per_sm == 4  # 96KB / 24KB
+        assert occ.limiter == "shared_memory"
+
+    def test_kepler_has_16_block_cap(self):
+        res = KernelResources(registers_per_thread=16, threads_per_block=32)
+        occ = compute_occupancy(KEPLER_K40, res)
+        assert occ.blocks_per_sm == 16
+
+
+class TestErrors:
+    def test_too_many_registers_per_thread(self):
+        res = KernelResources(registers_per_thread=300, threads_per_block=64)
+        with pytest.raises(ValueError, match="registers/thread"):
+            compute_occupancy(MAXWELL_TITANX, res)
+
+    def test_block_too_large(self):
+        res = KernelResources(registers_per_thread=32, threads_per_block=4096)
+        with pytest.raises(ValueError):
+            compute_occupancy(MAXWELL_TITANX, res)
+
+    def test_smem_block_too_large(self):
+        res = KernelResources(
+            registers_per_thread=32,
+            threads_per_block=64,
+            shared_mem_per_block=64 * 1024,
+        )
+        with pytest.raises(ValueError, match="cannot launch"):
+            compute_occupancy(MAXWELL_TITANX, res)
+
+    def test_bad_resources_rejected(self):
+        with pytest.raises(ValueError):
+            KernelResources(registers_per_thread=0, threads_per_block=64)
+        with pytest.raises(ValueError):
+            KernelResources(registers_per_thread=32, threads_per_block=0)
+        with pytest.raises(ValueError):
+            KernelResources(
+                registers_per_thread=32, threads_per_block=64, shared_mem_per_block=-1
+            )
+
+    def test_register_overflow_single_block(self):
+        # One block alone exceeding the register file cannot launch.
+        res = KernelResources(registers_per_thread=255, threads_per_block=512)
+        with pytest.raises(ValueError, match="cannot launch"):
+            compute_occupancy(MAXWELL_TITANX, res)

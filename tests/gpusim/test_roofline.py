@@ -1,0 +1,63 @@
+"""Tests for the compute roofline model."""
+
+import pytest
+
+from repro.gpusim import (
+    MAXWELL_TITANX,
+    PASCAL_P100,
+    compute_phase_time,
+    occupancy_efficiency,
+)
+
+
+class TestOccupancyEfficiency:
+    def test_saturates_above_knee(self):
+        assert occupancy_efficiency(0.25) == 1.0
+        assert occupancy_efficiency(1.0) == 1.0
+
+    def test_linear_below_knee(self):
+        assert occupancy_efficiency(0.125) == pytest.approx(0.5)
+        assert occupancy_efficiency(0.05, knee=0.5) == pytest.approx(0.1)
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            occupancy_efficiency(-0.1)
+        with pytest.raises(ValueError):
+            occupancy_efficiency(1.1)
+
+
+class TestComputePhase:
+    def test_zero_flops_free(self):
+        t = compute_phase_time(MAXWELL_TITANX, 0.0)
+        assert t.seconds == 0.0
+
+    def test_linear_in_flops(self):
+        t1 = compute_phase_time(MAXWELL_TITANX, 1e12)
+        t2 = compute_phase_time(MAXWELL_TITANX, 2e12)
+        assert t2.seconds == pytest.approx(2 * t1.seconds)
+
+    def test_efficiency_bounds(self):
+        t = compute_phase_time(MAXWELL_TITANX, 1e12, instruction_efficiency=0.8)
+        assert t.achieved_flops == pytest.approx(0.8 * MAXWELL_TITANX.peak_flops_fp32)
+        assert t.efficiency == pytest.approx(0.8)
+
+    def test_low_occupancy_slows_compute(self):
+        full = compute_phase_time(MAXWELL_TITANX, 1e12, occupancy=1.0)
+        starved = compute_phase_time(MAXWELL_TITANX, 1e12, occupancy=0.05)
+        assert starved.seconds > full.seconds
+
+    def test_fp16_double_rate_only_on_native(self):
+        p16 = compute_phase_time(PASCAL_P100, 1e12, dtype_bytes=2)
+        p32 = compute_phase_time(PASCAL_P100, 1e12, dtype_bytes=4)
+        assert p16.seconds == pytest.approx(p32.seconds / 2)
+        m16 = compute_phase_time(MAXWELL_TITANX, 1e12, dtype_bytes=2)
+        m32 = compute_phase_time(MAXWELL_TITANX, 1e12, dtype_bytes=4)
+        assert m16.seconds == pytest.approx(m32.seconds)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            compute_phase_time(MAXWELL_TITANX, -1.0)
+        with pytest.raises(ValueError):
+            compute_phase_time(MAXWELL_TITANX, 1.0, instruction_efficiency=0.0)
+        with pytest.raises(ValueError):
+            compute_phase_time(MAXWELL_TITANX, 1.0, instruction_efficiency=1.5)

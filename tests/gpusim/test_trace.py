@@ -1,0 +1,101 @@
+"""Trace-driven validation of the Figure-4 cache assumptions."""
+
+import pytest
+
+from repro.data import SyntheticConfig, generate_ratings
+from repro.gpusim import MAXWELL_TITANX
+from repro.gpusim.trace import simulate_staging
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    """Uniform popularity with θ (4000 x 64 x 4B = 1 MB) far exceeding L1:
+    isolates sector reuse, the mechanism the Figure-4 model prices."""
+    return generate_ratings(
+        SyntheticConfig(m=400, n=4_000, nnz=20_000, zipf_exponent=0.0, seed=2)
+    )
+
+
+@pytest.fixture(scope="module")
+def skewed():
+    """Netflix-like Zipf skew: hot θ columns drive inter-block reuse."""
+    return generate_ratings(
+        SyntheticConfig(m=600, n=2_000, nnz=24_000, zipf_exponent=1.2, seed=3)
+    )
+
+
+class TestStagingTrace:
+    def test_strided_l1_hits_near_seven_eighths(self, ratings):
+        """The cost model assumes FP32 strided reads hit L1 on 7 of 8
+        touches (sector reuse). The exact replay at the paper's f=100
+        must agree."""
+        r = simulate_staging(MAXWELL_TITANX, ratings, f=100, coalesced_scheme=False)
+        assert r.l1_hit_rate == pytest.approx(7 / 8, abs=0.03)
+
+    def test_power_of_two_stride_aliases_l1_sets(self, ratings):
+        """f=64 gives a 256B column stride whose sectors land on few L1
+        sets — conflict misses the paper's f=100 (400B stride) avoids.
+        A real pitfall for anyone retuning f on this kernel."""
+        aligned = simulate_staging(MAXWELL_TITANX, ratings, f=64)
+        odd = simulate_staging(MAXWELL_TITANX, ratings, f=100)
+        assert aligned.l1_hit_rate < odd.l1_hit_rate - 0.15
+
+    def test_coalesced_reads_have_less_l1_reuse_than_strided(self, ratings):
+        """A 128B line serves one full coalesced 32-lane request, so
+        coalesced staging has no sector-amplification reuse — its L1 hit
+        rate must sit far below the strided scheme's 7/8."""
+        coal = simulate_staging(MAXWELL_TITANX, ratings, f=100, coalesced_scheme=True)
+        strided = simulate_staging(
+            MAXWELL_TITANX, ratings, f=100, coalesced_scheme=False
+        )
+        assert coal.l1_hit_rate < strided.l1_hit_rate - 0.5
+
+    def test_no_l1_pushes_reuse_to_l2(self, ratings):
+        r = simulate_staging(
+            MAXWELL_TITANX, ratings, f=100, coalesced_scheme=False, use_l1=False
+        )
+        assert r.l1_hit_rate == 0.0
+        assert r.l2_hit_rate > 0.8  # sector reuse served by L2 instead
+
+    def test_hot_columns_give_l2_reuse(self, ratings, skewed):
+        """Zipf-hot θ columns staged by one block hit in L2 when a later
+        block stages them — reuse that uniform popularity lacks."""
+        hot = simulate_staging(
+            MAXWELL_TITANX, skewed, f=100, coalesced_scheme=True, use_l1=False
+        )
+        cold = simulate_staging(
+            MAXWELL_TITANX, ratings, f=100, coalesced_scheme=True, use_l1=False
+        )
+        assert hot.l2_hit_rate > cold.l2_hit_rate
+
+    def test_dram_fraction_bounded(self, ratings):
+        r = simulate_staging(MAXWELL_TITANX, ratings, f=100)
+        assert 0.0 <= r.dram_fraction <= 1.0
+        assert r.dram_fraction < 0.14  # sector reuse caps cold misses
+
+    def test_level_fractions_export(self, ratings):
+        r = simulate_staging(MAXWELL_TITANX, ratings, f=32, num_rows=16)
+        fr = r.as_level_fractions()
+        assert fr.l1 + fr.l2 + fr.dram == pytest.approx(1.0)
+
+    def test_sector_count_matches_workload(self, ratings):
+        """Strided staging touches one sector per (rating, element) pair
+        with 8 fp32 elements per 32B sector."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        candidates = np.flatnonzero(ratings.row_counts() > 0)
+        sample = rng.choice(candidates, size=min(48, candidates.size), replace=False)
+        f = 32
+        expected = int(ratings.row_counts()[sample].sum()) * f
+        r = simulate_staging(MAXWELL_TITANX, ratings, f=f, seed=0)
+        assert r.accesses == expected
+
+    def test_validation(self, ratings):
+        with pytest.raises(ValueError):
+            simulate_staging(MAXWELL_TITANX, ratings, f=0)
+        from repro.data import RatingMatrix
+
+        empty = RatingMatrix.from_coo([], [], [], m=4, n=4)
+        with pytest.raises(ValueError, match="non-empty"):
+            simulate_staging(MAXWELL_TITANX, empty, f=8)

@@ -1,0 +1,73 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.harness import MARKERS, ascii_chart
+
+
+def two_series():
+    return {
+        "a": ([1.0, 2.0, 3.0], [3.0, 2.0, 1.0]),
+        "b": ([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]),
+    }
+
+
+class TestAsciiChart:
+    def test_contains_markers_and_legend(self):
+        out = ascii_chart(two_series(), width=40, height=10)
+        assert "*" in out and "o" in out
+        assert "* a" in out and "o b" in out
+
+    def test_axis_labels(self):
+        out = ascii_chart(two_series(), width=40, height=10)
+        assert "3" in out  # ymax label
+        assert "RMSE vs seconds" in out
+
+    def test_dimensions(self):
+        out = ascii_chart(two_series(), width=40, height=10)
+        lines = out.splitlines()
+        assert len(lines) == 10 + 3  # grid + axis + ticks + legend
+        assert all(len(l) <= 40 + 12 for l in lines[:10])
+
+    def test_log_x(self):
+        out = ascii_chart(
+            {"a": ([1, 10, 100], [1.0, 0.5, 0.2])}, width=40, height=8, log_x=True
+        )
+        assert "[log x]" in out
+        assert "100" in out
+
+    def test_extreme_corners_plotted(self):
+        """Min/max points must land on the grid edges, not overflow."""
+        out = ascii_chart({"a": ([0.0, 100.0], [0.0, 10.0])}, width=30, height=6)
+        lines = out.splitlines()
+        assert lines[0].rstrip().endswith("*")  # ymax at top-right
+        assert "*" in lines[5]  # ymin at bottom
+
+    def test_nan_points_dropped(self):
+        out = ascii_chart(
+            {"a": ([1.0, 2.0], [float("nan"), 1.0])}, width=30, height=6
+        )
+        grid = "\n".join(out.splitlines()[:6])  # exclude legend
+        assert grid.count("*") == 1
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ascii_chart({"a": ([1.0], [float("nan")])})
+
+    def test_degenerate_ranges(self):
+        # Single point: x and y ranges are zero; must not divide by zero.
+        out = ascii_chart({"a": ([5.0], [2.0])}, width=20, height=5)
+        assert "*" in out
+
+    def test_too_many_series(self):
+        series = {f"s{i}": ([1.0], [1.0]) for i in range(len(MARKERS) + 1)}
+        with pytest.raises(ValueError, match="at most"):
+            ascii_chart(series)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no series"):
+            ascii_chart({})
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError, match="too small"):
+            ascii_chart(two_series(), width=4, height=2)

@@ -1,0 +1,89 @@
+"""Tests for the table printers and the cheap experiment drivers."""
+
+import pytest
+
+from repro.data import WorkloadShape, get_dataset
+from repro.harness import (
+    fig1_ablation,
+    fig4_coalescing,
+    fig5_solver,
+    fig7a_flops,
+    fig7b_bandwidth,
+    format_series,
+    format_table,
+    table1_complexity,
+)
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        out = format_table("T", ["a", "bb"], [[1, 2.5], [30, 0.001]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table("T", ["a"], [[1, 2]])
+
+    def test_float_formats(self):
+        out = format_table("T", ["x"], [[123456.0], [0.00012], [1.5]])
+        assert "1.23e+05" in out or "123000" in out or "1.23e+5" in out
+        assert "0.00012" in out
+
+    def test_series(self):
+        s = format_series("lbl", [0.0, 1.0], [2.0, 1.0])
+        assert s.startswith("lbl:")
+        assert "(1.00, 1.0000)" in s
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1.0], [1.0, 2.0])
+
+
+class TestDrivers:
+    """Smoke + shape checks on the cost-model-only drivers."""
+
+    def test_table1_rows(self):
+        rows = table1_complexity(WorkloadShape(m=100, n=50, nnz=1000, f=8))
+        assert {r["algorithm"] for r in rows} == {"ALS", "SGD"}
+        assert all(r["compute"] > 0 and r["memory"] > 0 for r in rows)
+
+    def test_fig4_structure(self):
+        r = fig4_coalescing(f=100)
+        assert set(r) == {"update_x", "update_theta"}
+        for side in r.values():
+            assert set(side) == {"coalesced", "noncoal-l1", "noncoal-nol1"}
+            for phases in side.values():
+                assert phases["total"] == pytest.approx(
+                    phases["load"] + phases["compute"] + phases["write"], rel=1e-6
+                )
+
+    def test_fig5_keys(self):
+        r = fig5_solver(iterations=2)
+        assert r["CG-FP16"] < r["CG-FP32"] < r["LU-FP32"]
+
+    def test_fig5_scales_with_iterations(self):
+        r1 = fig5_solver(iterations=1)
+        r10 = fig5_solver(iterations=10)
+        assert r10["LU-FP32"] == pytest.approx(10 * r1["LU-FP32"], rel=1e-6)
+
+    def test_fig7a_rows(self):
+        rows = fig7a_flops()
+        assert [r["device"] for r in rows] == ["Kepler", "Maxwell", "Pascal"]
+        assert all(0 < r["cumf_efficiency"] < 1 for r in rows)
+
+    def test_fig7b_rows(self):
+        rows = fig7b_bandwidth()
+        assert all(r["cg_gbps"] > 0 and r["memcpy_gbps"] > 0 for r in rows)
+
+    def test_fig1_monotone(self):
+        r = fig1_ablation()
+        vals = list(r.values())
+        assert vals == sorted(vals, reverse=True)  # each stage helps
+
+    def test_registry_paper_shapes_used(self):
+        # The drivers must price at paper scale, not surrogate scale.
+        shape = get_dataset("netflix").paper
+        assert shape.nnz > 9e7

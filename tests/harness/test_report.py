@@ -1,0 +1,33 @@
+"""Smoke test for the EXPERIMENTS.md generator (tiny scales)."""
+
+import pytest
+
+from repro.harness.report import PAPER_TABLE4, generate_report
+
+
+@pytest.mark.slow
+def test_generate_report_tiny():
+    text = generate_report(scale=0.05, hugewiki_scale=0.04)
+    # Every section the paper has must be present.
+    for heading in (
+        "Table I",
+        "Figure 4",
+        "Figure 5",
+        "Figure 6 + Table IV",
+        "Figure 7a",
+        "Figure 7b",
+        "Figure 8",
+        "V-F",
+        "Figure 1",
+    ):
+        assert heading in text, heading
+    # Paper reference numbers are embedded for side-by-side comparison.
+    assert "3021" in text  # LIBMF Hugewiki seconds from Table IV
+    assert "| Kepler |" in text or "Kepler" in text
+    assert text.count("|") > 100  # plenty of markdown table content
+
+
+def test_paper_table4_constants():
+    assert PAPER_TABLE4["netflix"]["cuMFALS@P"] == 3.3
+    assert PAPER_TABLE4["hugewiki"]["LIBMF"] == 3021
+    assert set(PAPER_TABLE4) == {"netflix", "yahoomusic", "hugewiki"}

@@ -1,0 +1,140 @@
+"""Tests for implicit-feedback ranking metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import RatingMatrix
+from repro.metrics.ranking import (
+    mean_percentile_rank,
+    ndcg_at_k,
+    precision_recall_at_k,
+)
+
+
+@pytest.fixture
+def oracle():
+    """Factors that rank items exactly by index for every user: item 0
+    scores highest, item n-1 lowest."""
+    n = 10
+    x = np.ones((4, 1))
+    theta = np.arange(n, 0, -1, dtype=float).reshape(n, 1)
+    return x, theta, n
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self, oracle):
+        x, theta, n = oracle
+        # Held-out truth: items 0..2 for every user (the top-scored ones).
+        held = RatingMatrix.from_coo(
+            np.repeat(np.arange(4), 3), np.tile([0, 1, 2], 4), np.ones(12), m=4, n=n
+        )
+        p, r = precision_recall_at_k(x, theta, held, k=3)
+        assert p == 1.0
+        assert r == 1.0
+
+    def test_worst_ranking(self, oracle):
+        x, theta, n = oracle
+        held = RatingMatrix.from_coo([0], [n - 1], [1.0], m=4, n=n)
+        p, r = precision_recall_at_k(x, theta, held, k=3)
+        assert p == 0.0
+        assert r == 0.0
+
+    def test_train_exclusion(self, oracle):
+        x, theta, n = oracle
+        # Truth = item 3; items 0-2 are in train and must be excluded,
+        # promoting item 3 into the top-3.
+        held = RatingMatrix.from_coo([0], [3], [1.0], m=4, n=n)
+        train = RatingMatrix.from_coo([0, 0, 0], [0, 1, 2], [1.0] * 3, m=4, n=n)
+        p_with, _ = precision_recall_at_k(x, theta, held, k=1, train=train)
+        p_without, _ = precision_recall_at_k(x, theta, held, k=1)
+        assert p_with == 1.0
+        assert p_without == 0.0
+
+    def test_empty_held_out(self, oracle):
+        x, theta, n = oracle
+        empty = RatingMatrix.from_coo([], [], [], m=4, n=n)
+        p, r = precision_recall_at_k(x, theta, empty, k=3)
+        assert math.isnan(p) and math.isnan(r)
+
+    def test_k_validation(self, oracle):
+        x, theta, n = oracle
+        held = RatingMatrix.from_coo([0], [0], [1.0], m=4, n=n)
+        with pytest.raises(ValueError):
+            precision_recall_at_k(x, theta, held, k=0)
+
+
+class TestNDCG:
+    def test_perfect_is_one(self, oracle):
+        x, theta, n = oracle
+        held = RatingMatrix.from_coo(
+            np.repeat(np.arange(4), 2), np.tile([0, 1], 4), np.ones(8), m=4, n=n
+        )
+        assert ndcg_at_k(x, theta, held, k=2) == pytest.approx(1.0)
+
+    def test_partial_credit_ordering(self, oracle):
+        x, theta, n = oracle
+        # Truth at rank 2 scores less than truth at rank 1.
+        held_hi = RatingMatrix.from_coo([0], [0], [1.0], m=4, n=n)
+        held_lo = RatingMatrix.from_coo([0], [1], [1.0], m=4, n=n)
+        assert ndcg_at_k(x, theta, held_hi, k=3) > ndcg_at_k(x, theta, held_lo, k=3)
+
+    def test_validation(self, oracle):
+        x, theta, n = oracle
+        held = RatingMatrix.from_coo([0], [0], [1.0], m=4, n=n)
+        with pytest.raises(ValueError):
+            ndcg_at_k(x, theta, held, k=-1)
+
+
+class TestMPR:
+    def test_perfect_is_zero(self, oracle):
+        x, theta, n = oracle
+        held = RatingMatrix.from_coo(np.arange(4), np.zeros(4, int), np.ones(4), m=4, n=n)
+        assert mean_percentile_rank(x, theta, held) == pytest.approx(0.0)
+
+    def test_worst_is_one(self, oracle):
+        x, theta, n = oracle
+        held = RatingMatrix.from_coo([0], [n - 1], [1.0], m=4, n=n)
+        assert mean_percentile_rank(x, theta, held) == pytest.approx(1.0)
+
+    def test_random_model_near_half(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 4))
+        theta = rng.normal(size=(200, 4))
+        held = RatingMatrix.from_coo(
+            rng.integers(0, 50, 400), rng.integers(0, 200, 400), np.ones(400),
+            m=50, n=200,
+        )
+        mpr = mean_percentile_rank(x, theta, held)
+        assert 0.4 < mpr < 0.6
+
+    def test_weighting_by_confidence(self, oracle):
+        x, theta, n = oracle
+        # Heavy weight on a poorly ranked item dominates the average.
+        held = RatingMatrix.from_coo(
+            [0, 0], [0, n - 1], [1.0, 99.0], m=4, n=n
+        )
+        assert mean_percentile_rank(x, theta, held) > 0.9
+
+    def test_single_item_catalog_rejected(self):
+        x = np.ones((2, 1))
+        theta = np.ones((1, 1))
+        held = RatingMatrix.from_coo([0], [0], [1.0], m=2, n=1)
+        with pytest.raises(ValueError):
+            mean_percentile_rank(x, theta, held)
+
+    def test_trained_model_beats_random(self):
+        """An implicit model should push MPR well below 0.5."""
+        from repro.core import ImplicitALSConfig, ImplicitALSModel
+        from repro.data import SyntheticConfig, generate_ratings, train_test_split
+
+        data = generate_ratings(
+            SyntheticConfig(m=300, n=150, nnz=6000, rating_min=1, rating_max=10, seed=4)
+        )
+        split = train_test_split(data, 0.2, seed=5)
+        model = ImplicitALSModel(
+            ImplicitALSConfig(f=16, lam=0.1, alpha=10.0)
+        ).fit(split.train, epochs=6)
+        mpr = mean_percentile_rank(model.x_, model.theta_, split.test)
+        assert mpr < 0.35

@@ -1,0 +1,102 @@
+"""Tests for the GPU SGD trainer and its cost model."""
+
+import numpy as np
+import pytest
+
+from repro.data import WorkloadShape, load_surrogate
+from repro.gpusim import MAXWELL_TITANX, PASCAL_P100
+from repro.sgd import CuMFSGD, SGDConfig, gpu_sgd_epoch_seconds
+
+NETFLIX = WorkloadShape(m=480_189, n=17_770, nnz=99_072_112, f=100)
+
+
+@pytest.fixture(scope="module")
+def small():
+    split, spec = load_surrogate("netflix", scale=0.08, seed=3)
+    return split, spec
+
+
+class TestCostModel:
+    def test_epoch_memory_bound_scale(self):
+        t = gpu_sgd_epoch_seconds(MAXWELL_TITANX, NETFLIX)
+        # O(Nz f) bytes at a few hundred GB/s: tenths of a second.
+        assert 0.05 < t < 1.0
+
+    def test_sgd_epoch_cheaper_than_als_epoch(self):
+        """Paper §V-E: 'SGD runs faster in each iteration'."""
+        from repro.core import ALSConfig, cg_iteration_spec, hermitian_spec, Precision
+        from repro.gpusim import time_kernel
+
+        sgd = gpu_sgd_epoch_seconds(MAXWELL_TITANX, NETFLIX)
+        als = (
+            time_kernel(
+                MAXWELL_TITANX, hermitian_spec(MAXWELL_TITANX, NETFLIX, ALSConfig(f=100))
+            ).seconds
+            + 6
+            * time_kernel(
+                MAXWELL_TITANX,
+                cg_iteration_spec(MAXWELL_TITANX, NETFLIX.m, 100, Precision.FP16),
+            ).seconds
+        )
+        assert sgd < als
+
+    def test_multi_gpu_speedup(self):
+        t1 = gpu_sgd_epoch_seconds(PASCAL_P100, NETFLIX, num_gpus=1)
+        t4 = gpu_sgd_epoch_seconds(PASCAL_P100, NETFLIX, num_gpus=4)
+        assert 1.5 < t1 / t4 <= 4.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gpu_sgd_epoch_seconds(MAXWELL_TITANX, NETFLIX, num_gpus=0)
+
+
+class TestTrainer:
+    def test_converges(self, small):
+        split, _ = small
+        model = CuMFSGD(SGDConfig(f=16, lam=0.05, lr=0.05))
+        curve = model.fit(split.train, split.test, epochs=15)
+        assert curve.final_rmse < curve.points[0].rmse
+        assert curve.final_rmse < 1.1
+
+    def test_needs_more_epochs_than_als(self, small):
+        """Paper §V-E: SGD requires more iterations to converge."""
+        from repro.core import ALSConfig, ALSModel
+
+        split, _ = small
+        als = ALSModel(ALSConfig(f=16, lam=0.05)).fit(
+            split.train, split.test, epochs=12
+        )
+        sgd = CuMFSGD(SGDConfig(f=16, lam=0.05)).fit(
+            split.train, split.test, epochs=12
+        )
+        target = als.best_rmse * 1.05
+        als_ep = als.epochs_to_rmse(target)
+        sgd_ep = sgd.epochs_to_rmse(target)
+        assert als_ep is not None
+        assert sgd_ep is None or sgd_ep > als_ep
+
+    def test_early_stop(self, small):
+        split, _ = small
+        model = CuMFSGD(SGDConfig(f=16))
+        curve = model.fit(split.train, split.test, epochs=60, target_rmse=1.2)
+        assert curve.points[-1].rmse <= 1.2
+
+    def test_clock_uses_sim_shape(self, small):
+        split, spec = small
+        model = CuMFSGD(SGDConfig(f=100), sim_shape=spec.paper)
+        curve = model.fit(split.train, epochs=2)
+        per_epoch = curve.total_seconds / 2
+        assert per_epoch == pytest.approx(
+            gpu_sgd_epoch_seconds(MAXWELL_TITANX, spec.paper), rel=1e-6
+        )
+
+    def test_validation(self, small):
+        split, _ = small
+        with pytest.raises(ValueError):
+            CuMFSGD(SGDConfig(f=16)).fit(split.train, epochs=0)
+        with pytest.raises(ValueError):
+            CuMFSGD(SGDConfig(f=16)).fit(split.train, epochs=1, target_rmse=1.0)
+        with pytest.raises(ValueError):
+            CuMFSGD(num_gpus=0)
+        with pytest.raises(ValueError):
+            SGDConfig(lr=0.0)

@@ -1,0 +1,201 @@
+"""Tests for SGD numerics, blocking and schedules."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate_ratings
+from repro.metrics import rmse
+from repro.sgd import (
+    BoldDriver,
+    FixedRate,
+    InverseTimeDecay,
+    blocked_epoch,
+    build_grid,
+    coo_arrays,
+    diagonal_schedule,
+    hogwild_epoch,
+    sgd_batch_update,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_ratings(SyntheticConfig(m=400, n=150, nnz=8000, seed=5))
+
+
+def init_factors(m, n, f=12, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.normal(0, 0.1, (m, f)).astype(np.float32),
+        rng.normal(0, 0.1, (n, f)).astype(np.float32),
+    )
+
+
+class TestBatchUpdate:
+    def test_single_sample_matches_formula(self):
+        x = np.array([[1.0, 0.0]], dtype=np.float32)
+        theta = np.array([[0.5, 0.5]], dtype=np.float32)
+        r, lr, lam = 2.0, 0.1, 0.01
+        e = r - 0.5
+        expected_x = x[0] + lr * (e * theta[0] - lam * x[0])
+        expected_t = theta[0] + lr * (e * x[0] - lam * theta[0])
+        sgd_batch_update(
+            x, theta, np.array([0]), np.array([0]), np.array([r], dtype=np.float32),
+            lr, lam,
+        )
+        np.testing.assert_allclose(x[0], expected_x, rtol=1e-6)
+        np.testing.assert_allclose(theta[0], expected_t, rtol=1e-6)
+
+    def test_duplicate_indices_averaged(self):
+        """Two same-user samples in one batch contribute their MEAN
+        gradient (the stability rule for batch-emulated Hogwild)."""
+        x = np.zeros((1, 2), dtype=np.float32)
+        theta = np.ones((2, 2), dtype=np.float32)
+        sgd_batch_update(
+            x, theta, np.array([0, 0]), np.array([0, 1]),
+            np.array([1.0, 1.0], dtype=np.float32), 0.1, 0.0,
+        )
+        # Each sample's x-gradient is 0.1*θ = [0.1, 0.1]; averaged -> 0.1.
+        np.testing.assert_allclose(x[0], 0.1 * np.ones(2), rtol=1e-5)
+        # θ rows are distinct within the batch: full updates land.
+        np.testing.assert_allclose(theta[0], np.ones(2), rtol=1e-5)  # x was 0
+
+    def test_returns_sse(self):
+        x = np.zeros((1, 2), dtype=np.float32)
+        theta = np.zeros((1, 2), dtype=np.float32)
+        sse = sgd_batch_update(
+            x, theta, np.array([0]), np.array([0]), np.array([3.0], dtype=np.float32),
+            0.1, 0.0,
+        )
+        assert sse == pytest.approx(9.0)
+
+    def test_validation(self):
+        x = np.zeros((1, 2), dtype=np.float32)
+        with pytest.raises(ValueError):
+            sgd_batch_update(x, x, np.array([0]), np.array([0]),
+                             np.array([1.0]), lr=0.0, lam=0.0)
+        with pytest.raises(ValueError):
+            sgd_batch_update(x, x, np.array([0]), np.array([0]),
+                             np.array([1.0]), lr=0.1, lam=-1.0)
+
+
+class TestEpochs:
+    def test_hogwild_reduces_rmse(self, data):
+        x, theta = init_factors(data.m, data.n)
+        rows, cols, vals = coo_arrays(data)
+        rng = np.random.default_rng(0)
+        before = rmse(x, theta, data)
+        for _ in range(8):
+            hogwild_epoch(x, theta, rows, cols, vals, 0.05, 0.02, rng, batch_size=512)
+        assert rmse(x, theta, data) < before * 0.7
+
+    def test_blocked_reduces_rmse(self, data):
+        x, theta = init_factors(data.m, data.n)
+        grid = build_grid(data, 4)
+        rng = np.random.default_rng(0)
+        before = rmse(x, theta, data)
+        for _ in range(8):
+            blocked_epoch(x, theta, grid, 0.05, 0.02, rng, batch_size=512)
+        assert rmse(x, theta, data) < before * 0.7
+
+    def test_hogwild_returns_mse(self, data):
+        x, theta = init_factors(data.m, data.n)
+        rows, cols, vals = coo_arrays(data)
+        mse = hogwild_epoch(x, theta, rows, cols, vals, 0.05, 0.02,
+                            np.random.default_rng(0))
+        assert 0 < mse < (data.row_val.max()) ** 2
+
+    def test_empty_input(self):
+        x, theta = init_factors(3, 3)
+        got = hogwild_epoch(
+            x, theta, np.array([], dtype=int), np.array([], dtype=int),
+            np.array([], dtype=np.float32), 0.1, 0.0, np.random.default_rng(0),
+        )
+        assert got == 0.0
+
+    def test_bad_batch_size(self, data):
+        x, theta = init_factors(data.m, data.n)
+        rows, cols, vals = coo_arrays(data)
+        with pytest.raises(ValueError):
+            hogwild_epoch(x, theta, rows, cols, vals, 0.1, 0.0,
+                          np.random.default_rng(0), batch_size=0)
+
+
+class TestBlocking:
+    def test_grid_partitions_all_samples(self, data):
+        grid = build_grid(data, 5)
+        total = sum(len(grid.block(i, j)) for i in range(5) for j in range(5))
+        assert total == data.nnz
+
+    def test_blocks_are_disjoint_in_waves(self, data):
+        grid = build_grid(data, 4)
+        for wave in diagonal_schedule(4):
+            rows_seen, cols_seen = set(), set()
+            for i, j in wave:
+                assert i not in rows_seen and j not in cols_seen
+                rows_seen.add(i)
+                cols_seen.add(j)
+
+    def test_samples_respect_stripes(self, data):
+        grid = build_grid(data, 4)
+        for i in range(4):
+            for j in range(4):
+                sel = grid.block(i, j)
+                if len(sel) == 0:
+                    continue
+                r, c = grid.rows[sel], grid.cols[sel]
+                assert (r >= grid.row_bounds[i]).all()
+                assert (r < grid.row_bounds[i + 1]).all()
+                assert (c >= grid.col_bounds[j]).all()
+                assert (c < grid.col_bounds[j + 1]).all()
+
+    def test_nnz_balance(self, data):
+        grid = build_grid(data, 4)
+        row_sums = grid.block_nnz().sum(axis=1)
+        assert row_sums.max() < 2.0 * row_sums.mean()
+
+    def test_block_index_errors(self, data):
+        grid = build_grid(data, 3)
+        with pytest.raises(IndexError):
+            grid.block(3, 0)
+
+    def test_validation(self, data):
+        with pytest.raises(ValueError):
+            build_grid(data, 0)
+        with pytest.raises(ValueError):
+            diagonal_schedule(0)
+
+    def test_schedule_covers_grid(self):
+        waves = diagonal_schedule(4)
+        cells = {cell for wave in waves for cell in wave}
+        assert cells == {(i, j) for i in range(4) for j in range(4)}
+
+
+class TestSchedules:
+    def test_fixed(self):
+        s = FixedRate(0.1)
+        assert s.rate(0) == s.rate(100) == 0.1
+        with pytest.raises(ValueError):
+            FixedRate(0.0)
+
+    def test_inverse_time(self):
+        s = InverseTimeDecay(lr=0.1, decay=1.0)
+        assert s.rate(0) == pytest.approx(0.1)
+        assert s.rate(9) == pytest.approx(0.01)
+        with pytest.raises(ValueError):
+            s.rate(-1)
+        with pytest.raises(ValueError):
+            InverseTimeDecay(lr=-1)
+
+    def test_bold_driver(self):
+        s = BoldDriver(lr=0.1, grow=2.0, shrink=0.5)
+        s.observe_loss(10.0)
+        assert s.rate(0) == 0.1  # first observation: no change
+        s.observe_loss(5.0)  # improved -> grow
+        assert s.rate(1) == pytest.approx(0.2)
+        s.observe_loss(6.0)  # worse -> shrink
+        assert s.rate(2) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            BoldDriver(grow=0.5)
+        with pytest.raises(ValueError):
+            BoldDriver(shrink=1.5)

@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.dataset == "netflix"
+        assert args.solver == "cg"
+        assert args.precision == "fp16"
+
+    def test_bad_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--dataset", "movielens"])
+
+    def test_advise_required_args(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise"])
+
+
+class TestCommands:
+    def test_devices(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla K40" in out
+        assert "Tesla P100" in out
+        assert "tensor" in out  # V100 row
+
+    def test_advise(self, capsys):
+        rc = main(
+            ["advise", "--users", "480189", "--items", "17770",
+             "--ratings", "99072112", "--implicit"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ALS" in out
+        assert "implicit" in out
+
+    def test_train_small(self, capsys):
+        rc = main(
+            ["train", "--scale", "0.05", "--factors", "8", "--epochs", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "test-RMSE" in out
+        assert "netflix" in out
+
+    def test_train_multi_gpu(self, capsys):
+        rc = main(
+            ["train", "--scale", "0.05", "--factors", "8", "--epochs", "1",
+             "--gpus", "2", "--device", "pascal"]
+        )
+        assert rc == 0
+        assert "2x Tesla P100" in capsys.readouterr().out
+
+    def test_tune(self, capsys):
+        rc = main(["tune", "--device", "maxwell"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "regs/thread" in out

@@ -1,0 +1,83 @@
+"""Tests for model save/load."""
+
+import numpy as np
+import pytest
+
+from repro.core import ALSConfig, ALSModel, CGConfig, Precision, ReadScheme, SolverKind
+from repro.data import load_surrogate
+from repro.persistence import load_model, save_model
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    split, spec = load_surrogate("netflix", scale=0.06, seed=41)
+    cfg = ALSConfig(
+        f=12,
+        lam=spec.lam,
+        solver=SolverKind.CG,
+        precision=Precision.FP16,
+        read_scheme=ReadScheme.NONCOAL_L1,
+        cg=CGConfig(max_iters=5, tol=1e-3),
+        seed=7,
+    )
+    model = ALSModel(cfg)
+    model.fit(split.train, split.test, epochs=3)
+    return model, split
+
+
+class TestRoundTrip:
+    def test_factors_identical(self, fitted, tmp_path):
+        model, _ = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        again = load_model(p)
+        np.testing.assert_array_equal(again.x_, model.x_)
+        np.testing.assert_array_equal(again.theta_, model.theta_)
+
+    def test_config_restored(self, fitted, tmp_path):
+        model, _ = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        again = load_model(p)
+        assert again.config == model.config
+
+    def test_predictions_identical(self, fitted, tmp_path):
+        model, split = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        again = load_model(p)
+        assert again.score(split.test) == model.score(split.test)
+        u = np.array([0, 1, 2])
+        np.testing.assert_array_equal(again.predict(u, u), model.predict(u, u))
+
+
+class TestErrors:
+    def test_unfitted_save_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="not fitted"):
+            save_model(tmp_path / "x.npz", ALSModel(ALSConfig(f=4)))
+
+    def test_corrupt_shapes_rejected(self, fitted, tmp_path):
+        model, _ = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        with np.load(p) as z:
+            data = dict(z)
+        data["x"] = data["x"][:, :-1]  # drop a factor column
+        np.savez(p, **data)
+        with pytest.raises(ValueError, match="corrupt"):
+            load_model(p)
+
+    def test_wrong_version_rejected(self, fitted, tmp_path):
+        import json
+
+        model, _ = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        with np.load(p) as z:
+            data = dict(z)
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        header["format_version"] = 999
+        data["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        np.savez(p, **data)
+        with pytest.raises(ValueError, match="unsupported"):
+            load_model(p)

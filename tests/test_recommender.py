@@ -1,0 +1,124 @@
+"""Tests for the high-level MFRecommender estimator."""
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, generate_ratings, train_test_split
+from repro.recommender import MFRecommender
+
+
+@pytest.fixture(scope="module")
+def triplets():
+    ratings = generate_ratings(
+        SyntheticConfig(m=500, n=200, nnz=10_000, seed=31, noise=0.2)
+    )
+    split = train_test_split(ratings, 0.1, seed=32)
+
+    def coo(mat):
+        rows = np.repeat(np.arange(mat.m), mat.row_counts())
+        return rows, mat.col_idx, mat.row_val
+
+    return coo(split.train), coo(split.test), split
+
+
+class TestFit:
+    def test_als_fit_and_score(self, triplets):
+        (tu, ti, tr), (vu, vi, vr), _ = triplets
+        rec = MFRecommender(factors=16, algorithm="als", epochs=6).fit(
+            tu, ti, tr, num_users=500, num_items=200
+        )
+        assert rec.algorithm_used == "als"
+        assert rec.score(vu, vi, vr) < 1.0
+        assert rec.simulated_seconds > 0
+
+    def test_sgd_fit(self, triplets):
+        (tu, ti, tr), (vu, vi, vr), _ = triplets
+        rec = MFRecommender(factors=16, algorithm="sgd", epochs=10).fit(
+            tu, ti, tr, num_users=500, num_items=200
+        )
+        assert rec.algorithm_used == "sgd"
+        assert rec.score(vu, vi, vr) < 1.2
+
+    def test_auto_picks_and_reports(self, triplets):
+        (tu, ti, tr), _, _ = triplets
+        rec = MFRecommender(factors=16, algorithm="auto", epochs=4).fit(
+            tu, ti, tr, num_users=500, num_items=200
+        )
+        assert rec.algorithm_used in ("als", "sgd")
+
+    def test_implicit_fit(self, triplets):
+        (tu, ti, tr), _, _ = triplets
+        rec = MFRecommender(
+            factors=16, implicit=True, alpha=10.0, epochs=4
+        ).fit(tu, ti, tr, num_users=500, num_items=200)
+        assert rec.algorithm_used == "als-implicit"
+        scores = rec.predict(np.array([0, 1]), np.array([0, 1]))
+        assert np.isfinite(scores).all()
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError, match="no ratings"):
+            MFRecommender().fit(np.array([]), np.array([]), np.array([]))
+
+
+class TestRecommend:
+    @pytest.fixture(scope="class")
+    def fitted(self, triplets):
+        (tu, ti, tr), _, split = triplets
+        rec = MFRecommender(factors=16, algorithm="als", epochs=6).fit(
+            tu, ti, tr, num_users=500, num_items=200
+        )
+        return rec, split
+
+    def test_top_n_sorted(self, fitted):
+        rec, _ = fitted
+        top = rec.recommend(0, n=5)
+        assert len(top) == 5
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exclude_seen(self, fitted):
+        rec, split = fitted
+        seen, _ = split.train.user_items(0)
+        top = rec.recommend(0, n=10, exclude=seen)
+        assert not set(i for i, _ in top) & set(seen.tolist())
+
+    def test_n_larger_than_catalog(self, fitted):
+        rec, _ = fitted
+        top = rec.recommend(0, n=10_000)
+        assert len(top) == 200
+
+    def test_unknown_ids(self, fitted):
+        rec, _ = fitted
+        with pytest.raises(IndexError):
+            rec.recommend(9999)
+        with pytest.raises(IndexError):
+            rec.predict(np.array([0]), np.array([9999]))
+
+    def test_predictions_match_recommend_scores(self, fitted):
+        rec, _ = fitted
+        top = rec.recommend(3, n=1)
+        item, score = top[0]
+        assert rec.predict(np.array([3]), np.array([item]))[0] == pytest.approx(score)
+
+
+class TestValidation:
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            MFRecommender(factors=0)
+        with pytest.raises(ValueError):
+            MFRecommender(regularization=-1)
+        with pytest.raises(ValueError):
+            MFRecommender(algorithm="ccd")
+        with pytest.raises(ValueError):
+            MFRecommender(epochs=0)
+
+    def test_unfitted_raises(self):
+        rec = MFRecommender()
+        with pytest.raises(RuntimeError):
+            rec.predict(np.array([0]), np.array([0]))
+        with pytest.raises(RuntimeError):
+            rec.recommend(0)
+        with pytest.raises(RuntimeError):
+            _ = rec.simulated_seconds
+        with pytest.raises(RuntimeError):
+            _ = rec.algorithm_used
