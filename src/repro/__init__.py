@@ -13,7 +13,9 @@ The package provides:
 * :mod:`repro.baselines` — LIBMF, NOMAD, BIDMach, HPC-ALS, GPU-ALS and
   CPU implicit-MF comparators;
 * :mod:`repro.data` — sparse containers and synthetic dataset surrogates;
-* :mod:`repro.metrics` — RMSE and convergence-curve utilities.
+* :mod:`repro.metrics` — RMSE and convergence-curve utilities;
+* :mod:`repro.analysis` — static analyzers that encode the paper's
+  observations as lint rules (kernel launch, precision flow, source AST).
 
 Quickstart::
 
@@ -36,6 +38,10 @@ from .core import (
     ReadScheme,
     SolverKind,
 )
+
+# repro.core and repro.analysis are mutually referential (the tuner and
+# advisor attach diagnostics); core must finish importing first.
+from .analysis import Diagnostic, Severity, analyze_workload  # isort: skip
 from .data import (
     RatingMatrix,
     SyntheticConfig,
@@ -56,6 +62,9 @@ __all__ = [
     "CGConfig",
     "CuMFSGD",
     "DeviceSpec",
+    "Diagnostic",
+    "Severity",
+    "analyze_workload",
     "ImplicitALSConfig",
     "ImplicitALSModel",
     "KEPLER_K40",

@@ -1,0 +1,72 @@
+"""Static analysis for the reproduction: lint configs before they lie.
+
+The paper's Observations are static checks in disguise — register
+pressure capping occupancy (Observation 2), coalescing only paying off
+when bandwidth-bound (Observation 1), FP16 storage being safe only under
+``FP16_MAX`` (Solution 4).  This package codifies them:
+
+* :mod:`~repro.analysis.diagnostics` — the shared finding/rule framework
+  with text and JSON renderers;
+* :mod:`~repro.analysis.kernel_lint` — ``KL001``-``KL008``: a
+  :class:`~repro.gpusim.kernel.KernelSpec` vs
+  :class:`~repro.gpusim.device.DeviceSpec` linter;
+* :mod:`~repro.analysis.precision_lint` — ``PL001``-``PL004``: FP16
+  overflow / accumulate-vs-store / CG-truncation analysis;
+* :mod:`~repro.analysis.ast_lint` — ``AL001``-``AL004``: repo-convention
+  AST lint run over ``src/repro`` itself (``repro analyze --self``);
+* :mod:`~repro.analysis.runner` — workload-level glue used by the CLI
+  and the tuner.
+
+Rule IDs, severities and the paper reference behind each rule are
+catalogued in ``docs/static_analysis.md``.
+"""
+
+# Import order matters: core.tuning imports kernel_lint back from this
+# package, so the cycle-free modules (diagnostics, kernel_lint, ast_lint)
+# must initialize before the ones that pull in repro.core.
+from .diagnostics import (
+    RULE_REGISTRY,
+    Diagnostic,
+    RuleInfo,
+    Severity,
+    has_errors,
+    max_severity,
+    register_rule,
+    render_json,
+    render_text,
+    rule_info,
+)
+from .kernel_lint import lint_kernel_spec, lint_streaming_l1_request
+from .ast_lint import DEFAULT_IGNORES, lint_file, lint_source, lint_tree
+from .precision_lint import (
+    AUStats,
+    lint_precision,
+    lint_solver_spec,
+    sample_au_stats,
+)
+from .runner import analyze_workload, sample_workload_stats
+
+__all__ = [
+    "AUStats",
+    "DEFAULT_IGNORES",
+    "Diagnostic",
+    "RULE_REGISTRY",
+    "RuleInfo",
+    "Severity",
+    "analyze_workload",
+    "has_errors",
+    "lint_file",
+    "lint_kernel_spec",
+    "lint_precision",
+    "lint_solver_spec",
+    "lint_source",
+    "lint_streaming_l1_request",
+    "lint_tree",
+    "max_severity",
+    "register_rule",
+    "render_json",
+    "render_text",
+    "rule_info",
+    "sample_au_stats",
+    "sample_workload_stats",
+]

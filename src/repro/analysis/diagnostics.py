@@ -1,0 +1,182 @@
+"""Structured diagnostics shared by all the linters in this package.
+
+A :class:`Diagnostic` is one finding: a registered rule ID, a severity,
+the subject it was raised against (a kernel name, a config, a
+``file:line``), a human message and an optional fix hint.  Rules are
+declared once in a module-level registry so renderers and docs can map an
+ID back to its title and the paper observation/figure it encodes.
+
+Renderers are deliberately boring: ``render_text`` for terminals,
+``render_json`` for CI and tooling.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Severity",
+    "RuleInfo",
+    "Diagnostic",
+    "RULE_REGISTRY",
+    "register_rule",
+    "rule_info",
+    "max_severity",
+    "has_errors",
+    "render_text",
+    "render_json",
+]
+
+
+class Severity(str, enum.Enum):
+    """Finding severity, ordered ``INFO < WARNING < ERROR``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    def __lt__(self, other: "Severity") -> bool:  # type: ignore[override]
+        return self.rank < other.rank
+
+    def __le__(self, other: "Severity") -> bool:  # type: ignore[override]
+        return self.rank <= other.rank
+
+    def __gt__(self, other: "Severity") -> bool:  # type: ignore[override]
+        return self.rank > other.rank
+
+    def __ge__(self, other: "Severity") -> bool:  # type: ignore[override]
+        return self.rank >= other.rank
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry entry describing one lint rule."""
+
+    rule_id: str
+    title: str
+    paper_ref: str  # observation / figure / section the rule encodes
+
+    def __post_init__(self) -> None:
+        if not self.rule_id:
+            raise ValueError("rule_id must be non-empty")
+        if not self.title:
+            raise ValueError("title must be non-empty")
+
+
+#: All known rules, keyed by rule ID.  Populated at import time by the
+#: lint modules via :func:`register_rule`.
+RULE_REGISTRY: dict[str, RuleInfo] = {}
+
+
+def register_rule(rule_id: str, title: str, paper_ref: str = "") -> str:
+    """Register a rule and return its ID (so modules can do
+    ``KL001 = register_rule("KL001", ...)``)."""
+    info = RuleInfo(rule_id=rule_id, title=title, paper_ref=paper_ref)
+    existing = RULE_REGISTRY.get(rule_id)
+    if existing is not None and existing != info:
+        raise ValueError(f"rule {rule_id} already registered with different info")
+    RULE_REGISTRY[rule_id] = info
+    return rule_id
+
+
+def rule_info(rule_id: str) -> RuleInfo:
+    """Look up a registered rule; raises :class:`KeyError` if unknown."""
+    return RULE_REGISTRY[rule_id]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding raised by a linter."""
+
+    rule_id: str
+    severity: Severity
+    subject: str  # what was linted: kernel name, config, file:line
+    message: str
+    hint: str = ""
+    data: tuple[tuple[str, float], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.rule_id not in RULE_REGISTRY:
+            raise ValueError(f"diagnostic references unregistered rule {self.rule_id!r}")
+        if not self.message:
+            raise ValueError("message must be non-empty")
+
+    @property
+    def title(self) -> str:
+        return RULE_REGISTRY[self.rule_id].title
+
+    def as_dict(self) -> dict:
+        d = {
+            "rule": self.rule_id,
+            "title": self.title,
+            "severity": self.severity.value,
+            "subject": self.subject,
+            "message": self.message,
+        }
+        if self.hint:
+            d["hint"] = self.hint
+        if self.data:
+            d["data"] = dict(self.data)
+        ref = RULE_REGISTRY[self.rule_id].paper_ref
+        if ref:
+            d["paper_ref"] = ref
+        return d
+
+
+def max_severity(diagnostics: list[Diagnostic]) -> Severity | None:
+    """Highest severity present, or None for an empty list."""
+    if not diagnostics:
+        return None
+    return max((d.severity for d in diagnostics), key=lambda s: s.rank)
+
+
+def has_errors(diagnostics: list[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diagnostics)
+
+
+def _sorted(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    return sorted(
+        diagnostics, key=lambda d: (-d.severity.rank, d.rule_id, d.subject)
+    )
+
+
+def render_text(diagnostics: list[Diagnostic]) -> str:
+    """Human-readable report, most severe findings first."""
+    if not diagnostics:
+        return "no findings"
+    lines = []
+    for d in _sorted(diagnostics):
+        lines.append(f"{d.severity.value.upper():7s} {d.rule_id} [{d.subject}] {d.message}")
+        if d.hint:
+            lines.append(f"        hint: {d.hint}")
+    counts = {s: 0 for s in Severity}
+    for d in diagnostics:
+        counts[d.severity] += 1
+    summary = ", ".join(
+        f"{counts[s]} {s.value}" for s in (Severity.ERROR, Severity.WARNING, Severity.INFO)
+        if counts[s]
+    )
+    lines.append(f"-- {len(diagnostics)} finding(s): {summary}")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: list[Diagnostic]) -> str:
+    """Machine-readable report for CI and tooling."""
+    payload = {
+        "schema": "repro.analysis/v1",
+        "count": len(diagnostics),
+        "max_severity": (
+            max_severity(diagnostics).value if diagnostics else None
+        ),
+        "diagnostics": [d.as_dict() for d in _sorted(diagnostics)],
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,413 @@
+"""Static lint of a :class:`KernelSpec` against a :class:`DeviceSpec`.
+
+The paper's two Observations are really static checks, and this module
+codifies them (plus the launch-legality checks a CUDA driver would do):
+
+* Observation 2 — register pressure caps ``get_hermitian`` at ~6 resident
+  blocks/SM, far below the latency-hiding threshold (``KL001``/``KL002``);
+* Observation 1 / Figures 3-4 — coalesced reads only pay when a kernel is
+  bandwidth-bound; at low occupancy the non-coalesced cache-assisted
+  scheme wins (``KL004``);
+* Figure 5 — L1 cannot help a streaming phase whose data is touched once
+  (``KL007``).
+
+Every rule inspects only the spec and the device — nothing is executed —
+so the same checks run at config-submission time, in the tuner and in CI.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernel import KernelSpec
+from ..gpusim.latency import memory_phase_time
+from ..gpusim.occupancy import Occupancy, compute_occupancy
+from .diagnostics import Diagnostic, Severity, register_rule
+
+__all__ = [
+    "KL001",
+    "KL002",
+    "KL003",
+    "KL004",
+    "KL005",
+    "KL006",
+    "KL007",
+    "KL008",
+    "LATENCY_OCCUPANCY_THRESHOLD",
+    "TAIL_FACTOR_THRESHOLD",
+    "SMEM_NEAR_FRACTION",
+    "lint_kernel_spec",
+    "lint_streaming_l1_request",
+]
+
+KL001 = register_rule(
+    "KL001",
+    "register demand at or beyond the architectural clamp",
+    "Observation 2 / §III-B: 168 regs/thread at f=100; ptxas spills past 255",
+)
+KL002 = register_rule(
+    "KL002",
+    "occupancy below the latency-hiding threshold",
+    "Observation 2: ~6 blocks/SM cannot cover DRAM latency",
+)
+KL003 = register_rule(
+    "KL003",
+    "shared memory per block near or over the device limit",
+    "§III-B: BIN x f staging buffer must fit shared memory",
+)
+KL004 = register_rule(
+    "KL004",
+    "coalesced read scheme in a latency-bound regime",
+    "Observation 1 / Figures 3-4: coalescing only pays when bandwidth-bound",
+)
+KL005 = register_rule(
+    "KL005",
+    "tail-wave quantization inflates small grids",
+    "wave quantization: the last partial wave costs a full wave",
+)
+KL006 = register_rule(
+    "KL006",
+    "block size misaligned with warp geometry",
+    "CUDA execution model: blocks issue in 32-thread warps",
+)
+KL007 = register_rule(
+    "KL007",
+    "L1 requested for a streaming working set larger than L1",
+    "Figure 5: L1 does not help CG's once-touched A stream",
+)
+KL008 = register_rule(
+    "KL008",
+    "duplicate or empty memory phase",
+    "kernel spec hygiene: phases must be uniquely named and non-trivial",
+)
+
+#: Below this occupancy a kernel cannot hide DRAM latency (Observation 2).
+LATENCY_OCCUPANCY_THRESHOLD = 0.5
+
+#: Tail-wave factor beyond which small grids waste a meaningful fraction.
+TAIL_FACTOR_THRESHOLD = 1.2
+
+#: Fraction of the per-block shared-memory limit considered "near".
+SMEM_NEAR_FRACTION = 0.9
+
+#: Phase names treated as stores, exempt from the read-scheme rule KL004.
+_WRITE_PHASE_MARKERS = ("write", "store", "flush")
+
+#: A latency ceiling must exceed the bandwidth ceilings by this margin
+#: before KL004 calls the phase latency-bound.
+_LATENCY_DOMINANCE = 1.5
+
+#: Headroom multiplier on aggregate L1 capacity for KL007.
+_L1_HEADROOM = 2.0
+
+
+def _launch_failure(device: DeviceSpec, spec: KernelSpec, detail: str) -> Diagnostic:
+    """Map an unlaunchable spec onto the rule owning the limiting resource."""
+    res = spec.resources
+    if res.registers_per_thread * res.threads_per_block > device.registers_per_sm:
+        rule, what = KL001, "register file"
+    elif res.shared_mem_per_block > device.max_shared_mem_per_block:
+        rule, what = KL003, "shared memory"
+    else:
+        rule, what = KL002, "SM resources"
+    return Diagnostic(
+        rule_id=rule,
+        severity=Severity.ERROR,
+        subject=spec.name,
+        message=f"kernel cannot launch: one block exceeds the SM's {what} ({detail})",
+        hint="shrink the register tile, the block size or the staging buffer",
+    )
+
+
+def _tail_factor(device: DeviceSpec, occ: Occupancy, grid_blocks: int) -> float:
+    wave = occ.blocks_per_sm * device.num_sms
+    if grid_blocks == 0 or wave == 0:
+        return 1.0
+    waves = math.ceil(grid_blocks / wave)
+    return waves / (grid_blocks / wave)
+
+
+def lint_kernel_spec(
+    device: DeviceSpec,
+    spec: KernelSpec,
+    *,
+    requested_registers: int | None = None,
+) -> list[Diagnostic]:
+    """Run every kernel rule over one spec; returns the findings.
+
+    ``requested_registers`` is the pre-clamp register demand when the
+    caller knows it (e.g. from
+    :func:`repro.core.kernels.hermitian_register_demand`); it defaults to
+    the ``requested_registers`` recorded on the spec's
+    :class:`~repro.gpusim.occupancy.KernelResources`, and without either
+    KL001 can only detect demand sitting exactly at the clamp.
+    """
+    diags: list[Diagnostic] = []
+    res = spec.resources
+    if requested_registers is None and res.requested_registers > 0:
+        requested_registers = res.requested_registers
+
+    # KL006 — block geometry. A non-warp-multiple block wastes lanes of
+    # its final warp; an odd warp count leaves schedulers unevenly fed.
+    if res.threads_per_block % device.warp_size:
+        waste = device.warp_size - res.threads_per_block % device.warp_size
+        diags.append(
+            Diagnostic(
+                rule_id=KL006,
+                severity=Severity.ERROR,
+                subject=spec.name,
+                message=(
+                    f"threads_per_block={res.threads_per_block} is not a multiple "
+                    f"of the warp size ({device.warp_size}); the last warp idles "
+                    f"{waste} lanes on every instruction"
+                ),
+                hint=f"round up to {math.ceil(res.threads_per_block / device.warp_size) * device.warp_size}",
+            )
+        )
+    else:
+        # Resident blocks interleave on the SM's 4 warp schedulers, so 1-
+        # or 2-warp blocks tile evenly; warp counts that neither divide 4
+        # nor are divisible by it (3, 5, 6, 7, ...) never align.
+        warps_per_block = res.threads_per_block // device.warp_size
+        if 4 % warps_per_block and warps_per_block % 4:
+            diags.append(
+                Diagnostic(
+                    rule_id=KL006,
+                    severity=Severity.INFO,
+                    subject=spec.name,
+                    message=(
+                        f"{warps_per_block} warps/block does not divide evenly over "
+                        "the SM's 4 warp schedulers"
+                    ),
+                    hint="prefer a block size that is a multiple of 128 threads",
+                )
+            )
+
+    # KL001 — register clamp / spill risk.
+    clamp = device.max_registers_per_thread
+    if requested_registers is not None and requested_registers > clamp:
+        diags.append(
+            Diagnostic(
+                rule_id=KL001,
+                severity=Severity.ERROR,
+                subject=spec.name,
+                message=(
+                    f"kernel needs {requested_registers} registers/thread but the "
+                    f"device clamps at {clamp}; real ptxas would spill "
+                    f"{requested_registers - clamp} registers to local memory"
+                ),
+                hint="shrink the register tile T or split the accumulator across more threads",
+                data=(
+                    ("requested_registers", float(requested_registers)),
+                    ("clamp", float(clamp)),
+                ),
+            )
+        )
+    elif res.registers_per_thread >= clamp:
+        diags.append(
+            Diagnostic(
+                rule_id=KL001,
+                severity=Severity.WARNING,
+                subject=spec.name,
+                message=(
+                    f"register usage sits at the architectural clamp ({clamp}); "
+                    "any extra demand spills silently"
+                ),
+                hint="verify the pre-clamp demand with hermitian_register_demand()",
+            )
+        )
+
+    # KL003 — shared memory per block.
+    smem = res.shared_mem_per_block
+    limit = device.max_shared_mem_per_block
+    if smem > limit:
+        diags.append(
+            Diagnostic(
+                rule_id=KL003,
+                severity=Severity.ERROR,
+                subject=spec.name,
+                message=f"shared_mem_per_block={smem} B exceeds the device limit ({limit} B)",
+                hint="reduce BIN or f per staging batch",
+                data=(("shared_mem_per_block", float(smem)), ("limit", float(limit))),
+            )
+        )
+    elif smem >= SMEM_NEAR_FRACTION * limit:
+        diags.append(
+            Diagnostic(
+                rule_id=KL003,
+                severity=Severity.WARNING,
+                subject=spec.name,
+                message=(
+                    f"shared_mem_per_block={smem} B is within "
+                    f"{100 * (1 - SMEM_NEAR_FRACTION):.0f}% of the device limit ({limit} B)"
+                ),
+                hint="leave headroom so the tuner can trade BIN against occupancy",
+            )
+        )
+
+    # Occupancy-dependent rules need a launchable spec.
+    try:
+        occ = compute_occupancy(device, res)
+    except ValueError as exc:
+        diags.append(_launch_failure(device, spec, str(exc)))
+        return diags
+
+    # KL002 — occupancy below the latency-hiding threshold.
+    if occ.occupancy < LATENCY_OCCUPANCY_THRESHOLD:
+        diags.append(
+            Diagnostic(
+                rule_id=KL002,
+                severity=Severity.WARNING,
+                subject=spec.name,
+                message=(
+                    f"occupancy {occ.occupancy:.2f} ({occ.blocks_per_sm} blocks/SM, "
+                    f"{occ.warps_per_sm} warps) is below the latency-hiding "
+                    f"threshold {LATENCY_OCCUPANCY_THRESHOLD}; limiting resource: "
+                    f"{occ.limiter}"
+                ),
+                hint=(
+                    "loads will be latency- not bandwidth-bound; prefer the "
+                    "non-coalesced cache-assisted read scheme (paper Solution 2)"
+                ),
+                data=(
+                    ("occupancy", occ.occupancy),
+                    ("blocks_per_sm", float(occ.blocks_per_sm)),
+                ),
+            )
+        )
+
+    # KL005 — tail-wave quantization.
+    tail = _tail_factor(device, occ, spec.grid_blocks)
+    if tail > TAIL_FACTOR_THRESHOLD:
+        diags.append(
+            Diagnostic(
+                rule_id=KL005,
+                severity=Severity.WARNING,
+                subject=spec.name,
+                message=(
+                    f"grid of {spec.grid_blocks} blocks quantizes to {tail:.2f}x "
+                    f"the full-wave cost (wave = {occ.blocks_per_sm * device.num_sms} "
+                    "blocks)"
+                ),
+                hint="merge small launches or shrink the block so waves fill",
+                data=(("tail_factor", tail),),
+            )
+        )
+
+    # Per-phase rules.
+    seen: set[str] = set()
+    for phase in spec.memory_phases:
+        if phase.name in seen:
+            diags.append(
+                Diagnostic(
+                    rule_id=KL008,
+                    severity=Severity.ERROR,
+                    subject=f"{spec.name}:{phase.name}",
+                    message=f"duplicate memory phase {phase.name!r}; time_kernel will reject this spec",
+                    hint="give each phase a unique name",
+                )
+            )
+            continue
+        seen.add(phase.name)
+        if phase.pattern.transactions == 0 or phase.pattern.total_bytes == 0:
+            diags.append(
+                Diagnostic(
+                    rule_id=KL008,
+                    severity=Severity.WARNING,
+                    subject=f"{spec.name}:{phase.name}",
+                    message="memory phase moves no data; drop it from the spec",
+                )
+            )
+            continue
+
+        timing = memory_phase_time(device, phase.pattern, phase.fractions, occ.warps_per_sm)
+        bandwidth_bound = max(timing.dram_bound_seconds, timing.l2_bound_seconds)
+        is_store = any(marker in phase.name.lower() for marker in _WRITE_PHASE_MARKERS)
+
+        # KL004 — cooperative (coalesced) read loop that the latency
+        # ceiling, not a bandwidth ceiling, dominates: Figure 3's anti-pattern.
+        if (
+            not is_store
+            and phase.pattern.concurrent_streams == 1
+            and bandwidth_bound > 0
+            and timing.latency_bound_seconds > _LATENCY_DOMINANCE * bandwidth_bound
+        ):
+            diags.append(
+                Diagnostic(
+                    rule_id=KL004,
+                    severity=Severity.WARNING,
+                    subject=f"{spec.name}:{phase.name}",
+                    message=(
+                        "coalesced read scheme in a latency-bound regime: the "
+                        f"latency ceiling ({timing.latency_bound_seconds:.3g}s) is "
+                        f"{timing.latency_bound_seconds / bandwidth_bound:.1f}x the "
+                        f"bandwidth ceiling ({bandwidth_bound:.3g}s)"
+                    ),
+                    hint=(
+                        "switch to the non-coalesced per-thread scheme "
+                        "(ReadScheme.NONCOAL_L1): more independent streams hide "
+                        "latency and caches absorb the extra sectors"
+                    ),
+                    data=(
+                        ("latency_bound_seconds", timing.latency_bound_seconds),
+                        ("bandwidth_bound_seconds", bandwidth_bound),
+                    ),
+                )
+            )
+
+        # KL007 — an L1 hit fraction asserted for a once-touched stream
+        # that dwarfs aggregate L1 capacity (Figure 5's non-finding).
+        l1_capacity = float(device.l1_size * device.num_sms)
+        if (
+            phase.fractions.l1 > 0.0
+            and phase.pattern.concurrent_streams == 1
+            and phase.pattern.total_bytes > _L1_HEADROOM * l1_capacity
+        ):
+            diags.append(
+                Diagnostic(
+                    rule_id=KL007,
+                    severity=Severity.WARNING,
+                    subject=f"{spec.name}:{phase.name}",
+                    message=(
+                        f"phase assumes an L1 hit fraction of {phase.fractions.l1:.2f} "
+                        f"but streams {phase.pattern.total_bytes / 1e6:.0f} MB once-touched "
+                        f"through {l1_capacity / 1e3:.0f} KB of aggregate L1"
+                    ),
+                    hint="streamed data is evicted before reuse; model the phase as L2/DRAM",
+                )
+            )
+
+    return diags
+
+
+def lint_streaming_l1_request(
+    device: DeviceSpec,
+    *,
+    kernel: str,
+    working_set_bytes: float,
+) -> list[Diagnostic]:
+    """KL007 at config level: the user asked for L1 caching of a streaming
+    phase (e.g. ``use_l1=True`` on the CG solver) whose per-pass working
+    set exceeds what L1 could ever hold — the paper's Figure 5 experiment.
+    """
+    l1_capacity = float(device.l1_size * device.num_sms)
+    if working_set_bytes <= _L1_HEADROOM * l1_capacity:
+        return []
+    return [
+        Diagnostic(
+            rule_id=KL007,
+            severity=Severity.WARNING,
+            subject=kernel,
+            message=(
+                f"L1 requested for a streaming working set of "
+                f"{working_set_bytes / 1e6:.0f} MB vs {l1_capacity / 1e3:.0f} KB "
+                "aggregate L1; each byte is touched once per pass, so L1 cannot help"
+            ),
+            hint="drop the L1 request (paper Figure 5 measures no benefit for CG)",
+            data=(
+                ("working_set_bytes", working_set_bytes),
+                ("l1_capacity_bytes", l1_capacity),
+            ),
+        )
+    ]

@@ -1,0 +1,288 @@
+"""Precision-flow lint: FP16 storage and CG truncation risk analysis.
+
+The paper's Solution 4 stores the Hermitian matrices ``A_u`` in binary16
+and converts to FP32 on load; Solution 3 truncates CG at ``f_s``
+iterations.  Both are safe only inside an envelope:
+
+* ``A_u`` entries must stay well under ``FP16_MAX`` (65504) or the
+  saturating conversion silently clamps them (``PL001``);
+* arithmetic must stay FP32 — FP16 *accumulation* is a different (and on
+  Kepler/Maxwell nonexistent) operation from FP16 *storage* (``PL002``);
+* ``f_s`` must remove enough error per solve or ALS stalls (``PL003``);
+* a residual tolerance below the FP16 quantization noise floor can never
+  be met, so every solve burns all ``f_s`` iterations (``PL004``).
+
+The analyzer walks an :class:`ALSConfig` plus (optionally) sampled
+statistics of real ``A_u`` matrices and flags configurations outside the
+envelope before they skew a reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import ALSConfig, Precision, SolverKind
+from ..core.precision import FP16_MAX
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernel import KernelSpec
+from .diagnostics import Diagnostic, Severity, register_rule
+
+__all__ = [
+    "PL001",
+    "PL002",
+    "PL003",
+    "PL004",
+    "OVERFLOW_HEADROOM",
+    "FP16_RELATIVE_STEP",
+    "AUStats",
+    "sample_au_stats",
+    "lint_precision",
+    "lint_solver_spec",
+]
+
+PL001 = register_rule(
+    "PL001",
+    "FP16 storage overflow risk",
+    "Solution 4: A_u entries near/over binary16 max (65504) clamp on store",
+)
+PL002 = register_rule(
+    "PL002",
+    "FP16 accumulate vs FP16 store confusion",
+    "Solution 4: the paper stores FP16 but always accumulates in FP32",
+)
+PL003 = register_rule(
+    "PL003",
+    "CG truncation predicted to stall convergence",
+    "Solution 3 / Figure 5: f_s=6 is the smallest that does not hurt",
+)
+PL004 = register_rule(
+    "PL004",
+    "tolerance below the FP16 quantization noise floor",
+    "Solution 4: binary16 carries ~11 significant bits",
+)
+
+#: Required multiplicative headroom between max|A_u| and FP16_MAX before
+#: the overflow rule downgrades from warning to silence.  A_u grows with
+#: user degree, so a 4x margin on a sample is not paranoia.
+OVERFLOW_HEADROOM = 4.0
+
+#: Relative rounding step of binary16 (2**-11 for values in [1, 2)).
+FP16_RELATIVE_STEP = 2.0**-11
+
+#: Per-iteration CG error-reduction factors above this leave too much
+#: residual per truncated solve for ALS to make progress.
+_STALL_REDUCTION = 0.5
+
+#: Matrices sampled for the eigenvalue-based condition estimate.
+_CONDITION_SAMPLE = 32
+
+
+@dataclass(frozen=True)
+class AUStats:
+    """Summary statistics of a sampled batch of Hermitian ``A_u`` matrices."""
+
+    max_abs: float  # largest |entry| observed
+    mean_abs: float
+    condition_estimate: float  # spectral condition number (nan if unknown)
+
+    def __post_init__(self) -> None:
+        if self.max_abs < 0 or self.mean_abs < 0:
+            raise ValueError("magnitude statistics must be non-negative")
+        if not math.isnan(self.condition_estimate) and self.condition_estimate < 1.0:
+            raise ValueError("condition_estimate must be >= 1 (or nan)")
+
+
+def sample_au_stats(A: np.ndarray) -> AUStats:
+    """Compute :class:`AUStats` from a ``(batch, f, f)`` array of A_u.
+
+    The condition estimate averages the spectral condition number over a
+    subsample (eigendecomposition of every matrix would defeat the point
+    of a cheap pre-flight check).
+    """
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim == 2:
+        A = A[None]
+    if A.ndim != 3 or A.shape[-1] != A.shape[-2]:
+        raise ValueError("expected a (batch, f, f) array of square matrices")
+    abs_a = np.abs(A)
+    condition = float("nan")
+    sample = A[: _CONDITION_SAMPLE]
+    try:
+        eigs = np.linalg.eigvalsh(sample)
+        lo = eigs[:, 0]
+        hi = eigs[:, -1]
+        valid = lo > 0
+        if np.any(valid):
+            condition = float(np.mean(hi[valid] / lo[valid]))
+            condition = max(condition, 1.0)
+    except np.linalg.LinAlgError:
+        pass
+    return AUStats(
+        max_abs=float(abs_a.max(initial=0.0)),
+        mean_abs=float(abs_a.mean()) if abs_a.size else 0.0,
+        condition_estimate=condition,
+    )
+
+
+def _cg_reduction_per_iter(condition: float) -> float:
+    """Classic CG error-contraction factor ``(sqrt(k)-1)/(sqrt(k)+1)``."""
+    root = math.sqrt(condition)
+    return (root - 1.0) / (root + 1.0)
+
+
+def lint_precision(
+    config: ALSConfig,
+    *,
+    device: DeviceSpec | None = None,
+    stats: AUStats | None = None,
+) -> list[Diagnostic]:
+    """Lint the precision/approximation settings of an ALS run."""
+    diags: list[Diagnostic] = []
+    subject = f"ALSConfig(f={config.f}, solver={config.solver.value}, precision={config.precision.value})"
+
+    if config.precision is Precision.FP16:
+        if stats is not None:
+            if stats.max_abs > FP16_MAX:
+                diags.append(
+                    Diagnostic(
+                        rule_id=PL001,
+                        severity=Severity.ERROR,
+                        subject=subject,
+                        message=(
+                            f"sampled max|A_u| = {stats.max_abs:.3g} exceeds "
+                            f"FP16_MAX ({FP16_MAX:.0f}); the saturating store "
+                            "clamps and silently corrupts the normal equations"
+                        ),
+                        hint="rescale ratings, raise lambda, or fall back to FP32 storage",
+                        data=(("max_abs", stats.max_abs), ("fp16_max", FP16_MAX)),
+                    )
+                )
+            elif stats.max_abs * OVERFLOW_HEADROOM > FP16_MAX:
+                diags.append(
+                    Diagnostic(
+                        rule_id=PL001,
+                        severity=Severity.WARNING,
+                        subject=subject,
+                        message=(
+                            f"sampled max|A_u| = {stats.max_abs:.3g} is within "
+                            f"{OVERFLOW_HEADROOM:.0f}x of FP16_MAX ({FP16_MAX:.0f}); "
+                            "A_u scales with user degree, so denser rows may overflow"
+                        ),
+                        hint="monitor max|A_u| per epoch or pre-scale the system",
+                        data=(("max_abs", stats.max_abs), ("fp16_max", FP16_MAX)),
+                    )
+                )
+        if device is not None and not device.native_fp16_arithmetic:
+            diags.append(
+                Diagnostic(
+                    rule_id=PL002,
+                    severity=Severity.INFO,
+                    subject=subject,
+                    message=(
+                        f"{device.name} ({device.generation}) has no native FP16 "
+                        "arithmetic: FP16 is storage-only with convert-on-load, "
+                        "exactly the paper's Solution 4"
+                    ),
+                )
+            )
+
+    if config.solver is SolverKind.CG:
+        fs = config.cg.max_iters
+        if fs < 2:
+            diags.append(
+                Diagnostic(
+                    rule_id=PL003,
+                    severity=Severity.WARNING,
+                    subject=subject,
+                    message=(
+                        f"f_s={fs} degenerates CG to a single gradient step; "
+                        "ALS progress per epoch will stall"
+                    ),
+                    hint="the paper finds f_s=6 the smallest safe truncation on Netflix",
+                )
+            )
+        elif stats is not None and not math.isnan(stats.condition_estimate):
+            rho = _cg_reduction_per_iter(stats.condition_estimate)
+            reduction = rho**fs
+            if reduction > _STALL_REDUCTION:
+                need = math.ceil(math.log(_STALL_REDUCTION) / math.log(rho))
+                diags.append(
+                    Diagnostic(
+                        rule_id=PL003,
+                        severity=Severity.WARNING,
+                        subject=subject,
+                        message=(
+                            f"estimated condition {stats.condition_estimate:.1f} "
+                            f"leaves {100 * reduction:.0f}% of the error after "
+                            f"f_s={fs} CG iterations; convergence model predicts "
+                            "a stall"
+                        ),
+                        hint=f"raise f_s to ~{need} or precondition (raise lambda)",
+                        data=(
+                            ("condition_estimate", stats.condition_estimate),
+                            ("residual_fraction", reduction),
+                            ("suggested_fs", float(need)),
+                        ),
+                    )
+                )
+        if config.precision is Precision.FP16 and stats is not None:
+            noise_floor = stats.max_abs * FP16_RELATIVE_STEP
+            if 0 < config.cg.tol < noise_floor:
+                diags.append(
+                    Diagnostic(
+                        rule_id=PL004,
+                        severity=Severity.INFO,
+                        subject=subject,
+                        message=(
+                            f"tol={config.cg.tol:.1g} sits below the FP16 "
+                            f"quantization noise floor (~{noise_floor:.2g} for "
+                            f"max|A_u|={stats.max_abs:.3g}); solves will run all "
+                            f"f_s={config.cg.max_iters} iterations"
+                        ),
+                        hint="early exit never triggers; treat f_s as the hard cost",
+                        data=(("tol", config.cg.tol), ("noise_floor", noise_floor)),
+                    )
+                )
+
+    return diags
+
+
+def lint_solver_spec(device: DeviceSpec, spec: KernelSpec) -> list[Diagnostic]:
+    """PL002 at kernel level: a spec that declares FP16 *arithmetic*.
+
+    ``compute_dtype_bytes == 2`` prices the compute phase at the FP16
+    rate — only meaningful where the hardware has native FP16 FMA
+    (Pascal+) and never what the paper's convert-on-load solver does on
+    older parts.
+    """
+    if spec.compute_dtype_bytes != 2:
+        return []
+    if device.native_fp16_arithmetic:
+        return [
+            Diagnostic(
+                rule_id=PL002,
+                severity=Severity.INFO,
+                subject=spec.name,
+                message=(
+                    f"spec accumulates in FP16 at the {device.fp16_throughput_ratio:.0f}x "
+                    "native rate; the paper's solver stores FP16 but accumulates FP32"
+                ),
+                hint="confirm FP16 accumulation is intended, not just FP16 storage",
+            )
+        ]
+    return [
+        Diagnostic(
+            rule_id=PL002,
+            severity=Severity.WARNING,
+            subject=spec.name,
+            message=(
+                f"spec declares FP16 accumulation but {device.name} "
+                f"({device.generation}) has no native FP16 arithmetic — this "
+                "conflates FP16 storage with FP16 compute"
+            ),
+            hint="set compute_dtype_bytes=4 and keep FP16 for storage traffic only",
+        )
+    ]

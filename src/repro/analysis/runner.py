@@ -1,0 +1,122 @@
+"""Workload-level analysis entry points.
+
+Glue between the linters and the rest of the package: build the kernel
+specs a training run would launch for a (device, workload shape, config)
+triple, run every applicable rule, and return the combined findings.
+This is what the ``repro analyze`` CLI and the tuner hooks call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.config import ALSConfig, SolverKind
+from ..core.hermitian import hermitian_rows
+from ..core.kernels import (
+    bias_spec,
+    cg_iteration_spec,
+    hermitian_register_demand,
+    hermitian_spec,
+)
+from ..data.datasets import WorkloadShape
+from ..data.sparse import RatingMatrix
+from ..gpusim.device import DeviceSpec
+from .diagnostics import Diagnostic
+from .kernel_lint import lint_kernel_spec, lint_streaming_l1_request
+from .precision_lint import (
+    AUStats,
+    lint_precision,
+    lint_solver_spec,
+    sample_au_stats,
+)
+
+__all__ = ["analyze_workload", "sample_workload_stats"]
+
+
+def analyze_workload(
+    device: DeviceSpec,
+    shape: WorkloadShape,
+    config: ALSConfig,
+    *,
+    threads_per_block: int = 64,
+    use_l1: bool = False,
+    stats: AUStats | None = None,
+) -> list[Diagnostic]:
+    """Lint every kernel an ALS epoch would launch, plus the precision flow.
+
+    Covers both update directions of ``get_hermitian`` (user- and
+    item-side grids differ, so tail-wave findings can too), ``get_bias``,
+    and — for the CG solver — one batched iteration per side.
+    """
+    diags: list[Diagnostic] = []
+
+    demand = hermitian_register_demand(
+        shape.f, config.tile, threads_per_block=threads_per_block
+    )
+    for side_shape in (shape, shape.transpose()):
+        herm = hermitian_spec(
+            device,
+            side_shape,
+            config,
+            threads_per_block=threads_per_block,
+        )
+        diags.extend(
+            lint_kernel_spec(device, herm, requested_registers=demand)
+        )
+    diags.extend(lint_kernel_spec(device, bias_spec(device, shape)))
+
+    if config.solver is SolverKind.CG:
+        for batch in (shape.m, shape.n):
+            cg = cg_iteration_spec(
+                device, batch, shape.f, config.precision, use_l1=use_l1
+            )
+            diags.extend(lint_kernel_spec(device, cg))
+            diags.extend(lint_solver_spec(device, cg))
+            if use_l1:
+                diags.extend(
+                    lint_streaming_l1_request(
+                        device,
+                        kernel=f"{cg.name}(batch={batch})",
+                        working_set_bytes=float(batch)
+                        * shape.f
+                        * shape.f
+                        * config.precision.itemsize,
+                    )
+                )
+
+    diags.extend(lint_precision(config, device=device, stats=stats))
+    return _dedupe(diags)
+
+
+def sample_workload_stats(
+    train: RatingMatrix,
+    config: ALSConfig,
+    *,
+    max_rows: int = 256,
+) -> AUStats:
+    """Sample real ``A_u`` statistics from a rating matrix.
+
+    Forms the Hermitian systems for the first ``max_rows`` rows against a
+    randomly initialized θ — the same distribution the first ALS half-step
+    sees, which is when FP16 overflow risk is decided.
+    """
+    rng = np.random.default_rng(config.seed)
+    theta = rng.normal(0.0, config.init_scale, size=(train.n, config.f)).astype(
+        np.float32
+    )
+    rows = slice(0, min(max_rows, train.m))
+    A, _ = hermitian_rows(train, theta, config.lam, rows=rows)
+    return sample_au_stats(A)
+
+
+def _dedupe(diags: list[Diagnostic]) -> list[Diagnostic]:
+    """Drop exact repeats (the two hermitian sides often agree)."""
+    seen: set[tuple] = set()
+    out: list[Diagnostic] = []
+    for d in diags:
+        key = (d.rule_id, d.severity, d.subject, d.message)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(d)
+    return out

@@ -5,8 +5,13 @@ Commands
 ``train``    train cuMF_ALS on a dataset surrogate and print the curve
 ``advise``   run the §VII algorithm advisor for a workload shape
 ``tune``     autotune the hermitian kernel for a device and f
+``analyze``  static analysis: lint a launch/solver config, or the source tree
 ``devices``  list the simulated GPU presets
 ``report``   regenerate EXPERIMENTS.md (heavy)
+
+Subcommands import their subsystems lazily (inside the handler) so that
+``repro --help`` never pays the numpy/scipy startup cost; the AST
+self-lint sanctions this one exception (see ``analysis.ast_lint``).
 """
 
 from __future__ import annotations
@@ -48,6 +53,37 @@ def build_parser() -> argparse.ArgumentParser:
     u.add_argument("--dataset", default="netflix",
                    choices=["netflix", "yahoomusic", "hugewiki"])
     u.add_argument("--device", default="maxwell")
+
+    an = sub.add_parser(
+        "analyze",
+        help="static analysis: lint kernel/solver configs or the source tree",
+    )
+    an.add_argument("--device", default="maxwell")
+    an.add_argument("--workload", default="netflix",
+                    choices=["netflix", "yahoomusic", "hugewiki"])
+    an.add_argument("--factors", type=int, default=None,
+                    help="override the workload's latent dimension f")
+    an.add_argument("--tile", type=int, default=10)
+    an.add_argument("--threads-per-block", type=int, default=64)
+    an.add_argument("--bin-size", type=int, default=32)
+    an.add_argument("--read-scheme", default="noncoal-l1",
+                    choices=["coalesced", "noncoal-l1", "noncoal-nol1"])
+    an.add_argument("--solver", default="cg", choices=["cg", "lu"])
+    an.add_argument("--precision", default="fp16", choices=["fp16", "fp32"])
+    an.add_argument("--fs", type=int, default=6,
+                    help="CG truncation f_s (max iterations per solve)")
+    an.add_argument("--tol", type=float, default=1e-4)
+    an.add_argument("--use-l1", action="store_true",
+                    help="request L1 caching for the CG stream (paper Fig. 5)")
+    an.add_argument("--sample-au", action="store_true",
+                    help="sample real A_u statistics from the surrogate dataset")
+    an.add_argument("--self", dest="self_lint", action="store_true",
+                    help="AST-lint the repro source tree instead of a config")
+    an.add_argument("--path", default=None,
+                    help="root directory for --self (default: the installed package)")
+    an.add_argument("--format", default="text", choices=["text", "json"])
+    an.add_argument("--strict", action="store_true",
+                    help="exit non-zero on warnings, not just errors")
 
     sub.add_parser("devices", help="list simulated GPU presets")
 
@@ -99,6 +135,10 @@ def _cmd_advise(args) -> int:
     print(f"  estimated SGD epoch: {choice.est_sgd_epoch_seconds:.3f}s")
     for reason in choice.reasons:
         print(f"  - {reason}")
+    if choice.diagnostics:
+        print(f"static analysis ({len(choice.diagnostics)} finding(s)):")
+        for d in choice.diagnostics:
+            print(f"  {d.severity.value}: {d.rule_id} [{d.subject}] {d.message}")
     return 0
 
 
@@ -115,7 +155,73 @@ def _cmd_tune(args) -> int:
           f"BIN={b.bin_size}")
     print(f"  {b.registers_per_thread} regs/thread, {b.blocks_per_sm} blocks/SM, "
           f"{b.seconds:.4f}s per pass")
+    for d in result.diagnostics:
+        print(f"  note ({d.rule_id}): {d.message}")
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    import os
+
+    from .analysis import (
+        Severity,
+        analyze_workload,
+        lint_tree,
+        max_severity,
+        render_json,
+        render_text,
+        sample_workload_stats,
+    )
+
+    if args.self_lint:
+        if args.path is not None:
+            root = args.path
+        else:
+            root = os.path.dirname(os.path.abspath(__file__))
+        diags = lint_tree(root)
+        fail = bool(diags)  # the source tree must lint clean
+    else:
+        from .core import ALSConfig, CGConfig, Precision, ReadScheme, SolverKind
+        from .data import get_dataset, load_surrogate
+        from .gpusim import get_device
+
+        device = get_device(args.device)
+        spec = get_dataset(args.workload)
+        shape = spec.paper
+        if args.factors is not None:
+            from .data import WorkloadShape
+
+            shape = WorkloadShape(m=shape.m, n=shape.n, nnz=shape.nnz,
+                                  f=args.factors)
+        config = ALSConfig(
+            f=shape.f,
+            lam=spec.lam,
+            solver=SolverKind(args.solver),
+            precision=Precision(args.precision),
+            read_scheme=ReadScheme(args.read_scheme),
+            cg=CGConfig(max_iters=args.fs, tol=args.tol),
+            bin_size=args.bin_size,
+            tile=args.tile,
+        )
+        stats = None
+        if args.sample_au:
+            split, _ = load_surrogate(args.workload, scale=0.05)
+            stats = sample_workload_stats(split.train, config)
+        diags = analyze_workload(
+            device, shape, config,
+            threads_per_block=args.threads_per_block,
+            use_l1=args.use_l1,
+            stats=stats,
+        )
+        top = max_severity(diags)
+        threshold = Severity.WARNING if args.strict else Severity.ERROR
+        fail = top is not None and top >= threshold
+
+    if args.format == "json":
+        print(render_json(diags))
+    else:
+        print(render_text(diags))
+    return 1 if fail else 0
 
 
 def _cmd_devices(_args) -> int:
@@ -148,6 +254,7 @@ _COMMANDS = {
     "train": _cmd_train,
     "advise": _cmd_advise,
     "tune": _cmd_tune,
+    "analyze": _cmd_analyze,
     "devices": _cmd_devices,
     "report": _cmd_report,
 }

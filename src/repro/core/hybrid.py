@@ -11,19 +11,23 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..analysis.diagnostics import Diagnostic
+from ..analysis.runner import analyze_workload
 from ..data.datasets import WorkloadShape
 from ..data.sparse import RatingMatrix
 from ..gpusim.device import MAXWELL_TITANX, DeviceSpec
+from ..gpusim.kernel import time_kernel
 from ..metrics.convergence import TrainingCurve
 from ..metrics.rmse import rmse
 from ..sgd.cumf_sgd import gpu_sgd_epoch_seconds
 from ..sgd.sgd import coo_arrays, hogwild_epoch
 from .als import ALSModel
-from .config import ALSConfig
+from .config import ALSConfig, Precision
+from .kernels import cg_iteration_spec, hermitian_spec
 
 __all__ = ["HybridALSSGD", "AlgorithmChoice", "recommend_algorithm"]
 
@@ -101,12 +105,18 @@ class HybridALSSGD:
 
 @dataclass(frozen=True)
 class AlgorithmChoice:
-    """Advisor verdict with the reasoning spelled out."""
+    """Advisor verdict with the reasoning spelled out.
+
+    ``diagnostics`` carries the static analyzer's findings for the
+    workload the recommendation was computed on, so a caller sees "ALS,
+    but the hermitian kernel will be latency-bound (KL002)" in one place.
+    """
 
     algorithm: str  # "als" | "sgd"
     reasons: tuple[str, ...]
     est_als_epoch_seconds: float
     est_sgd_epoch_seconds: float
+    diagnostics: tuple[Diagnostic, ...] = field(default=())
 
 
 def recommend_algorithm(
@@ -122,10 +132,6 @@ def recommend_algorithm(
     multi-GPU ⇒ ALS scales better; otherwise SGD's cheap epochs win on
     very sparse explicit data.
     """
-    from .kernels import cg_iteration_spec, hermitian_spec
-    from ..gpusim.kernel import time_kernel
-    from .config import Precision
-
     reasons: list[str] = []
     als_epoch = (
         time_kernel(device, hermitian_spec(device, shape, ALSConfig(f=shape.f))).seconds
@@ -143,10 +149,11 @@ def recommend_algorithm(
         )
     ) / num_gpus
     sgd_epoch = gpu_sgd_epoch_seconds(device, shape, num_gpus=num_gpus)
+    diags = tuple(analyze_workload(device, shape, ALSConfig(f=shape.f)))
 
     if implicit:
         reasons.append("implicit inputs: SGD would cost O(m*n*f) per epoch")
-        return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch)
+        return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch, diags)
 
     density = shape.nnz / (shape.m * shape.n)
     mean_degree = shape.nnz / min(shape.m, shape.n)
@@ -155,16 +162,16 @@ def recommend_algorithm(
             f"dense rating matrix (density {density:.2e}, mean degree "
             f"{mean_degree:.0f}): ALS epochs amortize"
         )
-        return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch)
+        return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch, diags)
     if num_gpus > 1:
         reasons.append("multiple GPUs: ALS parallelizes without update conflicts")
-        return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch)
+        return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch, diags)
     # SGD needs ~3-5x the epochs; prefer it only when its epoch is much cheaper.
     if sgd_epoch * 5 < als_epoch:
         reasons.append(
             f"sparse explicit data: 5 SGD epochs ({5 * sgd_epoch:.2f}s) still beat "
             f"one ALS epoch ({als_epoch:.2f}s)"
         )
-        return AlgorithmChoice("sgd", tuple(reasons), als_epoch, sgd_epoch)
+        return AlgorithmChoice("sgd", tuple(reasons), als_epoch, sgd_epoch, diags)
     reasons.append("comparable epoch costs: ALS's faster convergence wins")
-    return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch)
+    return AlgorithmChoice("als", tuple(reasons), als_epoch, sgd_epoch, diags)

@@ -30,12 +30,14 @@ from ..gpusim.occupancy import KernelResources, compute_occupancy
 from .config import ALSConfig, Precision, ReadScheme
 
 __all__ = [
+    "hermitian_register_demand",
     "hermitian_resources",
     "hermitian_spec",
     "bias_spec",
     "cg_iteration_spec",
     "lu_solver_seconds",
     "HOT_COLUMN_L2_REUSE",
+    "REGISTER_CLAMP",
 ]
 
 #: Average number of times a popular θ column is re-staged while still
@@ -47,25 +49,48 @@ HOT_COLUMN_L2_REUSE = 2.0
 #: 64 threads reproduces the paper's 168 registers/thread.
 _HERMITIAN_REG_OVERHEAD = 62
 
+#: Architectural per-thread register cap (all modeled generations).  Real
+#: ``ptxas`` spills demand beyond this to local memory.
+REGISTER_CLAMP = 255
+
+
+def hermitian_register_demand(
+    f: int, tile: int = 10, threads_per_block: int = 64
+) -> int:
+    """Pre-clamp register demand per thread of ``get_hermitian``.
+
+    The lower triangle of the tile grid — ``nt(nt+1)/2`` tiles of T x T
+    accumulators with ``nt = ceil(f/T)`` — is spread over the block's
+    threads and lives in registers for the kernel's whole lifetime.  This
+    is what the kernel *asks* for; :func:`hermitian_resources` clamps it
+    at :data:`REGISTER_CLAMP` the way the hardware does.
+    """
+    if f <= 0 or tile <= 0 or threads_per_block <= 0:
+        raise ValueError("all kernel shape parameters must be positive")
+    nt = math.ceil(f / tile)
+    accum_regs = math.ceil(nt * (nt + 1) / 2 * tile * tile / threads_per_block)
+    return accum_regs + 2 * tile + _HERMITIAN_REG_OVERHEAD
+
 
 def hermitian_resources(
     f: int, tile: int = 10, threads_per_block: int = 64, bin_size: int = 32
 ) -> KernelResources:
     """Register/shared-memory footprint of the ``get_hermitian`` kernel.
 
-    The lower triangle of the tile grid — ``nt(nt+1)/2`` tiles of T x T
-    accumulators with ``nt = ceil(f/T)`` — is spread over the block's
-    threads and lives in registers for the kernel's whole lifetime.
+    The clamp at :data:`REGISTER_CLAMP` is explicit: the returned
+    resources carry ``requested_registers`` (the pre-clamp demand from
+    :func:`hermitian_register_demand`) so callers — the tuner, the kernel
+    linter's ``KL001`` — can see when the allocation was cut and real
+    hardware would spill.
     """
-    if f <= 0 or tile <= 0 or threads_per_block <= 0 or bin_size <= 0:
+    if bin_size <= 0:
         raise ValueError("all kernel shape parameters must be positive")
-    nt = math.ceil(f / tile)
-    accum_regs = math.ceil(nt * (nt + 1) / 2 * tile * tile / threads_per_block)
-    regs = accum_regs + 2 * tile + _HERMITIAN_REG_OVERHEAD
+    demand = hermitian_register_demand(f, tile, threads_per_block)
     return KernelResources(
-        registers_per_thread=min(regs, 255),
+        registers_per_thread=min(demand, REGISTER_CLAMP),
         threads_per_block=threads_per_block,
         shared_mem_per_block=bin_size * f * 4,
+        requested_registers=demand,
     )
 
 
@@ -117,6 +142,7 @@ def hermitian_spec(
     config: ALSConfig,
     *,
     element_bytes: int = 4,
+    threads_per_block: int = 64,
 ) -> KernelSpec:
     """Cost spec of one full ``get_hermitian`` pass (all ``shape.m`` rows).
 
@@ -127,7 +153,9 @@ def hermitian_spec(
     * ``write`` — flush m·f² accumulated floats back to global memory.
     """
     f = shape.f
-    res = hermitian_resources(f, config.tile, bin_size=config.bin_size)
+    res = hermitian_resources(
+        f, config.tile, threads_per_block, bin_size=config.bin_size
+    )
     occ = compute_occupancy(device, res)
 
     if config.read_scheme is ReadScheme.COALESCED:
@@ -229,6 +257,11 @@ def cg_iteration_spec(
         batch * f * 6, element_bytes=4, pipeline_depth=4
     )  # p,r,x,ap read+write
     flops = 2.0 * batch * f * f + 10.0 * batch * f
+    # FP16 is a *storage* format here (Solution 4): arithmetic runs at the
+    # FP16 rate only where the hardware has native FP16 FMA; elsewhere the
+    # solver converts on load and accumulates FP32 (same rate on
+    # Kepler/Maxwell, whose fp16_throughput_ratio is 1.0).
+    compute_bytes = elem if device.native_fp16_arithmetic else 4
     return KernelSpec(
         name="cg_iteration",
         resources=res,
@@ -239,7 +272,7 @@ def cg_iteration_spec(
             MemoryPhase("vectors", vec_traffic, LevelFractions.all_dram()),
         ),
         instruction_efficiency=0.6,
-        compute_dtype_bytes=elem,
+        compute_dtype_bytes=compute_bytes,
         overlap="max",
     )
 

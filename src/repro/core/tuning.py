@@ -10,8 +10,10 @@ at f=100 on Maxwell — a consistency check the tests enforce.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from ..analysis.diagnostics import Diagnostic
+from ..analysis.kernel_lint import lint_kernel_spec
 from ..data.datasets import WorkloadShape
 from ..gpusim.device import DeviceSpec
 from ..gpusim.kernel import time_kernel
@@ -40,10 +42,17 @@ class TuneCandidate:
 
 @dataclass(frozen=True)
 class TuneResult:
-    """Best configuration plus the full sweep for inspection."""
+    """Best configuration plus the full sweep for inspection.
+
+    ``diagnostics`` holds the kernel linter's findings for the *winning*
+    configuration — even the tuned optimum can carry structural caveats
+    (e.g. KL002: `get_hermitian` is low-occupancy by design), and the
+    advisor surfaces them alongside the recommendation.
+    """
 
     best: TuneCandidate
     candidates: tuple[TuneCandidate, ...]
+    diagnostics: tuple[Diagnostic, ...] = field(default=())
 
     def as_config(self, f: int, **kwargs) -> ALSConfig:
         """Materialize the winner as an :class:`ALSConfig`."""
@@ -95,19 +104,7 @@ def tune_hermitian(
                 cfg = ALSConfig(
                     f=f, tile=tile, bin_size=bin_size, read_scheme=read_scheme
                 )
-                spec = hermitian_spec(device, shape, cfg)
-                # Respect the tuned block size (hermitian_spec uses the
-                # config default of 64; re-derive with tpb).
-                spec = type(spec)(
-                    name=spec.name,
-                    resources=res,
-                    grid_blocks=spec.grid_blocks,
-                    flops=spec.flops,
-                    memory_phases=spec.memory_phases,
-                    instruction_efficiency=spec.instruction_efficiency,
-                    compute_dtype_bytes=spec.compute_dtype_bytes,
-                    overlap=spec.overlap,
-                )
+                spec = hermitian_spec(device, shape, cfg, threads_per_block=tpb)
                 t = time_kernel(device, spec)
                 candidates.append(
                     TuneCandidate(
@@ -123,4 +120,13 @@ def tune_hermitian(
     if not launchable:
         raise ValueError("no launchable configuration in the sweep")
     best = min(launchable, key=lambda c: c.seconds)
-    return TuneResult(best=best, candidates=tuple(candidates))
+    best_cfg = ALSConfig(
+        f=f, tile=best.tile, bin_size=best.bin_size, read_scheme=read_scheme
+    )
+    best_spec = hermitian_spec(
+        device, shape, best_cfg, threads_per_block=best.threads_per_block
+    )
+    diagnostics = tuple(lint_kernel_spec(device, best_spec))
+    return TuneResult(
+        best=best, candidates=tuple(candidates), diagnostics=diagnostics
+    )

@@ -10,6 +10,7 @@ Supports the two formats a downstream user actually meets:
 from __future__ import annotations
 
 import os
+import warnings
 
 import numpy as np
 
@@ -52,8 +53,6 @@ def load_triplets(
     path: str | os.PathLike, m: int | None = None, n: int | None = None
 ) -> RatingMatrix:
     """Read ``user item rating`` text lines."""
-    import warnings
-
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", UserWarning)  # empty-file warning
         data = np.loadtxt(path, ndmin=2)

@@ -10,6 +10,7 @@ exactly those terms.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 from .interconnect import Link
@@ -56,8 +57,6 @@ class CpuSpec:
         """
         if threads < 1:
             raise ValueError("threads must be >= 1")
-        import math
-
         doublings = math.log2(threads)
         return threads * (self.scaling_retention**doublings)
 

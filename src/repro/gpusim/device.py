@@ -243,10 +243,19 @@ DEVICE_PRESETS: dict[str, DeviceSpec] = {
 
 
 def get_device(name: str) -> DeviceSpec:
-    """Look up a device preset by (case-insensitive) name or alias."""
+    """Look up a device preset by (case-insensitive) name or alias.
+
+    Compound spellings are normalized: ``maxwell-titanx``,
+    ``Maxwell TitanX`` and ``maxwell_titanx`` all resolve as long as each
+    part (or the whole) is a registered alias.
+    """
     key = name.strip().lower()
-    if key not in DEVICE_PRESETS:
-        raise KeyError(
-            f"unknown device {name!r}; available: {sorted(set(DEVICE_PRESETS))}"
-        )
-    return DEVICE_PRESETS[key]
+    if key in DEVICE_PRESETS:
+        return DEVICE_PRESETS[key]
+    parts = [p for p in key.replace("_", "-").replace(" ", "-").split("-") if p]
+    matches = {id(DEVICE_PRESETS[p]): DEVICE_PRESETS[p] for p in parts if p in DEVICE_PRESETS}
+    if len(matches) == 1 and len(parts) == sum(p in DEVICE_PRESETS for p in parts):
+        return next(iter(matches.values()))
+    raise KeyError(
+        f"unknown device {name!r}; available: {sorted(set(DEVICE_PRESETS))}"
+    )

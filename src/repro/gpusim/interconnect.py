@@ -10,6 +10,7 @@ both.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 __all__ = [
@@ -59,8 +60,6 @@ def broadcast_time(link: Link, nbytes: float, num_peers: int) -> float:
         raise ValueError("num_peers must be non-negative")
     if num_peers == 0 or nbytes == 0:
         return 0.0
-    import math
-
     rounds = math.ceil(math.log2(num_peers + 1))
     return rounds * link.transfer_time(nbytes)
 

@@ -16,6 +16,7 @@ Phases can be combined two ways, matching how real kernels behave:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Literal
 
@@ -55,6 +56,10 @@ class KernelSpec:
             raise ValueError("grid_blocks must be non-negative")
         if self.flops < 0:
             raise ValueError("flops must be non-negative")
+        if not 0.0 < self.instruction_efficiency <= 1.0:
+            raise ValueError("instruction_efficiency must be in (0, 1]")
+        if self.compute_dtype_bytes <= 0:
+            raise ValueError("compute_dtype_bytes must be positive")
 
 
 @dataclass(frozen=True)
@@ -88,8 +93,6 @@ def _tail_factor(device: DeviceSpec, occ: Occupancy, grid_blocks: int) -> float:
     wave = occ.blocks_per_sm * device.num_sms
     if grid_blocks == 0:
         return 1.0
-    import math
-
     waves = math.ceil(grid_blocks / wave)
     full_equivalent = grid_blocks / wave
     return waves / full_equivalent if full_equivalent > 0 else 1.0

@@ -22,11 +22,18 @@ __all__ = ["KernelResources", "Occupancy", "compute_occupancy"]
 
 @dataclass(frozen=True)
 class KernelResources:
-    """Per-kernel resource usage, as reported by a compiler (``ptxas``)."""
+    """Per-kernel resource usage, as reported by a compiler (``ptxas``).
+
+    ``requested_registers`` records the pre-clamp register demand when the
+    builder knows it (0 = unknown/equal).  Real ``ptxas`` spills anything
+    past the architectural cap to local memory; keeping the requested
+    count lets the kernel linter flag that silent spill (rule ``KL001``).
+    """
 
     registers_per_thread: int
     threads_per_block: int
     shared_mem_per_block: int = 0
+    requested_registers: int = 0
 
     def __post_init__(self) -> None:
         if self.registers_per_thread <= 0:
@@ -35,6 +42,17 @@ class KernelResources:
             raise ValueError("threads_per_block must be positive")
         if self.shared_mem_per_block < 0:
             raise ValueError("shared_mem_per_block must be non-negative")
+        if self.requested_registers < 0:
+            raise ValueError("requested_registers must be non-negative")
+        if 0 < self.requested_registers < self.registers_per_thread:
+            raise ValueError(
+                "requested_registers cannot be below the clamped allocation"
+            )
+
+    @property
+    def is_register_clamped(self) -> bool:
+        """True when the builder clamped the register demand."""
+        return self.requested_registers > self.registers_per_thread
 
 
 @dataclass(frozen=True)

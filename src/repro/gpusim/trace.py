@@ -20,6 +20,7 @@ import numpy as np
 from ..data.sparse import RatingMatrix
 from .cache import SetAssociativeCache
 from .device import DeviceSpec
+from .latency import LevelFractions
 
 __all__ = ["StagingTraceResult", "simulate_staging"]
 
@@ -35,9 +36,7 @@ class StagingTraceResult:
     l2_hit_rate: float  # conditional: of L1 misses
     dram_fraction: float
 
-    def as_level_fractions(self):
-        from .latency import LevelFractions
-
+    def as_level_fractions(self) -> LevelFractions:
         return LevelFractions.from_hit_rates(self.l1_hit_rate, self.l2_hit_rate)
 
 

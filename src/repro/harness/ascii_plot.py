@@ -8,6 +8,7 @@ the bench output (and in EXPERIMENTS.md code blocks).
 
 from __future__ import annotations
 
+import math
 from collections.abc import Sequence
 
 __all__ = ["ascii_chart", "MARKERS"]
@@ -34,8 +35,6 @@ def ascii_chart(
         Log-scale the x axis — useful when CPU baselines take 100x the
         GPU times (exactly the paper's Figure 6 situation).
     """
-    import math
-
     if not series:
         raise ValueError("no series to plot")
     if len(series) > len(MARKERS):

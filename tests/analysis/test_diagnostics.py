@@ -1,0 +1,136 @@
+"""Tests for the diagnostic framework: registry, ordering, renderers."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    RULE_REGISTRY,
+    Diagnostic,
+    Severity,
+    has_errors,
+    max_severity,
+    register_rule,
+    render_json,
+    render_text,
+    rule_info,
+)
+
+TS001 = register_rule("TS001", "test rule one", "test paper ref")
+TS002 = register_rule("TS002", "test rule two")
+
+
+def diag(rule=TS001, sev=Severity.WARNING, subject="k", msg="m", **kw):
+    return Diagnostic(rule_id=rule, severity=sev, subject=subject, message=msg, **kw)
+
+
+class TestRegistry:
+    def test_registered_rules_present(self):
+        assert TS001 in RULE_REGISTRY
+        assert rule_info(TS001).title == "test rule one"
+        assert rule_info(TS001).paper_ref == "test paper ref"
+
+    def test_reregistering_identical_is_idempotent(self):
+        assert register_rule("TS001", "test rule one", "test paper ref") == "TS001"
+
+    def test_reregistering_different_info_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_rule("TS001", "a different title")
+
+    def test_empty_fields_rejected(self):
+        with pytest.raises(ValueError):
+            register_rule("", "title")
+        with pytest.raises(ValueError):
+            register_rule("TS999", "")
+
+    def test_unknown_rule_lookup_raises(self):
+        with pytest.raises(KeyError):
+            rule_info("ZZ999")
+
+    def test_lint_rules_registered_on_import(self):
+        # Importing the package registers every documented rule family.
+        for rid in ("KL001", "KL008", "PL001", "PL004", "AL001", "AL004"):
+            assert rid in RULE_REGISTRY, rid
+            assert RULE_REGISTRY[rid].title
+
+
+class TestSeverity:
+    def test_total_order(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+        assert Severity.ERROR >= Severity.WARNING
+        assert Severity.WARNING <= Severity.WARNING
+
+    def test_string_value(self):
+        assert Severity.ERROR.value == "error"
+
+
+class TestDiagnostic:
+    def test_unregistered_rule_rejected(self):
+        with pytest.raises(ValueError, match="unregistered"):
+            Diagnostic(
+                rule_id="ZZ999", severity=Severity.INFO, subject="s", message="m"
+            )
+
+    def test_empty_message_rejected(self):
+        with pytest.raises(ValueError, match="message"):
+            diag(msg="")
+
+    def test_title_resolves_from_registry(self):
+        assert diag().title == "test rule one"
+
+    def test_as_dict_round_trip(self):
+        d = diag(hint="fix it", data=(("x", 1.5),))
+        payload = d.as_dict()
+        assert payload["rule"] == TS001
+        assert payload["severity"] == "warning"
+        assert payload["hint"] == "fix it"
+        assert payload["data"] == {"x": 1.5}
+        assert payload["paper_ref"] == "test paper ref"
+
+    def test_as_dict_omits_empty_optionals(self):
+        payload = diag(rule=TS002).as_dict()
+        assert "hint" not in payload
+        assert "data" not in payload
+        assert "paper_ref" not in payload
+
+
+class TestAggregates:
+    def test_max_severity_empty(self):
+        assert max_severity([]) is None
+
+    def test_max_severity(self):
+        diags = [diag(sev=Severity.INFO), diag(sev=Severity.ERROR),
+                 diag(sev=Severity.WARNING)]
+        assert max_severity(diags) is Severity.ERROR
+
+    def test_has_errors(self):
+        assert not has_errors([diag(sev=Severity.WARNING)])
+        assert has_errors([diag(sev=Severity.ERROR)])
+
+
+class TestRenderers:
+    def test_text_empty(self):
+        assert render_text([]) == "no findings"
+
+    def test_text_sorted_most_severe_first(self):
+        out = render_text([diag(sev=Severity.INFO, msg="low"),
+                           diag(sev=Severity.ERROR, msg="high")])
+        assert out.index("ERROR") < out.index("INFO")
+        assert "2 finding(s)" in out
+        assert "1 error, 1 info" in out
+
+    def test_text_includes_hint(self):
+        assert "hint: do the thing" in render_text([diag(hint="do the thing")])
+
+    def test_json_schema_and_counts(self):
+        payload = json.loads(render_json([diag(sev=Severity.ERROR)]))
+        assert payload["schema"] == "repro.analysis/v1"
+        assert payload["count"] == 1
+        assert payload["max_severity"] == "error"
+        assert payload["diagnostics"][0]["rule"] == TS001
+
+    def test_json_empty(self):
+        payload = json.loads(render_json([]))
+        assert payload["count"] == 0
+        assert payload["max_severity"] is None
+        assert payload["diagnostics"] == []

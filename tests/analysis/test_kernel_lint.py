@@ -1,0 +1,221 @@
+"""Tests for the kernel linter: each KL rule must fire on its anti-pattern
+and stay silent on the paper's tuned configuration."""
+
+import pytest
+
+from repro.analysis import Severity, lint_kernel_spec, lint_streaming_l1_request
+from repro.core import ALSConfig, ReadScheme, hermitian_spec
+from repro.data import WorkloadShape
+from repro.gpusim import (
+    MAXWELL_TITANX,
+    KernelResources,
+    KernelSpec,
+    LevelFractions,
+    MemoryPhase,
+    coalesced,
+)
+
+NETFLIX = WorkloadShape(m=480_189, n=17_770, nnz=99_072_112, f=100)
+
+
+def rules(diags):
+    return {d.rule_id for d in diags}
+
+
+def by_rule(diags, rule):
+    return [d for d in diags if d.rule_id == rule]
+
+
+def make_spec(**kw):
+    defaults = dict(
+        name="k",
+        resources=KernelResources(registers_per_thread=32, threads_per_block=256),
+        grid_blocks=100_000,
+        flops=1e9,
+        memory_phases=(
+            MemoryPhase("load", coalesced(32 * 100_000), LevelFractions.all_dram()),
+        ),
+    )
+    defaults.update(kw)
+    return KernelSpec(**defaults)
+
+
+class TestKL001Registers:
+    def test_error_when_demand_exceeds_clamp(self):
+        res = KernelResources(
+            registers_per_thread=255, threads_per_block=64, requested_registers=300
+        )
+        diags = lint_kernel_spec(MAXWELL_TITANX, make_spec(resources=res))
+        (d,) = by_rule(diags, "KL001")
+        assert d.severity is Severity.ERROR
+        assert "300" in d.message and "spill" in d.message
+
+    def test_explicit_requested_registers_overrides(self):
+        res = KernelResources(registers_per_thread=255, threads_per_block=64)
+        diags = lint_kernel_spec(
+            MAXWELL_TITANX, make_spec(resources=res), requested_registers=400
+        )
+        (d,) = by_rule(diags, "KL001")
+        assert d.severity is Severity.ERROR
+
+    def test_warning_at_clamp_without_known_demand(self):
+        res = KernelResources(registers_per_thread=255, threads_per_block=64)
+        diags = lint_kernel_spec(MAXWELL_TITANX, make_spec(resources=res))
+        (d,) = by_rule(diags, "KL001")
+        assert d.severity is Severity.WARNING
+
+    def test_silent_below_clamp(self):
+        res = KernelResources(registers_per_thread=168, threads_per_block=64)
+        assert not by_rule(lint_kernel_spec(MAXWELL_TITANX, make_spec(resources=res)),
+                           "KL001")
+
+    def test_single_block_register_overflow_maps_to_kl001_error(self):
+        # One block alone exceeds the register file: unlaunchable.
+        res = KernelResources(registers_per_thread=255, threads_per_block=512)
+        diags = lint_kernel_spec(MAXWELL_TITANX, make_spec(resources=res))
+        launch = [d for d in by_rule(diags, "KL001")
+                  if d.severity is Severity.ERROR]
+        assert launch and "cannot launch" in launch[0].message
+
+
+class TestKL002Occupancy:
+    def test_fires_on_paper_hermitian_config(self):
+        """Observation 2: f=100 hermitian runs at ~6 blocks/SM."""
+        spec = hermitian_spec(MAXWELL_TITANX, NETFLIX, ALSConfig(f=100))
+        (d,) = by_rule(lint_kernel_spec(MAXWELL_TITANX, spec), "KL002")
+        assert d.severity is Severity.WARNING
+        assert "6 blocks/SM" in d.message
+        assert "registers" in d.message  # names the limiting resource
+
+    def test_silent_on_high_occupancy(self):
+        assert not by_rule(lint_kernel_spec(MAXWELL_TITANX, make_spec()), "KL002")
+
+
+class TestKL003SharedMemory:
+    def test_error_over_limit(self):
+        res = KernelResources(
+            registers_per_thread=32, threads_per_block=64,
+            shared_mem_per_block=64 * 1024,
+        )
+        diags = lint_kernel_spec(MAXWELL_TITANX, make_spec(resources=res))
+        found = by_rule(diags, "KL003")
+        assert found and found[0].severity is Severity.ERROR
+
+    def test_warning_near_limit(self):
+        res = KernelResources(
+            registers_per_thread=32, threads_per_block=64,
+            shared_mem_per_block=46 * 1024,  # >90% of the 48 KB limit
+        )
+        diags = lint_kernel_spec(MAXWELL_TITANX, make_spec(resources=res))
+        (d,) = by_rule(diags, "KL003")
+        assert d.severity is Severity.WARNING
+
+
+class TestKL004ReadScheme:
+    def test_fires_on_coalesced_hermitian(self):
+        """Figure 3's anti-pattern: coalesced staging loads at 6 blocks/SM."""
+        cfg = ALSConfig(f=100, read_scheme=ReadScheme.COALESCED)
+        spec = hermitian_spec(MAXWELL_TITANX, NETFLIX, cfg)
+        found = by_rule(lint_kernel_spec(MAXWELL_TITANX, spec), "KL004")
+        assert found
+        assert found[0].subject == "get_hermitian:load"
+        assert "latency-bound" in found[0].message
+
+    def test_silent_on_noncoalesced_scheme(self):
+        cfg = ALSConfig(f=100, read_scheme=ReadScheme.NONCOAL_L1)
+        spec = hermitian_spec(MAXWELL_TITANX, NETFLIX, cfg)
+        assert not by_rule(lint_kernel_spec(MAXWELL_TITANX, spec), "KL004")
+
+    def test_write_phases_exempt(self):
+        # The coalesced hermitian write phase never triggers KL004.
+        cfg = ALSConfig(f=100, read_scheme=ReadScheme.COALESCED)
+        spec = hermitian_spec(MAXWELL_TITANX, NETFLIX, cfg)
+        subjects = {d.subject for d in
+                    by_rule(lint_kernel_spec(MAXWELL_TITANX, spec), "KL004")}
+        assert "get_hermitian:write" not in subjects
+
+
+class TestKL005TailWave:
+    def test_fires_on_straggler_grid(self):
+        res = KernelResources(registers_per_thread=32, threads_per_block=256)
+        wave = 8 * MAXWELL_TITANX.num_sms
+        spec = make_spec(resources=res, grid_blocks=wave + 1)
+        (d,) = by_rule(lint_kernel_spec(MAXWELL_TITANX, spec), "KL005")
+        assert d.severity is Severity.WARNING
+
+    def test_silent_on_large_grid(self):
+        assert not by_rule(lint_kernel_spec(MAXWELL_TITANX, make_spec()), "KL005")
+
+
+class TestKL006BlockGeometry:
+    def test_error_on_non_warp_multiple(self):
+        res = KernelResources(registers_per_thread=32, threads_per_block=100)
+        diags = lint_kernel_spec(MAXWELL_TITANX, make_spec(resources=res))
+        (d,) = by_rule(diags, "KL006")
+        assert d.severity is Severity.ERROR
+        assert "128" in d.hint  # rounds up to the next warp multiple
+
+    def test_info_on_odd_warp_count(self):
+        # 96 threads = 3 warps: warp-aligned but scheduler-misaligned.
+        res = KernelResources(registers_per_thread=32, threads_per_block=96)
+        (d,) = by_rule(lint_kernel_spec(MAXWELL_TITANX, make_spec(resources=res)),
+                       "KL006")
+        assert d.severity is Severity.INFO
+
+    def test_silent_on_paper_64_thread_block(self):
+        # 2 warps tile evenly over 4 schedulers: the paper's own choice.
+        res = KernelResources(registers_per_thread=32, threads_per_block=64)
+        assert not by_rule(lint_kernel_spec(MAXWELL_TITANX, make_spec(resources=res)),
+                           "KL006")
+
+
+class TestKL007StreamingL1:
+    def test_fires_on_l1_fraction_over_streaming_phase(self):
+        big = coalesced(100_000_000)  # 400 MB once-touched
+        spec = make_spec(memory_phases=(
+            MemoryPhase("load", big, LevelFractions.from_hit_rates(0.3, 0.2)),
+        ))
+        (d,) = by_rule(lint_kernel_spec(MAXWELL_TITANX, spec), "KL007")
+        assert d.severity is Severity.WARNING
+
+    def test_config_level_request(self):
+        found = lint_streaming_l1_request(
+            MAXWELL_TITANX, kernel="cg_iteration", working_set_bytes=400e6
+        )
+        assert rules(found) == {"KL007"}
+        assert "touched once" in found[0].message
+
+    def test_config_level_silent_when_it_fits(self):
+        assert lint_streaming_l1_request(
+            MAXWELL_TITANX, kernel="cg_iteration", working_set_bytes=100e3
+        ) == []
+
+
+class TestKL008PhaseHygiene:
+    def test_duplicate_phase_error(self):
+        spec = make_spec(memory_phases=(
+            MemoryPhase("load", coalesced(1000), LevelFractions.all_dram()),
+            MemoryPhase("load", coalesced(1000), LevelFractions.all_dram()),
+        ))
+        (d,) = by_rule(lint_kernel_spec(MAXWELL_TITANX, spec), "KL008")
+        assert d.severity is Severity.ERROR
+        assert "time_kernel" in d.message
+
+    def test_empty_phase_warning(self):
+        spec = make_spec(memory_phases=(
+            MemoryPhase("load", coalesced(0), LevelFractions.all_dram()),
+        ))
+        (d,) = by_rule(lint_kernel_spec(MAXWELL_TITANX, spec), "KL008")
+        assert d.severity is Severity.WARNING
+
+
+class TestCleanSpec:
+    def test_tuned_bandwidth_bound_spec_lints_clean(self):
+        assert lint_kernel_spec(MAXWELL_TITANX, make_spec()) == []
+
+
+@pytest.mark.parametrize("rule", ["KL00%d" % i for i in range(1, 9)])
+def test_every_rule_documented(rule):
+    from repro.analysis import RULE_REGISTRY
+
+    assert RULE_REGISTRY[rule].paper_ref

@@ -1,0 +1,168 @@
+"""Tests for the precision-flow linter (paper Solutions 3 and 4)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AUStats,
+    Severity,
+    lint_precision,
+    lint_solver_spec,
+    sample_au_stats,
+)
+from repro.core import ALSConfig, CGConfig, Precision, SolverKind, cg_iteration_spec
+from repro.core.precision import FP16_MAX
+from repro.gpusim import MAXWELL_TITANX, PASCAL_P100
+
+
+def stats(max_abs=10.0, mean_abs=1.0, condition=2.0):
+    return AUStats(max_abs=max_abs, mean_abs=mean_abs, condition_estimate=condition)
+
+
+def rules(diags):
+    return {d.rule_id for d in diags}
+
+
+def by_rule(diags, rule):
+    return [d for d in diags if d.rule_id == rule]
+
+
+class TestAUStats:
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ValueError):
+            AUStats(max_abs=-1.0, mean_abs=0.0, condition_estimate=2.0)
+
+    def test_condition_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            AUStats(max_abs=1.0, mean_abs=1.0, condition_estimate=0.5)
+
+    def test_nan_condition_allowed(self):
+        s = AUStats(max_abs=1.0, mean_abs=1.0, condition_estimate=float("nan"))
+        assert math.isnan(s.condition_estimate)
+
+
+class TestSampleAUStats:
+    def test_identity_batch(self):
+        A = np.stack([np.eye(4)] * 3)
+        s = sample_au_stats(A)
+        assert s.max_abs == pytest.approx(1.0)
+        assert s.condition_estimate == pytest.approx(1.0)
+
+    def test_single_matrix_promoted(self):
+        s = sample_au_stats(np.diag([1.0, 4.0]))
+        assert s.condition_estimate == pytest.approx(4.0)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            sample_au_stats(np.zeros((3, 4, 5)))
+
+    def test_indefinite_matrices_give_nan_condition(self):
+        s = sample_au_stats(np.diag([-1.0, 1.0]))
+        assert math.isnan(s.condition_estimate)
+
+
+class TestPL001Overflow:
+    def cfg(self):
+        return ALSConfig(f=10, precision=Precision.FP16)
+
+    def test_error_when_over_fp16_max(self):
+        diags = lint_precision(self.cfg(), stats=stats(max_abs=FP16_MAX * 2))
+        (d,) = by_rule(diags, "PL001")
+        assert d.severity is Severity.ERROR
+        assert "clamps" in d.message
+
+    def test_warning_within_headroom(self):
+        diags = lint_precision(self.cfg(), stats=stats(max_abs=FP16_MAX / 2))
+        (d,) = by_rule(diags, "PL001")
+        assert d.severity is Severity.WARNING
+
+    def test_silent_with_margin(self):
+        assert not by_rule(
+            lint_precision(self.cfg(), stats=stats(max_abs=10.0)), "PL001"
+        )
+
+    def test_silent_in_fp32(self):
+        cfg = ALSConfig(f=10, precision=Precision.FP32)
+        assert not by_rule(
+            lint_precision(cfg, stats=stats(max_abs=FP16_MAX * 2)), "PL001"
+        )
+
+
+class TestPL002StorageVsCompute:
+    def test_info_on_storage_only_device(self):
+        diags = lint_precision(
+            ALSConfig(f=10, precision=Precision.FP16), device=MAXWELL_TITANX
+        )
+        (d,) = by_rule(diags, "PL002")
+        assert d.severity is Severity.INFO
+        assert "storage-only" in d.message
+
+    def test_silent_on_native_fp16_device(self):
+        diags = lint_precision(
+            ALSConfig(f=10, precision=Precision.FP16), device=PASCAL_P100
+        )
+        assert not by_rule(diags, "PL002")
+
+    def test_solver_spec_warns_on_fp16_accumulate_without_native(self):
+        # Force an FP16-compute spec onto Maxwell: storage/compute confusion.
+        spec = cg_iteration_spec(PASCAL_P100, 10_000, 100, Precision.FP16)
+        assert spec.compute_dtype_bytes == 2
+        (d,) = lint_solver_spec(MAXWELL_TITANX, spec)
+        assert d.rule_id == "PL002" and d.severity is Severity.WARNING
+
+    def test_solver_spec_info_on_native(self):
+        spec = cg_iteration_spec(PASCAL_P100, 10_000, 100, Precision.FP16)
+        (d,) = lint_solver_spec(PASCAL_P100, spec)
+        assert d.rule_id == "PL002" and d.severity is Severity.INFO
+
+    def test_solver_spec_silent_on_fp32(self):
+        spec = cg_iteration_spec(MAXWELL_TITANX, 10_000, 100, Precision.FP16)
+        assert spec.compute_dtype_bytes == 4  # convert-on-load, FP32 accumulate
+        assert lint_solver_spec(MAXWELL_TITANX, spec) == []
+
+
+class TestPL003Truncation:
+    def cfg(self, fs, tol=1e-4):
+        return ALSConfig(f=10, solver=SolverKind.CG, cg=CGConfig(max_iters=fs, tol=tol))
+
+    def test_degenerate_fs_warns(self):
+        (d,) = by_rule(lint_precision(self.cfg(1)), "PL003")
+        assert d.severity is Severity.WARNING
+        assert "f_s=1" in d.message
+
+    def test_ill_conditioned_stall_predicted(self):
+        diags = lint_precision(self.cfg(6), stats=stats(condition=10_000.0))
+        (d,) = by_rule(diags, "PL003")
+        assert d.severity is Severity.WARNING
+        suggested = dict(d.data)["suggested_fs"]
+        assert suggested > 6
+
+    def test_well_conditioned_silent(self):
+        assert not by_rule(
+            lint_precision(self.cfg(6), stats=stats(condition=2.0)), "PL003"
+        )
+
+    def test_lu_solver_skips_cg_rules(self):
+        cfg = ALSConfig(f=10, solver=SolverKind.LU)
+        assert not by_rule(lint_precision(cfg, stats=stats()), "PL003")
+
+
+class TestPL004NoiseFloor:
+    def test_sub_noise_tolerance_flagged(self):
+        cfg = ALSConfig(
+            f=10, precision=Precision.FP16,
+            cg=CGConfig(max_iters=6, tol=1e-6),
+        )
+        diags = lint_precision(cfg, stats=stats(max_abs=10.0))
+        (d,) = by_rule(diags, "PL004")
+        assert d.severity is Severity.INFO
+        assert dict(d.data)["noise_floor"] == pytest.approx(10.0 * 2**-11)
+
+    def test_achievable_tolerance_silent(self):
+        cfg = ALSConfig(
+            f=10, precision=Precision.FP16,
+            cg=CGConfig(max_iters=6, tol=1e-1),
+        )
+        assert not by_rule(lint_precision(cfg, stats=stats(max_abs=10.0)), "PL004")

@@ -1,0 +1,79 @@
+"""Tests for the workload-level analyzer (the ``repro analyze`` engine)."""
+
+import numpy as np
+
+from repro.analysis import Severity, analyze_workload, max_severity, sample_workload_stats
+from repro.core import ALSConfig, CGConfig, Precision, ReadScheme, SolverKind
+from repro.data import WorkloadShape
+from repro.data.sparse import RatingMatrix
+from repro.gpusim import MAXWELL_TITANX
+
+NETFLIX = WorkloadShape(m=480_189, n=17_770, nnz=99_072_112, f=100)
+
+
+def rules(diags):
+    return {d.rule_id for d in diags}
+
+
+class TestAnalyzeWorkload:
+    def test_paper_config_reproduces_observation_2(self):
+        """The default tuned config is warning-level only: low occupancy
+        (KL002) is structural, not a mistake."""
+        diags = analyze_workload(MAXWELL_TITANX, NETFLIX, ALSConfig(f=100))
+        assert "KL002" in rules(diags)
+        assert max_severity(diags) is Severity.WARNING
+
+    def test_bad_config_triggers_at_least_three_rules(self):
+        """ISSUE acceptance: 96 threads + coalesced reads at f=100."""
+        cfg = ALSConfig(f=100, read_scheme=ReadScheme.COALESCED)
+        diags = analyze_workload(
+            MAXWELL_TITANX, NETFLIX, cfg, threads_per_block=96
+        )
+        assert len(rules(diags)) >= 3
+        assert {"KL002", "KL004", "KL006"} <= rules(diags)
+
+    def test_use_l1_triggers_streaming_rule(self):
+        diags = analyze_workload(
+            MAXWELL_TITANX, NETFLIX, ALSConfig(f=100), use_l1=True
+        )
+        assert "KL007" in rules(diags)
+
+    def test_lu_solver_skips_cg_kernels(self):
+        diags = analyze_workload(
+            MAXWELL_TITANX, NETFLIX, ALSConfig(f=100, solver=SolverKind.LU)
+        )
+        assert "KL007" not in rules(diags)
+        assert all("cg_iteration" not in d.subject for d in diags)
+
+    def test_degenerate_fs_surfaces_pl003(self):
+        cfg = ALSConfig(f=100, cg=CGConfig(max_iters=1))
+        diags = analyze_workload(MAXWELL_TITANX, NETFLIX, cfg)
+        assert "PL003" in rules(diags)
+
+    def test_findings_deduped_across_sides(self):
+        diags = analyze_workload(MAXWELL_TITANX, NETFLIX, ALSConfig(f=100))
+        keys = [(d.rule_id, d.severity, d.subject, d.message) for d in diags]
+        assert len(keys) == len(set(keys))
+
+
+class TestSampleWorkloadStats:
+    def make_matrix(self, m=40, n=12, seed=0):
+        rng = np.random.default_rng(seed)
+        rows = rng.integers(0, m, size=600)
+        cols = rng.integers(0, n, size=600)
+        vals = rng.uniform(1.0, 5.0, size=600).astype(np.float32)
+        return RatingMatrix.from_coo(rows, cols, vals, m=m, n=n)
+
+    def test_stats_are_finite_and_positive(self):
+        train = self.make_matrix()
+        stats = sample_workload_stats(train, ALSConfig(f=8))
+        assert stats.max_abs > 0
+        assert stats.mean_abs > 0
+        assert stats.condition_estimate >= 1.0  # lam-regularized SPD systems
+
+    def test_stats_feed_the_precision_linter(self):
+        train = self.make_matrix()
+        cfg = ALSConfig(f=8, precision=Precision.FP16, cg=CGConfig(tol=1e-12))
+        stats = sample_workload_stats(train, cfg)
+        diags = analyze_workload(MAXWELL_TITANX, NETFLIX, cfg, stats=stats)
+        assert "PL004" in rules(diags)  # tol below the FP16 noise floor

@@ -13,6 +13,7 @@ from repro.core import (
     hermitian_spec,
     lu_solver_seconds,
 )
+from repro.core.kernels import REGISTER_CLAMP, hermitian_register_demand
 from repro.data import WorkloadShape
 from repro.gpusim import MAXWELL_TITANX, compute_occupancy, time_kernel
 
@@ -44,6 +45,29 @@ class TestHermitianResources:
             hermitian_resources(0)
         with pytest.raises(ValueError):
             hermitian_resources(100, tile=0)
+
+    def test_register_demand_matches_paper(self):
+        assert hermitian_register_demand(100, tile=10, threads_per_block=64) == 168
+
+    def test_demand_validation(self):
+        with pytest.raises(ValueError):
+            hermitian_register_demand(0)
+        with pytest.raises(ValueError):
+            hermitian_register_demand(100, tile=10, threads_per_block=0)
+
+    def test_clamp_records_requested_registers(self):
+        """Satellite: clamping is explicit — the pre-clamp demand survives."""
+        demand = hermitian_register_demand(400, tile=20)
+        assert demand > REGISTER_CLAMP
+        res = hermitian_resources(400, tile=20)
+        assert res.registers_per_thread == REGISTER_CLAMP
+        assert res.requested_registers == demand
+        assert res.is_register_clamped
+
+    def test_unclamped_config_not_marked_clamped(self):
+        res = hermitian_resources(100)
+        assert res.requested_registers == res.registers_per_thread == 168
+        assert not res.is_register_clamped
 
 
 class TestHermitianSpec:

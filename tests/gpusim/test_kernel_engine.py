@@ -81,6 +81,19 @@ class TestTimeKernel:
         with pytest.raises(ValueError):
             make_spec(flops=-1.0)
 
+    def test_instruction_efficiency_bounds(self):
+        with pytest.raises(ValueError, match="instruction_efficiency"):
+            make_spec(instruction_efficiency=0.0)
+        with pytest.raises(ValueError, match="instruction_efficiency"):
+            make_spec(instruction_efficiency=1.5)
+        assert make_spec(instruction_efficiency=1.0).instruction_efficiency == 1.0
+
+    def test_compute_dtype_bytes_must_be_positive(self):
+        with pytest.raises(ValueError, match="compute_dtype_bytes"):
+            make_spec(compute_dtype_bytes=0)
+        with pytest.raises(ValueError, match="compute_dtype_bytes"):
+            make_spec(compute_dtype_bytes=-2)
+
 
 class TestSimEngine:
     def test_clock_advances(self):

@@ -93,3 +93,53 @@ class TestErrors:
         res = KernelResources(registers_per_thread=255, threads_per_block=512)
         with pytest.raises(ValueError, match="cannot launch"):
             compute_occupancy(MAXWELL_TITANX, res)
+
+    def test_zero_limit_names_registers(self):
+        res = KernelResources(registers_per_thread=255, threads_per_block=512)
+        with pytest.raises(ValueError, match="registers limit is zero"):
+            compute_occupancy(MAXWELL_TITANX, res)
+
+    def test_zero_limit_names_shared_memory(self):
+        res = KernelResources(
+            registers_per_thread=32,
+            threads_per_block=64,
+            shared_mem_per_block=64 * 1024,
+        )
+        with pytest.raises(ValueError, match="shared_memory limit is zero"):
+            compute_occupancy(MAXWELL_TITANX, res)
+
+
+class TestRequestedRegisters:
+    def test_defaults_to_unknown(self):
+        res = KernelResources(registers_per_thread=32, threads_per_block=64)
+        assert res.requested_registers == 0
+        assert not res.is_register_clamped
+
+    def test_clamped_demand_recorded(self):
+        res = KernelResources(
+            registers_per_thread=255, threads_per_block=64,
+            requested_registers=300,
+        )
+        assert res.is_register_clamped
+
+    def test_demand_equal_to_allocation_not_clamped(self):
+        res = KernelResources(
+            registers_per_thread=168, threads_per_block=64,
+            requested_registers=168,
+        )
+        assert not res.is_register_clamped
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            KernelResources(
+                registers_per_thread=32, threads_per_block=64,
+                requested_registers=-1,
+            )
+
+    def test_demand_below_allocation_rejected(self):
+        # A clamp can only reduce the allocation, never inflate it.
+        with pytest.raises(ValueError, match="below the clamped"):
+            KernelResources(
+                registers_per_thread=168, threads_per_block=64,
+                requested_registers=100,
+            )

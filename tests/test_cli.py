@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -65,3 +67,54 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "regs/thread" in out
+
+
+class TestAnalyze:
+    def test_defaults(self):
+        args = build_parser().parse_args(["analyze"])
+        assert args.device == "maxwell"
+        assert args.read_scheme == "noncoal-l1"
+        assert args.fs == 6
+        assert args.format == "text"
+
+    def test_json_output_is_structured(self, capsys):
+        """ISSUE acceptance: `repro analyze --device maxwell-titanx
+        --workload netflix --format json` emits structured diagnostics."""
+        rc = main(["analyze", "--device", "maxwell-titanx",
+                   "--workload", "netflix", "--format", "json"])
+        assert rc == 0  # warnings only: the tuned config is structural
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.analysis/v1"
+        assert payload["count"] >= 1
+        assert any(d["rule"] == "KL002" for d in payload["diagnostics"])
+
+    def test_bad_config_hits_three_distinct_rules(self, capsys):
+        """ISSUE acceptance: 96 threads + coalesced reads at f=100."""
+        rc = main(["analyze", "--read-scheme", "coalesced",
+                   "--threads-per-block", "96", "--format", "json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len({d["rule"] for d in payload["diagnostics"]}) >= 3
+
+    def test_strict_fails_on_warnings(self, capsys):
+        rc = main(["analyze", "--strict"])
+        assert rc == 1
+        assert "KL002" in capsys.readouterr().out
+
+    def test_use_l1_surfaces_figure5(self, capsys):
+        rc = main(["analyze", "--use-l1"])
+        assert rc == 0
+        assert "KL007" in capsys.readouterr().out
+
+    def test_self_lint_is_clean(self, capsys):
+        """ISSUE acceptance: the shipped tree passes its own AST lint."""
+        rc = main(["analyze", "--self"])
+        assert rc == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_self_lint_flags_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "mod.py"
+        bad.write_text("def f():\n    import math\n    return math.pi\n")
+        rc = main(["analyze", "--self", "--path", str(tmp_path)])
+        assert rc == 1
+        assert "AL004" in capsys.readouterr().out
