@@ -6,6 +6,7 @@ Commands
 ``advise``   run the §VII algorithm advisor for a workload shape
 ``tune``     autotune the hermitian kernel for a device and f
 ``analyze``  static analysis: lint a launch/solver config, or the source tree
+``verify``   randomized differential/metamorphic verification campaigns
 ``devices``  list the simulated GPU presets
 ``report``   regenerate EXPERIMENTS.md (heavy)
 
@@ -84,6 +85,28 @@ def build_parser() -> argparse.ArgumentParser:
     an.add_argument("--format", default="text", choices=["text", "json"])
     an.add_argument("--strict", action="store_true",
                     help="exit non-zero on warnings, not just errors")
+
+    v = sub.add_parser(
+        "verify",
+        help="run randomized differential/metamorphic verification campaigns",
+    )
+    v.add_argument("--seed", type=int, default=0,
+                   help="root seed; the whole campaign replays from it")
+    v.add_argument("--budget", type=int, default=200,
+                   help="total fuzz cases across all checks")
+    v.add_argument("--checks", default=None,
+                   help="comma-separated subset of checks (default: all)")
+    v.add_argument("--list-checks", action="store_true",
+                   help="list registered checks and exit")
+    v.add_argument("--fixtures-dir", default="tests/fixtures/verify",
+                   help="where shrunk reproducers are persisted")
+    v.add_argument("--no-fixtures", action="store_true",
+                   help="do not persist reproducers to disk")
+    v.add_argument("--no-shrink", action="store_true",
+                   help="skip minimization of failing cases")
+    v.add_argument("--format", default="text", choices=["text", "json"])
+    v.add_argument("--strict", action="store_true",
+                   help="exit non-zero on warnings, not just errors")
 
     sub.add_parser("devices", help="list simulated GPU presets")
 
@@ -224,6 +247,40 @@ def _cmd_analyze(args) -> int:
     return 1 if fail else 0
 
 
+def _cmd_verify(args) -> int:
+    from .analysis import Severity
+    from .verify import (
+        CHECKS,
+        VerifyConfig,
+        render_report_json,
+        render_report_text,
+        run_campaign,
+    )
+
+    if args.list_checks:
+        for name, check in sorted(CHECKS.items()):
+            weight = f" (weight {check.weight:g})" if check.weight != 1.0 else ""
+            print(f"{name:20s} {check.summary}{weight}")
+        return 0
+
+    checks = tuple(c for c in (args.checks or "").split(",") if c)
+    config = VerifyConfig(
+        seed=args.seed,
+        budget=args.budget,
+        checks=checks,
+        shrink=not args.no_shrink,
+        fixtures_dir=None if args.no_fixtures else args.fixtures_dir,
+    )
+    result = run_campaign(config)
+    if args.format == "json":
+        print(render_report_json(result))
+    else:
+        print(render_report_text(result))
+    top = result.max_severity()
+    threshold = Severity.WARNING if args.strict else Severity.ERROR
+    return 1 if top is not None and top >= threshold else 0
+
+
 def _cmd_devices(_args) -> int:
     from .gpusim import DEVICE_PRESETS
 
@@ -255,6 +312,7 @@ _COMMANDS = {
     "advise": _cmd_advise,
     "tune": _cmd_tune,
     "analyze": _cmd_analyze,
+    "verify": _cmd_verify,
     "devices": _cmd_devices,
     "report": _cmd_report,
 }

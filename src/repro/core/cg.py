@@ -86,7 +86,17 @@ def cg_solve_batched(
     rsold = np.einsum("bf,bf->b", r, r)
     rs_start = np.maximum(rsold.copy(), np.float32(1e-30))
     active = np.sqrt(rsold) >= config.tol
-    tiny = np.float32(1e-20)
+    # Guards must be RELATIVE to each system's own scale: an absolute
+    # epsilon silently corrupts alpha/beta on legitimately tiny-scale
+    # systems (A ~ 1e-10 I stalls at zero progress) and lets denormal
+    # rsold denominators spawn inf/NaN on degenerate A_u.  A system is
+    # numerically converged once its residual energy has dropped ~14
+    # orders below where it started — the FP32 floor (eps32² ≈ 1.4e-14).
+    rs_floor = rs_start * np.float32(4e-14)
+    explode_limit = np.minimum(rs_start.astype(np.float64) * 1e6, 3e38).astype(
+        np.float32
+    )
+    one = np.float32(1.0)
 
     # CG's 2-norm residual may oscillate upward transiently even on SPD
     # systems, so a step-wise guard would be wrong; instead track the
@@ -98,6 +108,9 @@ def cg_solve_batched(
     iters = 0
     matvecs = 0
     for _ in range(config.max_iters):
+        # rsold is the numerator of alpha and the denominator of beta; once
+        # it underflows the relative floor both are meaningless, so freeze.
+        active &= rsold > rs_floor
         if not active.any():
             break
         iters += 1
@@ -108,20 +121,21 @@ def cg_solve_batched(
         # positive-definiteness for that system: freeze it as-is rather
         # than letting the whole batch overflow.
         active &= denom > 0
-        alpha = np.where(active, rsold / np.maximum(denom, tiny), 0.0).astype(
-            np.float32
-        )
+        alpha = np.where(
+            active, rsold / np.where(active, denom, one), 0.0
+        ).astype(np.float32)
         x = x + alpha[:, None] * p
         r = r - alpha[:, None] * ap
         rsnew = np.einsum("bf,bf->b", r, r)
-        exploded = active & ~(rsnew <= 1e6 * rs_start)  # catches NaN too
+        exploded = active & ~(rsnew <= explode_limit)  # catches NaN too
         active &= ~exploded
         improved = active & (rsnew < best_rs)
         if improved.any():
             best_x = np.where(improved[:, None], x, best_x)
             best_rs = np.where(improved, rsnew, best_rs)
         still = np.sqrt(rsnew) >= config.tol
-        beta = np.where(active & still, rsnew / np.maximum(rsold, tiny), 0.0).astype(
+        grow = active & still & (rsnew > rs_floor)
+        beta = np.where(grow, rsnew / np.where(active, rsold, one), 0.0).astype(
             np.float32
         )
         p = r + beta[:, None] * p

@@ -35,18 +35,22 @@ def train_test_split(
     *,
     min_train_per_row: int = 1,
     seed: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> TrainTestSplit:
     """Randomly hold out ``test_fraction`` of ratings.
 
     Rows with fewer than ``min_train_per_row + 1`` ratings contribute
     nothing to the test set so they always retain trainable signal.
+    ``rng`` takes precedence over ``seed`` when provided, letting callers
+    drive many splits from one root generator.
     """
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test_fraction must be in (0, 1)")
     if min_train_per_row < 0:
         raise ValueError("min_train_per_row must be non-negative")
 
-    rng = np.random.default_rng(seed)
+    if rng is None:
+        rng = np.random.default_rng(seed)
     nnz = ratings.nnz
     rows = np.repeat(np.arange(ratings.m), ratings.row_counts())
     cols = ratings.col_idx

@@ -75,15 +75,23 @@ def _zipf_probabilities(n: int, exponent: float) -> np.ndarray:
     return w / w.sum()
 
 
-def generate_ratings(cfg: SyntheticConfig) -> RatingMatrix:
+def generate_ratings(
+    cfg: SyntheticConfig, rng: np.random.Generator | None = None
+) -> RatingMatrix:
     """Draw a synthetic :class:`RatingMatrix` per ``cfg``.
 
     Sampling: users are drawn near-uniformly (mild skew), items from a
     Zipf law; duplicate (u, v) pairs are removed by resampling overflow,
     so the result has exactly ``cfg.nnz`` distinct entries unless the
     matrix is nearly dense, in which case it may have slightly fewer.
+
+    All randomness flows through ``rng`` so callers (fuzz campaigns,
+    multi-dataset sweeps) can derive every generation from one root
+    generator; when omitted, a fresh generator is seeded from
+    ``cfg.seed`` — no module-level random state is ever touched.
     """
-    rng = np.random.default_rng(cfg.seed)
+    if rng is None:
+        rng = np.random.default_rng(cfg.seed)
     x, theta = planted_factors(cfg, rng)
 
     p_items = _zipf_probabilities(cfg.n, cfg.zipf_exponent)

@@ -1,0 +1,96 @@
+"""Randomized verification: differential oracles + metamorphic fuzzing.
+
+``repro verify`` campaigns cross-check the paper's approximate solver
+paths (truncated CG, FP16 storage) against the exact ones and hold the
+gpusim cost model to its structural invariants.  See
+``docs/verification.md`` for the oracle/property catalogue and
+``repro verify --list-checks`` for the runnable registry.
+"""
+
+from .generators import (
+    CacheCase,
+    HermitianCase,
+    KernelCase,
+    OccupancyCase,
+    PatternCase,
+    SPDCase,
+    TrajectoryCase,
+    build_hermitian_system,
+    build_kernel_specs,
+    build_spd_batch,
+    build_trajectory_split,
+    case_from_dict,
+    case_to_dict,
+    shrink_case,
+)
+from .oracles import (
+    check_cg_vs_direct,
+    check_exact_pair,
+    check_fp16_noise_floor,
+    check_hermitian_solvers,
+    check_rmse_trajectory,
+)
+from .properties import (
+    check_cache_monotone,
+    check_coalescing_order,
+    check_occupancy_invariance,
+    check_roofline_bound,
+    check_timing_monotone,
+)
+from .runner import (
+    CHECKS,
+    FIXTURE_SCHEMA,
+    REPORT_SCHEMA,
+    CampaignResult,
+    CaseFailure,
+    CheckDef,
+    VerifyConfig,
+    iter_fixture_paths,
+    load_fixture,
+    render_report_json,
+    render_report_text,
+    replay_fixture,
+    run_campaign,
+    run_check_once,
+)
+
+__all__ = [
+    "SPDCase",
+    "HermitianCase",
+    "TrajectoryCase",
+    "KernelCase",
+    "PatternCase",
+    "OccupancyCase",
+    "CacheCase",
+    "build_spd_batch",
+    "build_hermitian_system",
+    "build_trajectory_split",
+    "build_kernel_specs",
+    "case_to_dict",
+    "case_from_dict",
+    "shrink_case",
+    "check_exact_pair",
+    "check_cg_vs_direct",
+    "check_fp16_noise_floor",
+    "check_hermitian_solvers",
+    "check_rmse_trajectory",
+    "check_timing_monotone",
+    "check_roofline_bound",
+    "check_coalescing_order",
+    "check_occupancy_invariance",
+    "check_cache_monotone",
+    "CheckDef",
+    "CHECKS",
+    "VerifyConfig",
+    "CaseFailure",
+    "CampaignResult",
+    "run_campaign",
+    "run_check_once",
+    "load_fixture",
+    "replay_fixture",
+    "iter_fixture_paths",
+    "render_report_json",
+    "render_report_text",
+    "FIXTURE_SCHEMA",
+    "REPORT_SCHEMA",
+]

@@ -1,0 +1,603 @@
+"""Seeded case generators and greedy shrinking for the fuzz harness.
+
+Every fuzz case is a small frozen dataclass of *plain numbers and
+strings*: the arrays, configs and kernel specs an oracle consumes are
+rebuilt deterministically from those fields (``build_*``).  That one
+design choice buys the three properties a verification campaign needs:
+
+* **reproducibility** — a whole campaign replays from a single root
+  seed, and any individual case replays from its serialized params;
+* **shrinkability** — greedy delta-debugging over the numeric fields
+  (:func:`shrink_case`) turns a failing case into a minimal reproducer
+  without any knowledge of what the oracle checks;
+* **persistence** — failing cases round-trip through JSON
+  (:func:`case_to_dict` / :func:`case_from_dict`) and become regression
+  fixtures under ``tests/fixtures/verify/``.
+
+Domain notes.  The solver cases deliberately cover the regimes the
+paper's approximations must survive: condition numbers up to 1e6
+(Solution 3's truncation tolerance is condition-dependent), magnitudes
+across twelve decades (the FP32 pipeline must degrade gracefully, not
+emit NaNs), FP16-safe magnitudes for the Solution 4 oracle, and rating
+matrices with Zipf skew, empty rows/columns and single-user shapes —
+the structures ALS meets in production traffic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import asdict, dataclass, fields, replace
+
+import numpy as np
+
+from ..core.config import ALSConfig, Precision, ReadScheme
+from ..core.hermitian import hermitian_and_bias
+from ..core.kernels import cg_iteration_spec, hermitian_spec
+from ..data.datasets import WorkloadShape
+from ..data.sparse import RatingMatrix
+from ..data.split import TrainTestSplit, train_test_split
+from ..data.synthetic import SyntheticConfig, generate_ratings
+from ..gpusim.device import DEVICE_PRESETS, DeviceSpec, get_device
+from ..gpusim.kernel import KernelSpec
+
+__all__ = [
+    "SPDCase",
+    "HermitianCase",
+    "TrajectoryCase",
+    "KernelCase",
+    "PatternCase",
+    "OccupancyCase",
+    "CacheCase",
+    "build_spd_batch",
+    "build_hermitian_system",
+    "build_trajectory_split",
+    "build_kernel_specs",
+    "draw_spd_case",
+    "draw_hermitian_case",
+    "draw_trajectory_case",
+    "draw_kernel_case",
+    "draw_pattern_case",
+    "draw_occupancy_case",
+    "draw_cache_case",
+    "shrink_case",
+    "case_to_dict",
+    "case_from_dict",
+]
+
+_MAX_SEED = 2**31
+
+
+# ----------------------------------------------------------------------
+# Case definitions.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SPDCase:
+    """A batch of synthetic SPD systems with planted solutions.
+
+    ``A = s·Q diag(1 … 10^-log10_cond) Qᵀ`` with ``Q`` Haar-random and
+    ``s = 10^log10_scale``; ``b = A x_true``.  ``fs = 0`` means "run CG
+    to convergence" (2f iterations), matching the exact-solve oracle;
+    ``fs > 0`` is the paper's truncated budget.
+    """
+
+    batch: int
+    f: int
+    log10_cond: float
+    log10_scale: float
+    fs: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.batch < 1 or self.f < 2:
+            raise ValueError("batch must be >= 1 and f >= 2")
+        if self.log10_cond < 0:
+            raise ValueError("log10_cond must be non-negative")
+        if not -12.0 <= self.log10_scale <= 12.0:
+            # beyond ~1e12 the squared residual norms leave FP32 range
+            # and every lane freezes at x0 — a vacuous case, not a bug.
+            raise ValueError("log10_scale must be within [-12, 12]")
+        if self.fs < 0:
+            raise ValueError("fs must be non-negative (0 = run to convergence)")
+        if not 0 <= self.seed < _MAX_SEED:
+            raise ValueError("seed out of range")
+
+    @property
+    def cond(self) -> float:
+        return 10.0**self.log10_cond
+
+    @property
+    def max_iters(self) -> int:
+        return self.fs if self.fs else 2 * self.f
+
+
+@dataclass(frozen=True)
+class HermitianCase:
+    """Normal equations ``A_u, b_u`` formed from a random rating matrix.
+
+    Exercises the real ALS pipeline (Zipf skew, duplicate-free sampling,
+    λ-regularization) including the shapes synthetic SPD draws miss:
+    ``empty_rows``/``empty_cols`` append users/items with no ratings
+    (their A_u is exactly the λI regularizer), and shrinking drives
+    ``m`` to 1 — the single-user edge case.
+    """
+
+    m: int
+    n: int
+    nnz: int
+    f: int
+    lam: float
+    zipf: float
+    empty_rows: int
+    empty_cols: int
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.n < 1:
+            raise ValueError("m and n must be positive")
+        if not 1 <= self.nnz <= self.m * self.n:
+            raise ValueError("nnz must be in [1, m*n]")
+        if self.f < 2:
+            raise ValueError("f must be >= 2")
+        if self.lam <= 0:
+            raise ValueError("lam must be positive (it is what makes A_u SPD)")
+        if self.zipf < 0:
+            raise ValueError("zipf must be non-negative")
+        if self.empty_rows < 0 or self.empty_cols < 0:
+            raise ValueError("empty paddings must be non-negative")
+        if not 0 <= self.seed < _MAX_SEED:
+            raise ValueError("seed out of range")
+
+
+@dataclass(frozen=True)
+class TrajectoryCase:
+    """A tiny ALS run compared at FP32 vs FP16 storage (Solution 4)."""
+
+    m: int
+    n: int
+    nnz: int
+    f: int
+    fs: int
+    epochs: int
+    lam: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.m < 4 or self.n < 4:
+            raise ValueError("m and n must be >= 4 (the split needs signal)")
+        if not self.m <= self.nnz <= self.m * self.n:
+            raise ValueError("nnz must be in [m, m*n]")
+        if self.f < 2 or self.fs < 1 or self.epochs < 1:
+            raise ValueError("f >= 2, fs >= 1 and epochs >= 1 required")
+        if self.lam <= 0:
+            raise ValueError("lam must be positive")
+        if not 0 <= self.seed < _MAX_SEED:
+            raise ValueError("seed out of range")
+
+
+@dataclass(frozen=True)
+class KernelCase:
+    """A (device, workload, launch config) triple for the timing model."""
+
+    device: str
+    m: int
+    n: int
+    nnz: int
+    f: int
+    tile: int
+    threads_per_block: int
+    bin_size: int
+    read_scheme: str
+    precision: str
+
+    def __post_init__(self) -> None:
+        if self.device not in DEVICE_PRESETS:
+            raise ValueError(f"unknown device preset {self.device!r}")
+        if min(self.m, self.n, self.nnz) < 1:
+            raise ValueError("m, n, nnz must be positive")
+        if not 2 <= self.f <= 160:
+            # 2f must stay in the constant-occupancy regime of the CG
+            # iteration kernel for the monotone-in-f metamorphic relation.
+            raise ValueError("f must be in [2, 160]")
+        if self.tile < 1 or self.bin_size < 1:
+            raise ValueError("tile and bin_size must be positive")
+        if self.threads_per_block < 32 or self.threads_per_block % 32:
+            raise ValueError("threads_per_block must be a positive warp multiple")
+        if self.threads_per_block > 256:
+            raise ValueError("threads_per_block above 256 can be unlaunchable")
+        if self.read_scheme not in {s.value for s in ReadScheme}:
+            raise ValueError(f"unknown read scheme {self.read_scheme!r}")
+        if self.precision not in {p.value for p in Precision}:
+            raise ValueError(f"unknown precision {self.precision!r}")
+
+
+@dataclass(frozen=True)
+class PatternCase:
+    """A warp access-pattern comparison: coalesced vs per-thread strided."""
+
+    num_elements: int
+    element_bytes: int
+    stride_elements: int
+
+    def __post_init__(self) -> None:
+        if self.num_elements < 0:
+            raise ValueError("num_elements must be non-negative")
+        if self.element_bytes not in (2, 4, 8):
+            raise ValueError("element_bytes must be 2, 4 or 8")
+        if self.stride_elements < 1:
+            raise ValueError("stride_elements must be >= 1")
+
+
+@dataclass(frozen=True)
+class OccupancyCase:
+    """A kernel resource footprint plus an SM-count scaling factor."""
+
+    device: str
+    registers_per_thread: int
+    threads_per_block: int
+    shared_mem_per_block: int
+    sm_scale: int
+
+    def __post_init__(self) -> None:
+        if self.device not in DEVICE_PRESETS:
+            raise ValueError(f"unknown device preset {self.device!r}")
+        if self.registers_per_thread < 1:
+            raise ValueError("registers_per_thread must be positive")
+        if self.threads_per_block < 32 or self.threads_per_block % 32:
+            raise ValueError("threads_per_block must be a positive warp multiple")
+        if self.shared_mem_per_block < 0:
+            raise ValueError("shared_mem_per_block must be non-negative")
+        if self.sm_scale < 2:
+            raise ValueError("sm_scale must be >= 2 (1 is a vacuous relation)")
+
+
+@dataclass(frozen=True)
+class CacheCase:
+    """A working-set ladder against one cache capacity."""
+
+    cache_bytes: int
+    base_working_set_bytes: int
+    reuse_factor: float
+
+    def __post_init__(self) -> None:
+        if self.cache_bytes < 1:
+            raise ValueError("cache_bytes must be positive")
+        if self.base_working_set_bytes < 0:
+            raise ValueError("base_working_set_bytes must be non-negative")
+        if self.reuse_factor < 1.0:
+            raise ValueError("reuse_factor must be >= 1")
+
+
+# ----------------------------------------------------------------------
+# Deterministic builders.
+# ----------------------------------------------------------------------
+
+
+def build_spd_batch(case: SPDCase) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Materialize ``(A, b, x_true)`` for an :class:`SPDCase`.
+
+    A is constructed in float64 with an exact eigenvalue ladder spanning
+    the requested condition number, then cast to float32 — the same
+    representation the solvers under test receive from ``get_hermitian``.
+    """
+    rng = np.random.default_rng(case.seed)
+    eigs = np.logspace(0.0, -case.log10_cond, case.f)
+    Q, _ = np.linalg.qr(rng.normal(size=(case.batch, case.f, case.f)))
+    A = (Q * eigs) @ np.swapaxes(Q, 1, 2)
+    A = (A + np.swapaxes(A, 1, 2)) * (0.5 * 10.0**case.log10_scale)
+    x_true = rng.normal(size=(case.batch, case.f))
+    b = np.einsum("bij,bj->bi", A, x_true)
+    return A.astype(np.float32), b.astype(np.float32), x_true
+
+
+def build_hermitian_system(case: HermitianCase) -> tuple[np.ndarray, np.ndarray]:
+    """Form ``(A, b)`` for every row of the case's rating matrix."""
+    rng = np.random.default_rng(case.seed)
+    ratings = generate_ratings(
+        SyntheticConfig(
+            m=case.m,
+            n=case.n,
+            nnz=case.nnz,
+            true_rank=min(4, case.f),
+            zipf_exponent=case.zipf,
+            seed=case.seed,
+        ),
+        rng=rng,
+    )
+    if case.empty_rows or case.empty_cols:
+        rows = np.repeat(np.arange(ratings.m), ratings.row_counts())
+        ratings = RatingMatrix.from_coo(
+            rows,
+            ratings.col_idx,
+            ratings.row_val,
+            m=ratings.m + case.empty_rows,
+            n=ratings.n + case.empty_cols,
+        )
+    theta = rng.normal(0.0, 0.1, size=(ratings.n, case.f)).astype(np.float32)
+    return hermitian_and_bias(ratings, theta, case.lam)
+
+
+def build_trajectory_split(case: TrajectoryCase) -> TrainTestSplit:
+    """The train/test split both precision variants of the case train on."""
+    ratings = generate_ratings(
+        SyntheticConfig(
+            m=case.m,
+            n=case.n,
+            nnz=case.nnz,
+            true_rank=min(4, case.f),
+            seed=case.seed,
+        )
+    )
+    return train_test_split(ratings, 0.2, seed=case.seed)
+
+
+def build_kernel_specs(case: KernelCase) -> tuple[DeviceSpec, KernelSpec, KernelSpec]:
+    """Build the hermitian-pass and CG-iteration specs for a case."""
+    device = get_device(case.device)
+    config = _als_config(case)
+    shape = WorkloadShape(m=case.m, n=case.n, nnz=case.nnz, f=case.f)
+    herm = hermitian_spec(
+        device, shape, config, threads_per_block=case.threads_per_block
+    )
+    cg = cg_iteration_spec(device, case.m, case.f, config.precision)
+    return device, herm, cg
+
+
+def _als_config(case: KernelCase, *, f: int | None = None) -> ALSConfig:
+    return ALSConfig(
+        f=case.f if f is None else f,
+        tile=case.tile,
+        bin_size=case.bin_size,
+        read_scheme=ReadScheme(case.read_scheme),
+        precision=Precision(case.precision),
+    )
+
+
+# ----------------------------------------------------------------------
+# Draws.  Each takes the campaign's root Generator so the whole run is
+# reproducible from one seed; case-internal randomness re-derives from
+# the drawn per-case seed.
+# ----------------------------------------------------------------------
+
+
+def _seed(rng: np.random.Generator) -> int:
+    return int(rng.integers(0, _MAX_SEED))
+
+
+def draw_spd_case(
+    rng: np.random.Generator,
+    *,
+    max_log10_cond: float = 6.0,
+    max_abs_log10_scale: float = 6.0,
+    truncated: bool = False,
+) -> SPDCase:
+    """Draw a solver case; ``truncated`` draws a paper-style f_s budget."""
+    return SPDCase(
+        batch=int(rng.integers(1, 7)),
+        f=int(rng.integers(2, 65)),
+        log10_cond=round(float(rng.uniform(0.0, max_log10_cond)), 3),
+        log10_scale=round(
+            float(rng.uniform(-max_abs_log10_scale, max_abs_log10_scale)), 3
+        ),
+        fs=int(rng.integers(1, 9)) if truncated else 0,
+        seed=_seed(rng),
+    )
+
+
+def draw_hermitian_case(rng: np.random.Generator) -> HermitianCase:
+    single_user = bool(rng.random() < 0.15)
+    m = 1 if single_user else int(rng.integers(2, 41))
+    n = int(rng.integers(2, 41))
+    nnz_cap = min(m * n, 6 * (m + n))
+    padded = bool(rng.random() < 0.3)
+    return HermitianCase(
+        m=m,
+        n=n,
+        nnz=int(rng.integers(1, nnz_cap + 1)),
+        f=int(rng.integers(2, 17)),
+        lam=round(float(10.0 ** rng.uniform(-3, 0.3)), 6),
+        zipf=round(float(rng.uniform(0.0, 2.0)), 3),
+        empty_rows=int(rng.integers(1, 6)) if padded else 0,
+        empty_cols=int(rng.integers(1, 6)) if padded else 0,
+        seed=_seed(rng),
+    )
+
+
+def draw_trajectory_case(rng: np.random.Generator) -> TrajectoryCase:
+    m = int(rng.integers(20, 61))
+    n = int(rng.integers(15, 51))
+    return TrajectoryCase(
+        m=m,
+        n=n,
+        nnz=int(rng.integers(4 * m, min(10 * m, m * n // 2) + 1)),
+        f=int(rng.integers(4, 13)),
+        fs=int(rng.integers(3, 8)),
+        epochs=int(rng.integers(2, 5)),
+        lam=round(float(10.0 ** rng.uniform(-2, 0.0)), 6),
+        seed=_seed(rng),
+    )
+
+
+def draw_kernel_case(rng: np.random.Generator) -> KernelCase:
+    for _ in range(32):
+        m = int(10.0 ** rng.uniform(0.0, 5.0))
+        case = KernelCase(
+            device=str(rng.choice(sorted(DEVICE_PRESETS))),
+            m=m,
+            n=int(10.0 ** rng.uniform(0.0, 5.0)),
+            nnz=max(m, int(m * 10.0 ** rng.uniform(0.0, 2.0))),
+            f=int(rng.integers(4, 161)),
+            tile=int(rng.integers(2, 17)),
+            threads_per_block=32 * int(rng.integers(1, 9)),
+            bin_size=int(rng.choice((8, 16, 32, 64))),
+            read_scheme=str(rng.choice([s.value for s in ReadScheme])),
+            precision=str(rng.choice([p.value for p in Precision])),
+        )
+        try:
+            build_kernel_specs(case)
+        except ValueError:
+            continue
+        return case
+    raise RuntimeError("could not draw a launchable kernel case")
+
+
+def draw_pattern_case(rng: np.random.Generator) -> PatternCase:
+    return PatternCase(
+        num_elements=int(10.0 ** rng.uniform(0.0, 6.0)),
+        element_bytes=int(rng.choice((2, 4, 8))),
+        stride_elements=int(10.0 ** rng.uniform(0.0, 3.0)),
+    )
+
+
+def draw_occupancy_case(rng: np.random.Generator) -> OccupancyCase:
+    return OccupancyCase(
+        device=str(rng.choice(sorted(DEVICE_PRESETS))),
+        registers_per_thread=int(rng.integers(16, 129)),
+        threads_per_block=32 * int(rng.integers(1, 9)),
+        shared_mem_per_block=int(rng.integers(0, 49)) * 1024,
+        sm_scale=int(rng.integers(2, 5)),
+    )
+
+
+def draw_cache_case(rng: np.random.Generator) -> CacheCase:
+    return CacheCase(
+        cache_bytes=int(2 ** rng.integers(10, 23)),
+        base_working_set_bytes=int(10.0 ** rng.uniform(0.0, 7.0)),
+        reuse_factor=round(float(rng.uniform(1.0, 16.0)), 3),
+    )
+
+
+# ----------------------------------------------------------------------
+# Shrinking: greedy delta-debugging over numeric fields.
+# ----------------------------------------------------------------------
+
+#: Lower bound each shrinkable field moves toward.  Fields absent here
+#: (seeds, device names, enum strings) are never shrunk; candidates that
+#: violate a case's own validation are skipped.
+_SHRINK_MINIMA: dict[str, int | float] = {
+    "batch": 1,
+    "f": 2,
+    "fs": 1,
+    "m": 1,
+    "n": 1,
+    "nnz": 1,
+    "epochs": 1,
+    "empty_rows": 0,
+    "empty_cols": 0,
+    "tile": 1,
+    "threads_per_block": 32,
+    "bin_size": 1,
+    "num_elements": 0,
+    "stride_elements": 1,
+    "registers_per_thread": 1,
+    "shared_mem_per_block": 0,
+    "sm_scale": 2,
+    "cache_bytes": 1024,
+    "base_working_set_bytes": 0,
+    "log10_cond": 0.0,
+    "log10_scale": 0.0,
+    "lam": 1e-3,
+    "zipf": 0.0,
+    "reuse_factor": 1.0,
+}
+
+
+def _shrink_values(value: object, lo: int | float) -> list[int | float]:
+    """Candidate replacements for one field, most aggressive first."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return []
+    out: list[int | float] = []
+    if isinstance(value, int):
+        for cand in (int(lo), (value + int(lo)) // 2, value - 1):
+            if lo <= cand < value and cand not in out:
+                out.append(cand)
+    elif value - lo > 1e-3:
+        out = [float(lo), round((value + lo) / 2.0, 6)]
+    return out
+
+
+def shrink_case(case, still_fails: Callable[[object], bool], *, max_attempts: int = 256):
+    """Greedily minimize ``case`` while ``still_fails`` keeps returning True.
+
+    Classic scalar delta-debugging: for each shrinkable field, try the
+    minimum, the midpoint and the decrement (in that order); accept the
+    first candidate that still reproduces the failure and restart.  The
+    predicate runs the real oracle, so the loop is bounded by
+    ``max_attempts`` total predicate evaluations.
+    """
+    attempts = 0
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        for field_ in fields(case):
+            lo = _SHRINK_MINIMA.get(field_.name)
+            if lo is None:
+                continue
+            for cand_value in _shrink_values(getattr(case, field_.name), lo):
+                if attempts >= max_attempts:
+                    return case
+                try:
+                    candidate = replace(case, **{field_.name: cand_value})
+                except (ValueError, TypeError):
+                    continue
+                attempts += 1
+                if still_fails(candidate):
+                    case = candidate
+                    progress = True
+                    break
+    return case
+
+
+# ----------------------------------------------------------------------
+# Serialization (fixtures).
+# ----------------------------------------------------------------------
+
+_CASE_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        SPDCase,
+        HermitianCase,
+        TrajectoryCase,
+        KernelCase,
+        PatternCase,
+        OccupancyCase,
+        CacheCase,
+    )
+}
+
+
+def case_to_dict(case) -> dict:
+    """JSON-ready representation; inverse of :func:`case_from_dict`."""
+    name = type(case).__name__
+    if name not in _CASE_TYPES:
+        raise TypeError(f"not a registered case type: {name}")
+    return {"case_type": name, "params": asdict(case)}
+
+
+def case_from_dict(data: dict):
+    """Rebuild a case from :func:`case_to_dict` output (validates fields)."""
+    cls = _CASE_TYPES.get(data.get("case_type", ""))
+    if cls is None:
+        raise ValueError(f"unknown case type {data.get('case_type')!r}")
+    return cls(**data["params"])
+
+
+def spd_condition_estimate(case: SPDCase) -> float:
+    """The planted condition number (exact by construction)."""
+    return case.cond
+
+
+def hermitian_condition_estimate(A: np.ndarray) -> float:
+    """Worst 2-norm condition number across a batch of A_u systems."""
+    return float(np.max(np.linalg.cond(A.astype(np.float64))))
+
+
+def large_grid_rows(device: DeviceSpec) -> int:
+    """Rows guaranteeing >= 4 full waves at any occupancy on ``device``.
+
+    The monotone-in-f metamorphic relation only holds once tail-wave
+    quantization is bounded (tail factor <= 1.25); grids this large
+    guarantee that at both f and 2f.
+    """
+    return 4 * device.max_blocks_per_sm * device.num_sms

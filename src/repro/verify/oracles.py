@@ -1,0 +1,391 @@
+"""Differential oracles: exact vs approximate solver paths must agree.
+
+The paper's central safety claim is that its two approximations change
+*cost*, not *answers*:
+
+* **Solution 3** (truncated CG) solves each A_u x = b_u with f_s ≪ f
+  iterations; run to convergence it must match the exact batched
+  factorizations, and truncated it must never *worsen* the residual;
+* **Solution 4** (FP16 storage) halves the A_u traffic; the resulting
+  perturbation is bounded by the FP16 unit roundoff and must stay inside
+  the corresponding noise floor, both per solve and across a whole ALS
+  RMSE trajectory (the paper's Figure 6 shows indistinguishable curves).
+
+Each oracle takes a case from :mod:`repro.verify.generators`, rebuilds
+its inputs, runs two independent implementations and compares them
+within a *derived* tolerance — never a magic constant alone:
+
+=========  ============================================================
+``VF001``  LU vs Cholesky (two exact O(f³) paths): relative difference
+           bounded by ``64·max(eps32, κ·eps64)`` — both factor in
+           float64 and only the float32 round-trip of inputs/outputs
+           plus κ-amplified float64 rounding separates them.
+``VF002``  CG run to convergence vs exact: classic Krylov bound
+           ``C·κ·eps32`` with C=512 (measured worst case ≈ 97 over 1e4
+           seeded systems), capped at 1.0 — beyond κ ~ 1e5 a relative
+           bound says nothing, so only finiteness and the residual
+           contract below are asserted.  Truncated CG additionally must
+           keep ``‖b − A x‖ ≤ (1 + 1e-4)·‖b‖``: the solver tracks the
+           best iterate, so truncation can stop early but never return
+           something worse than the zero start.
+``VF003``  FP16-storage CG vs FP32 CG: quantizing A perturbs it by at
+           most ``eps16·‖A‖`` elementwise, which first-order
+           perturbation theory turns into ``κ·eps16`` relative solution
+           error; bound ``16·κ·eps16`` on the κ ≤ 1e2 domain where that
+           floor is meaningful (measured worst case C ≈ 0.8).
+``VF004``  full ALS RMSE trajectory FP32 vs FP16 within 0.08 absolute
+           on a 1–5 rating scale (2% of the range; measured worst
+           epoch-wise gap ≈ 0.015 across seeds).
+``VF005``  any non-finite value in any solver output is an
+           unconditional error (NaN contagion is how CG bugs surface).
+=========  ============================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.diagnostics import Diagnostic, Severity, register_rule
+from ..core.als import ALSModel
+from ..core.cg import cg_solve_batched
+from ..core.config import ALSConfig, CGConfig, Precision, SolverKind
+from ..core.direct import cholesky_solve_batched, lu_solve_batched
+from .generators import (
+    HermitianCase,
+    SPDCase,
+    TrajectoryCase,
+    build_hermitian_system,
+    build_spd_batch,
+    build_trajectory_split,
+    hermitian_condition_estimate,
+)
+
+__all__ = [
+    "VF001",
+    "VF002",
+    "VF003",
+    "VF004",
+    "VF005",
+    "check_exact_pair",
+    "check_cg_vs_direct",
+    "check_fp16_noise_floor",
+    "check_hermitian_solvers",
+    "check_rmse_trajectory",
+]
+
+VF001 = register_rule(
+    "VF001",
+    "exact solver paths disagree (LU vs Cholesky)",
+    "paper §IV: batched exact solve is the baseline both approximations are judged against",
+)
+VF002 = register_rule(
+    "VF002",
+    "CG diverges from the exact solution beyond the Krylov tolerance",
+    "paper Solution 3 / Fig. 6: truncated CG must not change convergence",
+)
+VF003 = register_rule(
+    "VF003",
+    "FP16-storage CG exceeds the FP16 noise floor",
+    "paper Solution 4: FP16 storage halves traffic within the eps16 noise floor",
+)
+VF004 = register_rule(
+    "VF004",
+    "FP16 RMSE trajectory leaves the FP32 trajectory",
+    "paper Fig. 6: FP32 and FP16 curves are indistinguishable",
+)
+VF005 = register_rule(
+    "VF005",
+    "solver produced a non-finite value",
+    "repo convention: approximate paths may lose accuracy, never finiteness",
+)
+
+EPS64 = float(np.finfo(np.float64).eps)  # ~2.2e-16
+EPS32 = float(np.finfo(np.float32).eps)  # ~1.19e-7
+EPS16 = float(np.finfo(np.float16).eps)  # ~9.77e-4; unit roundoff is eps/2
+
+#: Calibrated leading constants (worst observed over seeded sweeps, with
+#: a ~5x safety margin so the oracles flag regressions, not noise).
+EXACT_PAIR_C = 64.0
+CG_KRYLOV_C = 512.0
+FP16_FLOOR_C = 16.0
+#: Relative-residual contract slack for truncated CG (best-iterate
+#: tracking guarantees the residual never exceeds the zero-start one).
+RESIDUAL_SLACK = 1.0 + 1e-4
+#: Absolute RMSE band between FP32 and FP16 trajectories (ratings 1..5).
+TRAJECTORY_TOL = 0.08
+#: Above this condition number a relative FP16-vs-FP32 bound is vacuous.
+FP16_COND_DOMAIN = 1e2
+
+
+def _rel_diff(x: np.ndarray, ref: np.ndarray) -> float:
+    """Max-norm relative difference, guarded for zero references."""
+    scale = max(float(np.max(np.abs(ref))), 1e-30)
+    return float(np.max(np.abs(np.asarray(x, dtype=np.float64) - ref)) / scale)
+
+
+def _nonfinite(subject: str, **arrays: np.ndarray) -> list[Diagnostic]:
+    findings = []
+    for name, arr in arrays.items():
+        bad = int(np.size(arr) - np.isfinite(arr).sum())
+        if bad:
+            findings.append(
+                Diagnostic(
+                    rule_id=VF005,
+                    severity=Severity.ERROR,
+                    subject=subject,
+                    message=f"{name} contains {bad} non-finite value(s)",
+                    data=(("nonfinite", float(bad)),),
+                )
+            )
+    return findings
+
+
+def _mismatch(
+    rule: str,
+    subject: str,
+    message: str,
+    rel: float,
+    tol: float,
+    cond: float,
+    hint: str = "",
+) -> Diagnostic:
+    return Diagnostic(
+        rule_id=rule,
+        severity=Severity.ERROR,
+        subject=subject,
+        message=message,
+        hint=hint,
+        data=(("rel_diff", rel), ("tolerance", tol), ("cond", cond)),
+    )
+
+
+# ----------------------------------------------------------------------
+# Solver oracles.
+# ----------------------------------------------------------------------
+
+
+def check_exact_pair(case: SPDCase) -> list[Diagnostic]:
+    """VF001/VF005: the two exact O(f³) paths must agree to rounding."""
+    A, b, _ = build_spd_batch(case)
+    x_lu = lu_solve_batched(A, b)
+    x_ch = cholesky_solve_batched(A, b)
+    findings = _nonfinite("solver.exact", x_lu=x_lu, x_cholesky=x_ch)
+    if findings:
+        return findings
+    rel = _rel_diff(x_lu, x_ch)
+    tol = EXACT_PAIR_C * max(EPS32, case.cond * EPS64)
+    if rel > tol:
+        findings.append(
+            _mismatch(
+                VF001,
+                "solver.exact",
+                f"LU and Cholesky differ by {rel:.3e} (tol {tol:.3e}, κ={case.cond:.1e})",
+                rel,
+                tol,
+                case.cond,
+                hint="both paths factor in float64; a gap this large means one is broken",
+            )
+        )
+    return findings
+
+
+def check_cg_vs_direct(case: SPDCase) -> list[Diagnostic]:
+    """VF002/VF005: CG tracks the exact solve; truncation never regresses.
+
+    With ``fs == 0`` the case runs CG for 2f iterations ("to convergence")
+    and enforces the Krylov relative-error bound against LU.  With a
+    truncated paper-style budget only the residual contract applies — the
+    whole point of Solution 3 is that the intermediate answer is allowed
+    to be inexact, but it must still be a *descent* on the residual.
+    """
+    A, b, _ = build_spd_batch(case)
+    ref = lu_solve_batched(A, b)
+    result = cg_solve_batched(A, b, config=CGConfig(max_iters=case.max_iters, tol=0.0))
+    findings = _nonfinite(
+        "solver.cg", x=result.x, residual_norms=result.residual_norms
+    )
+    if findings:
+        return findings
+
+    if case.fs == 0:
+        rel = _rel_diff(result.x, ref)
+        tol = min(1.0, CG_KRYLOV_C * case.cond * EPS32)
+        if rel > tol:
+            findings.append(
+                _mismatch(
+                    VF002,
+                    "solver.cg",
+                    f"converged CG off the exact solution by {rel:.3e} "
+                    f"(tol {tol:.3e}, κ={case.cond:.1e})",
+                    rel,
+                    tol,
+                    case.cond,
+                    hint="check the alpha/beta recurrences and the freeze masks",
+                )
+            )
+
+    b_norms = np.sqrt(np.einsum("bf,bf->b", b.astype(np.float64), b.astype(np.float64)))
+    limit = RESIDUAL_SLACK * b_norms + 64.0 * EPS32 * np.max(b_norms)
+    worst = int(np.argmax(result.residual_norms - limit))
+    if result.residual_norms[worst] > limit[worst]:
+        rel = float(result.residual_norms[worst] / max(b_norms[worst], 1e-30))
+        findings.append(
+            _mismatch(
+                VF002,
+                "solver.cg",
+                f"truncated CG worsened the residual: ‖b−Ax‖/‖b‖ = {rel:.4f} "
+                f"after {result.iterations} iteration(s)",
+                rel,
+                RESIDUAL_SLACK,
+                case.cond,
+                hint="best-iterate tracking should make this impossible",
+            )
+        )
+    return findings
+
+
+def check_fp16_noise_floor(case: SPDCase) -> list[Diagnostic]:
+    """VF003/VF005: FP16 storage perturbs the solution by ≲ κ·eps16.
+
+    Only meaningful on the κ ≤ 1e2 domain (the generator draws it that
+    way); for larger κ the floor exceeds any useful bound and the FP32
+    oracles already cover correctness.
+    """
+    A, b, _ = build_spd_batch(case)
+    cfg = CGConfig(max_iters=case.max_iters, tol=0.0)
+    r32 = cg_solve_batched(A, b, config=cfg, precision=Precision.FP32)
+    r16 = cg_solve_batched(A, b, config=cfg, precision=Precision.FP16)
+    findings = _nonfinite("solver.fp16", x_fp16=r16.x, x_fp32=r32.x)
+    if findings:
+        return findings
+    rel = _rel_diff(r16.x, r32.x)
+    tol = min(1.0, FP16_FLOOR_C * max(1.0, case.cond) * EPS16)
+    if rel > tol:
+        findings.append(
+            _mismatch(
+                VF003,
+                "solver.fp16",
+                f"FP16-storage CG deviates by {rel:.3e} (floor {tol:.3e}, "
+                f"κ={case.cond:.1e})",
+                rel,
+                tol,
+                case.cond,
+                hint="quantize() must round-trip through binary16 exactly once",
+            )
+        )
+    return findings
+
+
+def check_hermitian_solvers(case: HermitianCase) -> list[Diagnostic]:
+    """VF001/VF002/VF005 on *real* normal equations from a rating matrix.
+
+    Unlike the synthetic SPD ladder, these A_u come out of
+    ``hermitian_and_bias`` — so this oracle also guards the λ-regularizer
+    path: with λ > 0 every A_u (including those of empty rows, which are
+    exactly λI) must be positive definite, and a Cholesky failure is a
+    finding, not an artifact.
+    """
+    rng = np.random.default_rng(case.seed + 1)
+    A, b = build_hermitian_system(case)
+    findings = _nonfinite("solver.hermitian", A=A, b=b)
+    if findings:
+        return findings
+    try:
+        x_ch = cholesky_solve_batched(A, b)
+    except np.linalg.LinAlgError:
+        return [
+            Diagnostic(
+                rule_id=VF001,
+                severity=Severity.ERROR,
+                subject="solver.hermitian",
+                message=(
+                    f"Cholesky rejected an A_u built with λ={case.lam:g} > 0 — "
+                    "the regularizer no longer guarantees positive definiteness"
+                ),
+                hint="check the n_xu·λ·I term in hermitian_and_bias (empty rows too)",
+                data=(("lam", case.lam), ("m", float(A.shape[0]))),
+            )
+        ]
+    x_lu = lu_solve_batched(A, b)
+    cond = hermitian_condition_estimate(A)
+    findings = _nonfinite("solver.hermitian", x_lu=x_lu, x_cholesky=x_ch)
+    if findings:
+        return findings
+    rel = _rel_diff(x_lu, x_ch)
+    tol = EXACT_PAIR_C * max(EPS32, cond * EPS64)
+    if rel > tol:
+        findings.append(
+            _mismatch(
+                VF001,
+                "solver.hermitian",
+                f"LU and Cholesky differ by {rel:.3e} on real A_u (tol {tol:.3e})",
+                rel,
+                tol,
+                cond,
+            )
+        )
+    # Warm-started CG from a perturbed point must still satisfy the
+    # residual contract on real systems (covers x0 handling).
+    x0 = (x_ch + rng.normal(0.0, 0.1, size=x_ch.shape)).astype(np.float32)
+    result = cg_solve_batched(A, b, x0=x0, config=CGConfig(max_iters=2 * case.f, tol=0.0))
+    findings.extend(_nonfinite("solver.hermitian", x_cg=result.x))
+    if not findings:
+        rel = _rel_diff(result.x, x_ch)
+        tol = min(1.0, CG_KRYLOV_C * cond * EPS32)
+        if rel > tol:
+            findings.append(
+                _mismatch(
+                    VF002,
+                    "solver.hermitian",
+                    f"warm-started CG off the exact solution by {rel:.3e} "
+                    f"(tol {tol:.3e}, κ={cond:.1e})",
+                    rel,
+                    tol,
+                    cond,
+                )
+            )
+    return findings
+
+
+def check_rmse_trajectory(case: TrajectoryCase) -> list[Diagnostic]:
+    """VF004/VF005: FP32 and FP16 training curves stay within the band."""
+    split = build_trajectory_split(case)
+    curves = {}
+    for precision in (Precision.FP32, Precision.FP16):
+        model = ALSModel(
+            ALSConfig(
+                f=case.f,
+                lam=case.lam,
+                solver=SolverKind.CG,
+                precision=precision,
+                cg=CGConfig(max_iters=case.fs, tol=1e-4),
+                seed=case.seed,
+            )
+        )
+        curves[precision] = model.fit(split.train, split.test, epochs=case.epochs)
+    findings = []
+    for precision, curve in curves.items():
+        rmses = np.array([p.train_rmse for p in curve.points], dtype=np.float64)
+        findings.extend(_nonfinite("als.trajectory", **{f"rmse_{precision.value}": rmses}))
+    if findings:
+        return findings
+    gaps = [
+        abs(p32.train_rmse - p16.train_rmse)
+        for p32, p16 in zip(curves[Precision.FP32].points, curves[Precision.FP16].points)
+    ]
+    worst = max(gaps)
+    if worst > TRAJECTORY_TOL:
+        findings.append(
+            Diagnostic(
+                rule_id=VF004,
+                severity=Severity.ERROR,
+                subject="als.trajectory",
+                message=(
+                    f"FP16 training RMSE drifts {worst:.4f} from FP32 "
+                    f"(band {TRAJECTORY_TOL}) over {case.epochs} epoch(s)"
+                ),
+                hint="Figure 6 requires indistinguishable curves; check quantize()",
+                data=(("max_gap", worst), ("tolerance", TRAJECTORY_TOL)),
+            )
+        )
+    return findings

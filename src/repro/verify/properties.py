@@ -1,0 +1,349 @@
+"""Metamorphic properties of the gpusim cost model.
+
+The timing model has no ground truth to diff against, so it is checked
+the metamorphic way: known *relations between* outputs under controlled
+input transformations.  Each relation is provable from the model's
+structure — a violation is a bug, never noise:
+
+=========  ============================================================
+``VF101``  ``get_hermitian`` time is non-decreasing in Nz with all else
+           fixed (flops and staged traffic scale with Nz while
+           occupancy, cache fractions and the tail factor stay put —
+           the paper's Figure 4 x-axis).
+``VF102``  CG-iteration time is non-decreasing in batch and in f, on
+           wave-saturated grids (the stream is cache-less by
+           construction: reuse factor 1 pins the hit rates at zero, so
+           every cost term grows).  Sub-wave grids are excluded: there
+           ceil-quantized transaction counts and tail normalization
+           make timing sawtooth, which is physical.
+``VF103``  no kernel beats its roofline: ``seconds ≥ flops/peak`` and
+           ``seconds ≥ DRAM bytes/bandwidth`` (Table I's bound).
+``VF104``  coalesced access never issues more transactions, and never
+           has lower transaction efficiency, than the per-thread
+           strided walk of the same payload (Figure 3's schemes).
+``VF105``  occupancy is a per-SM quantity: scaling the SM count leaves
+           blocks/warps/occupancy per SM untouched (Observation 2's
+           arithmetic is per-SM).
+``VF106``  the analytic cache hit rate is non-increasing in working-set
+           size and bounded by ``(r-1)/r`` (Solution 2's spill model).
+=========  ============================================================
+
+Deliberately *not* asserted: hermitian timing monotone in ``f`` or ``m``
+(occupancy and L2 hot-column fractions legitimately shift with ``f``,
+and tail-wave quantization makes small-``m`` timing sawtooth — both are
+physical, see docs/verification.md), and exact-LRU cache monotonicity
+(LRU is not a stack algorithm; Bélády anomalies are correct behaviour).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.diagnostics import Diagnostic, Severity, register_rule
+from ..core.kernels import cg_iteration_spec, hermitian_spec
+from ..data.datasets import WorkloadShape
+from ..gpusim.cache import analytic_hit_rate
+from ..gpusim.coalescing import coalesced, strided
+from ..gpusim.device import get_device
+from ..gpusim.kernel import LaunchTiming, time_kernel
+from ..gpusim.occupancy import KernelResources, compute_occupancy
+from .generators import (
+    CacheCase,
+    KernelCase,
+    OccupancyCase,
+    PatternCase,
+    _als_config,
+    build_kernel_specs,
+    large_grid_rows,
+)
+from .oracles import VF005
+
+__all__ = [
+    "VF101",
+    "VF102",
+    "VF103",
+    "VF104",
+    "VF105",
+    "VF106",
+    "check_timing_monotone",
+    "check_roofline_bound",
+    "check_coalescing_order",
+    "check_occupancy_invariance",
+    "check_cache_monotone",
+]
+
+VF101 = register_rule(
+    "VF101",
+    "kernel time not monotone in Nz",
+    "paper Fig. 4: get_hermitian cost scales with the ratings count",
+)
+VF102 = register_rule(
+    "VF102",
+    "CG iteration time not monotone in batch/f",
+    "paper Table I: the CG stream is O(batch·f²) with no reuse",
+)
+VF103 = register_rule(
+    "VF103",
+    "kernel time below its roofline lower bound",
+    "paper Table I / roofline: no kernel beats peak FLOPs or DRAM bandwidth",
+)
+VF104 = register_rule(
+    "VF104",
+    "coalesced access costs more transactions than strided",
+    "paper Fig. 3: coalescing is the transaction-optimal scheme",
+)
+VF105 = register_rule(
+    "VF105",
+    "occupancy changed under SM-count scaling",
+    "paper Observation 2: occupancy arithmetic is per-SM",
+)
+VF106 = register_rule(
+    "VF106",
+    "cache hit rate grew with working-set size",
+    "paper Solution 2: hit rate collapses as the staged set spills",
+)
+
+#: Relative slack for comparing two computed times (pure float noise).
+_REL_EPS = 1e-9
+
+
+def _violation(rule: str, subject: str, message: str, **data: float) -> Diagnostic:
+    return Diagnostic(
+        rule_id=rule,
+        severity=Severity.ERROR,
+        subject=subject,
+        message=message,
+        data=tuple(sorted(data.items())),
+    )
+
+
+def _finite_timing(subject: str, timing: LaunchTiming) -> list[Diagnostic]:
+    if math.isfinite(timing.seconds) and timing.seconds >= 0:
+        return []
+    return [
+        Diagnostic(
+            rule_id=VF005,
+            severity=Severity.ERROR,
+            subject=subject,
+            message=f"{timing.kernel} produced a non-finite/negative time",
+            data=(("seconds", timing.seconds),),
+        )
+    ]
+
+
+def _not_monotone(t_small: float, t_big: float) -> bool:
+    return t_big < t_small * (1.0 - _REL_EPS)
+
+
+def check_timing_monotone(case: KernelCase) -> list[Diagnostic]:
+    """VF101/VF102: doubling work never makes a kernel faster."""
+    device, herm, cg = build_kernel_specs(case)
+    findings = []
+
+    # Hermitian: scale Nz with shape/launch fixed.
+    shape2 = WorkloadShape(m=case.m, n=case.n, nnz=2 * case.nnz, f=case.f)
+    t1 = time_kernel(device, herm)
+    herm2 = hermitian_spec(
+        device,
+        shape2,
+        _als_config(case),
+        threads_per_block=case.threads_per_block,
+    )
+    t2 = time_kernel(device, herm2)
+    findings.extend(_finite_timing("gpusim.monotone", t1))
+    findings.extend(_finite_timing("gpusim.monotone", t2))
+    if not findings and _not_monotone(t1.seconds, t2.seconds):
+        findings.append(
+            _violation(
+                VF101,
+                "gpusim.monotone",
+                f"get_hermitian got faster when Nz doubled: "
+                f"{t1.seconds:.3e}s → {t2.seconds:.3e}s at Nz={case.nnz}",
+                seconds_small=t1.seconds,
+                seconds_big=t2.seconds,
+            )
+        )
+
+    # CG iteration: scale batch, then f.  Both relations are evaluated on
+    # wave-saturated grids (large_grid_rows): below one wave of blocks the
+    # tail-factor normalization interacts with ceil-quantized transaction
+    # counts and timing legitimately sawtooths — scaling 4 elements of
+    # traffic to 8 does not add a single 32B transaction, while the
+    # per-block normalization halves.  The paper's batches are m ~ 1e5+.
+    precision = _als_config(case).precision
+    findings.extend(_finite_timing("gpusim.monotone", time_kernel(device, cg)))
+    big = max(case.m, large_grid_rows(device))
+    tb1 = time_kernel(device, cg_iteration_spec(device, big, case.f, precision))
+    tb2 = time_kernel(device, cg_iteration_spec(device, 2 * big, case.f, precision))
+    if not findings and _not_monotone(tb1.seconds, tb2.seconds):
+        findings.append(
+            _violation(
+                VF102,
+                "gpusim.monotone",
+                f"cg_iteration got faster when batch doubled: "
+                f"{tb1.seconds:.3e}s → {tb2.seconds:.3e}s at batch={big}",
+                seconds_small=tb1.seconds,
+                seconds_big=tb2.seconds,
+            )
+        )
+
+    tf1 = time_kernel(device, cg_iteration_spec(device, big, case.f, precision))
+    tf2 = time_kernel(device, cg_iteration_spec(device, big, 2 * case.f, precision))
+    if not findings and _not_monotone(tf1.seconds, tf2.seconds):
+        findings.append(
+            _violation(
+                VF102,
+                "gpusim.monotone",
+                f"cg_iteration got faster when f doubled: "
+                f"{tf1.seconds:.3e}s → {tf2.seconds:.3e}s at f={case.f}",
+                seconds_small=tf1.seconds,
+                seconds_big=tf2.seconds,
+            )
+        )
+    return findings
+
+
+def check_roofline_bound(case: KernelCase) -> list[Diagnostic]:
+    """VF103: both kernels respect compute and bandwidth rooflines."""
+    device, herm, cg = build_kernel_specs(case)
+    findings = []
+    for spec in (herm, cg):
+        timing = time_kernel(device, spec)
+        findings.extend(_finite_timing("gpusim.roofline", timing))
+        if findings:
+            break
+        compute_floor = spec.flops / timing.compute.peak_flops
+        dram_total = sum(p.dram_bytes for p in timing.memory.values())
+        memory_floor = dram_total / device.dram_bandwidth
+        floor = max(compute_floor, memory_floor)
+        if timing.seconds < floor * (1.0 - _REL_EPS):
+            findings.append(
+                _violation(
+                    VF103,
+                    "gpusim.roofline",
+                    f"{spec.name} timed below its roofline: {timing.seconds:.3e}s "
+                    f"vs floor {floor:.3e}s",
+                    seconds=timing.seconds,
+                    compute_floor=compute_floor,
+                    memory_floor=memory_floor,
+                )
+            )
+    return findings
+
+
+def check_coalescing_order(case: PatternCase) -> list[Diagnostic]:
+    """VF104: coalescing dominates strided on transactions and efficiency."""
+    co = coalesced(case.num_elements, element_bytes=case.element_bytes)
+    st = strided(
+        case.num_elements,
+        stride_bytes=case.stride_elements * case.element_bytes,
+        element_bytes=case.element_bytes,
+    )
+    findings = []
+    if co.transactions > st.transactions:
+        findings.append(
+            _violation(
+                VF104,
+                "gpusim.coalescing",
+                f"coalesced issued {co.transactions} transactions vs "
+                f"{st.transactions} strided for the same {case.num_elements} elements",
+                coalesced_txns=float(co.transactions),
+                strided_txns=float(st.transactions),
+            )
+        )
+    if co.efficiency < st.efficiency - _REL_EPS:
+        findings.append(
+            _violation(
+                VF104,
+                "gpusim.coalescing",
+                f"coalesced efficiency {co.efficiency:.3f} below strided "
+                f"{st.efficiency:.3f}",
+                coalesced_eff=co.efficiency,
+                strided_eff=st.efficiency,
+            )
+        )
+    for name, pattern in (("coalesced", co), ("strided", st)):
+        if pattern.moved_bytes + 31 < pattern.total_bytes:
+            findings.append(
+                _violation(
+                    VF104,
+                    "gpusim.coalescing",
+                    f"{name} pattern moves fewer bytes than its payload "
+                    f"({pattern.moved_bytes} < {pattern.total_bytes})",
+                    moved=float(pattern.moved_bytes),
+                    payload=float(pattern.total_bytes),
+                )
+            )
+    return findings
+
+
+def check_occupancy_invariance(case: OccupancyCase) -> list[Diagnostic]:
+    """VF105: per-SM occupancy must not depend on the device's SM count."""
+    device = get_device(case.device)
+    res = KernelResources(
+        registers_per_thread=case.registers_per_thread,
+        threads_per_block=case.threads_per_block,
+        shared_mem_per_block=case.shared_mem_per_block,
+    )
+    try:
+        base = compute_occupancy(device, res)
+    except ValueError:
+        return []  # unlaunchable kernels have no occupancy to compare
+    scaled_dev = device.with_(num_sms=case.sm_scale * device.num_sms)
+    scaled = compute_occupancy(scaled_dev, res)
+    same = (
+        base.blocks_per_sm == scaled.blocks_per_sm
+        and base.warps_per_sm == scaled.warps_per_sm
+        and math.isclose(base.occupancy, scaled.occupancy, rel_tol=1e-12)
+    )
+    if same:
+        return []
+    return [
+        _violation(
+            VF105,
+            "gpusim.occupancy",
+            f"occupancy changed under {case.sm_scale}x SM scaling on "
+            f"{case.device}: {base.occupancy:.3f} → {scaled.occupancy:.3f}",
+            base_occupancy=base.occupancy,
+            scaled_occupancy=scaled.occupancy,
+            sm_scale=float(case.sm_scale),
+        )
+    ]
+
+
+def check_cache_monotone(case: CacheCase) -> list[Diagnostic]:
+    """VF106: hit rate never grows along a doubling working-set ladder."""
+    max_hit = (case.reuse_factor - 1.0) / case.reuse_factor
+    ladder = [case.base_working_set_bytes * (2**k) for k in range(4)]
+    rates = [
+        analytic_hit_rate(float(ws), float(case.cache_bytes), case.reuse_factor)
+        for ws in ladder
+    ]
+    findings = []
+    for ws, rate in zip(ladder, rates):
+        if not 0.0 <= rate <= max_hit + _REL_EPS:
+            findings.append(
+                _violation(
+                    VF106,
+                    "gpusim.cache",
+                    f"hit rate {rate:.4f} outside [0, (r-1)/r={max_hit:.4f}] "
+                    f"at working set {ws}B",
+                    rate=rate,
+                    max_hit=max_hit,
+                )
+            )
+    for (ws_a, r_a), (ws_b, r_b) in zip(
+        zip(ladder, rates), zip(ladder[1:], rates[1:])
+    ):
+        if r_b > r_a + _REL_EPS:
+            findings.append(
+                _violation(
+                    VF106,
+                    "gpusim.cache",
+                    f"hit rate grew from {r_a:.4f} to {r_b:.4f} as the working "
+                    f"set doubled ({ws_a}B → {ws_b}B)",
+                    rate_small=r_a,
+                    rate_big=r_b,
+                )
+            )
+    return findings

@@ -1,0 +1,94 @@
+"""Differential coverage: direct vs CG on ill-conditioned SPD systems.
+
+Pytest-native slice of the ``repro verify`` oracles (see
+docs/verification.md): the exact O(f³) paths and the truncated CG of
+paper Solution 3 are compared across condition numbers 1e2–1e8,
+parametrized over f ∈ {10, 40, 100} and f_s ∈ {3, 5, f}.  Tolerances are
+the calibrated Krylov bounds from ``repro.verify.oracles``, so a failure
+here and a fuzz-campaign failure mean the same thing.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import CGConfig, cg_solve_batched, cholesky_solve_batched, lu_solve_batched
+from repro.verify.generators import SPDCase, build_spd_batch
+from repro.verify.oracles import (
+    CG_KRYLOV_C,
+    EPS32,
+    EPS64,
+    EXACT_PAIR_C,
+    RESIDUAL_SLACK,
+)
+
+FACTORS = [10, 40, 100]
+CONDS = [1e2, 1e4, 1e6, 1e8]
+
+
+def _case(f, cond, fs=0, seed=1234):
+    return SPDCase(
+        batch=4,
+        f=f,
+        log10_cond=math.log10(cond),
+        log10_scale=0.0,
+        fs=fs,
+        seed=seed,
+    )
+
+
+def _rel_err(x, ref):
+    scale = max(float(np.max(np.abs(ref))), 1e-30)
+    return float(np.max(np.abs(x.astype(np.float64) - ref)) / scale)
+
+
+@pytest.mark.parametrize("f", FACTORS)
+@pytest.mark.parametrize("cond", CONDS)
+class TestExactVsCG:
+    def test_exact_pair_agrees(self, f, cond):
+        A, b, _ = build_spd_batch(_case(f, cond))
+        x_lu = lu_solve_batched(A, b)
+        x_ch = cholesky_solve_batched(A, b)
+        assert np.isfinite(x_lu).all() and np.isfinite(x_ch).all()
+        assert _rel_err(x_lu, x_ch) <= EXACT_PAIR_C * max(EPS32, cond * EPS64)
+
+    def test_converged_cg_tracks_exact(self, f, cond):
+        A, b, _ = build_spd_batch(_case(f, cond))
+        ref = lu_solve_batched(A, b)
+        res = cg_solve_batched(A, b, config=CGConfig(max_iters=2 * f, tol=0.0))
+        assert np.isfinite(res.x).all()
+        assert _rel_err(res.x, ref) <= min(1.0, CG_KRYLOV_C * cond * EPS32)
+
+
+@pytest.mark.parametrize("f", FACTORS)
+@pytest.mark.parametrize("fs_kind", [3, 5, "f"])
+class TestTruncatedCG:
+    """Paper Solution 3: truncation trades accuracy for time, never safety."""
+
+    def test_residual_contract(self, f, fs_kind):
+        fs = f if fs_kind == "f" else fs_kind
+        for cond in CONDS:
+            A, b, _ = build_spd_batch(_case(f, cond, fs=fs))
+            res = cg_solve_batched(A, b, config=CGConfig(max_iters=fs, tol=0.0))
+            assert np.isfinite(res.x).all()
+            b64 = b.astype(np.float64)
+            b_norms = np.sqrt(np.einsum("bf,bf->b", b64, b64))
+            limit = RESIDUAL_SLACK * b_norms + 64.0 * EPS32 * b_norms.max()
+            assert (res.residual_norms <= limit).all(), f"cond={cond:g}"
+
+    def test_more_iterations_no_worse(self, f, fs_kind):
+        """On a moderate-κ system the A-norm error is monotone in f_s
+        (exact-arithmetic CG guarantee; 5% slack absorbs fp32 noise)."""
+        fs = f if fs_kind == "f" else fs_kind
+        case = _case(f, 1e2, fs=fs)
+        A, b, x_true = build_spd_batch(case)
+        A64 = A.astype(np.float64)
+
+        def a_norm_err(x):
+            d = x.astype(np.float64) - x_true
+            return float(np.einsum("bf,bfg,bg->", d, A64, d))
+
+        shorter = cg_solve_batched(A, b, config=CGConfig(max_iters=fs, tol=0.0))
+        longer = cg_solve_batched(A, b, config=CGConfig(max_iters=2 * fs, tol=0.0))
+        assert a_norm_err(longer.x) <= 1.05 * a_norm_err(shorter.x) + 1e-12

@@ -1,0 +1,169 @@
+"""Metamorphic properties of the gpusim cost model, as plain pytest cases.
+
+Deterministic pytest mirror of the ``gpusim.*`` checks that ``repro
+verify`` fuzzes: a handful of hand-picked cases spanning the presets,
+plus a small seeded sweep through the campaign's own generators.  Each
+check returns a list of diagnostics; an empty list means the relation
+held (see docs/verification.md for why each relation is provable).
+"""
+
+import numpy as np
+import pytest
+
+from repro.verify.generators import (
+    CacheCase,
+    KernelCase,
+    OccupancyCase,
+    PatternCase,
+    draw_cache_case,
+    draw_kernel_case,
+    draw_occupancy_case,
+    draw_pattern_case,
+)
+from repro.verify.properties import (
+    check_cache_monotone,
+    check_coalescing_order,
+    check_occupancy_invariance,
+    check_roofline_bound,
+    check_timing_monotone,
+)
+
+DEVICES = ["maxwell", "kepler", "pascal", "volta"]
+
+
+def _kernel_case(device, **overrides):
+    params = dict(
+        device=device,
+        m=100_000,
+        n=20_000,
+        nnz=2_000_000,
+        f=64,
+        tile=8,
+        threads_per_block=64,
+        bin_size=32,
+        read_scheme="noncoal-l1",
+        precision="fp16",
+    )
+    params.update(overrides)
+    return KernelCase(**params)
+
+
+def _assert_clean(diags):
+    assert diags == [], "\n".join(d.message for d in diags)
+
+
+class TestTimingMonotone:
+    """VF101/VF102: more work never makes a kernel faster."""
+
+    @pytest.mark.parametrize("device", DEVICES)
+    def test_paper_scale_workload(self, device):
+        _assert_clean(check_timing_monotone(_kernel_case(device)))
+
+    def test_small_workload_fp32_coalesced(self):
+        case = _kernel_case(
+            "maxwell", m=500, n=300, nnz=6_000, f=10,
+            read_scheme="coalesced", precision="fp32",
+        )
+        _assert_clean(check_timing_monotone(case))
+
+
+class TestRooflineBound:
+    """VF103: no kernel beats peak FLOPs or DRAM bandwidth."""
+
+    @pytest.mark.parametrize("device", DEVICES)
+    def test_paper_scale_workload(self, device):
+        _assert_clean(check_roofline_bound(_kernel_case(device)))
+
+    @pytest.mark.parametrize("scheme", ["coalesced", "noncoal-l1", "noncoal-nol1"])
+    def test_all_read_schemes(self, scheme):
+        _assert_clean(check_roofline_bound(_kernel_case("maxwell", read_scheme=scheme)))
+
+
+class TestCoalescingOrder:
+    """VF104: coalescing is transaction-optimal (paper Fig. 3)."""
+
+    @pytest.mark.parametrize("stride", [1, 2, 7, 32, 1000])
+    @pytest.mark.parametrize("element_bytes", [2, 4, 8])
+    def test_explicit_strides(self, stride, element_bytes):
+        case = PatternCase(
+            num_elements=4096, element_bytes=element_bytes, stride_elements=stride
+        )
+        _assert_clean(check_coalescing_order(case))
+
+    def test_empty_payload(self):
+        _assert_clean(
+            check_coalescing_order(
+                PatternCase(num_elements=0, element_bytes=4, stride_elements=1)
+            )
+        )
+
+
+class TestOccupancyInvariance:
+    """VF105: occupancy arithmetic is per-SM (paper Observation 2)."""
+
+    @pytest.mark.parametrize("device", DEVICES)
+    @pytest.mark.parametrize("sm_scale", [2, 7])
+    def test_typical_kernel(self, device, sm_scale):
+        case = OccupancyCase(
+            device=device,
+            registers_per_thread=70,
+            threads_per_block=64,
+            shared_mem_per_block=8192,
+            sm_scale=sm_scale,
+        )
+        _assert_clean(check_occupancy_invariance(case))
+
+    def test_unlaunchable_kernel_is_skipped(self):
+        case = OccupancyCase(
+            device="maxwell",
+            registers_per_thread=10_000,
+            threads_per_block=256,
+            shared_mem_per_block=0,
+            sm_scale=2,
+        )
+        _assert_clean(check_occupancy_invariance(case))
+
+
+class TestCacheMonotone:
+    """VF106: the analytic hit rate decays as the working set spills."""
+
+    @pytest.mark.parametrize("reuse", [1.0, 2.0, 13.5])
+    def test_working_set_ladder(self, reuse):
+        case = CacheCase(
+            cache_bytes=3 * 1024 * 1024,
+            base_working_set_bytes=256 * 1024,
+            reuse_factor=reuse,
+        )
+        _assert_clean(check_cache_monotone(case))
+
+    def test_tiny_cache_huge_set(self):
+        case = CacheCase(
+            cache_bytes=1024,
+            base_working_set_bytes=64 * 1024 * 1024,
+            reuse_factor=4.0,
+        )
+        _assert_clean(check_cache_monotone(case))
+
+
+class TestSeededSweep:
+    """The campaign generators themselves, at a fixed seed: every drawn
+    case must satisfy its property (this is a 20-case slice of what
+    ``repro verify`` runs at scale)."""
+
+    @pytest.mark.parametrize(
+        ("draw", "check"),
+        [
+            (draw_kernel_case, check_timing_monotone),
+            (draw_kernel_case, check_roofline_bound),
+            (draw_pattern_case, check_coalescing_order),
+            (draw_occupancy_case, check_occupancy_invariance),
+            (draw_cache_case, check_cache_monotone),
+        ],
+        ids=["monotone", "roofline", "coalescing", "occupancy", "cache"],
+    )
+    def test_drawn_cases_hold(self, draw, check):
+        rng = np.random.default_rng(2018)
+        for _ in range(4):
+            case = draw(rng)
+            diags = check(case)
+            assert diags == [], f"{case}: " + "; ".join(d.message for d in diags)

@@ -1,0 +1,45 @@
+"""Replay every persisted reproducer fixture against the current tree.
+
+Fixtures under ``tests/fixtures/verify/`` are minimal failing cases that
+past ``repro verify`` campaigns shrank and saved.  Once the underlying
+bug is fixed the fixture must replay clean — and stay clean forever.
+A non-empty diagnostic list here means a regression of a previously
+fixed bug.
+"""
+
+import os
+
+import pytest
+
+from repro.verify import iter_fixture_paths, replay_fixture
+
+FIXTURES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "fixtures",
+    "verify",
+)
+
+_PATHS = iter_fixture_paths(FIXTURES_DIR)
+
+
+@pytest.mark.parametrize(
+    "path",
+    _PATHS or [None],
+    ids=[os.path.basename(p) for p in _PATHS] or ["no-fixtures"],
+)
+def test_fixture_replays_clean(path):
+    if path is None:
+        pytest.skip("no reproducer fixtures recorded yet")
+    diags = replay_fixture(path)
+    assert diags == [], "\n".join(
+        f"{d.rule_id}: {d.message}" for d in diags
+    )
+
+
+def test_missing_directory_yields_empty_list(tmp_path):
+    assert iter_fixture_paths(tmp_path / "does-not-exist") == []
+
+
+def test_non_json_files_are_ignored(tmp_path):
+    (tmp_path / "README.md").write_text("not a fixture\n")
+    assert iter_fixture_paths(tmp_path) == []

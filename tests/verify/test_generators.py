@@ -1,0 +1,192 @@
+"""Case generators: validity, determinism, shrinking, serialization."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.verify.generators import (
+    CacheCase,
+    HermitianCase,
+    KernelCase,
+    OccupancyCase,
+    PatternCase,
+    SPDCase,
+    TrajectoryCase,
+    build_hermitian_system,
+    build_spd_batch,
+    case_from_dict,
+    case_to_dict,
+    draw_cache_case,
+    draw_hermitian_case,
+    draw_kernel_case,
+    draw_occupancy_case,
+    draw_pattern_case,
+    draw_spd_case,
+    draw_trajectory_case,
+    hermitian_condition_estimate,
+    shrink_case,
+    spd_condition_estimate,
+)
+
+ALL_DRAWS = [
+    draw_spd_case,
+    draw_hermitian_case,
+    draw_trajectory_case,
+    draw_kernel_case,
+    draw_pattern_case,
+    draw_occupancy_case,
+    draw_cache_case,
+]
+
+
+class TestValidation:
+    def test_spd_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            SPDCase(batch=0, f=8, log10_cond=2.0, log10_scale=0.0, fs=0, seed=0)
+        with pytest.raises(ValueError):
+            SPDCase(batch=1, f=1, log10_cond=2.0, log10_scale=0.0, fs=0, seed=0)
+        with pytest.raises(ValueError):
+            SPDCase(batch=1, f=8, log10_cond=-1.0, log10_scale=0.0, fs=0, seed=0)
+        with pytest.raises(ValueError):
+            SPDCase(batch=1, f=8, log10_cond=2.0, log10_scale=13.0, fs=0, seed=0)
+
+    def test_kernel_rejects_bad_launch(self):
+        good = dict(
+            device="maxwell", m=100, n=50, nnz=500, f=16, tile=8,
+            threads_per_block=64, bin_size=32,
+            read_scheme="noncoal-l1", precision="fp16",
+        )
+        KernelCase(**good)  # sanity: the base config is valid
+        for bad in (
+            {"threads_per_block": 48},  # not a warp multiple
+            {"threads_per_block": 512},  # beyond the cap
+            {"device": "not-a-gpu"},
+            {"read_scheme": "mystery"},
+            {"precision": "fp64"},
+            {"f": 1},
+            {"f": 200},  # beyond the occupancy-stable cap
+        ):
+            with pytest.raises(ValueError):
+                KernelCase(**{**good, **bad})
+
+    def test_pattern_rejects_bad_element_size(self):
+        with pytest.raises(ValueError):
+            PatternCase(num_elements=10, element_bytes=3, stride_elements=1)
+
+
+class TestBuilders:
+    def test_spd_batch_deterministic_and_conditioned(self):
+        case = SPDCase(batch=3, f=12, log10_cond=4.0, log10_scale=0.0, fs=0, seed=11)
+        A1, b1, x1 = build_spd_batch(case)
+        A2, b2, x2 = build_spd_batch(case)
+        np.testing.assert_array_equal(A1, A2)
+        np.testing.assert_array_equal(b1, b2)
+        np.testing.assert_array_equal(x1, x2)
+        assert A1.dtype == np.float32 and b1.dtype == np.float32
+        assert A1.shape == (3, 12, 12) and b1.shape == (3, 12)
+        np.testing.assert_allclose(A1, np.swapaxes(A1, 1, 2))  # symmetric
+        assert spd_condition_estimate(case) == pytest.approx(1e4)
+        measured = hermitian_condition_estimate(A1)
+        assert 1e3 < measured < 1e5  # planted 1e4, give or take fp32 rounding
+
+    def test_hermitian_system_deterministic(self):
+        case = HermitianCase(
+            m=20, n=15, nnz=80, f=6, lam=0.05, zipf=1.0,
+            empty_rows=2, empty_cols=1, seed=5,
+        )
+        A1, b1 = build_hermitian_system(case)
+        A2, b2 = build_hermitian_system(case)
+        np.testing.assert_array_equal(A1, A2)
+        np.testing.assert_array_equal(b1, b2)
+        assert A1.shape == (22, 6, 6)  # m + empty_rows systems
+
+
+class TestDraws:
+    @pytest.mark.parametrize("draw", ALL_DRAWS, ids=lambda d: d.__name__)
+    def test_reproducible_from_seed(self, draw):
+        a = [draw(np.random.default_rng(42)) for _ in range(5)]
+        b = [draw(np.random.default_rng(42)) for _ in range(5)]
+        assert a == b
+
+    @pytest.mark.parametrize("draw", ALL_DRAWS, ids=lambda d: d.__name__)
+    def test_streams_diverge_across_seeds(self, draw):
+        rng_a, rng_b = np.random.default_rng(1), np.random.default_rng(2)
+        assert [draw(rng_a) for _ in range(5)] != [draw(rng_b) for _ in range(5)]
+
+    def test_truncated_draw_sets_fs(self):
+        rng = np.random.default_rng(0)
+        cases = [draw_spd_case(rng, truncated=True) for _ in range(10)]
+        assert all(1 <= c.fs <= 8 for c in cases)
+        assert all(c.max_iters == c.fs for c in cases)
+
+
+class TestShrinking:
+    def test_shrinks_to_predicate_boundary(self):
+        case = SPDCase(batch=6, f=64, log10_cond=5.0, log10_scale=3.0, fs=0, seed=9)
+        shrunk = shrink_case(case, lambda c: c.f >= 10)
+        assert shrunk.f == 10  # minimal f still satisfying the predicate
+        assert shrunk.batch == 1  # unconstrained fields hit their minima
+        assert shrunk.log10_cond == 0.0
+        assert shrunk.log10_scale == 0.0
+
+    def test_never_returns_passing_case(self):
+        case = KernelCase(
+            device="maxwell", m=5000, n=400, nnz=20_000, f=32, tile=8,
+            threads_per_block=128, bin_size=32,
+            read_scheme="coalesced", precision="fp32",
+        )
+        shrunk = shrink_case(case, lambda c: c.nnz > 1000 and c.f > 4)
+        assert shrunk.nnz > 1000 and shrunk.f > 4
+        assert shrunk.m <= case.m and shrunk.threads_per_block <= case.threads_per_block
+
+    def test_zero_attempts_is_identity(self):
+        case = CacheCase(cache_bytes=4096, base_working_set_bytes=100, reuse_factor=3.0)
+        assert shrink_case(case, lambda c: True, max_attempts=0) == case
+
+    def test_respects_field_coupling(self):
+        """Shrinking nnz below m would make HermitianCase invalid; the
+        shrinker must skip those candidates, not crash."""
+        case = HermitianCase(
+            m=30, n=20, nnz=120, f=8, lam=0.1, zipf=0.5,
+            empty_rows=3, empty_cols=2, seed=1,
+        )
+        shrunk = shrink_case(case, lambda c: c.f >= 4)
+        assert shrunk.f == 4
+        assert shrunk.nnz >= shrunk.m  # invariant preserved throughout
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("draw", ALL_DRAWS, ids=lambda d: d.__name__)
+    def test_round_trip(self, draw):
+        case = draw(np.random.default_rng(7))
+        payload = case_to_dict(case)
+        assert isinstance(payload["case_type"], str)
+        restored = case_from_dict(payload)
+        assert restored == case
+        assert type(restored) is type(case)
+
+    def test_round_trip_survives_json(self):
+        import json
+
+        case = draw_trajectory_case(np.random.default_rng(3))
+        restored = case_from_dict(json.loads(json.dumps(case_to_dict(case))))
+        assert restored == case
+
+    def test_unknown_case_type_rejected(self):
+        with pytest.raises(ValueError):
+            case_from_dict({"case_type": "BogusCase", "params": {}})
+
+    def test_all_case_types_are_frozen(self):
+        for draw in ALL_DRAWS:
+            case = draw(np.random.default_rng(0))
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                case.seed = 1  # type: ignore[misc]
+
+
+def test_occupancy_case_requires_scaling():
+    with pytest.raises(ValueError):
+        OccupancyCase(
+            device="maxwell", registers_per_thread=32,
+            threads_per_block=64, shared_mem_per_block=0, sm_scale=1,
+        )

@@ -1,0 +1,143 @@
+"""Differential oracles: clean paths pass, injected bugs are caught."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+import repro.verify.generators as generators
+import repro.verify.oracles as oracles
+from repro.verify.generators import (
+    HermitianCase,
+    SPDCase,
+    TrajectoryCase,
+    draw_hermitian_case,
+    draw_spd_case,
+)
+from repro.verify.oracles import (
+    check_cg_vs_direct,
+    check_exact_pair,
+    check_fp16_noise_floor,
+    check_hermitian_solvers,
+    check_rmse_trajectory,
+)
+
+
+def _spd(seed, **overrides):
+    params = dict(batch=2, f=16, log10_cond=3.0, log10_scale=0.0, fs=0, seed=seed)
+    params.update(overrides)
+    return SPDCase(**params)
+
+
+class TestCleanPathsPass:
+    """On the healthy tree every oracle is silent (what CI fuzzes at scale)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_exact_pair(self, seed):
+        assert check_exact_pair(draw_spd_case(np.random.default_rng(seed))) == []
+
+    @pytest.mark.parametrize("fs", [0, 3, 6])
+    def test_cg_vs_direct(self, fs):
+        assert check_cg_vs_direct(_spd(1, fs=fs)) == []
+
+    def test_fp16_noise_floor(self):
+        assert check_fp16_noise_floor(_spd(2, log10_cond=1.5)) == []
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_hermitian(self, seed):
+        case = draw_hermitian_case(np.random.default_rng(seed))
+        assert check_hermitian_solvers(case) == []
+
+    def test_trajectory(self):
+        case = TrajectoryCase(m=25, n=18, nnz=120, f=6, fs=4, epochs=2,
+                              lam=0.08, seed=3)
+        assert check_rmse_trajectory(case) == []
+
+
+class TestNonFiniteDetection:
+    """VF005: NaN in any solver output is an unconditional finding."""
+
+    def test_nan_in_exact_path(self, monkeypatch):
+        def poisoned(A, b):
+            x = oracles.cholesky_solve_batched(A, b)
+            x[0, 0] = np.nan
+            return x
+
+        monkeypatch.setattr(oracles, "lu_solve_batched", poisoned)
+        diags = check_exact_pair(_spd(4))
+        assert [d.rule_id for d in diags] == ["VF005"]
+
+    def test_nan_in_cg_path(self, monkeypatch):
+        real = oracles.cg_solve_batched
+
+        def poisoned(A, b, **kwargs):
+            res = real(A, b, **kwargs)
+            x = res.x.copy()
+            x[:] = np.inf
+            return dataclasses.replace(res, x=x)
+
+        monkeypatch.setattr(oracles, "cg_solve_batched", poisoned)
+        diags = check_cg_vs_direct(_spd(5))
+        assert diags and all(d.rule_id == "VF005" for d in diags)
+
+
+class TestBugInjection:
+    """The acceptance scenario: break a solver, the oracles must notice."""
+
+    def test_dropped_regularizer_is_caught(self, monkeypatch):
+        """Dropping the λ·I term leaves empty-row A_u exactly singular;
+        the hermitian oracle must report it as VF001, not crash."""
+        real = generators.hermitian_and_bias
+
+        def no_lambda(ratings, theta, lam):
+            return real(ratings, theta, 0.0)
+
+        monkeypatch.setattr(generators, "hermitian_and_bias", no_lambda)
+        case = HermitianCase(
+            m=12, n=10, nnz=50, f=5, lam=0.1, zipf=0.8,
+            empty_rows=2, empty_cols=0, seed=8,
+        )
+        diags = check_hermitian_solvers(case)
+        assert [d.rule_id for d in diags] == ["VF001"]
+        assert "positive definiteness" in diags[0].message
+
+    def test_scaled_solution_breaks_krylov_bound(self, monkeypatch):
+        """A 3% systematic error in CG is far above κ·eps32 at κ=10."""
+        real = oracles.cg_solve_batched
+
+        def buggy(A, b, **kwargs):
+            res = real(A, b, **kwargs)
+            return dataclasses.replace(res, x=res.x * np.float32(1.03))
+
+        monkeypatch.setattr(oracles, "cg_solve_batched", buggy)
+        diags = check_cg_vs_direct(_spd(6, log10_cond=1.0))
+        assert any(d.rule_id == "VF002" for d in diags)
+
+    def test_fp16_quantization_gone_wrong(self, monkeypatch):
+        real = oracles.cg_solve_batched
+
+        def buggy(A, b, **kwargs):
+            res = real(A, b, **kwargs)
+            if kwargs.get("precision") is oracles.Precision.FP16:
+                return dataclasses.replace(res, x=res.x * np.float32(1.5))
+            return res
+
+        monkeypatch.setattr(oracles, "cg_solve_batched", buggy)
+        diags = check_fp16_noise_floor(_spd(7, log10_cond=1.0))
+        assert [d.rule_id for d in diags] == ["VF003"]
+
+
+class TestTolerancesAreDerived:
+    """The oracle bounds scale with the case, they are not magic numbers."""
+
+    def test_exact_pair_tolerance_grows_with_cond(self):
+        # Below κ ~ eps32/eps64 ≈ 5e8 the float32 round-trip dominates and
+        # the bound is flat; beyond it the κ·eps64 term takes over.
+        lo = oracles.EXACT_PAIR_C * max(oracles.EPS32, 1e2 * oracles.EPS64)
+        hi = oracles.EXACT_PAIR_C * max(oracles.EPS32, 1e12 * oracles.EPS64)
+        assert lo == oracles.EXACT_PAIR_C * oracles.EPS32
+        assert hi > lo
+
+    def test_krylov_tolerance_caps_at_one(self):
+        tol = min(1.0, oracles.CG_KRYLOV_C * 1e12 * oracles.EPS32)
+        assert tol == 1.0

@@ -1,0 +1,248 @@
+"""Campaign runner: scheduling, determinism, shrinking, fixtures, CLI."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+import repro.verify.generators as generators
+import repro.verify.oracles as oracles
+from repro.analysis import Severity
+from repro.cli import main
+from repro.verify import (
+    CHECKS,
+    FIXTURE_SCHEMA,
+    REPORT_SCHEMA,
+    VerifyConfig,
+    load_fixture,
+    render_report_json,
+    render_report_text,
+    replay_fixture,
+    run_campaign,
+    run_check_once,
+)
+
+FAST_CHECKS = ("gpusim.coalescing", "gpusim.occupancy", "gpusim.cache")
+
+
+class TestConfig:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            VerifyConfig(seed=-1)
+        with pytest.raises(ValueError):
+            VerifyConfig(budget=0)
+        with pytest.raises(ValueError):
+            VerifyConfig(shrink_attempts=-1)
+
+    def test_rejects_unknown_check(self):
+        with pytest.raises(ValueError, match="no.such.check"):
+            VerifyConfig(checks=("no.such.check",))
+
+
+class TestScheduling:
+    def test_every_check_runs_with_budget_at_count(self):
+        result = run_campaign(
+            VerifyConfig(seed=1, budget=len(FAST_CHECKS), checks=FAST_CHECKS,
+                         fixtures_dir=None)
+        )
+        assert result.executed == len(FAST_CHECKS)
+        assert all(cases == 1 for _, cases, _ in result.counts)
+
+    def test_budget_is_spent_exactly(self):
+        result = run_campaign(
+            VerifyConfig(seed=1, budget=17, checks=FAST_CHECKS, fixtures_dir=None)
+        )
+        assert result.executed == 17
+        assert sum(cases for _, cases, _ in result.counts) == 17
+
+    def test_weighted_check_runs_less(self):
+        pair = ("gpusim.cache", "als.trajectory")  # weights 1.0 vs 0.25
+        result = run_campaign(
+            VerifyConfig(seed=0, budget=10, checks=pair, fixtures_dir=None)
+        )
+        counts = {name: cases for name, cases, _ in result.counts}
+        assert counts["als.trajectory"] < counts["gpusim.cache"]
+        assert counts["als.trajectory"] >= 1
+
+
+class TestCleanCampaign:
+    def test_passes_and_is_deterministic(self):
+        cfg = VerifyConfig(seed=5, budget=12, checks=FAST_CHECKS, fixtures_dir=None)
+        a, b = run_campaign(cfg), run_campaign(cfg)
+        assert a.failures == () and a.max_severity() is None
+        assert a.passed == a.executed == 12
+        assert render_report_json(a) == render_report_json(b)
+
+    def test_json_report_schema(self):
+        result = run_campaign(
+            VerifyConfig(seed=2, budget=6, checks=FAST_CHECKS, fixtures_dir=None)
+        )
+        payload = json.loads(render_report_json(result))
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["executed"] == 6
+        assert payload["failed"] == 0 and payload["max_severity"] is None
+        assert set(payload["checks"]) == set(FAST_CHECKS)
+
+    def test_text_report_mentions_every_check(self):
+        result = run_campaign(
+            VerifyConfig(seed=2, budget=6, checks=FAST_CHECKS, fixtures_dir=None)
+        )
+        text = render_report_text(result)
+        assert all(name in text for name in FAST_CHECKS)
+
+
+class TestCrashContainment:
+    def test_crashing_check_becomes_vf000(self, monkeypatch):
+        def explode(case):
+            raise RuntimeError("synthetic crash")
+
+        monkeypatch.setitem(
+            CHECKS,
+            "gpusim.cache",
+            dataclasses.replace(CHECKS["gpusim.cache"], run=explode),
+        )
+        diags, crashed = run_check_once(
+            "gpusim.cache", CHECKS["gpusim.cache"].draw(np.random.default_rng(0))
+        )
+        assert crashed
+        assert [d.rule_id for d in diags] == ["VF000"]
+        assert diags[0].severity is Severity.ERROR
+        assert "synthetic crash" in diags[0].message
+
+
+class TestBugInjectionEndToEnd:
+    """The issue's acceptance scenario: a deliberately broken solver must
+    be caught by a campaign and leave behind a shrunk, replayable
+    reproducer fixture."""
+
+    @pytest.fixture()
+    def broken_cg(self, monkeypatch):
+        real = oracles.cg_solve_batched
+
+        def buggy(A, b, **kwargs):
+            res = real(A, b, **kwargs)
+            return dataclasses.replace(res, x=res.x * np.float32(1.05))
+
+        monkeypatch.setattr(oracles, "cg_solve_batched", buggy)
+        return monkeypatch
+
+    def test_campaign_catches_shrinks_and_persists(self, broken_cg, tmp_path):
+        result = run_campaign(
+            VerifyConfig(seed=0, budget=8, checks=("solver.cg",),
+                         fixtures_dir=str(tmp_path))
+        )
+        assert result.failures, "a 5% solver error must not survive 8 cases"
+        assert result.max_severity() is Severity.ERROR
+
+        failure = result.failures[0]
+        assert any(d.rule_id == "VF002" for d in failure.diagnostics)
+        # The shrunk reproducer is no larger than the original draw.
+        orig, shrunk = failure.case["params"], failure.shrunk["params"]
+        for field in ("batch", "f", "log10_cond"):
+            assert shrunk[field] <= orig[field]
+
+        assert failure.fixture_path is not None
+        with open(failure.fixture_path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["schema"] == FIXTURE_SCHEMA
+        assert payload["check"] == "solver.cg"
+
+        # Replaying the fixture reproduces the bug while it exists...
+        assert any(d.rule_id == "VF002" for d in replay_fixture(failure.fixture_path))
+
+    def test_fixture_goes_green_once_fixed(self, tmp_path):
+        real = oracles.cg_solve_batched
+        pytest_mp = pytest.MonkeyPatch()
+        try:
+            pytest_mp.setattr(
+                oracles,
+                "cg_solve_batched",
+                lambda A, b, **kw: dataclasses.replace(
+                    real(A, b, **kw), x=real(A, b, **kw).x * np.float32(1.05)
+                ),
+            )
+            result = run_campaign(
+                VerifyConfig(seed=0, budget=8, checks=("solver.cg",),
+                             fixtures_dir=str(tmp_path))
+            )
+            assert result.failures
+            path = result.failures[0].fixture_path
+        finally:
+            pytest_mp.undo()
+        # ...and passes once the injected bug is reverted.
+        assert replay_fixture(path) == []
+
+    def test_dropped_regularizer_campaign(self, monkeypatch, tmp_path):
+        """The λ-dropping variant from the issue, end to end."""
+        real = generators.hermitian_and_bias
+        monkeypatch.setattr(
+            generators, "hermitian_and_bias",
+            lambda ratings, theta, lam: real(ratings, theta, 0.0),
+        )
+        result = run_campaign(
+            VerifyConfig(seed=0, budget=6, checks=("solver.hermitian",),
+                         fixtures_dir=str(tmp_path), shrink_attempts=16)
+        )
+        assert result.failures
+        rules = {d.rule_id for f in result.failures for d in f.diagnostics}
+        assert "VF001" in rules
+
+
+class TestFixtureIO:
+    def test_load_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "wrong", "check": "solver.cg"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_fixture(path)
+
+    def test_load_rejects_unknown_check(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps(
+            {"schema": FIXTURE_SCHEMA, "check": "gone.check",
+             "case": {"case_type": "SPDCase", "params": {}}}
+        ))
+        with pytest.raises(ValueError, match="gone.check"):
+            load_fixture(path)
+
+
+class TestCLI:
+    def test_list_checks(self, capsys):
+        assert main(["verify", "--list-checks"]) == 0
+        out = capsys.readouterr().out
+        for name in CHECKS:
+            assert name in out
+
+    def test_small_clean_run_json(self, capsys):
+        rc = main([
+            "verify", "--seed", "1", "--budget", "3",
+            "--checks", ",".join(FAST_CHECKS),
+            "--no-fixtures", "--format", "json",
+        ])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == REPORT_SCHEMA
+        assert payload["failed"] == 0
+
+    @pytest.mark.parametrize("strict", [False, True])
+    def test_exit_code_on_failure(self, capsys, monkeypatch, strict):
+        from repro.analysis.diagnostics import Diagnostic
+
+        def one_failure(case):
+            return [Diagnostic(
+                rule_id="VF104", severity=Severity.ERROR,
+                subject="gpusim.coalescing", message="synthetic",
+            )]
+
+        monkeypatch.setitem(
+            CHECKS,
+            "gpusim.coalescing",
+            dataclasses.replace(CHECKS["gpusim.coalescing"], run=one_failure),
+        )
+        argv = [
+            "verify", "--budget", "2", "--checks", "gpusim.coalescing",
+            "--no-shrink", "--no-fixtures",
+        ]
+        rc = main(argv + (["--strict"] if strict else []))
+        capsys.readouterr()
+        assert rc == 1
