@@ -1,0 +1,47 @@
+"""Runtime-layer perf regression bench (ISSUE 3 acceptance criteria).
+
+Runs the same harness as ``repro bench`` on the quick (CI-sized)
+Netflix-shape surrogate, prints the legacy-vs-optimized table, and
+asserts the PR's two hard numbers: >= 3x end-to-end epoch speedup and
+zero steady-state allocations out of the workspace arena.  When the
+committed ``benchmarks/baseline.json`` is present, the measured speedups
+are additionally gated against it with its noise tolerance.
+"""
+
+import json
+import pathlib
+
+from conftest import run_once
+
+from repro.harness import print_table
+from repro.runtime.bench import QUICK_BENCH, compare_against, run_bench
+
+BASELINE = pathlib.Path(__file__).resolve().parent / "baseline.json"
+
+
+def test_runtime_speedup_and_steady_state(benchmark):
+    """Tentpole gate: optimized epoch >= 3x legacy, arena allocates nothing."""
+    result = run_once(benchmark, run_bench, QUICK_BENCH)
+
+    sections = result["sections"]
+    print_table(
+        f"runtime bench (quick surrogate, plan={result['plan']})",
+        ["section", "legacy ms", "optimized ms", "speedup"],
+        [
+            (
+                name,
+                f"{sec['legacy_seconds'] * 1e3:.1f}",
+                f"{sec['optimized_seconds'] * 1e3:.1f}",
+                f"{sec['speedup']:.2f}x",
+            )
+            for name, sec in sections.items()
+        ],
+    )
+
+    assert result["numerics"]["equivalent"]
+    assert result["arena"]["steady_state_allocations"] == 0
+    assert sections["epoch"]["speedup"] >= 3.0
+
+    if BASELINE.exists():
+        ok, messages = compare_against(result, json.loads(BASELINE.read_text()))
+        assert ok, "\n".join(messages)

@@ -12,7 +12,7 @@ when bandwidth-bound (Observation 1), FP16 storage being safe only under
   :class:`~repro.gpusim.device.DeviceSpec` linter;
 * :mod:`~repro.analysis.precision_lint` — ``PL001``-``PL004``: FP16
   overflow / accumulate-vs-store / CG-truncation analysis;
-* :mod:`~repro.analysis.ast_lint` — ``AL001``-``AL004``: repo-convention
+* :mod:`~repro.analysis.ast_lint` — ``AL001``-``AL005``: repo-convention
   AST lint run over ``src/repro`` itself (``repro analyze --self``);
 * :mod:`~repro.analysis.runner` — workload-level glue used by the CLI
   and the tuner.

@@ -15,6 +15,11 @@ Generic linters cannot know this codebase's conventions; these rules can:
 * ``AL004`` — no imports inside function bodies; module scope keeps the
   import graph visible and avoids per-call overhead in hot paths
   (``_tail_factor``'s old ``import math`` was the seed example).
+* ``AL005`` — no NumPy array allocation inside loops of the hot path
+  (``repro/core`` and ``repro/runtime`` only).  The runtime arena exists
+  so that epoch loops allocate nothing; an ``np.zeros``/``np.empty``
+  inside a loop there quietly reintroduces per-epoch churn — request a
+  workspace buffer (or hoist the allocation) instead.
 
 ``lint_tree`` walks a directory; per-file ignores cover the one
 deliberate exception (``cli.py`` lazily imports heavy subsystems inside
@@ -34,6 +39,7 @@ __all__ = [
     "AL002",
     "AL003",
     "AL004",
+    "AL005",
     "DEFAULT_IGNORES",
     "lint_source",
     "lint_file",
@@ -59,6 +65,30 @@ AL004 = register_rule(
     "AL004",
     "import inside a function body",
     "repo convention: imports live at module scope",
+)
+AL005 = register_rule(
+    "AL005",
+    "NumPy allocation inside a hot-path loop",
+    "repo convention: epoch loops stage scratch through the workspace arena",
+)
+
+#: Path fragments marking the hot path where AL005 applies.  Everything
+#: under repro/core and repro/runtime runs inside training epochs; other
+#: packages (metrics, harness, ...) may allocate in loops freely.
+_HOT_PATH_FRAGMENTS = ("/core/", "/runtime/")
+
+#: numpy constructors AL005 flags when called inside a loop.
+_ALLOC_FUNCS = frozenset(
+    {
+        "zeros",
+        "empty",
+        "full",
+        "ones",
+        "zeros_like",
+        "empty_like",
+        "full_like",
+        "ones_like",
+    }
 )
 
 #: Relative-path suffixes mapped to the rule IDs ignored there.  cli.py is
@@ -123,6 +153,7 @@ class _Visitor(ast.NodeVisitor):
         self.active = active_rules
         self.findings: list[Diagnostic] = []
         self._function_depth = 0
+        self._loop_depth = 0
 
     # -- helpers -----------------------------------------------------------
     def _emit(self, rule: str, line: int, message: str, hint: str = "") -> None:
@@ -184,8 +215,34 @@ class _Visitor(ast.NodeVisitor):
                     break
         self.generic_visit(node)
 
+    # -- AL005: loop-body allocations ----------------------------------------
+    def _check_loop(self, node: ast.For | ast.While | ast.AsyncFor) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    visit_For = _check_loop
+    visit_While = _check_loop
+    visit_AsyncFor = _check_loop
+
+    def _check_allocation(self, node: ast.Call) -> None:
+        if self._loop_depth == 0:
+            return
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _ALLOC_FUNCS:
+            return
+        module = func.value
+        if isinstance(module, ast.Name) and module.id in ("np", "numpy"):
+            self._emit(
+                AL005,
+                node.lineno,
+                f"np.{func.attr} allocates inside a loop on the hot path",
+                "hoist the allocation or request a workspace arena buffer",
+            )
+
     # -- AL002: bytes-vs-elements keyword mixups ----------------------------
     def visit_Call(self, node: ast.Call) -> None:
+        self._check_allocation(node)
         for kw in node.keywords:
             if kw.arg is None:
                 continue
@@ -245,6 +302,10 @@ def _active_rules(
 ) -> frozenset[str]:
     active = {AL001, AL002, AL003, AL004}
     norm = filename.replace(os.sep, "/")
+    # AL005 is scoped to the training hot path; a leading "/" makes the
+    # fragment match also when the label starts with "core/...".
+    if any(frag in f"/{norm}" for frag in _HOT_PATH_FRAGMENTS):
+        active.add(AL005)
     for suffix, ignored in ignores.items():
         if norm.endswith(suffix):
             active -= set(ignored)

@@ -7,6 +7,7 @@ Commands
 ``tune``     autotune the hermitian kernel for a device and f
 ``analyze``  static analysis: lint a launch/solver config, or the source tree
 ``verify``   randomized differential/metamorphic verification campaigns
+``bench``    host-runtime perf bench (legacy vs optimized), CI-gateable
 ``devices``  list the simulated GPU presets
 ``report``   regenerate EXPERIMENTS.md (heavy)
 
@@ -107,6 +108,24 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--format", default="text", choices=["text", "json"])
     v.add_argument("--strict", action="store_true",
                    help="exit non-zero on warnings, not just errors")
+
+    bn = sub.add_parser(
+        "bench",
+        help="measure the host runtime (legacy vs optimized) and gate on a baseline",
+    )
+    bn.add_argument("--quick", action="store_true",
+                    help="small CI shape (seconds) instead of the full surrogate")
+    bn.add_argument("--repeats", type=int, default=None,
+                    help="timed repetitions per leg (default: shape preset)")
+    bn.add_argument("--workers", type=int, default=0,
+                    help="process-pool workers for the optimized plan")
+    bn.add_argument("--seed", type=int, default=0)
+    bn.add_argument("--output", default="BENCH_runtime.json",
+                    help="where to write the repro.bench/v1 report")
+    bn.add_argument("--check-against", default=None, metavar="BASELINE",
+                    help="baseline JSON of speedup ratios to gate against")
+    bn.add_argument("--tolerance", type=float, default=None,
+                    help="override the baseline's regression tolerance (0-1)")
 
     sub.add_parser("devices", help="list simulated GPU presets")
 
@@ -281,6 +300,40 @@ def _cmd_verify(args) -> int:
     return 1 if top is not None and top >= threshold else 0
 
 
+def _cmd_bench(args) -> int:
+    import dataclasses
+    import json
+
+    from .runtime import bench
+
+    cfg = bench.QUICK_BENCH if args.quick else bench.FULL_BENCH
+    cfg = dataclasses.replace(cfg, seed=args.seed)
+    if args.repeats is not None:
+        cfg = dataclasses.replace(cfg, repeats=args.repeats)
+    result = bench.run_bench(cfg, workers=args.workers)
+    path = bench.write_report(result, args.output)
+    plan = result["plan"]
+    print(f"plan: method={plan['method']} chunk_elems={plan['chunk_elems']} "
+          f"shards={plan['shards']} workers={plan['workers']}")
+    for name, sec in result["sections"].items():
+        print(f"{name:10s} legacy {sec['legacy_seconds'] * 1e3:8.1f} ms   "
+              f"optimized {sec['optimized_seconds'] * 1e3:8.1f} ms   "
+              f"speedup {sec['speedup']:.2f}x")
+    allocs = result["arena"]["steady_state_allocations"]
+    print(f"arena: {allocs} steady-state allocation(s)")
+    print(f"wrote {path}")
+    if args.check_against is None:
+        return 0
+    with open(args.check_against) as fh:
+        baseline = json.load(fh)
+    ok, messages = bench.compare_against(
+        result, baseline, tolerance=args.tolerance
+    )
+    for message in messages:
+        print(message)
+    return 0 if ok else 1
+
+
 def _cmd_devices(_args) -> int:
     from .gpusim import DEVICE_PRESETS
 
@@ -313,6 +366,7 @@ _COMMANDS = {
     "tune": _cmd_tune,
     "analyze": _cmd_analyze,
     "verify": _cmd_verify,
+    "bench": _cmd_bench,
     "devices": _cmd_devices,
     "report": _cmd_report,
 }

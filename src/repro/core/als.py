@@ -26,10 +26,9 @@ from ..gpusim.device import MAXWELL_TITANX, DeviceSpec
 from ..gpusim.engine import SimEngine
 from ..metrics.convergence import TrainingCurve
 from ..metrics.rmse import predict_entries, rmse
-from .cg import cg_solve_batched
+from ..runtime.executor import ShardExecutor
+from ..runtime.plan import RuntimePlan
 from .config import ALSConfig, SolverKind
-from .direct import lu_solve_batched
-from .hermitian import hermitian_and_bias
 from .kernels import bias_spec, cg_iteration_spec, hermitian_spec, lu_solver_seconds
 
 __all__ = ["ALSModel", "EpochBreakdown"]
@@ -62,6 +61,13 @@ class ALSModel:
         training data.
     engine:
         Optional externally owned :class:`SimEngine` (multi-GPU driver).
+    runtime:
+        Host execution strategy: a :class:`~repro.runtime.plan.RuntimePlan`
+        (or a ready :class:`~repro.runtime.executor.ShardExecutor`) that
+        controls chunking, sharding, workers and workspace reuse.  The
+        default serial plan is bit-identical to computing the half-steps
+        directly; every plan produces bit-identical factors (the VF107
+        invariant), so this is purely a wall-clock knob.
     """
 
     def __init__(
@@ -70,11 +76,17 @@ class ALSModel:
         device: DeviceSpec = MAXWELL_TITANX,
         sim_shape: WorkloadShape | None = None,
         engine: SimEngine | None = None,
+        runtime: RuntimePlan | ShardExecutor | None = None,
     ) -> None:
         self.config = config or ALSConfig()
         self.device = device
         self.sim_shape = sim_shape
         self.engine = engine or SimEngine(device)
+        self.runtime = (
+            runtime
+            if isinstance(runtime, ShardExecutor)
+            else ShardExecutor(runtime or RuntimePlan())
+        )
         self.x_: np.ndarray | None = None
         self.theta_: np.ndarray | None = None
         self.history_: TrainingCurve | None = None
@@ -174,7 +186,16 @@ class ALSModel:
     ) -> np.ndarray:
         """One ALS half-step: build the normal equations and solve them."""
         cfg = self.config
-        A, b = hermitian_and_bias(ratings, fixed, cfg.lam)
+        result = self.runtime.half_step(
+            ratings,
+            fixed,
+            warm,
+            lam=cfg.lam,
+            solver=cfg.solver,
+            cg_config=cfg.cg,
+            precision=cfg.precision,
+            key=side,
+        )
 
         # Price the two formation kernels.  The cost shape is in the
         # "rows being updated" orientation.
@@ -188,14 +209,13 @@ class ALSModel:
         self.engine.launch(hermitian_spec(self.device, shape, cfg), tag=tag)
         self.engine.launch(bias_spec(self.device, shape), tag=tag)
 
-        # Solve the batch.
+        # Price the solve.
         if cfg.solver is SolverKind.CG:
-            result = cg_solve_batched(A, b, x0=warm, config=cfg.cg, precision=cfg.precision)
             spec = cg_iteration_spec(self.device, shape.m, shape.f, cfg.precision)
-            for _ in range(result.iterations):
+            for _ in range(result.cg_iterations):
                 self.engine.launch(spec, tag=tag)
-            return result.x
-        self.engine.host(
-            "solve_lu", lu_solver_seconds(self.device, shape.m, shape.f), tag=tag
-        )
-        return lu_solve_batched(A, b)
+        else:
+            self.engine.host(
+                "solve_lu", lu_solver_seconds(self.device, shape.m, shape.f), tag=tag
+            )
+        return result.factors

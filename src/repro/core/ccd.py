@@ -25,6 +25,7 @@ from ..gpusim.device import MAXWELL_TITANX, DeviceSpec
 from ..gpusim.engine import SimEngine
 from ..metrics.convergence import TrainingCurve
 from ..metrics.rmse import rmse
+from ..runtime.arena import Workspace
 
 __all__ = ["CCDConfig", "CCDModel", "ccd_epoch_seconds"]
 
@@ -75,6 +76,10 @@ class CCDModel:
         self.device = device
         self.sim_shape = sim_shape
         self.engine = SimEngine(device)
+        # The f·inner_sweeps rank-one updates per epoch each need five
+        # nnz-length scratch vectors plus the four accumulators; staging
+        # them in an arena keeps steady-state epochs allocation-free.
+        self.workspace = Workspace()
         self.x_: np.ndarray | None = None
         self.theta_: np.ndarray | None = None
         self.history_: TrainingCurve | None = None
@@ -109,26 +114,48 @@ class CCDModel:
         self.history_ = curve
 
         lam = np.float32(cfg.lam)
+        ws = self.workspace
+        k = rows.shape[0]
+        e_hat = ws.request("ccd.e_hat", (k,))
+        xrow = ws.request("ccd.xrow", (k,))  # gathered x_t[rows]
+        tcol = ws.request("ccd.tcol", (k,))  # gathered θ_t[cols]
+        tmp = ws.request("ccd.tmp", (k,))
+        num_x = ws.request("ccd.num_x", (m,))
+        den_x = ws.request("ccd.den_x", (m,))
+        num_t = ws.request("ccd.num_t", (n,))
+        den_t = ws.request("ccd.den_t", (n,))
+        xt = ws.request("ccd.xt", (m,))
+        tt = ws.request("ccd.tt", (n,))
         for epoch in range(1, epochs + 1):
             for t in range(cfg.f):
-                xt = self.x_[:, t]
-                tt = self.theta_[:, t]
+                np.copyto(xt, self.x_[:, t])
+                np.copyto(tt, self.theta_[:, t])
                 for _ in range(cfg.inner_sweeps):
                     # Rank-one residual: add the feature's contribution back.
-                    e_hat = resid + xt[rows] * tt[cols]
+                    np.take(xt, rows, out=xrow)
+                    np.take(tt, cols, out=tcol)
+                    np.multiply(xrow, tcol, out=e_hat)
+                    np.add(resid, e_hat, out=e_hat)
                     # Update x_t: per-row weighted least squares.
-                    num = np.zeros(m, dtype=np.float32)
-                    den = np.full(m, lam, dtype=np.float32)
-                    np.add.at(num, rows, e_hat * tt[cols])
-                    np.add.at(den, rows, tt[cols] ** 2)
-                    xt = num / den
+                    num_x.fill(0)
+                    den_x.fill(lam)
+                    np.multiply(e_hat, tcol, out=tmp)
+                    np.add.at(num_x, rows, tmp)
+                    np.multiply(tcol, tcol, out=tmp)
+                    np.add.at(den_x, rows, tmp)
+                    np.divide(num_x, den_x, out=xt)
                     # Update θ_t with the fresh x_t.
-                    num = np.zeros(n, dtype=np.float32)
-                    den = np.full(n, lam, dtype=np.float32)
-                    np.add.at(num, cols, e_hat * xt[rows])
-                    np.add.at(den, cols, xt[rows] ** 2)
-                    tt = num / den
-                    resid = e_hat - xt[rows] * tt[cols]
+                    np.take(xt, rows, out=xrow)
+                    num_t.fill(0)
+                    den_t.fill(lam)
+                    np.multiply(e_hat, xrow, out=tmp)
+                    np.add.at(num_t, cols, tmp)
+                    np.multiply(xrow, xrow, out=tmp)
+                    np.add.at(den_t, cols, tmp)
+                    np.divide(num_t, den_t, out=tt)
+                    np.take(tt, cols, out=tcol)
+                    np.multiply(xrow, tcol, out=tmp)
+                    np.subtract(e_hat, tmp, out=resid)
                 self.x_[:, t] = xt
                 self.theta_[:, t] = tt
             self.engine.host("ccd_epoch", secs, tag="ccd")

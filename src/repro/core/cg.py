@@ -15,7 +15,17 @@ the correct CG recurrence used here and in the released cuMF code is
 
 The systems converge at different rates, so each is frozen individually
 once its residual drops below ``tol`` (the mask trick keeps everything
-vectorized — no Python-level per-system loop).
+vectorized — no Python-level per-system loop).  Frozen systems also stop
+*paying*: their rows are skipped by the FP16 quantization staging when
+they are converged on entry, and the per-iteration matvec gathers down to
+the active lanes once few enough remain (``compact=``).  Both shortcuts
+are return-value bit-identical to the dense sweep — a frozen lane's
+scratch never reaches the returned solution, which only ever reads the
+per-system best iterate recorded while that lane was active.
+
+All large intermediates can be staged through a ``workspace`` arena (see
+:mod:`repro.runtime.arena`) and the solution written to a caller-provided
+``out`` buffer, making steady-state ALS training allocation-free here.
 """
 
 from __future__ import annotations
@@ -25,7 +35,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from .config import CGConfig, Precision
-from .precision import quantize
+from .precision import FP16_MAX, quantize
+from .scratch import FRESH
 
 __all__ = ["CGResult", "cg_solve_batched"]
 
@@ -40,12 +51,45 @@ class CGResult:
     residual_norms: np.ndarray  # final ‖b - A x‖₂ per system
 
 
+def _quantize_into(A, ws, rows=None):
+    """Replicate :func:`quantize`'s FP16 round-trip into arena buffers.
+
+    clip(±FP16_MAX) → cast f16 → cast f32, elementwise — bit-identical to
+    ``quantize(A, FP16)`` (np.clip with ``out=`` and ``copyto`` casts use
+    the same IEEE round-to-nearest as ``astype``).  With ``rows``, only
+    those systems are quantized; the rest of the store is zeroed so no
+    garbage can poison the final residual matvec.
+    """
+    batch, f, _ = A.shape
+    store = ws.request("cg.A_store", (batch, f, f))
+    if rows is None:
+        np.clip(A, -FP16_MAX, FP16_MAX, out=store)
+        halves = ws.request("cg.A16", (batch, f, f), np.float16)
+        np.copyto(halves, store, casting="same_kind")
+        np.copyto(store, halves)
+        return store
+    store.fill(0.0)
+    if rows.size:
+        gathered = ws.request("cg.A_gather", (rows.size, f, f))
+        np.take(A, rows, axis=0, out=gathered)
+        np.clip(gathered, -FP16_MAX, FP16_MAX, out=gathered)
+        halves = ws.request("cg.A16", (rows.size, f, f), np.float16)
+        np.copyto(halves, gathered, casting="same_kind")
+        np.copyto(gathered, halves)
+        store[rows] = gathered
+    return store
+
+
 def cg_solve_batched(
     A: np.ndarray,
     b: np.ndarray,
     x0: np.ndarray | None = None,
     config: CGConfig | None = None,
     precision: Precision = Precision.FP32,
+    *,
+    workspace=None,
+    compact: bool | None = None,
+    out: np.ndarray | None = None,
 ) -> CGResult:
     """Solve the batch of SPD systems ``A[i] @ x[i] = b[i]``.
 
@@ -61,6 +105,20 @@ def cg_solve_batched(
     x0:
         Warm start; ALS passes the previous epoch's factors, which is why
         a handful of iterations suffice.  Defaults to zero.
+    workspace:
+        Optional scratch arena (``request(name, shape, dtype)``); with a
+        reusing arena the solver allocates no large buffers in steady
+        state.  ``None`` allocates fresh scratch (seed behaviour).
+    compact:
+        Per-iteration frozen-lane compaction of the A·p matvec.
+        ``None`` decides per iteration (gather once ≤ a quarter of the
+        batch is still active); ``True``/``False`` force it.  Returned
+        results are bit-identical in every mode.
+    out:
+        Optional ``(batch, f)`` float32 buffer to receive the solution;
+        the returned ``CGResult.x`` is then ``out`` itself.  Without it,
+        a workspace-backed solve copies the solution out of the arena so
+        the result can't be clobbered by later requests.
     """
     config = config or CGConfig()
     A = np.asarray(A, dtype=np.float32)
@@ -70,19 +128,41 @@ def cg_solve_batched(
     batch, f, _ = A.shape
     if b.shape != (batch, f):
         raise ValueError(f"b must be {(batch, f)}, got {b.shape}")
+    if out is not None and (out.shape != (batch, f) or out.dtype != np.float32):
+        raise ValueError(f"out must be float32 {(batch, f)}, got {out.shape}")
+    ws = workspace if workspace is not None else FRESH
 
-    A_store = quantize(A, precision)
-
+    x = ws.request("cg.x", (batch, f))
+    r = ws.request("cg.r", (batch, f))
+    tmp = ws.request("cg.tmp", (batch, f))
     if x0 is None:
-        x = np.zeros_like(b)
-        r = b.copy()
+        # Entry-converged systems never run an iteration, so with FP16
+        # storage their A rows never get loaded: quantize only the rows
+        # that will actually be touched (the skipped rows' solutions are
+        # the zero warm start, whose residual b − A·0 = b reads no A).
+        entry_rs = np.einsum("bf,bf->b", b, b)
+        entry_active = np.sqrt(entry_rs) >= config.tol
+        if precision is Precision.FP16 and not entry_active.all():
+            A_store = _quantize_into(A, ws, rows=np.flatnonzero(entry_active))
+        elif precision is Precision.FP16:
+            A_store = _quantize_into(A, ws)
+        else:
+            A_store = quantize(A, precision)
+        x.fill(0.0)
+        np.copyto(r, b)
     else:
         if x0.shape != b.shape:
             raise ValueError("x0 must match b's shape")
-        x = np.array(x0, dtype=np.float32)
-        r = b - np.einsum("bfg,bg->bf", A_store, x)
+        A_store = _quantize_into(A, ws) if precision is Precision.FP16 else (
+            quantize(A, precision)
+        )
+        np.copyto(x, np.asarray(x0, dtype=np.float32))
+        np.einsum("bfg,bg->bf", A_store, x, out=tmp)
+        np.subtract(b, tmp, out=r)
 
-    p = r.copy()
+    p = ws.request("cg.p", (batch, f))
+    np.copyto(p, r)
+    ap = ws.request("cg.ap", (batch, f))
     rsold = np.einsum("bf,bf->b", r, r)
     rs_start = np.maximum(rsold.copy(), np.float32(1e-30))
     active = np.sqrt(rsold) >= config.tol
@@ -102,7 +182,8 @@ def cg_solve_batched(
     # systems, so a step-wise guard would be wrong; instead track the
     # best iterate per system and only freeze on outright explosion
     # (quantization-broken definiteness) or non-finite values.
-    best_x = x.copy()
+    best_x = ws.request("cg.best_x", (batch, f))
+    np.copyto(best_x, x)
     best_rs = rsold.copy()
 
     iters = 0
@@ -111,11 +192,29 @@ def cg_solve_batched(
         # rsold is the numerator of alpha and the denominator of beta; once
         # it underflows the relative floor both are meaningless, so freeze.
         active &= rsold > rs_floor
-        if not active.any():
+        nact = int(active.sum())
+        if nact == 0:
             break
         iters += 1
-        matvecs += int(active.sum())
-        ap = np.einsum("bfg,bg->bf", A_store, p)
+        matvecs += nact
+        # A frozen lane's alpha is 0, so its A·p value is irrelevant to
+        # every returned quantity — gather the matvec down to the active
+        # lanes once few enough remain to beat the gather/scatter cost.
+        use_gather = nact < batch and (
+            compact is True or (compact is None and nact * 4 <= batch)
+        )
+        if use_gather:
+            lanes = np.flatnonzero(active)
+            Ag = ws.request("cg.cAg", (nact, f, f))
+            np.take(A_store, lanes, axis=0, out=Ag)
+            pg = ws.request("cg.cpg", (nact, f))
+            np.take(p, lanes, axis=0, out=pg)
+            apg = ws.request("cg.capg", (nact, f))
+            np.einsum("bfg,bg->bf", Ag, pg, out=apg)
+            ap.fill(0.0)
+            ap[lanes] = apg
+        else:
+            np.einsum("bfg,bg->bf", A_store, p, out=ap)
         denom = np.einsum("bf,bf->b", p, ap)
         # Negative curvature means quantization (or a caller bug) broke
         # positive-definiteness for that system: freeze it as-is rather
@@ -124,30 +223,40 @@ def cg_solve_batched(
         alpha = np.where(
             active, rsold / np.where(active, denom, one), 0.0
         ).astype(np.float32)
-        x = x + alpha[:, None] * p
-        r = r - alpha[:, None] * ap
+        np.multiply(p, alpha[:, None], out=tmp)
+        np.add(x, tmp, out=x)
+        np.multiply(ap, alpha[:, None], out=tmp)
+        np.subtract(r, tmp, out=r)
         rsnew = np.einsum("bf,bf->b", r, r)
         exploded = active & ~(rsnew <= explode_limit)  # catches NaN too
         active &= ~exploded
         improved = active & (rsnew < best_rs)
         if improved.any():
-            best_x = np.where(improved[:, None], x, best_x)
+            np.copyto(best_x, x, where=improved[:, None])
             best_rs = np.where(improved, rsnew, best_rs)
         still = np.sqrt(rsnew) >= config.tol
         grow = active & still & (rsnew > rs_floor)
         beta = np.where(grow, rsnew / np.where(active, rsold, one), 0.0).astype(
             np.float32
         )
-        p = r + beta[:, None] * p
+        p *= beta[:, None]
+        p += r
         rsold = rsnew
         active = active & still
 
-    x = best_x
+    if out is not None:
+        np.copyto(out, best_x)
+        solution = out
+    elif workspace is not None:
+        solution = best_x.copy()  # detach from the arena before returning
+    else:
+        solution = best_x
 
-    final_res = b - np.einsum("bfg,bg->bf", A_store, x)
+    np.einsum("bfg,bg->bf", A_store, solution, out=tmp)
+    np.subtract(b, tmp, out=tmp)
     return CGResult(
-        x=x,
+        x=solution,
         iterations=iters,
         matvec_count=matvecs,
-        residual_norms=np.sqrt(np.einsum("bf,bf->b", final_res, final_res)),
+        residual_norms=np.sqrt(np.einsum("bf,bf->b", tmp, tmp)),
     )

@@ -25,10 +25,9 @@ from ..data.datasets import WorkloadShape
 from ..data.sparse import RatingMatrix
 from ..gpusim.device import MAXWELL_TITANX, DeviceSpec
 from ..gpusim.engine import SimEngine
-from .cg import cg_solve_batched
+from ..runtime.executor import ShardExecutor
+from ..runtime.plan import RuntimePlan
 from .config import ALSConfig, CGConfig, Precision, SolverKind
-from .direct import cholesky_solve_batched
-from .hermitian import hermitian_rows
 from .kernels import bias_spec, cg_iteration_spec, hermitian_spec, lu_solver_seconds
 
 __all__ = ["ImplicitALSConfig", "ImplicitALSModel", "implicit_loss"]
@@ -93,11 +92,17 @@ class ImplicitALSModel:
         device: DeviceSpec = MAXWELL_TITANX,
         sim_shape: WorkloadShape | None = None,
         engine: SimEngine | None = None,
+        runtime: RuntimePlan | ShardExecutor | None = None,
     ) -> None:
         self.config = config or ImplicitALSConfig()
         self.device = device
         self.sim_shape = sim_shape
         self.engine = engine or SimEngine(device)
+        self.runtime = (
+            runtime
+            if isinstance(runtime, ShardExecutor)
+            else ShardExecutor(runtime or RuntimePlan())
+        )
         self.x_: np.ndarray | None = None
         self.theta_: np.ndarray | None = None
         self.loss_history_: list[float] = []
@@ -138,18 +143,25 @@ class ImplicitALSModel:
     ) -> np.ndarray:
         cfg = self.config
         vals = ratings.row_val
-        A, b = hermitian_rows(
+        # The sparse correction Θ_Ωᵀ diag(α r) Θ_Ω rides through the
+        # hermitian kernel's per-entry weights; the shared dense Gram
+        # ΘᵀΘ and the plain-λ ridge are the executor's implicit hooks.
+        result = self.runtime.half_step(
             ratings,
             fixed,
+            warm,
             lam=0.0,
+            solver=cfg.solver,
+            cg_config=cfg.cg,
+            precision=cfg.precision,
+            key=side,
+            direct="cholesky",
+            gram=fixed.T @ fixed,
+            extra_diag=cfg.lam,
             entry_weights=cfg.alpha * vals,
             bias_values=1.0 + cfg.alpha * vals,
             count_weighted_reg=False,
         )
-        gram = fixed.T @ fixed
-        A += gram[None, :, :]
-        diag = np.einsum("rff->rf", A)
-        diag += np.float32(cfg.lam)
 
         data_shape = WorkloadShape(
             m=ratings.m, n=ratings.n, nnz=max(ratings.nnz, 1), f=cfg.f
@@ -163,12 +175,11 @@ class ImplicitALSModel:
         self.engine.launch(bias_spec(self.device, shape), tag=tag)
 
         if cfg.solver is SolverKind.CG:
-            res = cg_solve_batched(A, b, x0=warm, config=cfg.cg, precision=cfg.precision)
             spec = cg_iteration_spec(self.device, shape.m, shape.f, cfg.precision)
-            for _ in range(res.iterations):
+            for _ in range(result.cg_iterations):
                 self.engine.launch(spec, tag=tag)
-            return res.x
-        self.engine.host(
-            "solve_lu", lu_solver_seconds(self.device, shape.m, shape.f), tag=tag
-        )
-        return cholesky_solve_batched(A, b)
+        else:
+            self.engine.host(
+                "solve_lu", lu_solver_seconds(self.device, shape.m, shape.f), tag=tag
+            )
+        return result.factors

@@ -1,0 +1,36 @@
+"""Fallback scratch provider for kernels with ``workspace=`` hooks.
+
+``hermitian_rows`` and ``cg_solve_batched`` stage their large
+intermediates through a workspace object exposing
+``request(name, shape, dtype)`` (duck-typed so :mod:`repro.core` never
+imports :mod:`repro.runtime`).  When the caller passes no workspace, the
+kernels fall back to :data:`FRESH`, which simply allocates a new buffer
+per request — exactly the allocation behaviour the seed implementation
+had, so results and memory profiles of existing callers are unchanged.
+
+The real reusing arena is :class:`repro.runtime.arena.Workspace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FreshScratch", "FRESH"]
+
+
+class FreshScratch:
+    """Workspace stand-in that allocates a fresh buffer per request."""
+
+    __slots__ = ()
+
+    def request(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float32,
+    ) -> np.ndarray:
+        return np.empty(shape, dtype=dtype)
+
+
+#: Shared stateless instance (FreshScratch holds nothing).
+FRESH = FreshScratch()

@@ -1,0 +1,106 @@
+"""Workspace arena: reusable scratch buffers for the ALS hot path.
+
+The paper's Solution 1 (§III) stages the dense half of ``get_hermitian``
+in registers/shared memory so the O(nnz·f²) intermediate never round-trips
+through DRAM.  The host-side analogue of that waste is NumPy allocating a
+fresh outer-product scratch array for every chunk of every epoch, plus
+fresh CG work vectors (r, p, Ap, quantized-A staging) for every batch.
+
+:class:`Workspace` is a named-buffer arena.  Kernels ask for scratch by
+name and shape; the arena hands back a view of a cached flat buffer,
+growing it only when a request exceeds the current capacity.  After the
+first epoch warms every buffer, steady-state training performs **zero**
+large allocations — a property the tests assert via the arena's counters
+rather than eyeballing a profiler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """Named, growable scratch buffers with allocation accounting.
+
+    Buffers are keyed by name.  A request returns a C-contiguous view of
+    the underlying flat storage with exactly the requested shape/dtype;
+    contents are unspecified (callers must fully overwrite, as with
+    ``np.empty``).  Requests are served from cache whenever the existing
+    flat buffer is large enough, so a buffer sized for the largest chunk
+    serves every smaller chunk without touching the allocator.
+
+    Counters:
+
+    ``allocations``
+        Number of backing-buffer (re)allocations since the last
+        :meth:`reset_counters` — the "did steady state allocate?" probe.
+    ``reuses``
+        Requests served entirely from cache.
+    ``bytes_allocated``
+        Total bytes of backing storage created since the last reset.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self.allocations = 0
+        self.reuses = 0
+        self.bytes_allocated = 0
+
+    def request(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float32,
+    ) -> np.ndarray:
+        """Return scratch of ``shape``/``dtype``, reusing cached storage.
+
+        The returned array's contents are arbitrary; callers overwrite.
+        """
+        dt = np.dtype(dtype)
+        elems = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        nbytes = elems * dt.itemsize
+        flat = self._buffers.get(name)
+        if flat is None or flat.nbytes < nbytes:
+            flat = np.empty(nbytes, dtype=np.uint8)
+            self._buffers[name] = flat
+            self.allocations += 1
+            self.bytes_allocated += nbytes
+        else:
+            self.reuses += 1
+        return flat[:nbytes].view(dt).reshape(shape)
+
+    def zeros(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype | type = np.float32,
+    ) -> np.ndarray:
+        """Like :meth:`request`, but zero-filled (in place, no alloc)."""
+        out = self.request(name, shape, dtype)
+        out.fill(0)
+        return out
+
+    def reset_counters(self) -> None:
+        """Zero the counters without dropping cached buffers."""
+        self.allocations = 0
+        self.reuses = 0
+        self.bytes_allocated = 0
+
+    def release(self) -> None:
+        """Drop every cached buffer (and reset the counters)."""
+        self._buffers.clear()
+        self.reset_counters()
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes currently held by cached backing buffers."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Workspace(buffers={len(self._buffers)}, "
+            f"resident={self.resident_bytes}B, allocs={self.allocations}, "
+            f"reuses={self.reuses})"
+        )

@@ -1,0 +1,162 @@
+"""Throughput-driven plan selection (the paper's occupancy-style tuning).
+
+The paper picks its register-tile and thread-block geometry from the
+device's occupancy calculator; the host has no such oracle, so this
+module does what cuMF's autotuning mode does instead: run the dominant
+kernel on a small warm-up slice under each candidate configuration and
+keep the fastest.  Chunk size is a real lever on the host — too large
+thrashes the cache with the O(nnz·f²) outer-product scratch, too small
+drowns in per-chunk overhead — and the two hermitian kernels win on
+different shapes, so both knobs are measured rather than guessed.
+
+Worker count is chosen from the visible CPU budget: sharded processes
+only pay off with real parallel hardware, so a single-CPU host gets the
+serial plan (which is also the bit-exact reference — see
+:mod:`repro.runtime.executor`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.hermitian import hermitian_rows
+from .arena import Workspace
+from .plan import HERMITIAN_METHODS, RuntimePlan
+
+__all__ = ["AutotuneReport", "CHUNK_CANDIDATES", "autotune_plan"]
+
+#: Chunk budgets swept by the tuner (float32 elements of kernel scratch).
+#: Spans L2-cache-sized tiles up to the seed's 256 MB default.
+CHUNK_CANDIDATES = (
+    65_536,
+    262_144,
+    1_048_576,
+    4_194_304,
+    16_777_216,
+    64_000_000,
+)
+
+
+@dataclass(frozen=True)
+class AutotuneReport:
+    """The chosen plan plus the measurements that justified it."""
+
+    plan: RuntimePlan
+    timings: tuple  # ((method, chunk_elems, best_seconds), ...) per candidate
+    warmup_rows: int  # rows of the warm-up slice actually measured
+
+    def __post_init__(self) -> None:
+        if self.warmup_rows < 1:
+            raise ValueError("warm-up slice must contain at least one row")
+        if not self.timings:
+            raise ValueError("autotune must measure at least one candidate")
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation for bench reports."""
+        return {
+            "plan": self.plan.as_dict(),
+            "warmup_rows": self.warmup_rows,
+            "timings": [
+                {"method": m, "chunk_elems": c, "seconds": s}
+                for m, c, s in self.timings
+            ],
+        }
+
+
+def _warmup_rows(row_ptr: np.ndarray, warmup_nnz: int) -> int:
+    """Smallest contiguous row prefix covering ``warmup_nnz`` entries."""
+    m = len(row_ptr) - 1
+    rows = int(np.searchsorted(row_ptr, warmup_nnz, side="left"))
+    return min(max(rows, 1), m)
+
+
+def autotune_plan(
+    ratings,
+    f: int,
+    *,
+    warmup_nnz: int = 100_000,
+    repeats: int = 2,
+    methods: tuple[str, ...] = HERMITIAN_METHODS,
+    workers: int | None = None,
+    arena: bool = True,
+) -> AutotuneReport:
+    """Measure candidate configurations and return the winning plan.
+
+    Parameters
+    ----------
+    ratings:
+        CSR matrix (or :class:`~repro.runtime.executor.CsrView`) the
+        training run will process; the first rows covering
+        ``warmup_nnz`` observations form the measurement slice.
+    f:
+        Factor dimensionality of the run being tuned (the scratch
+        footprint scales with f², so tuning must use the real f).
+    repeats:
+        Timed repetitions per candidate after one untimed warm-up call;
+        the best (minimum) time is kept, which rejects scheduler noise.
+    workers:
+        Process count for the plan; ``None`` derives it from the CPU
+        budget (serial unless >1 CPUs are actually available).
+    """
+    if f < 1:
+        raise ValueError("f must be positive")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for method in methods:
+        if method not in HERMITIAN_METHODS:
+            raise ValueError(f"unknown hermitian method {method!r}")
+
+    rows = _warmup_rows(ratings.row_ptr, warmup_nnz)
+    rng = np.random.default_rng(0)
+    theta = rng.standard_normal((ratings.n, f)).astype(np.float32)
+    ws = Workspace()
+
+    timings: list[tuple[str, int, float]] = []
+    best: tuple[float, str, int] | None = None
+    for method in methods:
+        # A budget below one f×f tile degenerates to row-at-a-time chunks;
+        # skip those candidates rather than measure a guaranteed loss.
+        floor = f * f * 8
+        candidates = [c for c in CHUNK_CANDIDATES if c >= floor]
+        if not candidates:  # huge f: nothing fits, take the biggest budget
+            candidates = [max(CHUNK_CANDIDATES)]
+        for chunk in candidates:
+            args = dict(
+                rows=slice(0, rows),
+                chunk_elems=chunk,
+                method=method,
+                workspace=ws,
+            )
+            hermitian_rows(ratings, theta, 0.05, **args)  # warm the arena
+            elapsed = min(
+                _timed(lambda: hermitian_rows(ratings, theta, 0.05, **args))
+                for _ in range(repeats)
+            )
+            timings.append((method, chunk, elapsed))
+            if best is None or elapsed < best[0]:
+                best = (elapsed, method, chunk)
+    ws.release()
+    assert best is not None  # methods is non-empty and candidates exist
+
+    if workers is None:
+        cpus = os.cpu_count() or 1
+        workers = min(4, cpus) if cpus > 1 else 0
+    shards = max(1, workers)
+    plan = RuntimePlan(
+        method=best[1],
+        chunk_elems=best[2],
+        shards=shards,
+        workers=workers,
+        arena=arena,
+    )
+    return AutotuneReport(plan=plan, timings=tuple(timings), warmup_rows=rows)
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

@@ -1,0 +1,383 @@
+"""Sharded half-step executor (paper §III Solution 2, host analogue).
+
+An ALS half-step — form every row's normal equations, solve them — is
+embarrassingly parallel across rows.  cuMF_ALS exploits that by handing
+contiguous nnz-balanced row ranges to thread blocks; this module does the
+same on the host: :func:`repro.core.multi_gpu.partition_rows` splits the
+row space into ``plan.shards`` contiguous ranges of roughly equal nnz,
+and :class:`ShardExecutor` runs them either serially in-process (the
+deterministic default) or on a fork-based process pool whose factor
+matrices live in :mod:`multiprocessing.shared_memory` so workers write
+their row ranges in place with zero serialization of the results.
+
+Determinism is by construction, not by luck:
+
+* rows are never split across shards (and chunks never split rows), so
+  each row's A_u/b_u is formed from exactly its own entries in CSR
+  order whatever the shard/chunk geometry;
+* the CG solver's per-system arithmetic is independent of how the batch
+  is grouped, so solving a shard's rows together or apart yields the
+  same bits;
+* shards write disjoint row ranges of the output, and the epoch-level
+  accounting folds with order-independent reductions (``max`` of
+  iterations, ``sum`` of matvecs).
+
+Hence the factors are **bit-identical** for any ``shards``/``workers``/
+``chunk_elems`` choice — the property the VF107 verification rule and
+the runtime test suite pin down.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from ..core.cg import cg_solve_batched
+from ..core.config import CGConfig, Precision, SolverKind
+from ..core.direct import cholesky_solve_batched, lu_solve_batched
+from ..core.hermitian import hermitian_rows
+from ..core.multi_gpu import partition_rows
+from .arena import Workspace
+from .plan import SERIAL_PLAN, RuntimePlan
+
+__all__ = ["CsrView", "HalfStepResult", "ShardExecutor"]
+
+
+@dataclass(frozen=True)
+class CsrView:
+    """Duck-typed stand-in for :class:`repro.data.sparse.RatingMatrix`.
+
+    ``hermitian_rows`` only reads ``m``/``n``/``row_ptr``/``col_idx``/
+    ``row_val``, so a half-step can run on a bare CSR triplet without
+    materializing the CSC half that ``RatingMatrix`` carries — which is
+    what the bench harness and fork workers use.
+    """
+
+    m: int
+    n: int
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    row_val: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.m < 0 or self.n < 0:
+            raise ValueError("matrix dimensions must be non-negative")
+        if self.row_ptr.shape != (self.m + 1,):
+            raise ValueError(f"row_ptr must have {self.m + 1} entries")
+        nnz = int(self.row_ptr[-1])
+        if self.col_idx.shape != (nnz,) or self.row_val.shape != (nnz,):
+            raise ValueError("col_idx/row_val must have one entry per nnz")
+
+    @property
+    def nnz(self) -> int:
+        return int(self.row_ptr[-1])
+
+
+@dataclass(frozen=True)
+class HalfStepResult:
+    """Factors plus the solver accounting the cost model prices."""
+
+    factors: np.ndarray  # (rows, f), a persistent executor-owned buffer
+    cg_iterations: int  # max CG iterations over the shards (epoch clock)
+    cg_matvec_count: int  # total A·p products across all shards
+    shards: int  # how many shards actually executed
+
+    def __post_init__(self) -> None:
+        if self.cg_iterations < 0 or self.cg_matvec_count < 0:
+            raise ValueError("solver counters must be non-negative")
+        if self.shards < 1:
+            raise ValueError("at least one shard must have executed")
+
+
+@dataclass(frozen=True)
+class _ShardParams:
+    """Everything a shard needs besides the big arrays (fork-inherited)."""
+
+    plan: RuntimePlan
+    lam: float
+    solver: SolverKind
+    cg_config: CGConfig
+    precision: Precision
+    direct: str
+    extra_diag: float
+    count_weighted_reg: bool
+
+
+def _compute_shard(
+    ratings,
+    fixed: np.ndarray,
+    warm: np.ndarray | None,
+    out: np.ndarray,
+    lo: int,
+    hi: int,
+    params: _ShardParams,
+    ws: Workspace | None,
+    gram: np.ndarray | None,
+    entry_weights: np.ndarray | None,
+    bias_values: np.ndarray | None,
+) -> tuple[int, int]:
+    """Form and solve rows [lo, hi), writing ``out[lo:hi]`` in place."""
+    num = hi - lo
+    if num == 0:
+        return 0, 0
+    f = fixed.shape[1]
+    plan = params.plan
+    ab_out = None
+    if ws is not None:
+        ab_out = (ws.request("exec.A", (num, f, f)), ws.request("exec.b", (num, f)))
+    A, b = hermitian_rows(
+        ratings,
+        fixed,
+        params.lam,
+        rows=slice(lo, hi),
+        chunk_elems=plan.chunk_elems,
+        entry_weights=entry_weights,
+        bias_values=bias_values,
+        count_weighted_reg=params.count_weighted_reg,
+        method=plan.method,
+        workspace=ws,
+        out=ab_out,
+    )
+    if gram is not None:
+        A += gram[None, :, :]
+    if params.extra_diag:
+        diag = np.einsum("rff->rf", A)  # writable view of the diagonals
+        diag += np.float32(params.extra_diag)
+    rows_out = out[lo:hi]
+    if params.solver is SolverKind.CG:
+        result = cg_solve_batched(
+            A,
+            b,
+            x0=None if warm is None else warm[lo:hi],
+            config=params.cg_config,
+            precision=params.precision,
+            workspace=ws,
+            compact=plan.compact_cg,
+            out=rows_out,
+        )
+        return result.iterations, result.matvec_count
+    solve = cholesky_solve_batched if params.direct == "cholesky" else lu_solve_batched
+    np.copyto(rows_out, solve(A, b))
+    return 0, 0
+
+
+# Fork-inherited worker context.  Populated in the parent immediately
+# before the pool forks; children see a copy-on-write snapshot, so the
+# big read-only arrays (CSR triplet, per-nnz weights) cross the process
+# boundary without any pickling.  Only the factor matrices live in
+# shared memory — they are the arrays workers must write back into.
+_FORK_CTX: dict | None = None
+
+
+def _forked_shard(span: tuple[int, int]) -> tuple[int, int]:
+    ctx = _FORK_CTX
+    assert ctx is not None, "worker used outside a fork context"
+    fixed = np.ndarray(ctx["fixed_shape"], np.float32, buffer=ctx["fixed_shm"].buf)
+    out = np.ndarray(ctx["out_shape"], np.float32, buffer=ctx["out_shm"].buf)
+    warm = None
+    if ctx["warm_shm"] is not None:
+        warm = np.ndarray(ctx["out_shape"], np.float32, buffer=ctx["warm_shm"].buf)
+    ws = ctx["workspace"]  # each child owns its post-fork copy
+    return _compute_shard(
+        ctx["ratings"],
+        fixed,
+        warm,
+        out,
+        span[0],
+        span[1],
+        ctx["params"],
+        ws,
+        ctx["gram"],
+        ctx["entry_weights"],
+        ctx["bias_values"],
+    )
+
+
+class ShardExecutor:
+    """Executes ALS half-steps according to a :class:`RuntimePlan`.
+
+    The executor owns the long-lived resources the plan needs: one
+    workspace arena (so scratch survives across chunks, shards and
+    epochs) and one persistent output buffer per factor ``key`` (so the
+    solved factors land in place instead of a fresh allocation per
+    half-step).  The returned ``factors`` array is that persistent
+    buffer: it stays valid until the next half-step with the same key,
+    which is exactly the lifetime ALS needs (the result becomes the next
+    epoch's warm start / fixed side).
+    """
+
+    def __init__(self, plan: RuntimePlan = SERIAL_PLAN) -> None:
+        self.plan = plan
+        self.workspace = Workspace() if plan.arena else None
+        self._outputs: dict[str, np.ndarray] = {}
+        self._shm: dict[str, shared_memory.SharedMemory] = {}
+        self._warned_no_fork = False
+
+    # -- resource management ------------------------------------------------
+
+    def _output(self, key: str, shape: tuple[int, int]) -> np.ndarray:
+        buf = self._outputs.get(key)
+        if buf is None or buf.shape != shape:
+            buf = np.empty(shape, dtype=np.float32)
+            self._outputs[key] = buf
+        return buf
+
+    def _shared(self, key: str, nbytes: int) -> shared_memory.SharedMemory:
+        """A persistent (grow-only) shared-memory block for ``key``."""
+        blk = self._shm.get(key)
+        if blk is None or blk.size < nbytes:
+            if blk is not None:
+                blk.close()
+                blk.unlink()
+            blk = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._shm[key] = blk
+        return blk
+
+    def close(self) -> None:
+        """Release shared-memory blocks and cached scratch."""
+        for blk in self._shm.values():
+            blk.close()
+            blk.unlink()
+        self._shm.clear()
+        self._outputs.clear()
+        if self.workspace is not None:
+            self.workspace.release()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- execution ----------------------------------------------------------
+
+    def half_step(
+        self,
+        ratings,
+        fixed: np.ndarray,
+        warm: np.ndarray | None = None,
+        *,
+        lam: float,
+        solver: SolverKind = SolverKind.CG,
+        cg_config: CGConfig | None = None,
+        precision: Precision = Precision.FP32,
+        key: str = "x",
+        direct: str = "lu",
+        gram: np.ndarray | None = None,
+        extra_diag: float = 0.0,
+        entry_weights: np.ndarray | None = None,
+        bias_values: np.ndarray | None = None,
+        count_weighted_reg: bool = True,
+    ) -> HalfStepResult:
+        """Solve every row subproblem of ``ratings`` against ``fixed``.
+
+        Parameters mirror :func:`repro.core.hermitian.hermitian_rows`
+        plus the solver choice; ``gram``/``extra_diag`` are the implicit
+        ALS hooks (dense ΘᵀΘ term and plain-λ ridge added after the
+        sparse accumulation).  ``key`` names the factor side being
+        updated (``"x"``/``"theta"``) so each side keeps its own
+        persistent output buffer.
+        """
+        fixed = np.ascontiguousarray(fixed, dtype=np.float32)
+        params = _ShardParams(
+            plan=self.plan,
+            lam=lam,
+            solver=solver,
+            cg_config=cg_config or CGConfig(),
+            precision=precision,
+            direct=direct,
+            extra_diag=extra_diag,
+            count_weighted_reg=count_weighted_reg,
+        )
+        f = fixed.shape[1]
+        shape = (ratings.m, f)
+        spans = partition_rows(ratings.row_ptr, self.plan.shards)
+        workers = min(self.plan.workers, len(spans))
+        if workers > 0 and "fork" not in multiprocessing.get_all_start_methods():
+            if not self._warned_no_fork:
+                self._warned_no_fork = True
+                warnings.warn(
+                    "fork start method unavailable; running shards serially",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            workers = 0
+
+        if workers == 0:
+            out = self._output(key, shape)
+            counters = [
+                _compute_shard(
+                    ratings, fixed, warm, out, lo, hi, params, self.workspace,
+                    gram, entry_weights, bias_values,
+                )
+                for lo, hi in spans
+            ]
+        else:
+            out, counters = self._run_pool(
+                ratings, fixed, warm, params, key, shape, spans, workers,
+                gram, entry_weights, bias_values,
+            )
+
+        return HalfStepResult(
+            factors=out,
+            cg_iterations=max(it for it, _ in counters),
+            cg_matvec_count=sum(mv for _, mv in counters),
+            shards=len(spans),
+        )
+
+    def _run_pool(
+        self,
+        ratings,
+        fixed: np.ndarray,
+        warm: np.ndarray | None,
+        params: _ShardParams,
+        key: str,
+        shape: tuple[int, int],
+        spans: list[tuple[int, int]],
+        workers: int,
+        gram: np.ndarray | None,
+        entry_weights: np.ndarray | None,
+        bias_values: np.ndarray | None,
+    ) -> tuple[np.ndarray, list[tuple[int, int]]]:
+        """Fan the shards out over a fork pool with shm-backed factors."""
+        global _FORK_CTX
+        nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * 4)
+        fixed_nbytes = max(1, fixed.nbytes)
+        fixed_shm = self._shared(f"{key}.fixed", fixed_nbytes)
+        out_shm = self._shared(f"{key}.out", nbytes)
+        fixed_view = np.ndarray(fixed.shape, np.float32, buffer=fixed_shm.buf)
+        np.copyto(fixed_view, fixed)
+        warm_shm = None
+        if warm is not None:
+            warm_shm = self._shared(f"{key}.warm", nbytes)
+            warm_view = np.ndarray(shape, np.float32, buffer=warm_shm.buf)
+            np.copyto(warm_view, warm)
+        _FORK_CTX = {
+            "ratings": ratings,
+            "params": params,
+            "gram": gram,
+            "entry_weights": entry_weights,
+            "bias_values": bias_values,
+            "workspace": self.workspace,
+            "fixed_shm": fixed_shm,
+            "fixed_shape": fixed.shape,
+            "warm_shm": warm_shm,
+            "out_shm": out_shm,
+            "out_shape": shape,
+        }
+        try:
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(processes=workers) as pool:
+                counters = pool.map(_forked_shard, spans, chunksize=1)
+        finally:
+            _FORK_CTX = None
+        # Copy the solved factors out of the transport buffer so the
+        # returned array follows the same persistent-buffer lifetime as
+        # the serial path (and survives shm growth/unlink).
+        out = self._output(key, shape)
+        np.copyto(out, np.ndarray(shape, np.float32, buffer=out_shm.buf))
+        return out, counters

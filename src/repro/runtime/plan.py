@@ -1,0 +1,94 @@
+"""Execution plans for the host-side runtime (paper §III, Solutions 1–2).
+
+A :class:`RuntimePlan` is the host analogue of the paper's launch
+configuration: where the chunked ``get_hermitian`` scratch lives
+(``chunk_elems`` — the tile/shared-memory knob), how the batch of row
+subproblems is partitioned (``shards`` — the thread-block grid), and how
+many OS processes execute the shards (``workers`` — the SMs).  Plans are
+plain data so they can be produced by the autotuner, serialized into
+bench reports and compared across machines.
+
+This module is dependency-free on purpose: it sits at the bottom of the
+``core`` ↔ ``runtime`` import cycle (core models consume plans, the
+executor consumes core kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HermitianMethod", "RuntimePlan", "SERIAL_PLAN"]
+
+#: The two host kernels for forming the normal equations.  ``reduceat``
+#: is the seed implementation (outer products + segment reduction), kept
+#: as the bit-exact reference; ``grouped`` buckets rows by observation
+#: count and runs one batched BLAS matmul per bucket — the same
+#: regularize-the-irregular trick the paper's register tiling performs.
+HERMITIAN_METHODS = ("reduceat", "grouped")
+
+#: Type alias used in signatures (plain strings keep plans JSON-ready).
+HermitianMethod = str
+
+
+@dataclass(frozen=True)
+class RuntimePlan:
+    """How one ALS half-step is executed on the host.
+
+    Parameters
+    ----------
+    method:
+        Hermitian formation kernel, ``"reduceat"`` or ``"grouped"``.
+    chunk_elems:
+        Scratch budget per hermitian chunk, in float32 *elements* —
+        ``nnz·f²`` for ``reduceat``, ``nnz·f`` for ``grouped``.
+    shards:
+        Number of contiguous nnz-balanced row shards per half-step.
+    workers:
+        OS processes executing the shards; ``0`` runs every shard
+        serially in-process (the deterministic fallback), ``>= 1`` uses a
+        process pool over ``multiprocessing.shared_memory``.
+    compact_cg:
+        Forwarded to the CG solver's frozen-system compaction:
+        ``None`` lets the solver decide per iteration, ``True``/``False``
+        force it (results are bit-identical either way).
+    arena:
+        Reuse workspace buffers across chunks and epochs.  Disabling
+        restores the seed's allocate-per-chunk behaviour (the bench's
+        "legacy" leg).
+    """
+
+    method: str = "reduceat"
+    chunk_elems: int = 64_000_000
+    shards: int = 1
+    workers: int = 0
+    compact_cg: bool | None = None
+    arena: bool = True
+
+    def __post_init__(self) -> None:
+        if self.method not in HERMITIAN_METHODS:
+            raise ValueError(
+                f"method must be one of {HERMITIAN_METHODS}, got {self.method!r}"
+            )
+        if self.chunk_elems < 1:
+            raise ValueError("chunk_elems must be positive")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 = serial in-process)")
+        if self.workers > self.shards:
+            raise ValueError("workers beyond shards would idle; lower workers")
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (bench reports, fixtures)."""
+        return {
+            "method": self.method,
+            "chunk_elems": self.chunk_elems,
+            "shards": self.shards,
+            "workers": self.workers,
+            "compact_cg": self.compact_cg,
+            "arena": self.arena,
+        }
+
+
+#: The default plan: numerics bit-identical to the seed implementation.
+SERIAL_PLAN = RuntimePlan()

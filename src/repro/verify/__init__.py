@@ -13,10 +13,12 @@ from .generators import (
     KernelCase,
     OccupancyCase,
     PatternCase,
+    RuntimeCase,
     SPDCase,
     TrajectoryCase,
     build_hermitian_system,
     build_kernel_specs,
+    build_runtime_inputs,
     build_spd_batch,
     build_trajectory_split,
     case_from_dict,
@@ -35,6 +37,7 @@ from .properties import (
     check_coalescing_order,
     check_occupancy_invariance,
     check_roofline_bound,
+    check_runtime_determinism,
     check_timing_monotone,
 )
 from .runner import (
@@ -62,10 +65,12 @@ __all__ = [
     "PatternCase",
     "OccupancyCase",
     "CacheCase",
+    "RuntimeCase",
     "build_spd_batch",
     "build_hermitian_system",
     "build_trajectory_split",
     "build_kernel_specs",
+    "build_runtime_inputs",
     "case_to_dict",
     "case_from_dict",
     "shrink_case",
@@ -79,6 +84,7 @@ __all__ = [
     "check_coalescing_order",
     "check_occupancy_invariance",
     "check_cache_monotone",
+    "check_runtime_determinism",
     "CheckDef",
     "CHECKS",
     "VerifyConfig",

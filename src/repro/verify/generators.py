@@ -177,6 +177,54 @@ class TrajectoryCase:
 
 
 @dataclass(frozen=True)
+class RuntimeCase:
+    """One ALS half-step replayed under different execution plans (VF107).
+
+    The runtime layer promises that chunk size, shard count, worker
+    processes, workspace reuse and CG compaction are pure wall-clock
+    knobs: the produced factors (and the solver's iteration/matvec
+    accounting) must be **bit-identical** to running the raw kernels
+    directly.  The case carries one plan geometry to replay; the check
+    compares it — plus a few fixed contrasting plans — against the
+    reference half-step.
+    """
+
+    m: int
+    n: int
+    nnz: int
+    f: int
+    fs: int
+    lam: float
+    chunk_elems: int
+    shards: int
+    workers: int
+    precision: str
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.n < 1:
+            raise ValueError("m and n must be positive")
+        if not 1 <= self.nnz <= self.m * self.n:
+            raise ValueError("nnz must be in [1, m*n]")
+        if self.f < 2:
+            raise ValueError("f must be >= 2")
+        if self.fs < 1:
+            raise ValueError("fs must be >= 1")
+        if self.lam <= 0:
+            raise ValueError("lam must be positive")
+        if self.chunk_elems < 1:
+            raise ValueError("chunk_elems must be positive")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if not 0 <= self.workers <= self.shards:
+            raise ValueError("workers must be in [0, shards]")
+        if self.precision not in {p.value for p in Precision}:
+            raise ValueError(f"unknown precision {self.precision!r}")
+        if not 0 <= self.seed < _MAX_SEED:
+            raise ValueError("seed out of range")
+
+
+@dataclass(frozen=True)
 class KernelCase:
     """A (device, workload, launch config) triple for the timing model."""
 
@@ -332,6 +380,26 @@ def build_trajectory_split(case: TrajectoryCase) -> TrainTestSplit:
     return train_test_split(ratings, 0.2, seed=case.seed)
 
 
+def build_runtime_inputs(
+    case: RuntimeCase,
+) -> tuple[RatingMatrix, np.ndarray, np.ndarray]:
+    """Materialize ``(ratings, theta, warm)`` for a runtime case."""
+    rng = np.random.default_rng(case.seed)
+    ratings = generate_ratings(
+        SyntheticConfig(
+            m=case.m,
+            n=case.n,
+            nnz=case.nnz,
+            true_rank=min(4, case.f),
+            seed=case.seed,
+        ),
+        rng=rng,
+    )
+    theta = rng.normal(0.0, 0.1, size=(ratings.n, case.f)).astype(np.float32)
+    warm = rng.normal(0.0, 0.1, size=(ratings.m, case.f)).astype(np.float32)
+    return ratings, theta, warm
+
+
 def build_kernel_specs(case: KernelCase) -> tuple[DeviceSpec, KernelSpec, KernelSpec]:
     """Build the hermitian-pass and CG-iteration specs for a case."""
     device = get_device(case.device)
@@ -419,6 +487,32 @@ def draw_trajectory_case(rng: np.random.Generator) -> TrajectoryCase:
     )
 
 
+def draw_runtime_case(rng: np.random.Generator) -> RuntimeCase:
+    m = int(rng.integers(4, 41))
+    n = int(rng.integers(4, 33))
+    nnz_cap = min(m * n, 6 * (m + n))
+    f = int(rng.integers(2, 13))
+    shards = int(rng.integers(1, 6))
+    # Process-pool cases fork real workers; keep them a minority so the
+    # campaign stays fast, but always covered.
+    workers = int(rng.integers(1, min(shards, 2) + 1)) if rng.random() < 0.3 else 0
+    return RuntimeCase(
+        m=m,
+        n=n,
+        nnz=int(rng.integers(1, nnz_cap + 1)),
+        f=f,
+        fs=int(rng.integers(1, 8)),
+        lam=round(float(10.0 ** rng.uniform(-3, 0.3)), 6),
+        # From pathologically small (every chunk clamps to one row) up to
+        # comfortably holding the whole slice.
+        chunk_elems=int(2 ** rng.integers(6, 21)),
+        shards=shards,
+        workers=workers,
+        precision=str(rng.choice([p.value for p in Precision])),
+        seed=_seed(rng),
+    )
+
+
 def draw_kernel_case(rng: np.random.Generator) -> KernelCase:
     for _ in range(32):
         m = int(10.0 ** rng.uniform(0.0, 5.0))
@@ -488,6 +582,9 @@ _SHRINK_MINIMA: dict[str, int | float] = {
     "tile": 1,
     "threads_per_block": 32,
     "bin_size": 1,
+    "chunk_elems": 1,
+    "shards": 1,
+    "workers": 0,
     "num_elements": 0,
     "stride_elements": 1,
     "registers_per_thread": 1,
@@ -559,6 +656,7 @@ _CASE_TYPES: dict[str, type] = {
         SPDCase,
         HermitianCase,
         TrajectoryCase,
+        RuntimeCase,
         KernelCase,
         PatternCase,
         OccupancyCase,

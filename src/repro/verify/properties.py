@@ -26,6 +26,12 @@ structure — a violation is a bug, never noise:
            arithmetic is per-SM).
 ``VF106``  the analytic cache hit rate is non-increasing in working-set
            size and bounded by ``(r-1)/r`` (Solution 2's spill model).
+``VF107``  the runtime layer is a pure performance knob: a half-step
+           through :class:`~repro.runtime.executor.ShardExecutor` is
+           bit-identical to the raw solver pipeline for every plan —
+           any shard count, worker count, chunk size, arena on or off,
+           CG compaction on or off (§III Solutions 1-2 change *where*
+           work runs, never *what* it computes).
 =========  ============================================================
 
 Deliberately *not* asserted: hermitian timing monotone in ``f`` or ``m``
@@ -39,7 +45,12 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from ..analysis.diagnostics import Diagnostic, Severity, register_rule
+from ..core.cg import cg_solve_batched
+from ..core.config import CGConfig, Precision
+from ..core.hermitian import hermitian_and_bias
 from ..core.kernels import cg_iteration_spec, hermitian_spec
 from ..data.datasets import WorkloadShape
 from ..gpusim.cache import analytic_hit_rate
@@ -47,13 +58,17 @@ from ..gpusim.coalescing import coalesced, strided
 from ..gpusim.device import get_device
 from ..gpusim.kernel import LaunchTiming, time_kernel
 from ..gpusim.occupancy import KernelResources, compute_occupancy
+from ..runtime.executor import ShardExecutor
+from ..runtime.plan import RuntimePlan
 from .generators import (
     CacheCase,
     KernelCase,
     OccupancyCase,
     PatternCase,
+    RuntimeCase,
     _als_config,
     build_kernel_specs,
+    build_runtime_inputs,
     large_grid_rows,
 )
 from .oracles import VF005
@@ -65,11 +80,13 @@ __all__ = [
     "VF104",
     "VF105",
     "VF106",
+    "VF107",
     "check_timing_monotone",
     "check_roofline_bound",
     "check_coalescing_order",
     "check_occupancy_invariance",
     "check_cache_monotone",
+    "check_runtime_determinism",
 ]
 
 VF101 = register_rule(
@@ -101,6 +118,11 @@ VF106 = register_rule(
     "VF106",
     "cache hit rate grew with working-set size",
     "paper Solution 2: hit rate collapses as the staged set spills",
+)
+VF107 = register_rule(
+    "VF107",
+    "runtime plan changed the computed factors",
+    "paper §III Solutions 1-2: sharding/chunking relocate work, never alter it",
 )
 
 #: Relative slack for comparing two computed times (pure float noise).
@@ -344,6 +366,91 @@ def check_cache_monotone(case: CacheCase) -> list[Diagnostic]:
                     f"set doubled ({ws_a}B → {ws_b}B)",
                     rate_small=r_a,
                     rate_big=r_b,
+                )
+            )
+    return findings
+
+
+def check_runtime_determinism(case: RuntimeCase) -> list[Diagnostic]:
+    """VF107: every runtime plan reproduces the raw pipeline bit-for-bit.
+
+    The reference is the seed path — one ``hermitian_and_bias`` call plus
+    one full-batch ``cg_solve_batched`` — and every plan variant (serial,
+    sharded, arena off, CG compaction forced, forked workers when the
+    case drew any) must return the identical float32 factors *and* the
+    identical iteration/matvec counters.  Rows are never split across
+    shards and CG lanes never interact, so any drift is a real bug in
+    the executor, arena, or compaction bookkeeping — never rounding.
+    """
+    ratings, theta, warm = build_runtime_inputs(case)
+    cg_cfg = CGConfig(max_iters=case.fs, tol=1e-4)
+    precision = Precision(case.precision)
+    A, b = hermitian_and_bias(ratings, theta, case.lam)
+    ref = cg_solve_batched(A, b, x0=warm, config=cg_cfg, precision=precision)
+
+    plans = {
+        "serial": RuntimePlan(),
+        "sharded": RuntimePlan(
+            chunk_elems=case.chunk_elems, shards=case.shards
+        ),
+        "no-arena": RuntimePlan(
+            chunk_elems=case.chunk_elems, shards=case.shards, arena=False
+        ),
+        "compact": RuntimePlan(shards=case.shards, compact_cg=True),
+    }
+    if case.workers:
+        plans["workers"] = RuntimePlan(
+            chunk_elems=case.chunk_elems,
+            shards=case.shards,
+            workers=case.workers,
+        )
+
+    findings: list[Diagnostic] = []
+    for name, plan in plans.items():
+        executor = ShardExecutor(plan)
+        try:
+            result = executor.half_step(
+                ratings,
+                theta,
+                warm,
+                lam=case.lam,
+                cg_config=cg_cfg,
+                precision=precision,
+            )
+        finally:
+            executor.close()
+        subject = f"runtime.determinism[{name}]"
+        if not np.array_equal(result.factors, ref.x):
+            delta = np.abs(
+                result.factors.astype(np.float64) - ref.x.astype(np.float64)
+            )
+            findings.append(
+                _violation(
+                    VF107,
+                    subject,
+                    f"plan {name!r} drifted from the raw pipeline: "
+                    f"max |Δ| = {float(delta.max()):.3e} over "
+                    f"{int(np.count_nonzero(delta))} entries",
+                    max_abs_diff=float(delta.max()),
+                    shards=float(plan.shards),
+                    workers=float(plan.workers),
+                )
+            )
+        if (
+            result.cg_iterations != ref.iterations
+            or result.cg_matvec_count != ref.matvec_count
+        ):
+            findings.append(
+                _violation(
+                    VF107,
+                    subject,
+                    f"plan {name!r} changed the CG counters: "
+                    f"iterations {result.cg_iterations} vs {ref.iterations}, "
+                    f"matvecs {result.cg_matvec_count} vs {ref.matvec_count}",
+                    iterations=float(result.cg_iterations),
+                    ref_iterations=float(ref.iterations),
+                    matvecs=float(result.cg_matvec_count),
+                    ref_matvecs=float(ref.matvec_count),
                 )
             )
     return findings

@@ -41,6 +41,7 @@ from .generators import (
     draw_kernel_case,
     draw_occupancy_case,
     draw_pattern_case,
+    draw_runtime_case,
     draw_spd_case,
     draw_trajectory_case,
     shrink_case,
@@ -57,6 +58,7 @@ from .properties import (
     check_coalescing_order,
     check_occupancy_invariance,
     check_roofline_bound,
+    check_runtime_determinism,
     check_timing_monotone,
 )
 
@@ -144,6 +146,13 @@ CHECKS: dict[str, CheckDef] = {
             check_rmse_trajectory,
             weight=0.25,  # each case trains two small models; keep them rare
             summary="FP32 vs FP16 ALS RMSE trajectories (VF004)",
+        ),
+        CheckDef(
+            "runtime.determinism",
+            draw_runtime_case,
+            check_runtime_determinism,
+            weight=0.25,  # each case runs 4-5 executor plans; keep them rare
+            summary="factors bit-identical under sharding/chunking (VF107)",
         ),
         CheckDef(
             "gpusim.monotone",

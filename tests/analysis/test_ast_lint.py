@@ -150,6 +150,62 @@ class TestAL004FunctionBodyImports:
         assert rules(lint(code, filename="repro/other.py")) == {"AL004"}
 
 
+class TestAL005LoopAllocations:
+    HOT = "repro/core/solver.py"
+
+    def test_flags_np_zeros_in_loop(self):
+        code = """
+        import numpy as np
+
+        def f(chunks):
+            for c in chunks:
+                scratch = np.zeros((c, 8))
+        """
+        (d,) = lint(code, filename=self.HOT)
+        assert d.rule_id == "AL005"
+        assert "np.zeros" in d.message
+
+    def test_flags_while_and_like_variants(self):
+        code = """
+        import numpy as np
+
+        def f(a):
+            while True:
+                b = np.empty_like(a)
+        """
+        assert rules(lint(code, filename="repro/runtime/executor.py")) == {"AL005"}
+
+    def test_hoisted_allocation_allowed(self):
+        code = """
+        import numpy as np
+
+        def f(chunks):
+            scratch = np.zeros((64, 8))
+            for c in chunks:
+                scratch[:c] = 0
+        """
+        assert lint(code, filename=self.HOT) == []
+
+    def test_non_numpy_zeros_allowed(self):
+        code = """
+        def f(pool, chunks):
+            for c in chunks:
+                buf = pool.zeros((c, 8))
+        """
+        assert lint(code, filename=self.HOT) == []
+
+    def test_cold_path_not_in_scope(self):
+        code = """
+        import numpy as np
+
+        def f(chunks):
+            for c in chunks:
+                scratch = np.zeros((c, 8))
+        """
+        assert lint(code, filename="repro/metrics/ranking.py") == []
+        assert lint(code, filename="repro/harness/report.py") == []
+
+
 class TestTreeWalk:
     def test_lint_file_labels(self):
         path = SRC_REPRO / "gpusim" / "kernel.py"

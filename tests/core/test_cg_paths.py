@@ -1,0 +1,148 @@
+"""Bit-identity regression tests for the CG solver's optimized paths.
+
+Every fast path here — workspace arenas, frozen-lane matvec compaction,
+the entry-frozen FP16 quantize skip, aliased ``out=`` buffers — is a
+pure execution-strategy change.  These tests pin the contract that the
+returned solution, counters and residuals are *bitwise* those of the
+seed's allocate-everything, compute-everything implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cg import cg_solve_batched
+from repro.core.config import CGConfig, Precision
+from repro.runtime import Workspace
+
+
+def spd_batch(batch, f, seed=0, spread=True):
+    """SPD systems with varied conditioning so lanes freeze at different
+    iterations (which is what makes compaction paths interesting)."""
+    rng = np.random.default_rng(seed)
+    M = rng.normal(size=(batch, f, f)).astype(np.float32)
+    A = (M @ np.swapaxes(M, 1, 2) + f * np.eye(f, dtype=np.float32)).astype(
+        np.float32
+    )
+    if spread:
+        scale = np.logspace(-1, 1, batch, dtype=np.float32)
+        A *= scale[:, None, None]
+    b = rng.normal(size=(batch, f)).astype(np.float32)
+    return A, b
+
+
+def assert_results_equal(res, ref):
+    assert np.array_equal(res.x, ref.x)
+    assert res.iterations == ref.iterations
+    assert res.matvec_count == ref.matvec_count
+    assert np.array_equal(res.residual_norms, ref.residual_norms)
+
+
+CFG = CGConfig(max_iters=8, tol=1e-2)
+
+
+class TestWorkspacePath:
+    @pytest.mark.parametrize("precision", [Precision.FP32, Precision.FP16])
+    @pytest.mark.parametrize("with_x0", [False, True])
+    def test_bit_identical_to_fresh_scratch(self, precision, with_x0):
+        A, b = spd_batch(24, 6)
+        x0 = (0.1 * b) if with_x0 else None
+        ref = cg_solve_batched(A, b, x0=x0, config=CFG, precision=precision)
+        ws = Workspace()
+        out = np.empty_like(b)
+        for _ in range(2):  # second pass hits only cached buffers
+            res = cg_solve_batched(
+                A, b, x0=x0, config=CFG, precision=precision,
+                workspace=ws, out=out,
+            )
+            assert res.x is out
+            assert_results_equal(res, ref)
+        ws.reset_counters()
+        cg_solve_batched(
+            A, b, x0=x0, config=CFG, precision=precision,
+            workspace=ws, out=out,
+        )
+        assert ws.allocations == 0
+
+    def test_out_aliasing_x0_is_safe(self):
+        """Epoch >= 2 passes the same persistent buffer as warm start and
+        output; the solver must read x0 fully before writing out."""
+        A, b = spd_batch(16, 5, seed=3)
+        x0 = (0.1 * b).copy()
+        ref = cg_solve_batched(A, b, x0=x0.copy(), config=CFG)
+        aliased = x0  # same array serves as x0 and out
+        res = cg_solve_batched(A, b, x0=aliased, config=CFG, out=aliased)
+        assert_results_equal(res, ref)
+
+    def test_out_shape_validated(self):
+        A, b = spd_batch(4, 3)
+        with pytest.raises(ValueError):
+            cg_solve_batched(A, b, config=CFG, out=np.empty((4, 5), np.float32))
+
+
+class TestCompaction:
+    @pytest.mark.parametrize("precision", [Precision.FP32, Precision.FP16])
+    def test_forced_modes_bit_identical(self, precision):
+        A, b = spd_batch(32, 6, seed=1)
+        x0 = 0.05 * b
+        results = [
+            cg_solve_batched(
+                A, b, x0=x0, config=CFG, precision=precision, compact=mode
+            )
+            for mode in (False, True, None)
+        ]
+        freezes_early = any(r.matvec_count < 32 * r.iterations for r in results)
+        assert freezes_early  # the spread conditioning must exercise compaction
+        for res in results[1:]:
+            assert_results_equal(res, results[0])
+
+    def test_compaction_with_workspace(self):
+        A, b = spd_batch(32, 6, seed=2)
+        ref = cg_solve_batched(A, b, config=CFG, compact=False)
+        ws = Workspace()
+        res = cg_solve_batched(
+            A, b, config=CFG, compact=True, workspace=ws, out=np.empty_like(b)
+        )
+        assert_results_equal(res, ref)
+
+
+class TestEntryFrozenQuantizeSkip:
+    def test_frozen_systems_identical_to_dense_quantize(self):
+        """FP16 quantization is skipped for systems frozen on entry; the
+        results must match the path that quantizes the whole batch."""
+        A, b = spd_batch(20, 6, seed=5)
+        b[3] = 0.0  # ‖b‖ = 0 with x0=None: frozen before iteration 0
+        b[11] = 0.0
+        b[19] = 0.0
+        ref = cg_solve_batched(A, b, config=CFG, precision=Precision.FP16)
+        ws = Workspace()
+        res = cg_solve_batched(
+            A, b, config=CFG, precision=Precision.FP16,
+            workspace=ws, out=np.empty_like(b),
+        )
+        assert_results_equal(res, ref)
+        assert np.array_equal(res.x[3], np.zeros(6, np.float32))
+        assert res.residual_norms[3] == 0.0
+
+    def test_frozen_rows_never_poison_active_ones(self):
+        A, b = spd_batch(20, 6, seed=6)
+        # Extreme values in frozen systems' A: a sloppy skip that still
+        # multiplies through them would overflow FP16 and go non-finite.
+        A[4] = np.float32(1e30) * np.eye(6, dtype=np.float32)
+        b[4] = 0.0
+        res = cg_solve_batched(
+            A, b, config=CFG, precision=Precision.FP16,
+            workspace=Workspace(), out=np.empty_like(b),
+        )
+        assert np.all(np.isfinite(res.x))
+        assert np.all(np.isfinite(res.residual_norms))
+
+    def test_all_frozen_batch(self):
+        A, _ = spd_batch(5, 4, seed=7)
+        b = np.zeros((5, 4), np.float32)
+        for ws in (None, Workspace()):
+            res = cg_solve_batched(
+                A, b, config=CFG, precision=Precision.FP16, workspace=ws
+            )
+            assert np.array_equal(res.x, b)
+            assert res.iterations == 0
+            assert res.matvec_count == 0

@@ -1,0 +1,93 @@
+"""Tests for the workspace arena: reuse, growth, and the counters."""
+
+import numpy as np
+
+from repro.runtime import Workspace
+
+
+class TestRequest:
+    def test_shape_dtype_contiguity(self):
+        ws = Workspace()
+        buf = ws.request("a", (3, 5), np.float64)
+        assert buf.shape == (3, 5)
+        assert buf.dtype == np.float64
+        assert buf.flags.c_contiguous
+
+    def test_same_request_reuses_storage(self):
+        ws = Workspace()
+        first = ws.request("a", (4, 4))
+        first.fill(7.0)
+        second = ws.request("a", (4, 4))
+        assert ws.allocations == 1
+        assert ws.reuses == 1
+        # Same backing memory: the earlier write is visible.
+        assert np.all(second == 7.0)
+
+    def test_smaller_request_served_from_cache(self):
+        ws = Workspace()
+        ws.request("a", (100,))
+        ws.request("a", (10,))
+        assert ws.allocations == 1
+        assert ws.reuses == 1
+
+    def test_larger_request_regrows(self):
+        ws = Workspace()
+        ws.request("a", (10,))
+        ws.request("a", (100,))
+        assert ws.allocations == 2
+        assert ws.reuses == 0
+
+    def test_distinct_names_distinct_buffers(self):
+        ws = Workspace()
+        a = ws.request("a", (8,))
+        b = ws.request("b", (8,))
+        a.fill(1.0)
+        b.fill(2.0)
+        assert np.all(ws.request("a", (8,)) == 1.0)
+        assert np.all(ws.request("b", (8,)) == 2.0)
+
+    def test_dtype_reinterprets_same_storage(self):
+        ws = Workspace()
+        ws.request("a", (4,), np.float64)  # 32 bytes
+        again = ws.request("a", (8,), np.float32)  # same 32 bytes
+        assert ws.allocations == 1
+        assert again.dtype == np.float32
+
+    def test_scalar_shape(self):
+        ws = Workspace()
+        assert ws.request("s", ()).shape == ()
+
+
+class TestZeros:
+    def test_zero_filled_without_new_allocation(self):
+        ws = Workspace()
+        ws.request("a", (16,)).fill(3.0)
+        z = ws.zeros("a", (16,))
+        assert np.all(z == 0.0)
+        assert ws.allocations == 1
+
+
+class TestAccounting:
+    def test_bytes_allocated_counts_backing_storage(self):
+        ws = Workspace()
+        ws.request("a", (10,), np.float32)
+        assert ws.bytes_allocated == 40
+        assert ws.resident_bytes == 40
+
+    def test_reset_counters_keeps_buffers(self):
+        ws = Workspace()
+        ws.request("a", (10,))
+        ws.reset_counters()
+        assert ws.allocations == 0
+        assert ws.resident_bytes == 40
+        ws.request("a", (10,))
+        assert ws.allocations == 0
+        assert ws.reuses == 1
+
+    def test_release_drops_everything(self):
+        ws = Workspace()
+        ws.request("a", (10,))
+        ws.release()
+        assert ws.resident_bytes == 0
+        ws.request("a", (10,))
+        assert ws.allocations == 1

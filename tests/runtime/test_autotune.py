@@ -1,0 +1,85 @@
+"""Tests for the measured-throughput plan autotuner."""
+
+import numpy as np
+import pytest
+
+from repro.core.hermitian import HERMITIAN_METHODS
+from repro.data import SyntheticConfig, generate_ratings
+from repro.runtime import AutotuneReport, RuntimePlan, autotune_plan
+from repro.runtime.autotune import CHUNK_CANDIDATES, _warmup_rows
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    return generate_ratings(SyntheticConfig(m=120, n=40, nnz=1_200, seed=2))
+
+
+class TestAutotunePlan:
+    def test_returns_valid_measured_report(self, ratings):
+        report = autotune_plan(
+            ratings, 8, warmup_nnz=300, repeats=1, workers=0
+        )
+        assert isinstance(report, AutotuneReport)
+        assert report.plan.method in HERMITIAN_METHODS
+        assert report.plan.chunk_elems in CHUNK_CANDIDATES
+        assert 1 <= report.warmup_rows <= ratings.m
+        assert all(s >= 0.0 for _, _, s in report.timings)
+
+    def test_winner_is_fastest_candidate(self, ratings):
+        report = autotune_plan(
+            ratings, 8, warmup_nnz=300, repeats=1, workers=0
+        )
+        best = min(report.timings, key=lambda t: t[2])
+        assert (report.plan.method, report.plan.chunk_elems) == best[:2]
+
+    def test_sweeps_every_method_candidate_pair(self, ratings):
+        report = autotune_plan(
+            ratings, 8, warmup_nnz=300, repeats=1, workers=0
+        )
+        floor = 8 * 8 * 8
+        expected = len(HERMITIAN_METHODS) * sum(
+            1 for c in CHUNK_CANDIDATES if c >= floor
+        )
+        assert len(report.timings) == expected
+
+    def test_workers_zero_means_serial_plan(self, ratings):
+        plan = autotune_plan(ratings, 4, warmup_nnz=100, workers=0).plan
+        assert plan.workers == 0
+        assert plan.shards == 1
+
+    def test_explicit_workers_respected(self, ratings):
+        plan = autotune_plan(ratings, 4, warmup_nnz=100, workers=3).plan
+        assert plan.workers == 3
+        assert plan.shards == 3
+
+    def test_single_method_subset(self, ratings):
+        report = autotune_plan(
+            ratings, 4, warmup_nnz=100, methods=("grouped",), workers=0
+        )
+        assert report.plan.method == "grouped"
+
+    def test_as_dict_round_trips_plan(self, ratings):
+        report = autotune_plan(ratings, 4, warmup_nnz=100, workers=0)
+        payload = report.as_dict()
+        assert RuntimePlan(**payload["plan"]) == report.plan
+        assert len(payload["timings"]) == len(report.timings)
+
+    def test_invalid_inputs_rejected(self, ratings):
+        with pytest.raises(ValueError):
+            autotune_plan(ratings, 0)
+        with pytest.raises(ValueError):
+            autotune_plan(ratings, 4, repeats=0)
+        with pytest.raises(ValueError):
+            autotune_plan(ratings, 4, methods=("simd",))
+
+
+class TestWarmupRows:
+    def test_prefix_covers_requested_nnz(self):
+        ptr = np.array([0, 3, 7, 9, 20])
+        assert _warmup_rows(ptr, 7) == 2
+        assert _warmup_rows(ptr, 8) == 3
+
+    def test_clamped_to_matrix(self):
+        ptr = np.array([0, 3, 7])
+        assert _warmup_rows(ptr, 10**9) == 2
+        assert _warmup_rows(ptr, 0) == 1

@@ -1,0 +1,119 @@
+"""Tests for the perf-regression bench harness and its baseline gate."""
+
+import json
+
+import pytest
+
+from repro.runtime.bench import (
+    BASELINE_SCHEMA,
+    QUICK_BENCH,
+    SCHEMA,
+    BenchConfig,
+    compare_against,
+    run_bench,
+    write_report,
+)
+
+TINY = BenchConfig(m=250, n=60, nnz=1_800, f=8, repeats=1, cg_iters=3)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_bench(TINY, workers=0)
+
+
+def make_baseline(**sections):
+    return {
+        "schema": BASELINE_SCHEMA,
+        "tolerance": 0.25,
+        "sections": {
+            name: {"speedup": ref} for name, ref in sections.items()
+        },
+    }
+
+
+class TestRunBench:
+    def test_report_shape(self, result):
+        assert result["schema"] == SCHEMA
+        assert set(result["sections"]) == {"hermitian", "cg", "epoch"}
+        for section in result["sections"].values():
+            assert section["legacy_seconds"] > 0
+            assert section["optimized_seconds"] > 0
+            assert section["speedup"] > 0
+        assert result["config"] == TINY.as_dict()
+        assert result["plan"] == result["autotune"]["plan"]
+
+    def test_optimized_path_matches_legacy(self, result):
+        assert result["numerics"]["equivalent"] is True
+
+    def test_zero_steady_state_allocations(self, result):
+        """The acceptance criterion, measured end-to-end by the harness."""
+        assert result["arena"]["steady_state_allocations"] == 0
+        assert result["arena"]["resident_bytes"] > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BenchConfig(m=0)
+        with pytest.raises(ValueError):
+            BenchConfig(repeats=0)
+        with pytest.raises(ValueError):
+            BenchConfig(lam=-0.1)
+        assert QUICK_BENCH.repeats >= 1
+
+
+class TestCompareAgainst:
+    def test_passes_within_tolerance(self, result):
+        baseline = make_baseline(
+            **{k: 1e-6 for k in result["sections"]}
+        )
+        ok, messages = compare_against(result, baseline)
+        assert ok
+        assert all(m.startswith("PASS") for m in messages)
+
+    def test_fails_on_regression(self, result):
+        baseline = make_baseline(hermitian=1e9)
+        ok, messages = compare_against(result, baseline)
+        assert not ok
+        assert any(m.startswith("FAIL hermitian") for m in messages)
+
+    def test_fails_on_missing_section(self, result):
+        baseline = make_baseline(warp_shuffle=1.0)
+        ok, messages = compare_against(result, baseline)
+        assert not ok
+        assert any("missing" in m for m in messages)
+
+    def test_fails_on_steady_state_allocations(self, result):
+        dirty = dict(result, arena={"steady_state_allocations": 3})
+        ok, messages = compare_against(dirty, make_baseline())
+        assert not ok
+        assert any("FAIL arena" in m for m in messages)
+
+    def test_fails_on_numeric_divergence(self, result):
+        dirty = dict(result, numerics={"equivalent": False})
+        ok, messages = compare_against(dirty, make_baseline())
+        assert not ok
+        assert any("FAIL numerics" in m for m in messages)
+
+    def test_rejects_wrong_schema(self, result):
+        with pytest.raises(ValueError):
+            compare_against(result, {"schema": "bogus"})
+
+    def test_rejects_bad_tolerance(self, result):
+        with pytest.raises(ValueError):
+            compare_against(result, make_baseline(), tolerance=1.5)
+
+    def test_tolerance_override_widens_the_floor(self, result):
+        slow = min(s["speedup"] for s in result["sections"].values())
+        baseline = make_baseline(
+            **{k: slow * 1.05 for k in result["sections"]}
+        )
+        ok_strict, _ = compare_against(result, baseline, tolerance=0.0)
+        ok_loose, _ = compare_against(result, baseline, tolerance=0.5)
+        assert not ok_strict
+        assert ok_loose
+
+
+class TestWriteReport:
+    def test_round_trips_json(self, result, tmp_path):
+        path = write_report(result, tmp_path / "BENCH_runtime.json")
+        assert json.loads(path.read_text()) == result
