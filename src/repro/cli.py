@@ -8,6 +8,7 @@ Commands
 ``analyze``  static analysis: lint a launch/solver config, or the source tree
 ``verify``   randomized differential/metamorphic verification campaigns
 ``bench``    host-runtime perf bench (legacy vs optimized), CI-gateable
+``chaos``    audited fault-injection campaign (see docs/resilience.md)
 ``devices``  list the simulated GPU presets
 ``report``   regenerate EXPERIMENTS.md (heavy)
 
@@ -41,6 +42,12 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--solver", default="cg", choices=["cg", "lu"])
     t.add_argument("--precision", default="fp16", choices=["fp16", "fp32"])
     t.add_argument("--gpus", type=int, default=1)
+    t.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="write an atomic checkpoint every --checkpoint-every "
+                        "epochs (single-GPU only)")
+    t.add_argument("--checkpoint-every", type=int, default=1)
+    t.add_argument("--resume", action="store_true",
+                   help="resume from the latest checkpoint in --checkpoint-dir")
 
     a = sub.add_parser("advise", help="recommend ALS or SGD for a workload")
     a.add_argument("--users", type=int, required=True)
@@ -127,6 +134,22 @@ def build_parser() -> argparse.ArgumentParser:
     bn.add_argument("--tolerance", type=float, default=None,
                     help="override the baseline's regression tolerance (0-1)")
 
+    c = sub.add_parser(
+        "chaos",
+        help="audited fault-injection campaign against the supervised runtime",
+    )
+    c.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed (same seed, same faults)")
+    c.add_argument("--budget", default="small", choices=["small", "medium"],
+                   help="campaign size: small is the CI smoke tier")
+    c.add_argument("--kill-resume", action="store_true",
+                   help="also prove the kill-and-resume checkpoint round trip")
+    c.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="directory for the kill-resume checkpoints "
+                        "(default: a temporary directory)")
+    c.add_argument("--output", default=None, metavar="REPORT.json",
+                   help="write the full JSON report (incl. health log) here")
+
     sub.add_parser("devices", help="list simulated GPU presets")
 
     r = sub.add_parser("report", help="regenerate EXPERIMENTS.md (slow)")
@@ -150,10 +173,22 @@ def _cmd_train(args) -> int:
     device = get_device(args.device)
     if args.gpus == 1:
         model = ALSModel(cfg, device=device, sim_shape=spec.paper)
+        curve = model.fit(
+            split.train,
+            split.test,
+            epochs=args.epochs,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume=args.resume,
+        )
     else:
+        if args.checkpoint_dir is not None or args.resume:
+            print("error: --checkpoint-dir/--resume need --gpus 1",
+                  file=sys.stderr)
+            return 2
         model = MultiGpuALS(cfg, device=device, num_gpus=args.gpus,
                             sim_shape=spec.paper)
-    curve = model.fit(split.train, split.test, epochs=args.epochs)
+        curve = model.fit(split.train, split.test, epochs=args.epochs)
     print(f"{args.dataset} surrogate ({split.train}) on {args.gpus}x {device.name}")
     print("epoch  sim-seconds  test-RMSE")
     for pt in curve.points:
@@ -334,6 +369,31 @@ def _cmd_bench(args) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(args) -> int:
+    import json
+
+    from .resilience.chaos import run_chaos
+
+    report = run_chaos(
+        seed=args.seed,
+        budget=args.budget,
+        kill_resume=args.kill_resume,
+        checkpoint_dir=args.checkpoint_dir,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+    summary = {k: v for k, v in report.items() if k != "health"}
+    print(json.dumps(summary, indent=2))
+    if not report["ok"]:
+        print("chaos: FAILED (see report above)", file=sys.stderr)
+        return 1
+    print(f"chaos: ok — {report['expected_faults']} fault(s) injected, "
+          "all accounted, factors finite, objective within tolerance"
+          + (", kill-resume bit-equal" if args.kill_resume else ""))
+    return 0
+
+
 def _cmd_devices(_args) -> int:
     from .gpusim import DEVICE_PRESETS
 
@@ -367,6 +427,7 @@ _COMMANDS = {
     "analyze": _cmd_analyze,
     "verify": _cmd_verify,
     "bench": _cmd_bench,
+    "chaos": _cmd_chaos,
     "devices": _cmd_devices,
     "report": _cmd_report,
 }

@@ -71,10 +71,17 @@ class CCDModel:
         config: CCDConfig | None = None,
         device: DeviceSpec = MAXWELL_TITANX,
         sim_shape: WorkloadShape | None = None,
+        guard: object | None = None,
     ) -> None:
         self.config = config or CCDConfig()
         self.device = device
         self.sim_shape = sim_shape
+        # Optional GuardPolicy (repro.resilience.guards): with one set, each
+        # epoch's factors pass a finiteness sentinel that raises
+        # NumericalFault with row provenance instead of silently emitting
+        # NaN (rank-one updates divide by λ + Σθ², which λ=0 plus an empty
+        # row turns into 0/0).  None keeps the loop overhead-free.
+        self.guard = guard
         self.engine = SimEngine(device)
         # The f·inner_sweeps rank-one updates per epoch each need five
         # nnz-length scratch vectors plus the four accumulators; staging
@@ -159,6 +166,9 @@ class CCDModel:
                 self.x_[:, t] = xt
                 self.theta_[:, t] = tt
             self.engine.host("ccd_epoch", secs, tag="ccd")
+            if self.guard is not None:
+                self.guard.check_factors(self.x_, stage="ccd-x")
+                self.guard.check_factors(self.theta_, stage="ccd-theta")
             test_rmse = rmse(self.x_, self.theta_, test) if test is not None else float("nan")
             curve.record(epoch, self.engine.clock, test_rmse)
         return curve

@@ -49,6 +49,8 @@ class CGResult:
     iterations: int  # CG iterations actually executed (max over batch)
     matvec_count: int  # total A·p products across the batch
     residual_norms: np.ndarray  # final ‖b - A x‖₂ per system
+    fault_lanes: np.ndarray | None = None  # (batch,) bool — lanes frozen by
+    # breakdown (p·Ap ≤ 0) or explosion; only with ``lane_report=True``
 
 
 def _quantize_into(A, ws, rows=None):
@@ -90,6 +92,8 @@ def cg_solve_batched(
     workspace=None,
     compact: bool | None = None,
     out: np.ndarray | None = None,
+    fault_hook=None,
+    lane_report: bool = False,
 ) -> CGResult:
     """Solve the batch of SPD systems ``A[i] @ x[i] = b[i]``.
 
@@ -119,6 +123,17 @@ def cg_solve_batched(
         the returned ``CGResult.x`` is then ``out`` itself.  Without it,
         a workspace-backed solve copies the solution out of the arena so
         the result can't be clobbered by later requests.
+    fault_hook:
+        Optional callable invoked once with the *staged* A store (the
+        FP16-emulating copy, never the caller's pristine ``A``) before
+        any iteration runs — the resilience layer's corruption injection
+        point (see :mod:`repro.resilience.faults`).  ``None`` (the
+        default) costs nothing.
+    lane_report:
+        Track which lanes were frozen by CG breakdown (negative
+        curvature) or residual explosion and return the boolean mask as
+        ``CGResult.fault_lanes``; ``False`` (the default) skips the
+        bookkeeping entirely and returns ``fault_lanes=None``.
     """
     config = config or CGConfig()
     A = np.asarray(A, dtype=np.float32)
@@ -148,6 +163,10 @@ def cg_solve_batched(
             A_store = _quantize_into(A, ws)
         else:
             A_store = quantize(A, precision)
+        if fault_hook is not None:
+            if A_store is A:  # FP32 staging aliases A; corrupt a copy only
+                A_store = A.copy()
+            fault_hook(A_store)
         x.fill(0.0)
         np.copyto(r, b)
     else:
@@ -156,6 +175,10 @@ def cg_solve_batched(
         A_store = _quantize_into(A, ws) if precision is Precision.FP16 else (
             quantize(A, precision)
         )
+        if fault_hook is not None:
+            if A_store is A:
+                A_store = A.copy()
+            fault_hook(A_store)
         np.copyto(x, np.asarray(x0, dtype=np.float32))
         np.einsum("bfg,bg->bf", A_store, x, out=tmp)
         np.subtract(b, tmp, out=r)
@@ -185,6 +208,7 @@ def cg_solve_batched(
     best_x = ws.request("cg.best_x", (batch, f))
     np.copyto(best_x, x)
     best_rs = rsold.copy()
+    fault_mask = np.zeros(batch, dtype=bool) if lane_report else None
 
     iters = 0
     matvecs = 0
@@ -219,7 +243,10 @@ def cg_solve_batched(
         # Negative curvature means quantization (or a caller bug) broke
         # positive-definiteness for that system: freeze it as-is rather
         # than letting the whole batch overflow.
-        active &= denom > 0
+        posdef = denom > 0
+        if fault_mask is not None:
+            fault_mask |= active & ~posdef
+        active &= posdef
         alpha = np.where(
             active, rsold / np.where(active, denom, one), 0.0
         ).astype(np.float32)
@@ -229,6 +256,8 @@ def cg_solve_batched(
         np.subtract(r, tmp, out=r)
         rsnew = np.einsum("bf,bf->b", r, r)
         exploded = active & ~(rsnew <= explode_limit)  # catches NaN too
+        if fault_mask is not None:
+            fault_mask |= exploded
         active &= ~exploded
         improved = active & (rsnew < best_rs)
         if improved.any():
@@ -259,4 +288,5 @@ def cg_solve_batched(
         iterations=iters,
         matvec_count=matvecs,
         residual_norms=np.sqrt(np.einsum("bf,bf->b", tmp, tmp)),
+        fault_lanes=fault_mask,
     )

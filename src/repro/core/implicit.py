@@ -17,7 +17,7 @@ shared across all users and only observed entries contribute corrections.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -25,6 +25,13 @@ from ..data.datasets import WorkloadShape
 from ..data.sparse import RatingMatrix
 from ..gpusim.device import MAXWELL_TITANX, DeviceSpec
 from ..gpusim.engine import SimEngine
+from ..resilience.checkpoint import (
+    Checkpoint,
+    latest_checkpoint,
+    load_checkpoint,
+    save_checkpoint,
+)
+from ..resilience.faults import NumericalFault
 from ..runtime.executor import ShardExecutor
 from ..runtime.plan import RuntimePlan
 from .config import ALSConfig, CGConfig, Precision, SolverKind
@@ -106,23 +113,131 @@ class ImplicitALSModel:
         self.x_: np.ndarray | None = None
         self.theta_: np.ndarray | None = None
         self.loss_history_: list[float] = []
+        # Working config after any guard-ladder escalations (see ALSModel).
+        self._active = self.config
 
-    def fit(self, train: RatingMatrix, *, epochs: int = 10) -> "ImplicitALSModel":
+    def fit(
+        self,
+        train: RatingMatrix,
+        *,
+        epochs: int = 10,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 1,
+        resume: bool = False,
+    ) -> "ImplicitALSModel":
+        """Alternate the two confidence-weighted half-steps.
+
+        ``checkpoint_dir``/``checkpoint_every``/``resume`` behave exactly
+        as in :meth:`repro.core.als.ALSModel.fit`: atomic epoch
+        checkpoints, and a resume that is bit-equivalent to an
+        uninterrupted run.  With a guard policy on the runtime executor,
+        a diverging (non-finite or sharply rising) loss rolls the epoch
+        back and escalates precision, then solver, then raises
+        :class:`NumericalFault`.
+        """
         if epochs <= 0:
             raise ValueError("epochs must be positive")
+        if checkpoint_every <= 0:
+            raise ValueError("checkpoint_every must be positive")
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume=True requires checkpoint_dir")
         cfg = self.config
+        self._active = cfg
         rng = np.random.default_rng(cfg.seed)
         self.x_ = rng.normal(0, cfg.init_scale, (train.m, cfg.f)).astype(np.float32)
         self.theta_ = rng.normal(0, cfg.init_scale, (train.n, cfg.f)).astype(np.float32)
         self.loss_history_ = []
+        guard = getattr(self.runtime, "guard", None)
+        health = getattr(self.runtime, "health", None)
+        start_epoch = 0
+        if resume:
+            start_epoch = self._restore_checkpoint(
+                checkpoint_dir, rng, health, max_epoch=epochs
+            )
         train_t = train.transpose()
-        for _ in range(epochs):
+        best_loss = float("inf")
+        epoch = start_epoch
+        while epoch < epochs:
+            epoch += 1
+            if guard is not None:
+                prev_x, prev_theta = self.x_.copy(), self.theta_.copy()
             self.x_ = self._half_step(train, self.theta_, self.x_, side="x")
             self.theta_ = self._half_step(train_t, self.x_, self.theta_, side="theta")
-            self.loss_history_.append(
-                implicit_loss(self.x_, self.theta_, train, cfg.alpha, cfg.lam)
-            )
+            loss = implicit_loss(self.x_, self.theta_, train, cfg.alpha, cfg.lam)
+            if guard is not None:
+                diverged = not np.isfinite(loss) or (
+                    loss > guard.divergence_factor * best_loss
+                )
+                if diverged:
+                    detail = self._escalate(loss)
+                    if health is not None:
+                        health.record("guard.divergence", detail=detail)
+                    self.x_, self.theta_ = prev_x, prev_theta
+                    epoch -= 1
+                    continue
+                best_loss = min(best_loss, loss)
+            self.loss_history_.append(loss)
+            if checkpoint_dir is not None and (
+                epoch % checkpoint_every == 0 or epoch == epochs
+            ):
+                self._write_checkpoint(checkpoint_dir, epoch, rng, health)
         return self
+
+    def _escalate(self, loss: float) -> str:
+        active = self._active
+        if active.precision is Precision.FP16:
+            self._active = replace(active, precision=Precision.FP32)
+            return f"implicit loss {loss:g} diverged; escalating FP16→FP32"
+        if active.solver is SolverKind.CG:
+            self._active = replace(active, solver=SolverKind.LU)
+            return f"implicit loss {loss:g} diverged; falling back CG→direct"
+        raise NumericalFault(
+            f"implicit loss diverged to {loss:g} with the direct solver at "
+            "FP32 — the ladder is exhausted",
+            stage="objective",
+        )
+
+    def _restore_checkpoint(self, checkpoint_dir, rng, health, *, max_epoch: int) -> int:
+        path = latest_checkpoint(checkpoint_dir)
+        if path is None:
+            return 0
+        ckpt = load_checkpoint(path)
+        self.x_ = np.ascontiguousarray(ckpt.x, dtype=np.float32)
+        self.theta_ = np.ascontiguousarray(ckpt.theta, dtype=np.float32)
+        if ckpt.rng_state:
+            rng.bit_generator.state = ckpt.rng_state
+        self.engine.clock = ckpt.clock
+        extra = ckpt.extra
+        self.loss_history_ = [float(v) for v in extra.get("loss_history", [])]
+        if extra.get("precision"):
+            self._active = replace(
+                self._active, precision=Precision(extra["precision"])
+            )
+        if extra.get("solver"):
+            self._active = replace(self._active, solver=SolverKind(extra["solver"]))
+        if health is not None:
+            health.extend(ckpt.health)
+            health.record("checkpoint.resumed", detail=path)
+        return min(ckpt.epoch, max_epoch)
+
+    def _write_checkpoint(self, checkpoint_dir, epoch: int, rng, health) -> str:
+        ckpt = Checkpoint(
+            epoch=epoch,
+            x=self.x_,
+            theta=self.theta_,
+            clock=self.engine.clock,
+            rng_state=rng.bit_generator.state,
+            health=[] if health is None else [e.as_dict() for e in health.events],
+            extra={
+                "loss_history": list(self.loss_history_),
+                "precision": self._active.precision.value,
+                "solver": self._active.solver.value,
+            },
+        )
+        path = save_checkpoint(checkpoint_dir, ckpt)
+        if health is not None:
+            health.record("checkpoint.saved", detail=path)
+        return path
 
     def recommend_scores(self, users: np.ndarray) -> np.ndarray:
         """Dense preference scores X[users] @ Θᵀ (small user batches)."""
@@ -141,7 +256,7 @@ class ImplicitALSModel:
     def _half_step(
         self, ratings: RatingMatrix, fixed: np.ndarray, warm: np.ndarray, side: str
     ) -> np.ndarray:
-        cfg = self.config
+        cfg = self._active  # the config after any ladder escalations
         vals = ratings.row_val
         # The sparse correction Θ_Ωᵀ diag(α r) Θ_Ω rides through the
         # hermitian kernel's per-entry weights; the shared dense Gram

@@ -4,25 +4,33 @@ A production library must round-trip trained models.  The format is a
 single ``.npz``: factor matrices plus a JSON-encoded config header, so a
 model can be reloaded for serving without retraining (and without
 pickle's code-execution risk).
+
+Writes go through :mod:`repro.resilience.atomicio` — the same plumbing
+the training checkpoints use — so a crash mid-save leaves the previous
+file intact (temp-file + :func:`os.replace`) and every array carries a
+SHA-256 checksum that is verified on load.  Format version 2 adds the
+checksums; version-1 files (no checksums) still load.
 """
 
 from __future__ import annotations
 
-import json
 import os
 
 import numpy as np
 
 from .core.als import ALSModel
 from .core.config import ALSConfig, CGConfig, Precision, ReadScheme, SolverKind
+from .resilience.atomicio import atomic_savez, load_archive
 
 __all__ = ["save_model", "load_model"]
 
-_FORMAT_VERSION = 1
+#: v1 = plain npz; v2 = atomic write + per-array SHA-256 checksums.
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def save_model(path: str | os.PathLike, model: ALSModel) -> None:
-    """Persist a fitted :class:`ALSModel`'s factors and config."""
+    """Persist a fitted :class:`ALSModel`'s factors and config atomically."""
     if model.x_ is None or model.theta_ is None:
         raise ValueError("model is not fitted; nothing to save")
     cfg = model.config
@@ -38,28 +46,30 @@ def save_model(path: str | os.PathLike, model: ALSModel) -> None:
         "seed": cfg.seed,
         "device": model.device.name,
     }
-    np.savez_compressed(
-        path,
-        x=model.x_,
-        theta=model.theta_,
-        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
-    )
+    atomic_savez(path, header, {"x": model.x_, "theta": model.theta_})
 
 
 def load_model(path: str | os.PathLike) -> ALSModel:
     """Reload a model saved by :func:`save_model`.
 
     The returned model is ready for ``predict``/``score``; its engine
-    ledger starts empty (training history is not persisted).
+    ledger starts empty (training history is not persisted).  Raises
+    ``ValueError`` with a ``corrupt``/``truncated`` message when the file
+    is unreadable, missing members, or fails checksum verification, and
+    an ``unsupported model format`` error for unknown versions.
     """
-    with np.load(path) as z:
-        header = json.loads(bytes(z["header"].tobytes()).decode())
-        if header.get("format_version") != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported model format {header.get('format_version')!r}"
-            )
-        x = z["x"].astype(np.float32)
-        theta = z["theta"].astype(np.float32)
+    try:
+        header, arrays = load_archive(path)
+    except ValueError as exc:
+        raise ValueError(f"corrupt model file: {exc}") from exc
+    if header.get("format_version") not in _READABLE_VERSIONS:
+        raise ValueError(
+            f"unsupported model format {header.get('format_version')!r}"
+        )
+    if "x" not in arrays or "theta" not in arrays:
+        raise ValueError("corrupt model file: factor matrices missing")
+    x = arrays["x"].astype(np.float32)
+    theta = arrays["theta"].astype(np.float32)
     if x.ndim != 2 or theta.ndim != 2 or x.shape[1] != theta.shape[1]:
         raise ValueError("corrupt model file: factor shapes disagree")
     if x.shape[1] != header["f"]:

@@ -1,0 +1,263 @@
+"""Seeded fault injection for the supervised runtime (chaos engineering).
+
+A :class:`FaultPlan` is a *pure function* from ``(kind, step, shard)`` to
+"does this fault fire?": every decision is derived from the plan's seed
+through an independent :class:`numpy.random.SeedSequence`, so the same
+plan injects the same faults into the same places whether the shard runs
+in-process, in a forked worker, or on a retry in either mode.  That
+determinism is what makes chaos runs *auditable*: the expected fault set
+can be enumerated up front (:func:`expected_fault_events`) and diffed
+against the :class:`~repro.resilience.health.RunHealth` log afterwards.
+
+Fault kinds (all rates are independent per ``(step, shard)`` site):
+
+* ``fault.worker-kill`` — the shard's process dies mid-shard.  In forked
+  workers this is a real ``SIGKILL`` (the supervisor detects the loss via
+  its deadline and respawns the pool); serially it raises
+  :class:`InjectedWorkerKill`, which the supervisor treats identically.
+* ``fault.delay`` — the shard sleeps ``delay_seconds`` before computing,
+  exercising deadlines and backoff.
+* ``fault.nan-flip`` — one lane of the CG solver's staged A batch is
+  flipped to NaN (bit-rot / memory-corruption model).
+* ``fault.fp16-overflow`` — one lane of the staged A batch is forced to
+  ±inf, emulating what FP16 storage of A_u would do *without* the
+  saturating conversion the library normally applies (paper Solution 4's
+  overflow hazard).
+
+Faults only fire on attempt 0 of a site: retries are clean, so a
+supervised run always terminates.  A worker-kill pre-empts the site's
+other faults (a dead worker injects nothing else), and empty shards
+inject nothing (they execute no code).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+__all__ = [
+    "FaultPlan",
+    "InjectedWorkerKill",
+    "NumericalFault",
+    "expected_fault_events",
+    "inject_shard_start",
+    "solver_fault_hook",
+]
+
+#: Stable sub-seed per fault kind (part of the on-disk chaos contract).
+_KIND_STREAMS = {
+    "fault.worker-kill": 1,
+    "fault.delay": 2,
+    "fault.nan-flip": 3,
+    "fault.fp16-overflow": 4,
+}
+
+
+class InjectedWorkerKill(RuntimeError):
+    """Serial-mode stand-in for a SIGKILLed worker process."""
+
+
+class NumericalFault(RuntimeError):
+    """A numeric failure the guard ladder could not repair.
+
+    Defined here (dependency-free) rather than in
+    :mod:`repro.resilience.guards` so the core trainers and the runtime
+    executor can raise/catch it without importing the guard module,
+    which sits downstream of :mod:`repro.core` in the import graph.
+    Carries provenance: the pipeline ``stage`` that failed and the
+    global row indices (``lanes``) of the affected systems.
+    """
+
+    def __init__(
+        self, message: str, lanes: tuple[int, ...] = (), stage: str = ""
+    ) -> None:
+        super().__init__(message)
+        self.lanes = tuple(int(x) for x in lanes)
+        self.stage = stage
+
+    def __reduce__(self):  # survive the pickling of pool-worker exceptions
+        return (type(self), (self.args[0], self.lanes, self.stage))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Rates and seed of one injection campaign (plain data, JSON-ready)."""
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    delay_rate: float = 0.0
+    nan_rate: float = 0.0
+    overflow_rate: float = 0.0
+    delay_seconds: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        for name in ("kill_rate", "delay_rate", "nan_rate", "overflow_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {rate}")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+
+    @property
+    def rate_of(self) -> dict[str, float]:
+        return {
+            "fault.worker-kill": self.kill_rate,
+            "fault.delay": self.delay_rate,
+            "fault.nan-flip": self.nan_rate,
+            "fault.fp16-overflow": self.overflow_rate,
+        }
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    # -- deterministic decisions -------------------------------------------
+
+    def _rng(self, kind: str, step: int, shard: int) -> np.random.Generator:
+        stream = _KIND_STREAMS[kind]
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, stream, step, shard])
+        )
+
+    def fires(self, kind: str, step: int, shard: int, attempt: int = 0) -> bool:
+        """Whether ``kind`` fires at site ``(step, shard)`` on ``attempt``.
+
+        Only attempt 0 injects: the fault models are transient, so the
+        supervisor's retry path always converges.
+        """
+        if attempt != 0:
+            return False
+        rate = self.rate_of[kind]
+        if rate <= 0.0:
+            return False
+        return bool(self._rng(kind, step, shard).random() < rate)
+
+    def lane_for(self, kind: str, step: int, shard: int, num_rows: int) -> int:
+        """Deterministic victim lane (local row index) for a corruption."""
+        if num_rows < 1:
+            raise ValueError("num_rows must be positive")
+        # Independent draw after the fire decision so lane choice does not
+        # perturb whether *other* sites fire.
+        rng = self._rng(kind, step, shard)
+        rng.random()  # consume the fire draw
+        return int(rng.integers(0, num_rows))
+
+
+def expected_fault_events(
+    plan: FaultPlan, spans_by_step: list[list[tuple[int, int]]]
+) -> list[tuple[str, int, int]]:
+    """Enumerate every fault the plan injects over a run's shard geometry.
+
+    ``spans_by_step[s]`` is the ``(lo, hi)`` shard list of half-step ``s``
+    (what :func:`repro.core.multi_gpu.partition_rows` produced).  Empty
+    shards execute nothing and therefore inject nothing; a worker-kill
+    pre-empts the site's other faults.  The result is directly comparable
+    to :meth:`repro.resilience.health.RunHealth.account`.
+    """
+    expected: list[tuple[str, int, int]] = []
+    for step, spans in enumerate(spans_by_step):
+        for shard, (lo, hi) in enumerate(spans):
+            if hi <= lo:
+                continue
+            if plan.fires("fault.worker-kill", step, shard):
+                expected.append(("fault.worker-kill", step, shard))
+                continue
+            for kind in ("fault.delay", "fault.nan-flip", "fault.fp16-overflow"):
+                if plan.fires(kind, step, shard):
+                    expected.append((kind, step, shard))
+    return expected
+
+
+def inject_shard_start(
+    plan: FaultPlan,
+    step: int,
+    shard: int,
+    attempt: int,
+    *,
+    forked: bool,
+    events: list,
+) -> None:
+    """Run the shard-entry faults: kill first, then delay.
+
+    Kill is recorded by the *supervisor* (a killed process cannot report),
+    so this function does not append a kill event itself; delays are
+    recorded here, in the executing process, and travel back to the
+    parent in the shard outcome.
+    """
+    if plan.fires("fault.worker-kill", step, shard, attempt):
+        if forked:
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies
+        raise InjectedWorkerKill(
+            f"injected worker kill at step {step} shard {shard}"
+        )
+    if plan.fires("fault.delay", step, shard, attempt):
+        time.sleep(plan.delay_seconds)
+        events.append(
+            {
+                "kind": "fault.delay",
+                "step": step,
+                "shard": shard,
+                "attempt": attempt,
+                "detail": f"slept {plan.delay_seconds:g}s",
+            }
+        )
+
+
+def solver_fault_hook(
+    plan: FaultPlan,
+    step: int,
+    shard: int,
+    attempt: int,
+    row_offset: int,
+    events: list,
+):
+    """Build the CG-store corruption hook for one shard, or ``None``.
+
+    The returned callable receives the solver's *staged* A batch (the
+    FP16-emulating store, never the caller's pristine matrices) and
+    corrupts deterministic victim lanes in place — NaN for the bit-rot
+    model, ±inf for the unclipped-FP16-overflow model.  The pristine
+    inputs stay intact, which is what makes the guard ladder's
+    quarantine-and-re-solve rung able to repair the damage.
+    """
+    nan_fires = plan.fires("fault.nan-flip", step, shard, attempt)
+    ovf_fires = plan.fires("fault.fp16-overflow", step, shard, attempt)
+    if not (nan_fires or ovf_fires):
+        return None
+
+    def corrupt(store: np.ndarray) -> None:
+        num = store.shape[0]
+        if num < 1:
+            return
+        if nan_fires:
+            lane = plan.lane_for("fault.nan-flip", step, shard, num)
+            store[lane] = np.nan
+            events.append(
+                {
+                    "kind": "fault.nan-flip",
+                    "step": step,
+                    "shard": shard,
+                    "attempt": attempt,
+                    "lanes": [row_offset + lane],
+                }
+            )
+        if ovf_fires:
+            lane = plan.lane_for("fault.fp16-overflow", step, shard, num)
+            store[lane] = np.inf
+            store[lane, ::2] = -np.inf  # signed overflow, both directions
+            events.append(
+                {
+                    "kind": "fault.fp16-overflow",
+                    "step": step,
+                    "shard": shard,
+                    "attempt": attempt,
+                    "lanes": [row_offset + lane],
+                }
+            )
+
+    return corrupt

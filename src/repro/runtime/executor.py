@@ -6,7 +6,7 @@ contiguous nnz-balanced row ranges to thread blocks; this module does the
 same on the host: :func:`repro.core.multi_gpu.partition_rows` splits the
 row space into ``plan.shards`` contiguous ranges of roughly equal nnz,
 and :class:`ShardExecutor` runs them either serially in-process (the
-deterministic default) or on a fork-based process pool whose factor
+deterministic default) or on fork-based worker processes whose factor
 matrices live in :mod:`multiprocessing.shared_memory` so workers write
 their row ranges in place with zero serialization of the results.
 
@@ -25,14 +25,31 @@ Determinism is by construction, not by luck:
 Hence the factors are **bit-identical** for any ``shards``/``workers``/
 ``chunk_elems`` choice — the property the VF107 verification rule and
 the runtime test suite pin down.
+
+**Supervision** (see :mod:`repro.resilience`) is opt-in: constructing
+the executor with a :class:`~repro.runtime.plan.SupervisionPolicy`,
+:class:`~repro.resilience.faults.FaultPlan` or
+:class:`~repro.resilience.guards.GuardPolicy` routes half-steps through
+a supervised path — per-shard deadlines, bounded exponential-backoff
+retry, worker-death detection with respawn, and automatic pool→serial
+degradation after repeated faults — all reported on the executor's
+:class:`~repro.resilience.health.RunHealth` log.  Without those, the
+fast paths below are byte-for-byte the unsupervised code (the bench
+gate holds the zero-overhead property).  Supervised pool execution uses
+one fork ``Process`` + result ``Pipe`` per shard instead of a shared
+``Pool``: a SIGKILLed worker surfaces instantly as pipe EOF (no
+deadline wait), a deadline kill cannot corrupt other shards' transport,
+and a retry is just a fresh process — there is no shared pool state to
+poison.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 import warnings
 from dataclasses import dataclass
-from multiprocessing import shared_memory
+from multiprocessing import connection, shared_memory
 
 import numpy as np
 
@@ -41,8 +58,10 @@ from ..core.config import CGConfig, Precision, SolverKind
 from ..core.direct import cholesky_solve_batched, lu_solve_batched
 from ..core.hermitian import hermitian_rows
 from ..core.multi_gpu import partition_rows
+from ..resilience.faults import InjectedWorkerKill, inject_shard_start, solver_fault_hook
+from ..resilience.health import RunHealth
 from .arena import Workspace
-from .plan import SERIAL_PLAN, RuntimePlan
+from .plan import SERIAL_PLAN, RuntimePlan, SupervisionPolicy
 
 __all__ = ["CsrView", "HalfStepResult", "ShardExecutor"]
 
@@ -95,7 +114,15 @@ class HalfStepResult:
 
 @dataclass(frozen=True)
 class _ShardParams:
-    """Everything a shard needs besides the big arrays (fork-inherited)."""
+    """Everything a shard needs besides the big arrays (fork-inherited).
+
+    ``faults``/``guard`` are the opt-in resilience hooks (a
+    :class:`~repro.resilience.faults.FaultPlan` and a
+    :class:`~repro.resilience.guards.GuardPolicy`; typed loosely because
+    this module sits upstream of the guard module in the import graph);
+    ``step`` is the executor's half-step counter, the fault plan's site
+    coordinate.
+    """
 
     plan: RuntimePlan
     lam: float
@@ -105,6 +132,9 @@ class _ShardParams:
     direct: str
     extra_diag: float
     count_weighted_reg: bool
+    faults: object | None = None
+    guard: object | None = None
+    step: int = -1
 
 
 def _compute_shard(
@@ -119,11 +149,23 @@ def _compute_shard(
     gram: np.ndarray | None,
     entry_weights: np.ndarray | None,
     bias_values: np.ndarray | None,
-) -> tuple[int, int]:
-    """Form and solve rows [lo, hi), writing ``out[lo:hi]`` in place."""
+    shard: int = 0,
+    attempt: int = 0,
+    forked: bool = False,
+) -> tuple[int, int, list]:
+    """Form and solve rows [lo, hi), writing ``out[lo:hi]`` in place.
+
+    Returns ``(cg_iterations, matvec_count, health_events)`` — the event
+    list is empty unless faults or guards were active on this shard.
+    """
     num = hi - lo
+    events: list = []
     if num == 0:
-        return 0, 0
+        return 0, 0, events
+    if params.faults is not None:
+        inject_shard_start(
+            params.faults, params.step, shard, attempt, forked=forked, events=events
+        )
     f = fixed.shape[1]
     plan = params.plan
     ab_out = None
@@ -147,22 +189,52 @@ def _compute_shard(
     if params.extra_diag:
         diag = np.einsum("rff->rf", A)  # writable view of the diagonals
         diag += np.float32(params.extra_diag)
+    guard = params.guard
+    if guard is not None and guard.check_inputs:
+        guard.check_normal(A, b, row_offset=lo)
     rows_out = out[lo:hi]
+    warm_rows = None if warm is None else warm[lo:hi]
     if params.solver is SolverKind.CG:
+        hook = None
+        if params.faults is not None:
+            hook = solver_fault_hook(
+                params.faults, params.step, shard, attempt, lo, events
+            )
+        if guard is not None:
+            it, mv = guard.solve(
+                A,
+                b,
+                warm_rows,
+                rows_out,
+                cg_config=params.cg_config,
+                precision=params.precision,
+                workspace=ws,
+                compact=plan.compact_cg,
+                fault_hook=hook,
+                row_offset=lo,
+                step=params.step,
+                shard=shard,
+                attempt=attempt,
+                events=events,
+            )
+            return it, mv, events
         result = cg_solve_batched(
             A,
             b,
-            x0=None if warm is None else warm[lo:hi],
+            x0=warm_rows,
             config=params.cg_config,
             precision=params.precision,
             workspace=ws,
             compact=plan.compact_cg,
             out=rows_out,
+            fault_hook=hook,
         )
-        return result.iterations, result.matvec_count
+        return result.iterations, result.matvec_count, events
     solve = cholesky_solve_batched if params.direct == "cholesky" else lu_solve_batched
     np.copyto(rows_out, solve(A, b))
-    return 0, 0
+    if guard is not None:
+        guard.check_factors(rows_out, stage="direct-solve", row_offset=lo)
+    return 0, 0, events
 
 
 # Fork-inherited worker context.  Populated in the parent immediately
@@ -173,7 +245,8 @@ def _compute_shard(
 _FORK_CTX: dict | None = None
 
 
-def _forked_shard(span: tuple[int, int]) -> tuple[int, int]:
+def _forked_shard(task: tuple[int, int, int, int]) -> tuple[int, int, list]:
+    lo, hi, shard, attempt = task
     ctx = _FORK_CTX
     assert ctx is not None, "worker used outside a fork context"
     fixed = np.ndarray(ctx["fixed_shape"], np.float32, buffer=ctx["fixed_shm"].buf)
@@ -187,14 +260,36 @@ def _forked_shard(span: tuple[int, int]) -> tuple[int, int]:
         fixed,
         warm,
         out,
-        span[0],
-        span[1],
+        lo,
+        hi,
         ctx["params"],
         ws,
         ctx["gram"],
         ctx["entry_weights"],
         ctx["bias_values"],
+        shard=shard,
+        attempt=attempt,
+        forked=True,
     )
+
+
+def _supervised_worker(task: tuple[int, int, int, int], conn) -> None:
+    """Per-shard fork-process entry: run the shard, send the outcome.
+
+    An injected worker-kill never reaches the ``except`` — it is a real
+    ``SIGKILL`` in forked mode, and the parent detects the resulting
+    pipe EOF.  Everything else (including a structured
+    ``NumericalFault``) is shipped back for the supervisor to re-raise.
+    """
+    try:
+        conn.send(("ok", _forked_shard(task)))
+    except BaseException as exc:  # noqa: B036 - must forward, not die silent
+        try:
+            conn.send(("error", exc))
+        except Exception:
+            pass  # parent is gone or the payload won't pickle; EOF covers it
+    finally:
+        conn.close()
 
 
 class ShardExecutor:
@@ -208,14 +303,56 @@ class ShardExecutor:
     buffer: it stays valid until the next half-step with the same key,
     which is exactly the lifetime ALS needs (the result becomes the next
     epoch's warm start / fixed side).
+
+    Parameters
+    ----------
+    plan:
+        The execution plan (sharding, workers, chunking, arena).
+    supervision:
+        Opt-in :class:`~repro.runtime.plan.SupervisionPolicy` enabling
+        the supervised execution path (retries, deadlines, respawn,
+        degradation).
+    faults:
+        Opt-in :class:`~repro.resilience.faults.FaultPlan` — injected
+        into every shard site, for chaos testing.
+    guard:
+        Opt-in :class:`~repro.resilience.guards.GuardPolicy` — numeric
+        sentinels plus the degradation ladder around every solve.
+    health:
+        The :class:`~repro.resilience.health.RunHealth` log to report
+        on; one is created automatically when any resilience hook is
+        active.  ``None`` with no hooks keeps the executor entirely on
+        the unsupervised fast path.
     """
 
-    def __init__(self, plan: RuntimePlan = SERIAL_PLAN) -> None:
+    def __init__(
+        self,
+        plan: RuntimePlan = SERIAL_PLAN,
+        *,
+        supervision: SupervisionPolicy | None = None,
+        faults=None,
+        guard=None,
+        health: RunHealth | None = None,
+    ) -> None:
         self.plan = plan
+        self.supervision = supervision
+        self.faults = faults
+        self.guard = guard
+        supervised = supervision is not None or faults is not None or guard is not None
+        self.health = health if health is not None else (
+            RunHealth() if supervised else None
+        )
         self.workspace = Workspace() if plan.arena else None
+        #: Shard geometry of each supervised half-step, in step order —
+        #: the input :func:`repro.resilience.faults.expected_fault_events`
+        #: needs to enumerate a fault plan's injections for accounting.
+        self.spans_log: list[list[tuple[int, int]]] = []
         self._outputs: dict[str, np.ndarray] = {}
         self._shm: dict[str, shared_memory.SharedMemory] = {}
         self._warned_no_fork = False
+        self._step = 0
+        self._pool_faults = 0
+        self._degraded = False
 
     # -- resource management ------------------------------------------------
 
@@ -238,14 +375,34 @@ class ShardExecutor:
         return blk
 
     def close(self) -> None:
-        """Release shared-memory blocks and cached scratch."""
+        """Release shared-memory blocks and cached scratch.
+
+        Exception-safe and idempotent: every segment gets its close and
+        unlink attempted even if earlier ones fail (a segment another
+        process already unlinked must not leak the remaining ones).
+        """
         for blk in self._shm.values():
-            blk.close()
-            blk.unlink()
+            try:
+                blk.close()
+            except OSError:
+                pass
+            try:
+                blk.unlink()
+            except OSError:
+                pass
         self._shm.clear()
         self._outputs.clear()
         if self.workspace is not None:
-            self.workspace.release()
+            try:
+                self.workspace.release()
+            except Exception:
+                pass
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter teardown
         try:
@@ -283,6 +440,11 @@ class ShardExecutor:
         persistent output buffer.
         """
         fixed = np.ascontiguousarray(fixed, dtype=np.float32)
+        supervised = (
+            self.supervision is not None
+            or self.faults is not None
+            or self.guard is not None
+        )
         params = _ShardParams(
             plan=self.plan,
             lam=lam,
@@ -292,7 +454,11 @@ class ShardExecutor:
             direct=direct,
             extra_diag=extra_diag,
             count_weighted_reg=count_weighted_reg,
+            faults=self.faults,
+            guard=self.guard,
+            step=self._step,
         )
+        self._step += 1
         f = fixed.shape[1]
         shape = (ratings.m, f)
         spans = partition_rows(ratings.row_ptr, self.plan.shards)
@@ -307,13 +473,29 @@ class ShardExecutor:
                 )
             workers = 0
 
-        if workers == 0:
+        if supervised:
+            if self.faults is not None:
+                self.spans_log.append(list(spans))
+            if self._degraded:
+                workers = 0
+            if workers == 0:
+                out = self._output(key, shape)
+                counters = self._run_supervised_serial(
+                    ratings, fixed, warm, out, spans, params,
+                    gram, entry_weights, bias_values,
+                )
+            else:
+                out, counters = self._run_supervised_pool(
+                    ratings, fixed, warm, params, key, shape, spans, workers,
+                    gram, entry_weights, bias_values,
+                )
+        elif workers == 0:
             out = self._output(key, shape)
             counters = [
                 _compute_shard(
                     ratings, fixed, warm, out, lo, hi, params, self.workspace,
                     gram, entry_weights, bias_values,
-                )
+                )[:2]
                 for lo, hi in spans
             ]
         else:
@@ -329,7 +511,7 @@ class ShardExecutor:
             shards=len(spans),
         )
 
-    def _run_pool(
+    def _setup_fork_ctx(
         self,
         ratings,
         fixed: np.ndarray,
@@ -337,13 +519,11 @@ class ShardExecutor:
         params: _ShardParams,
         key: str,
         shape: tuple[int, int],
-        spans: list[tuple[int, int]],
-        workers: int,
         gram: np.ndarray | None,
         entry_weights: np.ndarray | None,
         bias_values: np.ndarray | None,
-    ) -> tuple[np.ndarray, list[tuple[int, int]]]:
-        """Fan the shards out over a fork pool with shm-backed factors."""
+    ) -> shared_memory.SharedMemory:
+        """Stage the factor matrices into shm and publish ``_FORK_CTX``."""
         global _FORK_CTX
         nbytes = max(1, int(np.prod(shape, dtype=np.int64)) * 4)
         fixed_nbytes = max(1, fixed.nbytes)
@@ -369,10 +549,33 @@ class ShardExecutor:
             "out_shm": out_shm,
             "out_shape": shape,
         }
+        return out_shm
+
+    def _run_pool(
+        self,
+        ratings,
+        fixed: np.ndarray,
+        warm: np.ndarray | None,
+        params: _ShardParams,
+        key: str,
+        shape: tuple[int, int],
+        spans: list[tuple[int, int]],
+        workers: int,
+        gram: np.ndarray | None,
+        entry_weights: np.ndarray | None,
+        bias_values: np.ndarray | None,
+    ) -> tuple[np.ndarray, list[tuple[int, int]]]:
+        """Fan the shards out over a fork pool with shm-backed factors."""
+        global _FORK_CTX
+        out_shm = self._setup_fork_ctx(
+            ratings, fixed, warm, params, key, shape, gram, entry_weights,
+            bias_values,
+        )
+        tasks = [(lo, hi, i, 0) for i, (lo, hi) in enumerate(spans)]
         try:
             ctx = multiprocessing.get_context("fork")
             with ctx.Pool(processes=workers) as pool:
-                counters = pool.map(_forked_shard, spans, chunksize=1)
+                outcomes = pool.map(_forked_shard, tasks, chunksize=1)
         finally:
             _FORK_CTX = None
         # Copy the solved factors out of the transport buffer so the
@@ -380,4 +583,249 @@ class ShardExecutor:
         # the serial path (and survives shm growth/unlink).
         out = self._output(key, shape)
         np.copyto(out, np.ndarray(shape, np.float32, buffer=out_shm.buf))
-        return out, counters
+        return out, [(it, mv) for it, mv, _ in outcomes]
+
+    # -- supervised execution -----------------------------------------------
+
+    def _retry_shard_serial(
+        self,
+        ratings,
+        fixed: np.ndarray,
+        warm: np.ndarray | None,
+        out: np.ndarray,
+        lo: int,
+        hi: int,
+        shard: int,
+        attempt: int,
+        params: _ShardParams,
+        policy: SupervisionPolicy,
+        gram: np.ndarray | None,
+        entry_weights: np.ndarray | None,
+        bias_values: np.ndarray | None,
+    ) -> tuple[int, int]:
+        """One shard, in-process, with the bounded retry/backoff loop.
+
+        Only :class:`InjectedWorkerKill` is retried — a deterministic
+        error (a :class:`NumericalFault` the ladder could not repair, a
+        caller bug) would fail identically on every attempt, so it
+        propagates immediately.
+        """
+        while True:
+            try:
+                it, mv, events = _compute_shard(
+                    ratings, fixed, warm, out, lo, hi, params, self.workspace,
+                    gram, entry_weights, bias_values,
+                    shard=shard, attempt=attempt,
+                )
+            except InjectedWorkerKill as exc:
+                self.health.record(
+                    "fault.worker-kill", step=params.step, shard=shard,
+                    attempt=attempt, detail=str(exc),
+                )
+                if attempt >= policy.max_retries:
+                    raise
+                time.sleep(policy.backoff_seconds * policy.backoff_factor**attempt)
+                attempt += 1
+                self.health.record(
+                    "supervise.retry", step=params.step, shard=shard,
+                    attempt=attempt,
+                )
+                continue
+            self.health.extend(events)
+            return it, mv
+
+    def _run_supervised_serial(
+        self,
+        ratings,
+        fixed: np.ndarray,
+        warm: np.ndarray | None,
+        out: np.ndarray,
+        spans: list[tuple[int, int]],
+        params: _ShardParams,
+        gram: np.ndarray | None,
+        entry_weights: np.ndarray | None,
+        bias_values: np.ndarray | None,
+    ) -> list[tuple[int, int]]:
+        policy = self.supervision or SupervisionPolicy()
+        return [
+            self._retry_shard_serial(
+                ratings, fixed, warm, out, lo, hi, shard, 0, params, policy,
+                gram, entry_weights, bias_values,
+            )
+            for shard, (lo, hi) in enumerate(spans)
+        ]
+
+    def _run_supervised_pool(
+        self,
+        ratings,
+        fixed: np.ndarray,
+        warm: np.ndarray | None,
+        params: _ShardParams,
+        key: str,
+        shape: tuple[int, int],
+        spans: list[tuple[int, int]],
+        workers: int,
+        gram: np.ndarray | None,
+        entry_weights: np.ndarray | None,
+        bias_values: np.ndarray | None,
+    ) -> tuple[np.ndarray, list[tuple[int, int]]]:
+        """Supervised fan-out: one fork process + result pipe per shard.
+
+        Worker death shows up as pipe EOF (instant — no deadline wait);
+        a deadline overrun gets the process SIGKILLed.  Either way only
+        that shard is affected: its rows are recomputed wholesale on
+        retry, so a mid-write kill cannot leave torn rows in the final
+        factors, and there is no shared pool whose queues a dying worker
+        could corrupt.  After ``policy.pool_fault_limit`` faults the
+        executor latches ``supervise.degrade-serial`` and finishes this
+        (and every later) half-step in-process.
+        """
+        global _FORK_CTX
+        policy = self.supervision or SupervisionPolicy()
+        out_shm = self._setup_fork_ctx(
+            ratings, fixed, warm, params, key, shape, gram, entry_weights,
+            bias_values,
+        )
+        out_view = np.ndarray(shape, np.float32, buffer=out_shm.buf)
+        ctx = multiprocessing.get_context("fork")
+        pending: list[tuple[int, int]] = [(i, 0) for i in range(len(spans))]
+        running: dict[int, tuple] = {}  # shard -> (proc, conn, attempt, t0)
+        counters: dict[int, tuple[int, int]] = {}
+        try:
+            while pending or running:
+                if self._degraded and not running:
+                    while pending:
+                        shard, attempt = pending.pop(0)
+                        lo, hi = spans[shard]
+                        counters[shard] = self._retry_shard_serial(
+                            ratings, fixed, warm, out_view, lo, hi, shard,
+                            attempt, params, policy, gram, entry_weights,
+                            bias_values,
+                        )
+                    continue
+                while pending and len(running) < workers and not self._degraded:
+                    shard, attempt = pending.pop(0)
+                    lo, hi = spans[shard]
+                    recv_conn, send_conn = ctx.Pipe(duplex=False)
+                    proc = ctx.Process(
+                        target=_supervised_worker,
+                        args=((lo, hi, shard, attempt), send_conn),
+                        daemon=True,
+                    )
+                    proc.start()
+                    send_conn.close()  # child holds the only send end now
+                    running[shard] = (proc, recv_conn, attempt, time.monotonic())
+                if not running:
+                    continue
+                ready = connection.wait(
+                    [conn for _, conn, _, _ in running.values()], timeout=0.02
+                )
+                now = time.monotonic()
+                done: list[int] = []
+                for shard, (proc, conn, attempt, t0) in list(running.items()):
+                    fault_detail = None
+                    if conn in ready:
+                        try:
+                            status, payload = conn.recv()
+                        except (EOFError, OSError):
+                            fault_detail = "worker died (pipe EOF)"
+                        else:
+                            done.append(shard)
+                            proc.join()
+                            conn.close()
+                            if status == "ok":
+                                it, mv, events = payload
+                                self.health.extend(events)
+                                counters[shard] = (it, mv)
+                                continue
+                            raise payload  # worker exception, e.g. NumericalFault
+                    elif (
+                        policy.shard_deadline is not None
+                        and now - t0 > policy.shard_deadline
+                    ):
+                        fault_detail = "deadline exceeded"
+                    elif not proc.is_alive():
+                        # The worker may have sent its result and exited
+                        # between the wait() and this scan; once the process
+                        # is gone any payload it sent is already buffered in
+                        # the pipe, so poll() separates "finished fast" from
+                        # "died without reporting".
+                        if conn.poll():
+                            continue
+                        fault_detail = "worker died (no result)"
+                    if fault_detail is None:
+                        continue
+                    done.append(shard)
+                    proc.kill()
+                    proc.join()
+                    conn.close()
+                    self._handle_pool_fault(
+                        params.step, shard, attempt, fault_detail, policy,
+                        spans[shard], pending,
+                    )
+                for shard in done:
+                    running.pop(shard, None)
+        finally:
+            for proc, conn, _, _ in running.values():
+                proc.kill()
+                proc.join()
+                conn.close()
+            _FORK_CTX = None
+        out = self._output(key, shape)
+        np.copyto(out, out_view)
+        return out, [counters[i] for i in range(len(spans))]
+
+    def _handle_pool_fault(
+        self,
+        step: int,
+        shard: int,
+        attempt: int,
+        detail: str,
+        policy: SupervisionPolicy,
+        span: tuple[int, int],
+        pending: list[tuple[int, int]],
+    ) -> None:
+        """Account one pool fault and requeue the shard (or give up)."""
+        self._pool_faults += 1
+        lo, hi = span
+        planned_kill = (
+            self.faults is not None
+            and attempt == 0
+            and hi > lo
+            and self.faults.fires("fault.worker-kill", step, shard)
+        )
+        if planned_kill:
+            self.health.record(
+                "fault.worker-kill", step=step, shard=shard, attempt=attempt,
+                detail=f"injected SIGKILL ({detail})",
+            )
+        elif detail == "deadline exceeded":
+            self.health.record(
+                "supervise.deadline", step=step, shard=shard, attempt=attempt,
+                detail=f"exceeded {policy.shard_deadline:g}s",
+            )
+        else:
+            self.health.record(
+                "supervise.respawn", step=step, shard=shard, attempt=attempt,
+                detail=detail,
+            )
+        if attempt >= policy.max_retries:
+            raise RuntimeError(
+                f"shard {shard} of half-step {step} failed "
+                f"{attempt + 1} time(s) ({detail}); retry budget exhausted"
+            )
+        time.sleep(policy.backoff_seconds * policy.backoff_factor**attempt)
+        self.health.record(
+            "supervise.retry", step=step, shard=shard, attempt=attempt + 1,
+            detail="respawning worker",
+        )
+        pending.append((shard, attempt + 1))
+        if not self._degraded and self._pool_faults >= policy.pool_fault_limit:
+            self._degraded = True
+            self.health.record(
+                "supervise.degrade-serial", step=step,
+                detail=(
+                    f"{self._pool_faults} pool fault(s) >= limit "
+                    f"{policy.pool_fault_limit}; finishing serially"
+                ),
+            )

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["HermitianMethod", "RuntimePlan", "SERIAL_PLAN"]
+__all__ = ["HermitianMethod", "RuntimePlan", "SERIAL_PLAN", "SupervisionPolicy"]
 
 #: The two host kernels for forming the normal equations.  ``reduceat``
 #: is the seed implementation (outer products + segment reduction), kept
@@ -87,6 +87,61 @@ class RuntimePlan:
             "workers": self.workers,
             "compact_cg": self.compact_cg,
             "arena": self.arena,
+        }
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the executor reacts to shard faults (plain data, JSON-ready).
+
+    Parameters
+    ----------
+    max_retries:
+        Bounded retry budget per shard; a shard that faults more than
+        this many times fails the run (injected faults only fire on
+        attempt 0, so supervised chaos runs always terminate).
+    backoff_seconds:
+        Base sleep before a retry; attempt ``k`` sleeps
+        ``backoff_seconds * backoff_factor**k`` (exponential backoff).
+    backoff_factor:
+        Growth factor of the backoff schedule.
+    shard_deadline:
+        Wall-clock seconds a pool shard may run before the supervisor
+        kills and retries it; ``None`` disables deadlines.  Serial
+        shards cannot be pre-empted, so deadlines apply to pool
+        execution only.
+    pool_fault_limit:
+        After this many pool faults (deaths + deadlines) the executor
+        degrades pool execution to supervised serial for the rest of its
+        lifetime — repeated faults mean the pool itself is the hazard.
+    """
+
+    max_retries: int = 2
+    backoff_seconds: float = 0.01
+    backoff_factor: float = 2.0
+    shard_deadline: float | None = 30.0
+    pool_fault_limit: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.shard_deadline is not None and self.shard_deadline <= 0:
+            raise ValueError("shard_deadline must be positive or None")
+        if self.pool_fault_limit < 1:
+            raise ValueError("pool_fault_limit must be >= 1")
+
+    def as_dict(self) -> dict:
+        """JSON-ready representation (chaos reports, health artifacts)."""
+        return {
+            "max_retries": self.max_retries,
+            "backoff_seconds": self.backoff_seconds,
+            "backoff_factor": self.backoff_factor,
+            "shard_deadline": self.shard_deadline,
+            "pool_fault_limit": self.pool_fault_limit,
         }
 
 

@@ -44,6 +44,7 @@ __all__ = [
     "SPDCase",
     "HermitianCase",
     "TrajectoryCase",
+    "ResilienceCase",
     "KernelCase",
     "PatternCase",
     "OccupancyCase",
@@ -55,6 +56,7 @@ __all__ = [
     "draw_spd_case",
     "draw_hermitian_case",
     "draw_trajectory_case",
+    "draw_resilience_case",
     "draw_kernel_case",
     "draw_pattern_case",
     "draw_occupancy_case",
@@ -218,6 +220,57 @@ class RuntimeCase:
             raise ValueError("shards must be >= 1")
         if not 0 <= self.workers <= self.shards:
             raise ValueError("workers must be in [0, shards]")
+        if self.precision not in {p.value for p in Precision}:
+            raise ValueError(f"unknown precision {self.precision!r}")
+        if not 0 <= self.seed < _MAX_SEED:
+            raise ValueError("seed out of range")
+
+
+@dataclass(frozen=True)
+class ResilienceCase:
+    """A supervised ALS run under a seeded fault campaign (VF108).
+
+    The resilience layer promises that a training run with faults
+    injected at every class (worker kills, shard delays, NaN flips,
+    FP16 overflows) still terminates, accounts for every injected fault
+    in its health log, and recovers an objective indistinguishable from
+    the fault-free run — bit-identical at FP32 (repairs re-solve the
+    pristine systems with the same arithmetic), within the FP16 noise
+    floor otherwise.
+    """
+
+    m: int
+    n: int
+    nnz: int
+    f: int
+    fs: int
+    lam: float
+    shards: int
+    workers: int
+    epochs: int
+    kill_rate: float
+    delay_rate: float
+    nan_rate: float
+    overflow_rate: float
+    precision: str
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.m < 4 or self.n < 4:
+            raise ValueError("m and n must be >= 4")
+        if not self.m <= self.nnz <= self.m * self.n:
+            raise ValueError("nnz must be in [m, m*n]")
+        if self.f < 2 or self.fs < 1 or self.epochs < 1:
+            raise ValueError("f >= 2, fs >= 1 and epochs >= 1 required")
+        if self.lam <= 0:
+            raise ValueError("lam must be positive")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if not 0 <= self.workers <= self.shards:
+            raise ValueError("workers must be in [0, shards]")
+        for name in ("kill_rate", "delay_rate", "nan_rate", "overflow_rate"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
         if self.precision not in {p.value for p in Precision}:
             raise ValueError(f"unknown precision {self.precision!r}")
         if not 0 <= self.seed < _MAX_SEED:
@@ -513,6 +566,37 @@ def draw_runtime_case(rng: np.random.Generator) -> RuntimeCase:
     )
 
 
+def draw_resilience_case(rng: np.random.Generator) -> ResilienceCase:
+    m = int(rng.integers(16, 49))
+    n = int(rng.integers(12, 41))
+    shards = int(rng.integers(2, 5))
+    # Pool supervision (real forked workers, real SIGKILLs) is the slow
+    # path; keep it a minority of draws but always covered.
+    workers = 2 if rng.random() < 0.25 else 0
+
+    def rate() -> float:
+        # ≥1% whenever active so campaigns actually inject faults.
+        return round(float(rng.uniform(0.01, 0.3)), 4) if rng.random() < 0.8 else 0.0
+
+    return ResilienceCase(
+        m=m,
+        n=n,
+        nnz=int(rng.integers(3 * m, min(8 * m, m * n // 2) + 1)),
+        f=int(rng.integers(3, 11)),
+        fs=int(rng.integers(2, 7)),
+        lam=round(float(10.0 ** rng.uniform(-2, 0.0)), 6),
+        shards=shards,
+        workers=workers,
+        epochs=int(rng.integers(1, 4)),
+        kill_rate=rate(),
+        delay_rate=rate(),
+        nan_rate=rate(),
+        overflow_rate=rate(),
+        precision=str(rng.choice([p.value for p in Precision])),
+        seed=_seed(rng),
+    )
+
+
 def draw_kernel_case(rng: np.random.Generator) -> KernelCase:
     for _ in range(32):
         m = int(10.0 ** rng.uniform(0.0, 5.0))
@@ -597,6 +681,10 @@ _SHRINK_MINIMA: dict[str, int | float] = {
     "lam": 1e-3,
     "zipf": 0.0,
     "reuse_factor": 1.0,
+    "kill_rate": 0.0,
+    "delay_rate": 0.0,
+    "nan_rate": 0.0,
+    "overflow_rate": 0.0,
 }
 
 
@@ -657,6 +745,7 @@ _CASE_TYPES: dict[str, type] = {
         HermitianCase,
         TrajectoryCase,
         RuntimeCase,
+        ResilienceCase,
         KernelCase,
         PatternCase,
         OccupancyCase,

@@ -32,6 +32,14 @@ structure — a violation is a bug, never noise:
            any shard count, worker count, chunk size, arena on or off,
            CG compaction on or off (§III Solutions 1-2 change *where*
            work runs, never *what* it computes).
+``VF108``  the resilience layer recovers: a supervised ALS run with
+           seeded faults injected (worker kills, delays, NaN flips,
+           FP16 overflows) terminates, its health log accounts for
+           every planned fault exactly, the saved factors are finite,
+           and the objective matches the fault-free run — bit-identical
+           at FP32 (repairs re-solve pristine systems with identical
+           arithmetic), within the FP16 noise floor otherwise (see
+           docs/resilience.md).
 =========  ============================================================
 
 Deliberately *not* asserted: hermitian timing monotone in ``f`` or ``m``
@@ -58,13 +66,21 @@ from ..gpusim.coalescing import coalesced, strided
 from ..gpusim.device import get_device
 from ..gpusim.kernel import LaunchTiming, time_kernel
 from ..gpusim.occupancy import KernelResources, compute_occupancy
+from ..core.als import ALSModel
+from ..core.config import ALSConfig, SolverKind
+from ..data.synthetic import SyntheticConfig, generate_ratings
+from ..metrics.rmse import rmse
+from ..resilience.faults import FaultPlan, expected_fault_events
+from ..resilience.guards import GuardPolicy
+from ..resilience.health import RunHealth
 from ..runtime.executor import ShardExecutor
-from ..runtime.plan import RuntimePlan
+from ..runtime.plan import RuntimePlan, SupervisionPolicy
 from .generators import (
     CacheCase,
     KernelCase,
     OccupancyCase,
     PatternCase,
+    ResilienceCase,
     RuntimeCase,
     _als_config,
     build_kernel_specs,
@@ -81,12 +97,14 @@ __all__ = [
     "VF105",
     "VF106",
     "VF107",
+    "VF108",
     "check_timing_monotone",
     "check_roofline_bound",
     "check_coalescing_order",
     "check_occupancy_invariance",
     "check_cache_monotone",
     "check_runtime_determinism",
+    "check_resilience_recovery",
 ]
 
 VF101 = register_rule(
@@ -123,6 +141,11 @@ VF107 = register_rule(
     "VF107",
     "runtime plan changed the computed factors",
     "paper §III Solutions 1-2: sharding/chunking relocate work, never alter it",
+)
+VF108 = register_rule(
+    "VF108",
+    "supervised run failed to recover from injected faults",
+    "resilience contract: every fault accounted, factors finite, objective recovered",
 )
 
 #: Relative slack for comparing two computed times (pure float noise).
@@ -451,6 +474,152 @@ def check_runtime_determinism(case: RuntimeCase) -> list[Diagnostic]:
                     ref_iterations=float(ref.iterations),
                     matvecs=float(result.cg_matvec_count),
                     ref_matvecs=float(ref.matvec_count),
+                )
+            )
+    return findings
+
+
+#: FP16's unit roundoff (2^-10): the factor-entry noise floor FP16
+#: storage introduces, and hence the scale of the recovered-objective
+#: tolerance for FP16 resilience cases.
+_EPS16 = 2.0**-10
+
+
+def _fit_resilience(case: ResilienceCase, train, faults) -> tuple:
+    """One (optionally fault-injected) supervised training run."""
+    executor = ShardExecutor(
+        RuntimePlan(shards=case.shards, workers=case.workers),
+        supervision=SupervisionPolicy(backoff_seconds=0.001, shard_deadline=60.0),
+        faults=faults,
+        guard=GuardPolicy(),
+        health=RunHealth(),
+    )
+    cfg = ALSConfig(
+        f=case.f,
+        lam=case.lam,
+        solver=SolverKind.CG,
+        precision=Precision(case.precision),
+        cg=CGConfig(max_iters=case.fs, tol=1e-4),
+        seed=case.seed,
+    )
+    model = ALSModel(cfg, runtime=executor)
+    try:
+        model.fit(train, epochs=case.epochs)
+    finally:
+        executor.close()
+    return model, executor
+
+
+def check_resilience_recovery(case: ResilienceCase) -> list[Diagnostic]:
+    """VF108: a fault-injected supervised run recovers, fully accounted.
+
+    Trains the case twice — once under its seeded :class:`FaultPlan`,
+    once fault-free — and asserts the resilience contract:
+
+    1. the supervised run terminates (reaching this code is the proof —
+       retries are bounded and faults fire only on attempt 0);
+    2. the health log accounts for every planned fault exactly
+       (:func:`expected_fault_events` vs :meth:`RunHealth.account`);
+    3. the final factors are finite (guard ladder never lets NaN
+       escape);
+    4. the recovered objective matches the fault-free run.  At FP32 the
+       factors must be **bit-identical**: corruption only ever touches
+       the solver's staged copy, so quarantined lanes re-solved from the
+       pristine systems repeat the reference arithmetic exactly.  At
+       FP16 repaired lanes are FP32 re-solves of systems the reference
+       solved through FP16 storage, so the train-RMSE gap is bounded by
+       the quantization noise floor (``O(eps16)`` per factor entry); the
+       tolerance leaves two decades of headroom above it while staying
+       far below any real divergence.
+    """
+    rng = np.random.default_rng(case.seed)
+    train = generate_ratings(
+        SyntheticConfig(
+            m=case.m,
+            n=case.n,
+            nnz=case.nnz,
+            true_rank=min(4, case.f),
+            seed=case.seed,
+        ),
+        rng=rng,
+    )
+    faults = FaultPlan(
+        seed=case.seed,
+        kill_rate=case.kill_rate,
+        delay_rate=case.delay_rate,
+        nan_rate=case.nan_rate,
+        overflow_rate=case.overflow_rate,
+        delay_seconds=0.001,
+    )
+    chaos_model, executor = _fit_resilience(case, train, faults)
+    clean_model, _ = _fit_resilience(case, train, None)
+
+    findings: list[Diagnostic] = []
+    expected = expected_fault_events(faults, executor.spans_log)
+    missing, extra = executor.health.account(expected)
+    if missing or extra:
+        findings.append(
+            _violation(
+                VF108,
+                "resilience.recovery[accounting]",
+                f"health log does not match the fault plan: "
+                f"{len(missing)} planned fault(s) unreported {missing[:4]}, "
+                f"{len(extra)} unplanned fault event(s) {extra[:4]}",
+                missing=float(len(missing)),
+                extra=float(len(extra)),
+                expected=float(len(expected)),
+            )
+        )
+    if not (
+        np.isfinite(chaos_model.x_).all() and np.isfinite(chaos_model.theta_).all()
+    ):
+        findings.append(
+            _violation(
+                VF108,
+                "resilience.recovery[finite]",
+                "non-finite factors escaped the guard ladder",
+                bad_x=float(np.count_nonzero(~np.isfinite(chaos_model.x_))),
+                bad_theta=float(
+                    np.count_nonzero(~np.isfinite(chaos_model.theta_))
+                ),
+            )
+        )
+        return findings  # objective comparison is meaningless past this
+
+    if case.precision == Precision.FP32.value:
+        if not (
+            np.array_equal(chaos_model.x_, clean_model.x_)
+            and np.array_equal(chaos_model.theta_, clean_model.theta_)
+        ):
+            delta = np.abs(
+                chaos_model.x_.astype(np.float64)
+                - clean_model.x_.astype(np.float64)
+            )
+            findings.append(
+                _violation(
+                    VF108,
+                    "resilience.recovery[objective]",
+                    "FP32 recovery drifted from the fault-free run: repairs "
+                    "must repeat the reference arithmetic bit-for-bit "
+                    f"(max |Δx| = {float(delta.max()):.3e})",
+                    max_abs_diff=float(delta.max()),
+                )
+            )
+    else:
+        chaos_obj = rmse(chaos_model.x_, chaos_model.theta_, train)
+        clean_obj = rmse(clean_model.x_, clean_model.theta_, train)
+        tol = 100.0 * _EPS16  # two decades above the FP16 noise floor
+        if not abs(chaos_obj - clean_obj) <= tol:
+            findings.append(
+                _violation(
+                    VF108,
+                    "resilience.recovery[objective]",
+                    f"recovered objective {chaos_obj:.6f} is outside the "
+                    f"FP16 noise tolerance of the fault-free {clean_obj:.6f} "
+                    f"(|Δ| = {abs(chaos_obj - clean_obj):.2e} > {tol:.2e})",
+                    chaos=float(chaos_obj),
+                    clean=float(clean_obj),
+                    tolerance=tol,
                 )
             )
     return findings

@@ -41,6 +41,7 @@ from .generators import (
     draw_kernel_case,
     draw_occupancy_case,
     draw_pattern_case,
+    draw_resilience_case,
     draw_runtime_case,
     draw_spd_case,
     draw_trajectory_case,
@@ -57,6 +58,7 @@ from .properties import (
     check_cache_monotone,
     check_coalescing_order,
     check_occupancy_invariance,
+    check_resilience_recovery,
     check_roofline_bound,
     check_runtime_determinism,
     check_timing_monotone,
@@ -153,6 +155,13 @@ CHECKS: dict[str, CheckDef] = {
             check_runtime_determinism,
             weight=0.25,  # each case runs 4-5 executor plans; keep them rare
             summary="factors bit-identical under sharding/chunking (VF107)",
+        ),
+        CheckDef(
+            "resilience.recovery",
+            draw_resilience_case,
+            check_resilience_recovery,
+            weight=0.25,  # each case trains two supervised models; keep them rare
+            summary="fault-injected runs recover, fully accounted (VF108)",
         ),
         CheckDef(
             "gpusim.monotone",

@@ -1,0 +1,40 @@
+"""Shared test configuration: a global per-test timeout.
+
+The resilience suite forks worker processes and SIGKILLs them on
+purpose; a supervision bug could leave a test waiting on a pipe that
+will never deliver.  Rather than depend on the pytest-timeout plugin,
+an autouse fixture arms ``SIGALRM`` around every test — any test
+exceeding the budget dies with a clear ``Failed`` instead of hanging
+CI until the job-level timeout reaps it (the ``faulthandler_timeout``
+ini setting additionally dumps all thread stacks well before that).
+
+Override per run with ``REPRO_TEST_TIMEOUT`` (seconds, 0 disables).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+_DEFAULT_TIMEOUT = 300
+
+
+@pytest.fixture(autouse=True)
+def _global_test_timeout():
+    timeout = int(os.environ.get("REPRO_TEST_TIMEOUT", str(_DEFAULT_TIMEOUT)))
+    if timeout <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _abort(signum, frame):
+        pytest.fail(f"test exceeded the global {timeout}s timeout", pytrace=True)
+
+    previous = signal.signal(signal.SIGALRM, _abort)
+    signal.alarm(timeout)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

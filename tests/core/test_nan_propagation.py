@@ -1,0 +1,140 @@
+"""Non-finite propagation: detect, name the lanes, never ship bad factors.
+
+ISSUE 4 satellite: poisoned data must either be repaired by the guard
+ladder or surface as a structured ``NumericalFault`` naming the affected
+lanes — a fit may never silently return non-finite factors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ALSConfig, ALSModel, CGConfig, Precision, SolverKind
+from repro.core.cg import cg_solve_batched
+from repro.core.hermitian import hermitian_and_bias
+from repro.data import SyntheticConfig, generate_ratings
+from repro.resilience.faults import NumericalFault
+from repro.resilience.guards import GuardPolicy, check_normal_equations, guarded_solve
+from repro.runtime import RuntimePlan, ShardExecutor
+from repro.runtime.plan import SupervisionPolicy
+
+
+def spd_batch(batch=5, f=4, seed=1):
+    rng = np.random.default_rng(seed)
+    M = rng.normal(size=(batch, f, f)).astype(np.float32)
+    A = M @ np.swapaxes(M, 1, 2) + 2.0 * np.eye(f, dtype=np.float32)
+    b = rng.normal(size=(batch, f)).astype(np.float32)
+    return A, b
+
+
+def poisoned_ratings(seed=2):
+    """A small explicit problem whose first rating is NaN."""
+    ratings = generate_ratings(SyntheticConfig(m=40, n=30, nnz=500, seed=seed))
+    ratings.row_val[0] = np.nan
+    return ratings
+
+
+class TestCGLaneReport:
+    def test_nan_poisoned_lane_is_flagged(self):
+        A, b = spd_batch()
+        A[3] = np.nan
+        with np.errstate(invalid="ignore"):
+            result = cg_solve_batched(
+                A, b, config=CGConfig(max_iters=5), precision=Precision.FP32,
+                lane_report=True,
+            )
+        assert result.fault_lanes is not None
+        assert result.fault_lanes[3]
+        assert not result.fault_lanes[[0, 1, 2, 4]].any()
+
+    def test_clean_batch_reports_no_faults(self):
+        A, b = spd_batch()
+        result = cg_solve_batched(
+            A, b, config=CGConfig(max_iters=5), precision=Precision.FP32,
+            lane_report=True,
+        )
+        assert not result.fault_lanes.any()
+
+    def test_default_skips_the_bookkeeping(self):
+        A, b = spd_batch()
+        result = cg_solve_batched(A, b, config=CGConfig(max_iters=5))
+        assert result.fault_lanes is None
+
+
+class TestHermitianSentinel:
+    def test_nan_theta_names_the_touched_users(self):
+        ratings = generate_ratings(SyntheticConfig(m=30, n=20, nnz=300, seed=4))
+        theta = np.full((20, 6), 0.1, dtype=np.float32)
+        theta[7] = np.nan  # every user who rated item 7 is now poisoned
+        A, b = hermitian_and_bias(ratings, theta, 0.05)
+        touched = sorted(
+            u for u in range(30)
+            if 7 in ratings.col_idx[ratings.row_ptr[u]:ratings.row_ptr[u + 1]]
+        )
+        assert touched, "seed must give item 7 at least one rater"
+        with pytest.raises(NumericalFault) as err:
+            check_normal_equations(A, b)
+        assert err.value.stage == "hermitian"
+        assert set(touched) <= set(err.value.lanes)
+
+    def test_row_offset_makes_lanes_global(self):
+        A, b = spd_batch()
+        A[2] = np.inf
+        with pytest.raises(NumericalFault) as err:
+            check_normal_equations(A, b, row_offset=1000)
+        assert err.value.lanes == (1002,)
+
+
+class TestGuardedOutcomes:
+    def test_guarded_output_is_always_finite_under_corruption(self):
+        A, b = spd_batch(batch=8, f=5, seed=3)
+
+        def corrupt(store):
+            store[1] = np.nan
+            store[6] = np.inf
+
+        out = np.empty_like(b)
+        guarded_solve(
+            A, b, None, out,
+            policy=GuardPolicy(), cg_config=CGConfig(max_iters=5),
+            precision=Precision.FP16, fault_hook=corrupt,
+        )
+        assert np.isfinite(out).all()
+
+    def test_fit_on_poisoned_data_raises_with_lanes(self):
+        ratings = poisoned_ratings()
+        runtime = ShardExecutor(
+            RuntimePlan(shards=2),
+            supervision=SupervisionPolicy(backoff_seconds=0.0),
+            guard=GuardPolicy(),
+        )
+        model = ALSModel(
+            ALSConfig(f=6, lam=0.05, cg=CGConfig(max_iters=4), seed=0),
+            runtime=runtime,
+        )
+        with runtime:
+            with pytest.raises(NumericalFault) as err:
+                model.fit(ratings, epochs=2)
+        assert err.value.lanes  # the poisoned user row is named
+        assert 0 in err.value.lanes
+
+    def test_unguarded_lu_fit_ships_nan_factors(self):
+        # The baseline hazard the guard closes: an unguarded LU fit
+        # propagates the poisoned rating straight into the saved factors.
+        # (Unguarded CG is silently wrong differently — it freezes the
+        # broken lane and returns its stale warm start.)
+        ratings = poisoned_ratings()
+        model = ALSModel(ALSConfig(f=6, lam=0.05, solver=SolverKind.LU, seed=0))
+        with np.errstate(invalid="ignore", over="ignore"):
+            model.fit(ratings, epochs=1)
+        assert not np.isfinite(model.x_[0]).all()
+
+    def test_guarded_lu_fit_raises_instead(self):
+        ratings = poisoned_ratings()
+        runtime = ShardExecutor(RuntimePlan(), guard=GuardPolicy())
+        model = ALSModel(
+            ALSConfig(f=6, lam=0.05, solver=SolverKind.LU, seed=0),
+            runtime=runtime,
+        )
+        with runtime:
+            with pytest.raises(NumericalFault):
+                model.fit(ratings, epochs=1)

@@ -1,0 +1,167 @@
+"""FaultPlan: deterministic, auditable, validated."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import (
+    FaultPlan,
+    InjectedWorkerKill,
+    NumericalFault,
+    expected_fault_events,
+    inject_shard_start,
+    solver_fault_hook,
+)
+
+ALL_ON = FaultPlan(
+    seed=3, kill_rate=0.3, delay_rate=0.3, nan_rate=0.3, overflow_rate=0.3,
+    delay_seconds=0.0,
+)
+
+
+class TestFaultPlanDecisions:
+    def test_fires_is_deterministic(self):
+        for kind in ALL_ON.rate_of:
+            for step in range(4):
+                for shard in range(4):
+                    first = ALL_ON.fires(kind, step, shard)
+                    assert all(
+                        ALL_ON.fires(kind, step, shard) == first for _ in range(3)
+                    )
+
+    def test_zero_rate_never_fires(self):
+        quiet = FaultPlan(seed=3)
+        assert not any(
+            quiet.fires(kind, step, shard)
+            for kind in quiet.rate_of
+            for step in range(20)
+            for shard in range(5)
+        )
+
+    def test_rate_one_always_fires(self):
+        loud = FaultPlan(seed=0, nan_rate=1.0)
+        assert all(loud.fires("fault.nan-flip", s, sh) for s in range(5) for sh in range(5))
+
+    def test_retries_are_clean(self):
+        loud = FaultPlan(seed=0, kill_rate=1.0, nan_rate=1.0)
+        assert loud.fires("fault.worker-kill", 0, 0, attempt=0)
+        assert not loud.fires("fault.worker-kill", 0, 0, attempt=1)
+        assert not loud.fires("fault.nan-flip", 0, 0, attempt=2)
+
+    def test_kinds_are_independent_streams(self):
+        # With the same (step, shard), different kinds must not be
+        # perfectly correlated — they draw from distinct SeedSequences.
+        plan = FaultPlan(seed=9, nan_rate=0.5, overflow_rate=0.5)
+        sites = [(s, sh) for s in range(30) for sh in range(4)]
+        nan = [plan.fires("fault.nan-flip", *site) for site in sites]
+        ovf = [plan.fires("fault.fp16-overflow", *site) for site in sites]
+        assert nan != ovf
+
+    def test_seed_changes_decisions(self):
+        a = FaultPlan(seed=1, nan_rate=0.5)
+        b = FaultPlan(seed=2, nan_rate=0.5)
+        sites = [(s, sh) for s in range(30) for sh in range(4)]
+        assert [a.fires("fault.nan-flip", *x) for x in sites] != [
+            b.fires("fault.nan-flip", *x) for x in sites
+        ]
+
+    def test_lane_for_in_range_and_deterministic(self):
+        for num in (1, 2, 7, 100):
+            lanes = {ALL_ON.lane_for("fault.nan-flip", 0, 0, num) for _ in range(5)}
+            assert len(lanes) == 1
+            assert 0 <= lanes.pop() < num
+
+    def test_lane_for_rejects_empty(self):
+        with pytest.raises(ValueError, match="num_rows"):
+            ALL_ON.lane_for("fault.nan-flip", 0, 0, 0)
+
+    @pytest.mark.parametrize("field", ["kill_rate", "delay_rate", "nan_rate", "overflow_rate"])
+    def test_rates_validated(self, field):
+        with pytest.raises(ValueError, match=field):
+            FaultPlan(**{field: 1.5})
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan(seed=-1)
+
+    def test_as_dict_round_trips(self):
+        assert FaultPlan(**ALL_ON.as_dict()) == ALL_ON
+
+
+class TestExpectedEvents:
+    def test_empty_shards_inject_nothing(self):
+        loud = FaultPlan(seed=0, kill_rate=1.0, nan_rate=1.0)
+        spans = [[(0, 0), (0, 4)], [(2, 2)]]
+        events = expected_fault_events(loud, spans)
+        assert all(site == ("fault.worker-kill", 0, 1) for site in events)
+
+    def test_kill_preempts_other_faults(self):
+        loud = FaultPlan(seed=0, kill_rate=1.0, delay_rate=1.0, nan_rate=1.0)
+        events = expected_fault_events(loud, [[(0, 4)]])
+        assert events == [("fault.worker-kill", 0, 0)]
+
+    def test_enumeration_matches_fires(self):
+        spans = [[(0, 5), (5, 9)] for _ in range(6)]
+        events = expected_fault_events(ALL_ON, spans)
+        for kind, step, shard in events:
+            assert ALL_ON.fires(kind, step, shard)
+
+
+class TestInjection:
+    def test_serial_kill_raises(self):
+        loud = FaultPlan(seed=0, kill_rate=1.0)
+        with pytest.raises(InjectedWorkerKill):
+            inject_shard_start(loud, 0, 0, 0, forked=False, events=[])
+
+    def test_delay_records_event(self):
+        plan = FaultPlan(seed=0, delay_rate=1.0, delay_seconds=0.0)
+        events = []
+        inject_shard_start(plan, 0, 0, 0, forked=False, events=events)
+        assert [e["kind"] for e in events] == ["fault.delay"]
+
+    def test_retry_injects_nothing(self):
+        loud = FaultPlan(seed=0, kill_rate=1.0, delay_rate=1.0)
+        events = []
+        inject_shard_start(loud, 0, 0, 1, forked=False, events=events)
+        assert events == []
+
+    def test_solver_hook_corrupts_victim_lane_only(self):
+        plan = FaultPlan(seed=0, nan_rate=1.0)
+        events = []
+        hook = solver_fault_hook(plan, 0, 0, 0, 10, events)
+        store = np.ones((4, 3, 3), dtype=np.float32)
+        hook(store)
+        bad = ~np.isfinite(store).all(axis=(1, 2))
+        assert bad.sum() == 1
+        (event,) = events
+        assert event["kind"] == "fault.nan-flip"
+        assert event["lanes"] == [10 + int(np.flatnonzero(bad)[0])]
+
+    def test_overflow_hook_flips_signs(self):
+        plan = FaultPlan(seed=0, overflow_rate=1.0)
+        events = []
+        hook = solver_fault_hook(plan, 0, 0, 0, 0, events)
+        store = np.ones((2, 4, 4), dtype=np.float32)
+        hook(store)
+        lane = events[0]["lanes"][0]
+        assert np.all(np.isinf(store[lane]))
+        assert (store[lane] < 0).any() and (store[lane] > 0).any()
+
+    def test_quiet_plan_returns_no_hook(self):
+        assert solver_fault_hook(FaultPlan(seed=0), 0, 0, 0, 0, []) is None
+
+
+class TestNumericalFault:
+    def test_carries_provenance(self):
+        err = NumericalFault("bad", lanes=(3, 7), stage="solve")
+        assert err.lanes == (3, 7)
+        assert err.stage == "solve"
+
+    def test_pickle_round_trip(self):
+        err = NumericalFault("bad lanes", lanes=(1, 2), stage="hermitian")
+        back = pickle.loads(pickle.dumps(err))
+        assert isinstance(back, NumericalFault)
+        assert back.args == err.args
+        assert back.lanes == err.lanes
+        assert back.stage == err.stage

@@ -1,0 +1,158 @@
+"""Numeric guards: sentinels and the degradation ladder."""
+
+import numpy as np
+import pytest
+
+from repro.core.cg import cg_solve_batched
+from repro.core.config import CGConfig, Precision
+from repro.resilience.guards import (
+    GuardPolicy,
+    NumericalFault,
+    check_factors_finite,
+    check_normal_equations,
+    guarded_solve,
+)
+
+
+def spd_batch(batch=4, f=6, seed=0):
+    rng = np.random.default_rng(seed)
+    Q, _ = np.linalg.qr(rng.normal(size=(batch, f, f)))
+    eigs = np.linspace(1.0, 3.0, f)
+    A = ((Q * eigs) @ np.swapaxes(Q, 1, 2)).astype(np.float32)
+    A = (A + np.swapaxes(A, 1, 2)) * np.float32(0.5)
+    b = rng.normal(size=(batch, f)).astype(np.float32)
+    return A, b
+
+
+class TestSentinels:
+    def test_clean_inputs_pass(self):
+        A, b = spd_batch()
+        check_normal_equations(A, b)
+
+    def test_nan_in_A_names_the_lane(self):
+        A, b = spd_batch()
+        A[2, 0, 0] = np.nan
+        with pytest.raises(NumericalFault) as err:
+            check_normal_equations(A, b, row_offset=10)
+        assert err.value.lanes == (12,)
+        assert err.value.stage == "hermitian"
+
+    def test_inf_in_b_names_the_lane(self):
+        A, b = spd_batch()
+        b[1, 3] = np.inf
+        with pytest.raises(NumericalFault) as err:
+            check_normal_equations(A, b)
+        assert err.value.lanes == (1,)
+
+    def test_factor_sentinel(self):
+        factors = np.ones((5, 3), dtype=np.float32)
+        check_factors_finite(factors, stage="direct-solve")
+        factors[4, 1] = np.nan
+        with pytest.raises(NumericalFault) as err:
+            check_factors_finite(factors, stage="direct-solve", row_offset=100)
+        assert err.value.lanes == (104,)
+        assert err.value.stage == "direct-solve"
+
+
+class TestGuardedSolve:
+    def test_clean_path_matches_plain_cg(self):
+        A, b = spd_batch()
+        cfg = CGConfig(max_iters=6, tol=1e-5)
+        ref = cg_solve_batched(A, b, config=cfg, precision=Precision.FP32)
+        out = np.empty_like(b)
+        iters, matvecs = guarded_solve(
+            A, b, None, out,
+            policy=GuardPolicy(), cg_config=cfg, precision=Precision.FP32,
+        )
+        np.testing.assert_array_equal(out, ref.x)
+        assert (iters, matvecs) == (ref.iterations, ref.matvec_count)
+
+    def test_corrupted_lane_repaired_bit_exact(self):
+        # Corrupt the *staged* store of one lane; the ladder re-solves it
+        # from the pristine A, so the result must match the clean solve
+        # bit-for-bit (per-lane CG arithmetic is batch-independent).
+        A, b = spd_batch()
+        cfg = CGConfig(max_iters=6, tol=1e-5)
+        ref = cg_solve_batched(A, b, config=cfg, precision=Precision.FP32)
+
+        def corrupt(store):
+            store[1] = np.nan
+
+        out = np.empty_like(b)
+        events = []
+        guarded_solve(
+            A, b, None, out,
+            policy=GuardPolicy(), cg_config=cfg, precision=Precision.FP32,
+            fault_hook=corrupt, row_offset=20, events=events,
+        )
+        np.testing.assert_array_equal(out, ref.x)
+        kinds = [e["kind"] for e in events]
+        assert kinds == ["guard.quarantine", "guard.repair-fp32"]
+        assert events[0]["lanes"] == [21]
+
+    def test_breakdown_falls_back_to_lu(self):
+        # A negative-definite lane breaks CG (p·Ap < 0) at any precision;
+        # LU has no curvature assumption and must repair it.
+        A, b = spd_batch()
+        A[3] = -A[3]
+        cfg = CGConfig(max_iters=6, tol=1e-5)
+        out = np.empty_like(b)
+        events = []
+        guarded_solve(
+            A, b, None, out,
+            policy=GuardPolicy(), cg_config=cfg, precision=Precision.FP32,
+            events=events,
+        )
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(
+            np.einsum("ij,j->i", A[3], out[3]), b[3], rtol=1e-4, atol=1e-4
+        )
+        assert "guard.repair-lu" in [e["kind"] for e in events]
+
+    def test_unrepairable_raises_with_provenance(self):
+        # Pristine inputs already non-finite: every rung fails and the
+        # fault must name the surviving lane.
+        A, b = spd_batch()
+        A[0] = np.nan
+        out = np.empty_like(b)
+        with pytest.raises(NumericalFault) as err:
+            guarded_solve(
+                A, b, None, out,
+                policy=GuardPolicy(), cg_config=CGConfig(max_iters=4),
+                precision=Precision.FP32, row_offset=7,
+            )
+        assert err.value.lanes == (7,)
+        assert err.value.stage == "solve"
+
+    def test_fp16_lane_never_returns_nonfinite(self):
+        A, b = spd_batch(seed=5)
+
+        def corrupt(store):
+            store[0] = np.inf
+            store[2] = np.nan
+
+        out = np.empty_like(b)
+        guarded_solve(
+            A, b, None, out,
+            policy=GuardPolicy(), cg_config=CGConfig(max_iters=4),
+            precision=Precision.FP16, fault_hook=corrupt,
+        )
+        assert np.isfinite(out).all()
+
+
+class TestGuardPolicy:
+    def test_divergence_factor_validated(self):
+        with pytest.raises(ValueError, match="divergence_factor"):
+            GuardPolicy(divergence_factor=1.0)
+
+    def test_methods_bind_the_module_functions(self):
+        A, b = spd_batch()
+        policy = GuardPolicy()
+        policy.check_normal(A, b)
+        policy.check_factors(b, stage="test")
+        out = np.empty_like(b)
+        iters, matvecs = policy.solve(
+            A, b, None, out, cg_config=CGConfig(max_iters=4),
+            precision=Precision.FP32,
+        )
+        assert iters >= 1 and matvecs >= 1

@@ -1,0 +1,144 @@
+"""Checkpoint/resume through the trainers: bit-equivalent continuation.
+
+The contract under test is the ISSUE's acceptance criterion: kill a run
+after any checkpoint, resume it, and the final factors, curve, epoch
+breakdowns and (for implicit) loss history are **bit-identical** to the
+uninterrupted reference.  Epochs are deterministic functions of the
+factors entering them, so nothing short of lost state can break this.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALSConfig,
+    ALSModel,
+    CGConfig,
+    ImplicitALSConfig,
+    ImplicitALSModel,
+    Precision,
+    SolverKind,
+)
+from repro.data import SyntheticConfig, generate_ratings
+from repro.resilience.faults import NumericalFault
+
+EPOCHS = 4
+
+
+@pytest.fixture(scope="module")
+def split():
+    train = generate_ratings(SyntheticConfig(m=60, n=40, nnz=800, true_rank=4, seed=2))
+    test = generate_ratings(SyntheticConfig(m=60, n=40, nnz=200, true_rank=4, seed=3))
+    return train, test
+
+
+def als_model():
+    return ALSModel(
+        ALSConfig(f=8, lam=0.05, cg=CGConfig(max_iters=4, tol=1e-4), seed=9)
+    )
+
+
+def implicit_model():
+    return ImplicitALSModel(
+        ImplicitALSConfig(f=6, lam=0.05, alpha=10.0, cg=CGConfig(max_iters=4), seed=9)
+    )
+
+
+def assert_curves_equal(a, b):
+    assert len(a.points) == len(b.points)
+    for p, q in zip(a.points, b.points):
+        assert p == q  # CurvePoint is frozen; equality is field-wise exact
+
+
+class TestALSResume:
+    def test_kill_and_resume_is_bit_equivalent(self, split, tmp_path):
+        train, test = split
+        reference = als_model()
+        reference.fit(train, test, epochs=EPOCHS)
+
+        # "Kill" after epoch 2: run only half the epochs, checkpointing.
+        interrupted = als_model()
+        interrupted.fit(train, test, epochs=2, checkpoint_dir=str(tmp_path))
+
+        resumed = als_model()
+        curve = resumed.fit(
+            train, test, epochs=EPOCHS, checkpoint_dir=str(tmp_path), resume=True
+        )
+        np.testing.assert_array_equal(resumed.x_, reference.x_)
+        np.testing.assert_array_equal(resumed.theta_, reference.theta_)
+        assert_curves_equal(curve, reference.history_)
+        assert resumed.epoch_breakdowns_ == reference.epoch_breakdowns_
+
+    def test_resume_from_empty_dir_trains_from_scratch(self, split, tmp_path):
+        train, test = split
+        reference = als_model()
+        reference.fit(train, test, epochs=2)
+        fresh = als_model()
+        fresh.fit(
+            train, test, epochs=2,
+            checkpoint_dir=str(tmp_path / "empty"), resume=True,
+        )
+        np.testing.assert_array_equal(fresh.x_, reference.x_)
+
+    def test_resume_requires_checkpoint_dir(self, split):
+        train, test = split
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            als_model().fit(train, test, epochs=1, resume=True)
+
+    def test_checkpoint_every_thins_the_files(self, split, tmp_path):
+        train, test = split
+        model = als_model()
+        model.fit(
+            train, test, epochs=4,
+            checkpoint_dir=str(tmp_path), checkpoint_every=2,
+        )
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["ckpt-000002.npz", "ckpt-000004.npz"]
+
+    def test_checkpoint_every_validated(self, split):
+        train, test = split
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            als_model().fit(train, test, epochs=1, checkpoint_every=0)
+
+
+class TestImplicitResume:
+    def test_kill_and_resume_is_bit_equivalent(self, split, tmp_path):
+        train, _ = split
+        reference = implicit_model()
+        reference.fit(train, epochs=EPOCHS)
+
+        interrupted = implicit_model()
+        interrupted.fit(train, epochs=2, checkpoint_dir=str(tmp_path))
+
+        resumed = implicit_model()
+        resumed.fit(
+            train, epochs=EPOCHS, checkpoint_dir=str(tmp_path), resume=True
+        )
+        np.testing.assert_array_equal(resumed.x_, reference.x_)
+        np.testing.assert_array_equal(resumed.theta_, reference.theta_)
+        assert resumed.loss_history_ == reference.loss_history_
+
+    def test_resume_requires_checkpoint_dir(self, split):
+        train, _ = split
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            implicit_model().fit(train, epochs=1, resume=True)
+
+
+class TestDegradationLadder:
+    def test_escalation_order_fp32_then_lu_then_fault(self):
+        model = ALSModel(ALSConfig(f=4, precision=Precision.FP16))
+        detail = model._escalate(1e9)
+        assert "FP16" in detail and model._active.precision is Precision.FP32
+        detail = model._escalate(1e9)
+        assert "LU" in detail and model._active.solver is SolverKind.LU
+        with pytest.raises(NumericalFault, match="exhausted"):
+            model._escalate(1e9)
+
+    def test_ladder_does_not_mutate_user_config(self):
+        cfg = ALSConfig(f=4, precision=Precision.FP16)
+        model = ALSModel(cfg)
+        model._escalate(1e9)
+        assert cfg.precision is Precision.FP16
+        assert model.config is cfg

@@ -81,3 +81,67 @@ class TestErrors:
         np.savez(p, **data)
         with pytest.raises(ValueError, match="unsupported"):
             load_model(p)
+
+
+class TestHardening:
+    def test_truncated_file_rejected(self, fitted, tmp_path):
+        model, _ = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        blob = p.read_bytes()
+        p.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(ValueError, match="corrupt|truncated"):
+            load_model(p)
+
+    def test_bit_flip_rejected_by_checksum(self, fitted, tmp_path):
+        model, _ = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        # Rewrite with one factor value flipped but the original (now
+        # stale) checksums — exactly what silent storage corruption of a
+        # correctly written file looks like.
+        with np.load(p) as z:
+            data = dict(z)
+        data["x"] = data["x"].copy()
+        data["x"][0, 0] += 1.0
+        np.savez(p, **data)
+        with pytest.raises(ValueError, match="checksum"):
+            load_model(p)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        p = tmp_path / "model.npz"
+        p.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ValueError, match="corrupt|truncated"):
+            load_model(p)
+
+    def test_save_leaves_no_temp_files(self, fitted, tmp_path):
+        model, _ = fitted
+        save_model(tmp_path / "model.npz", model)
+        assert [f.name for f in tmp_path.iterdir()] == ["model.npz"]
+
+    def test_save_replaces_atomically(self, fitted, tmp_path):
+        model, _ = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        first = load_model(p)
+        save_model(p, model)  # overwrite in place via os.replace
+        again = load_model(p)
+        np.testing.assert_array_equal(again.x_, first.x_)
+
+    def test_version1_files_still_load(self, fitted, tmp_path):
+        import json
+
+        model, _ = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        # Re-encode as a pre-checksum v1 archive (plain savez, no
+        # checksums key) — old files must keep loading.
+        with np.load(p) as z:
+            data = dict(z)
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        header["format_version"] = 1
+        header.pop("checksums", None)
+        data["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+        np.savez(p, **data)
+        again = load_model(p)
+        np.testing.assert_array_equal(again.x_, model.x_)
