@@ -9,6 +9,7 @@ Commands
 ``verify``   randomized differential/metamorphic verification campaigns
 ``bench``    host-runtime perf bench (legacy vs optimized), CI-gateable
 ``chaos``    audited fault-injection campaign (see docs/resilience.md)
+``serve``    serving availability drill / chaos campaign (docs/serving.md)
 ``devices``  list the simulated GPU presets
 ``report``   regenerate EXPERIMENTS.md (heavy)
 
@@ -46,6 +47,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write an atomic checkpoint every --checkpoint-every "
                         "epochs (single-GPU only)")
     t.add_argument("--checkpoint-every", type=int, default=1)
+    t.add_argument("--checkpoint-keep", type=int, default=None, metavar="N",
+                   help="retain only the newest N checkpoints, pruning "
+                        "oldest-first after each save (default: keep all)")
     t.add_argument("--resume", action="store_true",
                    help="resume from the latest checkpoint in --checkpoint-dir")
 
@@ -150,6 +154,27 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--output", default=None, metavar="REPORT.json",
                    help="write the full JSON report (incl. health log) here")
 
+    s = sub.add_parser(
+        "serve",
+        help="serving availability drill: admission, degradation, hot reload",
+    )
+    s.add_argument("--seed", type=int, default=0,
+                   help="stream + fault-plan seed (same seed, same drill)")
+    s.add_argument("--requests", type=int, default=200,
+                   help="requests in the seeded traffic stream")
+    s.add_argument("--smoke", action="store_true",
+                   help="fault-free smoke tier: every request must be "
+                        "fully answered")
+    s.add_argument("--chaos", action="store_true",
+                   help="inject the serving fault campaign (default when "
+                        "--smoke is not given)")
+    s.add_argument("--workdir", default=None, metavar="DIR",
+                   help="where model artifacts are staged "
+                        "(default: a temporary directory)")
+    s.add_argument("--output", default=None, metavar="REPORT.json",
+                   help="write the full JSON availability report "
+                        "(incl. health log) here")
+
     sub.add_parser("devices", help="list simulated GPU presets")
 
     r = sub.add_parser("report", help="regenerate EXPERIMENTS.md (slow)")
@@ -179,6 +204,7 @@ def _cmd_train(args) -> int:
             epochs=args.epochs,
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
+            checkpoint_keep=args.checkpoint_keep,
             resume=args.resume,
         )
     else:
@@ -394,6 +420,39 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json
+
+    from .serving.drill import run_serving_drill
+
+    chaos = not args.smoke or args.chaos
+    report = run_serving_drill(
+        seed=args.seed,
+        requests=args.requests,
+        chaos=chaos,
+        workdir=args.workdir,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+    summary = {k: v for k, v in report.items() if k != "health"}
+    print(json.dumps(summary, indent=2))
+    if not report["ok"]:
+        print("serve: FAILED (see report above)", file=sys.stderr)
+        return 1
+    print(
+        f"serve: ok — {report['requests']} request(s) over "
+        f"{report['ticks']} tick(s), availability "
+        f"{report['availability']:.4f}"
+        + (
+            f", {report['expected_faults']} fault(s) injected and accounted"
+            if report["mode"] == "chaos"
+            else " (fault-free smoke)"
+        )
+    )
+    return 0
+
+
 def _cmd_devices(_args) -> int:
     from .gpusim import DEVICE_PRESETS
 
@@ -428,6 +487,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "bench": _cmd_bench,
     "chaos": _cmd_chaos,
+    "serve": _cmd_serve,
     "devices": _cmd_devices,
     "report": _cmd_report,
 }

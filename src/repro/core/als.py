@@ -30,6 +30,7 @@ from ..resilience.checkpoint import (
     Checkpoint,
     latest_checkpoint,
     load_checkpoint,
+    prune_checkpoints,
     save_checkpoint,
 )
 from ..resilience.faults import NumericalFault
@@ -121,6 +122,7 @@ class ALSModel:
         label: str | None = None,
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 1,
+        checkpoint_keep: int | None = None,
         resume: bool = False,
     ) -> TrainingCurve:
         """Train until ``epochs`` or until test RMSE ≤ ``target_rmse``.
@@ -134,6 +136,10 @@ class ALSModel:
         the newest one and continues from the following epoch.  Because
         each epoch is a deterministic function of the factors entering
         it, a resumed run is bit-equivalent to an uninterrupted one.
+        ``checkpoint_keep`` bounds retention: after each save, all but
+        the newest ``checkpoint_keep`` checkpoints are pruned (oldest
+        first, so a crash mid-prune never removes the newest valid
+        checkpoint); ``None`` keeps every checkpoint.
 
         When the runtime executor carries a
         :class:`~repro.resilience.guards.GuardPolicy`, an epoch whose
@@ -148,6 +154,8 @@ class ALSModel:
             raise ValueError("target_rmse requires a test set")
         if checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive")
+        if checkpoint_keep is not None and checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1 (or None to keep all)")
         if resume and checkpoint_dir is None:
             raise ValueError("resume=True requires checkpoint_dir")
         cfg = self.config
@@ -221,7 +229,10 @@ class ALSModel:
             if checkpoint_dir is not None and (
                 epoch % checkpoint_every == 0 or epoch == epochs
             ):
-                self._write_checkpoint(checkpoint_dir, epoch, rng, curve, health)
+                self._write_checkpoint(
+                    checkpoint_dir, epoch, rng, curve, health,
+                    keep_last=checkpoint_keep,
+                )
             if target_rmse is not None and test_rmse <= target_rmse:
                 break
         return curve
@@ -295,7 +306,8 @@ class ALSModel:
         return min(ckpt.epoch, max_epoch)
 
     def _write_checkpoint(
-        self, checkpoint_dir, epoch: int, rng, curve: TrainingCurve, health
+        self, checkpoint_dir, epoch: int, rng, curve: TrainingCurve, health,
+        *, keep_last: int | None = None,
     ) -> str:
         ckpt = Checkpoint(
             epoch=epoch,
@@ -327,6 +339,7 @@ class ALSModel:
             },
         )
         path = save_checkpoint(checkpoint_dir, ckpt)
+        prune_checkpoints(checkpoint_dir, keep_last)
         if health is not None:
             health.record("checkpoint.saved", detail=path)
         return path

@@ -29,6 +29,7 @@ from ..resilience.checkpoint import (
     Checkpoint,
     latest_checkpoint,
     load_checkpoint,
+    prune_checkpoints,
     save_checkpoint,
 )
 from ..resilience.faults import NumericalFault
@@ -123,6 +124,7 @@ class ImplicitALSModel:
         epochs: int = 10,
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 1,
+        checkpoint_keep: int | None = None,
         resume: bool = False,
     ) -> "ImplicitALSModel":
         """Alternate the two confidence-weighted half-steps.
@@ -139,6 +141,8 @@ class ImplicitALSModel:
             raise ValueError("epochs must be positive")
         if checkpoint_every <= 0:
             raise ValueError("checkpoint_every must be positive")
+        if checkpoint_keep is not None and checkpoint_keep < 1:
+            raise ValueError("checkpoint_keep must be >= 1 (or None to keep all)")
         if resume and checkpoint_dir is None:
             raise ValueError("resume=True requires checkpoint_dir")
         cfg = self.config
@@ -180,7 +184,9 @@ class ImplicitALSModel:
             if checkpoint_dir is not None and (
                 epoch % checkpoint_every == 0 or epoch == epochs
             ):
-                self._write_checkpoint(checkpoint_dir, epoch, rng, health)
+                self._write_checkpoint(
+                    checkpoint_dir, epoch, rng, health, keep_last=checkpoint_keep
+                )
         return self
 
     def _escalate(self, loss: float) -> str:
@@ -220,7 +226,10 @@ class ImplicitALSModel:
             health.record("checkpoint.resumed", detail=path)
         return min(ckpt.epoch, max_epoch)
 
-    def _write_checkpoint(self, checkpoint_dir, epoch: int, rng, health) -> str:
+    def _write_checkpoint(
+        self, checkpoint_dir, epoch: int, rng, health,
+        *, keep_last: int | None = None,
+    ) -> str:
         ckpt = Checkpoint(
             epoch=epoch,
             x=self.x_,
@@ -235,6 +244,7 @@ class ImplicitALSModel:
             },
         )
         path = save_checkpoint(checkpoint_dir, ckpt)
+        prune_checkpoints(checkpoint_dir, keep_last)
         if health is not None:
             health.record("checkpoint.saved", detail=path)
         return path

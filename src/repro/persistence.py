@@ -22,7 +22,7 @@ from .core.als import ALSModel
 from .core.config import ALSConfig, CGConfig, Precision, ReadScheme, SolverKind
 from .resilience.atomicio import atomic_savez, load_archive
 
-__all__ = ["save_model", "load_model"]
+__all__ = ["save_model", "load_model", "load_factors"]
 
 #: v1 = plain npz; v2 = atomic write + per-array SHA-256 checksums.
 _FORMAT_VERSION = 2
@@ -49,14 +49,17 @@ def save_model(path: str | os.PathLike, model: ALSModel) -> None:
     atomic_savez(path, header, {"x": model.x_, "theta": model.theta_})
 
 
-def load_model(path: str | os.PathLike) -> ALSModel:
-    """Reload a model saved by :func:`save_model`.
+def load_factors(
+    path: str | os.PathLike,
+) -> tuple[np.ndarray, np.ndarray, dict]:
+    """Load just the factor matrices (plus the raw header) from a model file.
 
-    The returned model is ready for ``predict``/``score``; its engine
-    ledger starts empty (training history is not persisted).  Raises
-    ``ValueError`` with a ``corrupt``/``truncated`` message when the file
-    is unreadable, missing members, or fails checksum verification, and
-    an ``unsupported model format`` error for unknown versions.
+    The serving layer's hot-reload path wants the arrays without paying
+    for :class:`ALSModel` construction (and without importing the solver
+    stack into the request path).  Performs the same integrity checks as
+    :func:`load_model` — checksums, format version, shape agreement —
+    and raises the same documented ``ValueError`` messages, so a corrupt
+    artifact is rejected *before* a swap is attempted.
     """
     try:
         header, arrays = load_archive(path)
@@ -74,6 +77,19 @@ def load_model(path: str | os.PathLike) -> ALSModel:
         raise ValueError("corrupt model file: factor shapes disagree")
     if x.shape[1] != header["f"]:
         raise ValueError("corrupt model file: f does not match factors")
+    return x, theta, header
+
+
+def load_model(path: str | os.PathLike) -> ALSModel:
+    """Reload a model saved by :func:`save_model`.
+
+    The returned model is ready for ``predict``/``score``; its engine
+    ledger starts empty (training history is not persisted).  Raises
+    ``ValueError`` with a ``corrupt``/``truncated`` message when the file
+    is unreadable, missing members, or fails checksum verification, and
+    an ``unsupported model format`` error for unknown versions.
+    """
+    x, theta, header = load_factors(path)
     cfg = ALSConfig(
         f=header["f"],
         lam=header["lam"],

@@ -23,7 +23,39 @@ from .gpusim.device import MAXWELL_TITANX, DeviceSpec
 from .metrics.rmse import rmse
 from .sgd.cumf_sgd import CuMFSGD, SGDConfig
 
-__all__ = ["MFRecommender"]
+__all__ = ["InvalidRatingsError", "MFRecommender", "UnknownIdError"]
+
+
+def _preview(indices: tuple[int, ...]) -> str:
+    head = ", ".join(str(i) for i in indices[:8])
+    if len(indices) > 8:
+        head += f", ... ({len(indices)} total)"
+    return head
+
+
+class InvalidRatingsError(ValueError):
+    """Training triplets rejected at :meth:`MFRecommender.fit`.
+
+    ``indices`` lists the offending positions in the caller's COO
+    arrays, so the bad rows can be located (and dropped or fixed)
+    without bisecting the input.
+    """
+
+    def __init__(self, message: str, indices) -> None:
+        self.indices = tuple(int(i) for i in np.asarray(indices).ravel())
+        super().__init__(f"{message} at triplet index [{_preview(self.indices)}]")
+
+
+class UnknownIdError(IndexError):
+    """Prediction-time ids outside the fitted model's range.
+
+    Subclasses :class:`IndexError` (the historical contract);
+    ``indices`` lists the offending positions in the query arrays.
+    """
+
+    def __init__(self, message: str, indices) -> None:
+        self.indices = tuple(int(i) for i in np.asarray(indices).ravel())
+        super().__init__(f"{message} at query index [{_preview(self.indices)}]")
 
 
 @dataclass
@@ -80,7 +112,17 @@ class MFRecommender:
         num_users: int | None = None,
         num_items: int | None = None,
     ) -> "MFRecommender":
-        """Fit from COO triplets."""
+        """Fit from COO triplets.
+
+        Raises :class:`InvalidRatingsError` (with the offending triplet
+        indices) for NaN/inf ratings and for duplicate (user, item)
+        pairs — the sparse container would silently *sum* duplicates,
+        which is almost never what a caller feeding rating triplets
+        meant.
+        """
+        self._validate_triplets(
+            np.asarray(users), np.asarray(items), np.asarray(ratings)
+        )
         matrix = RatingMatrix.from_coo(users, items, ratings, m=num_users, n=num_items)
         if matrix.nnz == 0:
             raise ValueError("no ratings given")
@@ -129,6 +171,26 @@ class MFRecommender:
         self._algorithm_used = algorithm if not self.implicit else "als-implicit"
         return self
 
+    @staticmethod
+    def _validate_triplets(
+        users: np.ndarray, items: np.ndarray, ratings: np.ndarray
+    ) -> None:
+        if not (users.shape == items.shape == ratings.shape):
+            raise ValueError("users, items and ratings must have equal length")
+        if users.size == 0:
+            return
+        bad = np.flatnonzero(~np.isfinite(ratings.astype(np.float64)))
+        if bad.size:
+            raise InvalidRatingsError("non-finite rating", bad)
+        order = np.lexsort((items, users))
+        su, si = users[order], items[order]
+        dup_sorted = np.zeros(su.size, dtype=bool)
+        dup_sorted[1:] = (su[1:] == su[:-1]) & (si[1:] == si[:-1])
+        if dup_sorted.any():
+            raise InvalidRatingsError(
+                "duplicate (user, item) pair", np.sort(order[dup_sorted])
+            )
+
     # ------------------------------------------------------------------
     def _factors(self) -> tuple[np.ndarray, np.ndarray]:
         if self._model is None:
@@ -149,12 +211,24 @@ class MFRecommender:
         return self._model.engine.clock
 
     def predict(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
-        """Predicted scores for (user, item) pairs."""
+        """Predicted scores for (user, item) pairs.
+
+        Raises :class:`UnknownIdError` (an :class:`IndexError`) naming
+        the offending query positions when any id is outside the fitted
+        model's range.
+        """
         x, theta = self._factors()
         users = np.asarray(users)
         items = np.asarray(items)
-        if users.size and (users.max() >= x.shape[0] or items.max() >= theta.shape[0]):
-            raise IndexError("unknown user or item id")
+        if users.size:
+            bad = np.flatnonzero(
+                (users < 0)
+                | (users >= x.shape[0])
+                | (items < 0)
+                | (items >= theta.shape[0])
+            )
+            if bad.size:
+                raise UnknownIdError("unknown user or item id", bad)
         return np.einsum("ij,ij->i", x[users], theta[items])
 
     def recommend(
@@ -167,7 +241,7 @@ class MFRecommender:
         """Top-``n`` items for ``user``, optionally excluding seen items."""
         x, theta = self._factors()
         if not 0 <= user < x.shape[0]:
-            raise IndexError(f"unknown user {user}")
+            raise UnknownIdError(f"unknown user {user}", (0,))
         scores = theta @ x[user]
         if exclude is not None and len(exclude):
             scores = scores.copy()

@@ -27,12 +27,21 @@ from .checkpoint import (
     CHECKPOINT_SCHEMA,
     Checkpoint,
     CheckpointError,
+    CheckpointManager,
     latest_checkpoint,
     list_checkpoints,
     load_checkpoint,
+    prune_checkpoints,
     save_checkpoint,
 )
-from .faults import FaultPlan, InjectedWorkerKill, expected_fault_events
+from .faults import (
+    SERVING_FAULT_KINDS,
+    FaultPlan,
+    InjectedWorkerKill,
+    ServingFaultPlan,
+    expected_fault_events,
+    expected_serving_faults,
+)
 from .guards import (
     GuardPolicy,
     NumericalFault,
@@ -46,18 +55,23 @@ __all__ = [
     "CHECKPOINT_SCHEMA",
     "Checkpoint",
     "CheckpointError",
+    "CheckpointManager",
     "FaultPlan",
     "GuardPolicy",
     "HealthEvent",
     "InjectedWorkerKill",
     "NumericalFault",
     "RunHealth",
+    "SERVING_FAULT_KINDS",
+    "ServingFaultPlan",
     "check_factors_finite",
     "check_normal_equations",
     "expected_fault_events",
+    "expected_serving_faults",
     "guarded_solve",
     "latest_checkpoint",
     "list_checkpoints",
     "load_checkpoint",
+    "prune_checkpoints",
     "save_checkpoint",
 ]

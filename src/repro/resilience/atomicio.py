@@ -23,6 +23,7 @@ import json
 import os
 import tempfile
 import zipfile
+import zlib
 
 import numpy as np
 
@@ -83,7 +84,14 @@ def load_archive(
         with np.load(path) as z:
             header_blob = z["header"].tobytes() if "header" in z else None
             arrays = {k: z[k] for k in z.files if k != "header"}
-    except (zipfile.BadZipFile, ValueError, OSError, EOFError, KeyError) as exc:
+    except (
+        zipfile.BadZipFile,
+        zlib.error,  # a flipped byte inside a compressed member
+        ValueError,
+        OSError,
+        EOFError,
+        KeyError,
+    ) as exc:
         raise ValueError(
             f"corrupt or truncated archive {os.fspath(path)!r}: {exc}"
         ) from exc

@@ -33,9 +33,11 @@ __all__ = [
     "CHECKPOINT_SCHEMA",
     "Checkpoint",
     "CheckpointError",
+    "CheckpointManager",
     "latest_checkpoint",
     "list_checkpoints",
     "load_checkpoint",
+    "prune_checkpoints",
     "save_checkpoint",
 ]
 
@@ -153,3 +155,72 @@ def latest_checkpoint(directory: str | os.PathLike) -> str | None:
     """The newest (highest-epoch) checkpoint in ``directory``, if any."""
     paths = list_checkpoints(directory)
     return paths[-1] if paths else None
+
+
+def prune_checkpoints(
+    directory: str | os.PathLike, keep_last: int | None
+) -> list[str]:
+    """Delete all but the newest ``keep_last`` checkpoints; returns deletions.
+
+    ``keep_last=None`` (the default everywhere) preserves the historical
+    keep-everything behaviour.  Deletion ordering is crash-safe by
+    construction: victims are removed **oldest first**, so a crash at any
+    point during the prune leaves a directory whose newest checkpoint is
+    exactly the newest valid checkpoint before the prune — resume never
+    loses ground, it only sees extra stale files that the next prune
+    sweeps.  A checkpoint that vanishes underneath us (concurrent prune)
+    is skipped, not an error.
+    """
+    if keep_last is None:
+        return []
+    if keep_last < 1:
+        raise CheckpointError("keep_last must be >= 1 (or None to keep all)")
+    paths = list_checkpoints(directory)
+    victims = paths[:-keep_last] if keep_last < len(paths) else []
+    deleted = []
+    for path in victims:  # oldest first — newest survives any crash point
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            continue
+        deleted.append(path)
+    return deleted
+
+
+@dataclass
+class CheckpointManager:
+    """Directory-level checkpoint policy: atomic saves + bounded retention.
+
+    Wraps the module functions with a ``keep_last`` budget so callers
+    (trainers, the ``repro train`` CLI) cannot forget to prune: every
+    :meth:`save` first lands the new checkpoint atomically, then prunes
+    the excess oldest-first.  The order matters — the new file is on
+    disk and fsynced before any delete starts, so the invariant "the
+    newest valid checkpoint is never removed" holds across a crash at
+    any instruction of the save+prune sequence.
+    """
+
+    directory: str
+    keep_last: int | None = None
+
+    def __post_init__(self) -> None:
+        self.directory = os.fspath(self.directory)
+        if self.keep_last is not None and self.keep_last < 1:
+            raise CheckpointError("keep_last must be >= 1 (or None to keep all)")
+
+    def save(self, ckpt: Checkpoint) -> str:
+        """Write ``ckpt`` atomically, then enforce the retention budget."""
+        path = save_checkpoint(self.directory, ckpt)
+        prune_checkpoints(self.directory, self.keep_last)
+        return path
+
+    def list(self) -> list[str]:
+        return list_checkpoints(self.directory)
+
+    def latest(self) -> str | None:
+        return latest_checkpoint(self.directory)
+
+    def load_latest(self) -> Checkpoint | None:
+        """Load the newest checkpoint, or ``None`` for an empty directory."""
+        path = self.latest()
+        return None if path is None else load_checkpoint(path)

@@ -43,17 +43,24 @@ __all__ = [
     "FaultPlan",
     "InjectedWorkerKill",
     "NumericalFault",
+    "SERVING_FAULT_KINDS",
+    "ServingFaultPlan",
     "expected_fault_events",
+    "expected_serving_faults",
     "inject_shard_start",
     "solver_fault_hook",
 ]
 
 #: Stable sub-seed per fault kind (part of the on-disk chaos contract).
+#: Stream 5 is reserved for the supervised executor's retry-backoff
+#: jitter (:meth:`FaultPlan.backoff_jitter`) so chaos drills replay the
+#: same sleep schedule without ever touching global RNG state.
 _KIND_STREAMS = {
     "fault.worker-kill": 1,
     "fault.delay": 2,
     "fault.nan-flip": 3,
     "fault.fp16-overflow": 4,
+    "supervise.backoff-jitter": 5,
 }
 
 
@@ -146,6 +153,131 @@ class FaultPlan:
         rng = self._rng(kind, step, shard)
         rng.random()  # consume the fire draw
         return int(rng.integers(0, num_rows))
+
+    def backoff_jitter(self, step: int, shard: int, attempt: int) -> float:
+        """Deterministic retry-jitter fraction in ``[0, 1)`` for one site.
+
+        The supervised executor multiplies its exponential backoff by
+        ``1 + jitter_frac * backoff_jitter(...)``.  Deriving the draw
+        from the plan's own :class:`numpy.random.SeedSequence` stream
+        (never global RNG) keeps chaos drills replayable: the same plan
+        seed produces the same sleep schedule on every run, in-process
+        or forked, regardless of what else consumed random numbers.
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be non-negative")
+        stream = _KIND_STREAMS["supervise.backoff-jitter"]
+        rng = np.random.default_rng(
+            np.random.SeedSequence([self.seed, stream, step, shard, attempt])
+        )
+        return float(rng.random())
+
+
+#: Fault kinds injected into the *serving* engine (online inference),
+#: mirroring the training-side vocabulary above.  Sites are
+#: ``(kind, tick)`` — one decision per engine tick per kind:
+#:
+#: * ``fault.backend-stall`` — the scoring backend hangs past the
+#:   request budget; the batch fails and the circuit breaker counts it.
+#: * ``fault.reload-during-traffic`` — a hot model reload of a *valid*
+#:   artifact is triggered mid-traffic (must be a no-op for scoring).
+#: * ``fault.corrupt-model-file`` — a hot reload of a corrupt/truncated
+#:   artifact is triggered (must roll back to the serving model).
+#: * ``fault.score-nan`` — one scored lane of the batch is flipped to
+#:   NaN after the GEMM (bit-rot model); only that request may degrade.
+SERVING_FAULT_KINDS = (
+    "fault.backend-stall",
+    "fault.reload-during-traffic",
+    "fault.corrupt-model-file",
+    "fault.score-nan",
+)
+
+_SERVING_STREAMS = {
+    "fault.backend-stall": 101,
+    "fault.reload-during-traffic": 102,
+    "fault.corrupt-model-file": 103,
+    "fault.score-nan": 104,
+}
+
+
+@dataclass(frozen=True)
+class ServingFaultPlan:
+    """Seeded injection campaign against the serving engine (plain data).
+
+    Like :class:`FaultPlan`, a pure function from ``(kind, tick)`` to
+    "does this fault fire?": the same plan produces the same fault
+    schedule on every replay, which is what lets ``repro serve --chaos``
+    enumerate its injections up front and audit the
+    :class:`~repro.serving.health.ServingHealth` log afterwards.
+    """
+
+    seed: int = 0
+    stall_rate: float = 0.0
+    reload_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    score_nan_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+        for name in ("stall_rate", "reload_rate", "corrupt_rate", "score_nan_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1], got {rate}")
+
+    @property
+    def rate_of(self) -> dict[str, float]:
+        return {
+            "fault.backend-stall": self.stall_rate,
+            "fault.reload-during-traffic": self.reload_rate,
+            "fault.corrupt-model-file": self.corrupt_rate,
+            "fault.score-nan": self.score_nan_rate,
+        }
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def _rng(self, kind: str, tick: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, _SERVING_STREAMS[kind], tick])
+        )
+
+    def fires(self, kind: str, tick: int) -> bool:
+        """Whether ``kind`` fires at engine tick ``tick``."""
+        rates = self.rate_of
+        if kind not in rates:
+            raise ValueError(f"unknown serving fault kind {kind!r}")
+        rate = rates[kind]
+        if rate <= 0.0:
+            return False
+        return bool(self._rng(kind, tick).random() < rate)
+
+    def victim_lane(self, kind: str, tick: int, num_lanes: int) -> int:
+        """Deterministic victim lane for a score corruption at a tick."""
+        if num_lanes < 1:
+            raise ValueError("num_lanes must be positive")
+        rng = self._rng(kind, tick)
+        rng.random()  # consume the fire draw
+        return int(rng.integers(0, num_lanes))
+
+
+def expected_serving_faults(
+    plan: ServingFaultPlan, ticks: int
+) -> list[tuple[str, int]]:
+    """Enumerate every serving fault the plan injects over ``ticks``.
+
+    Directly comparable to the fault events a
+    :class:`~repro.serving.health.ServingHealth` log records — the
+    ``repro serve --chaos`` drill gates on the two matching exactly.
+    """
+    if ticks < 0:
+        raise ValueError("ticks must be non-negative")
+    expected = []
+    for tick in range(ticks):
+        for kind in SERVING_FAULT_KINDS:
+            if plan.fires(kind, tick):
+                expected.append((kind, tick))
+    return expected
 
 
 def expected_fault_events(

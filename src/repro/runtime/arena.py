@@ -47,6 +47,7 @@ class Workspace:
         self.allocations = 0
         self.reuses = 0
         self.bytes_allocated = 0
+        self._peak_resident = 0
 
     def request(
         self,
@@ -67,6 +68,9 @@ class Workspace:
             self._buffers[name] = flat
             self.allocations += 1
             self.bytes_allocated += nbytes
+            resident = self.resident_bytes
+            if resident > self._peak_resident:
+                self._peak_resident = resident
         else:
             self.reuses += 1
         return flat[:nbytes].view(dt).reshape(shape)
@@ -92,11 +96,23 @@ class Workspace:
         """Drop every cached buffer (and reset the counters)."""
         self._buffers.clear()
         self.reset_counters()
+        self._peak_resident = 0
 
     @property
     def resident_bytes(self) -> int:
         """Bytes currently held by cached backing buffers."""
         return sum(buf.nbytes for buf in self._buffers.values())
+
+    @property
+    def peak_resident_bytes(self) -> int:
+        """High-water mark of :attr:`resident_bytes` over the arena's life.
+
+        Survives :meth:`reset_counters` (it is a capacity fact, not a
+        per-epoch rate); only :meth:`release` zeroes it.  The serving
+        engine reports it so operators can size a deployment's memory
+        from a drill instead of guessing.
+        """
+        return self._peak_resident
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -292,6 +292,23 @@ def _supervised_worker(task: tuple[int, int, int, int], conn) -> None:
         conn.close()
 
 
+def _backoff_sleep(
+    policy: SupervisionPolicy, faults, step: int, shard: int, attempt: int
+) -> float:
+    """The retry sleep for one fault site: exponential base plus jitter.
+
+    The jitter fraction comes from the fault plan's dedicated
+    SeedSequence stream when a plan is active (replayable chaos drills),
+    and is zero otherwise — global RNG state never enters the schedule.
+    """
+    seconds = policy.backoff_seconds * policy.backoff_factor**attempt
+    if policy.backoff_jitter > 0.0 and faults is not None:
+        seconds *= 1.0 + policy.backoff_jitter * faults.backoff_jitter(
+            step, shard, attempt
+        )
+    return seconds
+
+
 class ShardExecutor:
     """Executes ALS half-steps according to a :class:`RuntimePlan`.
 
@@ -624,7 +641,9 @@ class ShardExecutor:
                 )
                 if attempt >= policy.max_retries:
                     raise
-                time.sleep(policy.backoff_seconds * policy.backoff_factor**attempt)
+                time.sleep(
+                    _backoff_sleep(policy, self.faults, params.step, shard, attempt)
+                )
                 attempt += 1
                 self.health.record(
                     "supervise.retry", step=params.step, shard=shard,
@@ -814,7 +833,7 @@ class ShardExecutor:
                 f"shard {shard} of half-step {step} failed "
                 f"{attempt + 1} time(s) ({detail}); retry budget exhausted"
             )
-        time.sleep(policy.backoff_seconds * policy.backoff_factor**attempt)
+        time.sleep(_backoff_sleep(policy, self.faults, step, shard, attempt))
         self.health.record(
             "supervise.retry", step=step, shard=shard, attempt=attempt + 1,
             detail="respawning worker",

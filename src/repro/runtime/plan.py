@@ -105,6 +105,15 @@ class SupervisionPolicy:
         ``backoff_seconds * backoff_factor**k`` (exponential backoff).
     backoff_factor:
         Growth factor of the backoff schedule.
+    backoff_jitter:
+        Maximum jitter *fraction* added to each backoff sleep: attempt
+        ``k`` sleeps ``backoff_seconds * backoff_factor**k * (1 + j)``
+        with ``j ∈ [0, backoff_jitter)``.  When a seeded
+        :class:`~repro.resilience.faults.FaultPlan` is active the draw
+        comes from the plan's own SeedSequence stream, so chaos drills
+        replay the identical sleep schedule; without a plan the jitter
+        is zero (never global RNG — a supervised run's timing must not
+        depend on unrelated random consumers).
     shard_deadline:
         Wall-clock seconds a pool shard may run before the supervisor
         kills and retries it; ``None`` disables deadlines.  Serial
@@ -119,6 +128,7 @@ class SupervisionPolicy:
     max_retries: int = 2
     backoff_seconds: float = 0.01
     backoff_factor: float = 2.0
+    backoff_jitter: float = 0.25
     shard_deadline: float | None = 30.0
     pool_fault_limit: int = 3
 
@@ -129,6 +139,8 @@ class SupervisionPolicy:
             raise ValueError("backoff_seconds must be non-negative")
         if self.backoff_factor < 1.0:
             raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be within [0, 1]")
         if self.shard_deadline is not None and self.shard_deadline <= 0:
             raise ValueError("shard_deadline must be positive or None")
         if self.pool_fault_limit < 1:
@@ -140,6 +152,7 @@ class SupervisionPolicy:
             "max_retries": self.max_retries,
             "backoff_seconds": self.backoff_seconds,
             "backoff_factor": self.backoff_factor,
+            "backoff_jitter": self.backoff_jitter,
             "shard_deadline": self.shard_deadline,
             "pool_fault_limit": self.pool_fault_limit,
         }

@@ -1,0 +1,52 @@
+"""Serving layer: fault-tolerant online top-k recommendation.
+
+The paper ships cuMF_ALS as a library for *training*; a trained model's
+life is spent *serving*.  This package is the online half: an
+in-process :class:`ServingEngine` that answers top-k requests against a
+loaded factor model and keeps answering them when things go wrong:
+
+* :mod:`repro.serving.queue` — admission control: a bounded,
+  deadline-aware request queue (load shedding at the door, expiry at
+  collection);
+* :mod:`repro.serving.batcher` — micro-batching: many top-k requests,
+  one GEMM through the runtime workspace arena;
+* :mod:`repro.serving.breaker` — a closed/open/half-open circuit
+  breaker with bounded exponential cooldown over virtual ticks;
+* :mod:`repro.serving.fallback` — the degradation ladder's lower
+  rungs: stale-cache and the model-independent popularity baseline;
+* :mod:`repro.serving.reload` — hot model reload: checksum-verified
+  atomic factor swaps with rollback and no-op bit-equivalence;
+* :mod:`repro.serving.health` — the :class:`ServingHealth` audit log
+  whose multiset accounting proves no request is ever lost;
+* :mod:`repro.serving.drill` — the ``repro serve`` chaos drill
+  (imported lazily; it pulls in the trainers).
+
+See ``docs/serving.md`` for the architecture and the availability
+contract.
+"""
+
+from .batcher import MicroBatcher
+from .breaker import BreakerConfig, CircuitBreaker
+from .engine import ServingConfig, ServingEngine, ServingFault
+from .fallback import PopularityFallback, StaleCache
+from .health import ServingEvent, ServingHealth
+from .queue import AdmissionQueue, QueueConfig, Request
+from .reload import ModelStore, ReloadOutcome
+
+__all__ = [
+    "AdmissionQueue",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "MicroBatcher",
+    "ModelStore",
+    "PopularityFallback",
+    "QueueConfig",
+    "ReloadOutcome",
+    "Request",
+    "ServingConfig",
+    "ServingEngine",
+    "ServingEvent",
+    "ServingFault",
+    "ServingHealth",
+    "StaleCache",
+]

@@ -1,0 +1,113 @@
+"""Circuit breaker guarding the full-MF scoring backend.
+
+When the scoring backend stalls repeatedly, hammering it with every
+queued batch only piles latency onto requests that will end up degraded
+anyway.  The breaker implements the classic three-state machine over
+the engine's virtual tick clock:
+
+* **closed** — normal service; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips: full scoring is skipped entirely (requests go straight
+  down the degradation ladder) until a cooldown elapses.
+* **half-open** — cooldown elapsed; exactly one probe batch is allowed
+  through.  Success closes the breaker and resets the cooldown; failure
+  re-opens it with the cooldown doubled (bounded exponential backoff).
+
+All transitions are recorded in the :class:`ServingHealth` log so a
+chaos drill can reconstruct exactly when and why service degraded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .health import ServingHealth
+
+__all__ = ["BreakerConfig", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Trip threshold and bounded-exponential cooldown schedule."""
+
+    failure_threshold: int = 3
+    cooldown_ticks: int = 4
+    backoff_factor: int = 2
+    max_cooldown_ticks: int = 64
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_ticks < 1:
+            raise ValueError("cooldown_ticks must be >= 1")
+        if self.backoff_factor < 1:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_cooldown_ticks < self.cooldown_ticks:
+            raise ValueError("max_cooldown_ticks must be >= cooldown_ticks")
+
+
+class CircuitBreaker:
+    """Closed / open / half-open state machine on the virtual tick clock."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        health: ServingHealth | None = None,
+    ) -> None:
+        self.config = config if config is not None else BreakerConfig()
+        self.health = health
+        self.state = CLOSED
+        self._failures = 0
+        self._cooldown = self.config.cooldown_ticks
+        self._reopen_tick = -1
+        self.trips = 0
+
+    def _record(self, kind: str, tick: int, detail: str) -> None:
+        if self.health is not None:
+            self.health.record(kind, tick=tick, detail=detail)
+
+    def allow(self, tick: int) -> bool:
+        """May a full-scoring attempt proceed at ``tick``?
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open as a side effect and admits the probe.
+        """
+        if self.state == OPEN:
+            if tick >= self._reopen_tick:
+                self.state = HALF_OPEN
+                self._record("breaker.half-open", tick, "cooldown elapsed; probing")
+                return True
+            return False
+        return True
+
+    def record_success(self, tick: int) -> None:
+        """A full-scoring attempt succeeded."""
+        if self.state == HALF_OPEN:
+            self.state = CLOSED
+            self._cooldown = self.config.cooldown_ticks
+            self._record("breaker.closed", tick, "probe succeeded")
+        self._failures = 0
+
+    def record_failure(self, tick: int) -> None:
+        """A full-scoring attempt failed (stall, non-finite batch, ...)."""
+        if self.state == HALF_OPEN:
+            self._cooldown = min(
+                self._cooldown * self.config.backoff_factor,
+                self.config.max_cooldown_ticks,
+            )
+            self._open(tick, "probe failed; cooldown doubled")
+            return
+        self._failures += 1
+        if self.state == CLOSED and self._failures >= self.config.failure_threshold:
+            self._open(tick, f"{self._failures} consecutive failures")
+
+    def _open(self, tick: int, detail: str) -> None:
+        self.state = OPEN
+        self.trips += 1
+        self._failures = 0
+        self._reopen_tick = tick + self._cooldown
+        self._record("breaker.open", tick, detail)

@@ -1,0 +1,203 @@
+"""Serving chaos drill: prove availability under injected faults.
+
+``run_serving_drill`` is the engine behind ``repro serve`` and CI's
+serve-smoke job.  One invocation:
+
+1. trains two tiny ALS models on a synthetic workload and saves them as
+   persistence-v2 artifacts (plus a deliberately corrupted copy of the
+   first — a real file with a flipped byte, so the checksum layer is
+   what catches it);
+2. replays a seeded request stream against a :class:`ServingEngine`
+   carrying a :class:`~repro.resilience.faults.ServingFaultPlan`
+   (backend stalls, hot reloads mid-traffic, corrupt-artifact reloads,
+   NaN score lanes);
+3. audits the run against the ISSUE's acceptance bar:
+
+   * the :class:`~repro.serving.health.ServingHealth` multiset
+     accounting balances — no request is lost;
+   * availability (answered + degraded) ≥ 99 % of admitted;
+   * every degraded response is attributed to a ladder rung;
+   * every planned fault appears in the log, and nothing unplanned;
+   * a no-op hot reload leaves scoring **bit-equivalent**.
+
+The returned report is plain JSON-able data with an overall ``ok``
+flag, mirroring :func:`repro.resilience.chaos.run_chaos`, so CI can
+archive it and fail on ``ok == False``.
+
+Imported lazily (by the CLI / tests) — it pulls in the trainers.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from collections import Counter
+
+import numpy as np
+
+from ..core.als import ALSModel
+from ..core.config import ALSConfig, CGConfig, Precision, SolverKind
+from ..data.sparse import RatingMatrix
+from ..persistence import save_model
+from ..resilience.faults import ServingFaultPlan, expected_serving_faults
+from .engine import ServingConfig, ServingEngine
+
+__all__ = ["AVAILABILITY_FLOOR", "DRILL_RATES", "run_serving_drill"]
+
+#: Availability floor from the ISSUE: (answered + degraded) / admitted.
+AVAILABILITY_FLOOR = 0.99
+
+#: Default injection rates for the chaos drill (per engine tick).
+DRILL_RATES = {
+    "stall_rate": 0.08,
+    "reload_rate": 0.03,
+    "corrupt_rate": 0.03,
+    "score_nan_rate": 0.06,
+}
+
+
+def _synthetic_workload(
+    seed: int, m: int, n: int, nnz: int
+) -> tuple[RatingMatrix, np.ndarray]:
+    """A tiny random rating matrix plus its per-item popularity counts."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 11]))
+    users = rng.integers(0, m, size=nnz)
+    items = rng.integers(0, n, size=nnz)
+    ratings = rng.uniform(1.0, 5.0, size=nnz).astype(np.float32)
+    matrix = RatingMatrix.from_coo(users, items, ratings, m=m, n=n)
+    popularity = np.bincount(items, minlength=n).astype(np.float64)
+    return matrix, popularity
+
+
+def _train_and_save(path: str, train: RatingMatrix, seed: int, f: int) -> None:
+    cfg = ALSConfig(
+        f=f,
+        solver=SolverKind.CG,
+        precision=Precision.FP32,
+        cg=CGConfig(max_iters=4),
+        seed=seed,
+    )
+    model = ALSModel(cfg)
+    model.fit(train, epochs=2)
+    save_model(path, model)
+
+
+def _corrupt_copy(src: str, dst: str) -> None:
+    """A byte-flipped copy of ``src`` — caught by checksum verification."""
+    with open(src, "rb") as fh:
+        blob = bytearray(fh.read())
+    blob[len(blob) // 2] ^= 0xFF
+    with open(dst, "wb") as fh:
+        fh.write(bytes(blob))
+
+
+def _drive_stream(
+    engine: ServingEngine, seed: int, requests: int, num_users: int
+) -> None:
+    """Submit a seeded request stream, ticking the engine as traffic arrives."""
+    rng = np.random.default_rng(np.random.SeedSequence([seed, 7]))
+    submitted = 0
+    while submitted < requests:
+        arrivals = min(int(rng.integers(0, 3)), requests - submitted)
+        for _ in range(arrivals):
+            engine.submit(
+                int(rng.integers(0, num_users)), int(rng.integers(1, 9))
+            )
+            submitted += 1
+        engine.tick()
+    engine.run_until_drained()
+
+
+def run_serving_drill(
+    seed: int = 0,
+    *,
+    requests: int = 200,
+    chaos: bool = True,
+    workdir: str | None = None,
+) -> dict:
+    """Run one audited serving drill; returns a JSON-able report.
+
+    ``chaos=False`` is the smoke tier: same stream, no fault plan —
+    every request must come back fully answered.
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if workdir is None:
+        with tempfile.TemporaryDirectory() as tmp:
+            return run_serving_drill(
+                seed, requests=requests, chaos=chaos, workdir=tmp
+            )
+
+    m, n, f = 64, 48, 8
+    train, popularity = _synthetic_workload(seed, m=m, n=n, nnz=1200)
+    model_a = os.path.join(workdir, "model-a.npz")
+    model_b = os.path.join(workdir, "model-b.npz")
+    corrupt = os.path.join(workdir, "model-corrupt.npz")
+    _train_and_save(model_a, train, seed, f)
+    _train_and_save(model_b, train, seed + 1, f)
+    _corrupt_copy(model_a, corrupt)
+
+    plan = ServingFaultPlan(seed=seed, **DRILL_RATES) if chaos else None
+    engine = ServingEngine(
+        model_a,
+        config=ServingConfig(queue_capacity=32, max_batch=8, budget_ticks=10),
+        popularity=popularity,
+        faults=plan,
+    )
+    engine.chaos_reload_path = model_b
+    engine.chaos_corrupt_path = corrupt
+
+    _drive_stream(engine, seed, requests, num_users=m)
+    ticks = engine.tick_now
+
+    # No-op hot reload must be score-bit-equivalent.
+    probe_user = 0
+    before = engine.probe_scores(probe_user)
+    noop = engine.reload(engine.store.path)
+    after = engine.probe_scores(probe_user)
+    noop_bit_equal = bool(before.tobytes() == after.tobytes())
+
+    health = engine.health
+    violations = health.audit()
+    if chaos:
+        expected = expected_serving_faults(plan, ticks)
+        missing, extra = health.account_faults(expected)
+    else:
+        expected, missing, extra = [], [], []
+    availability = health.availability()
+    counts = health.counts()
+    rungs = dict(
+        Counter(
+            e.rung for e in health.events if e.kind == "request.degraded"
+        )
+    )
+
+    checks = {
+        "accounting_balanced": not violations,
+        "faults_accounted": not missing and not extra,
+        "availability_met": bool(availability >= AVAILABILITY_FLOOR),
+        "degraded_attributed": all(r in ("stale-cache", "popularity") for r in rungs),
+        "noop_reload": bool(noop.status == "noop" and noop_bit_equal),
+        "faults_injected": (len(expected) > 0) if chaos else True,
+    }
+    report = {
+        "mode": "chaos" if chaos else "smoke",
+        "seed": seed,
+        "requests": requests,
+        "ticks": ticks,
+        "fault_plan": plan.as_dict() if plan is not None else None,
+        "expected_faults": len(expected),
+        "missing_faults": [list(site) for site in missing],
+        "unexpected_faults": [list(site) for site in extra],
+        "accounting_violations": violations,
+        "availability": float(availability),
+        "availability_floor": AVAILABILITY_FLOOR,
+        "degraded_by_rung": rungs,
+        "noop_reload": {"status": noop.status, "bit_equal": noop_bit_equal},
+        "event_counts": counts,
+        "engine": engine.stats(),
+        "checks": checks,
+        "health": health.as_dict(),
+    }
+    report["ok"] = bool(all(checks.values()))
+    return report

@@ -1,0 +1,110 @@
+"""Degradation ladder rungs below full MF scoring.
+
+When the scoring backend is unavailable (breaker open, stall, NaN
+lane), the engine walks down a ladder rather than failing the request:
+
+1. **stale cache** — the last successfully computed top-k for this
+   (user, k), possibly from a previous model version.  Stale beats
+   nothing: recommendation lists age gracefully.
+2. **popularity baseline** — a model-independent global top-k by item
+   popularity.  It consults no factors and no backend, so it cannot
+   fail; it is what makes the ≥ 99 % availability target achievable
+   under chaos.
+
+Anything below that is a structured
+:class:`~repro.serving.engine.ServingFault` — the ladder's floor.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["PopularityFallback", "StaleCache"]
+
+
+class StaleCache:
+    """Bounded LRU of (user, k) → (model_version, recommendations)."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[
+            tuple[int, int], tuple[int, list[tuple[int, float]]]
+        ] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def put(
+        self,
+        user: int,
+        k: int,
+        recommendations: list[tuple[int, float]],
+        version: int,
+    ) -> None:
+        key = (user, k)
+        if key in self._entries:
+            self._entries.pop(key)
+        self._entries[key] = (version, list(recommendations))
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def get(
+        self, user: int, k: int
+    ) -> tuple[int, list[tuple[int, float]]] | None:
+        """Cached (version, recommendations) for (user, k), LRU-refreshed."""
+        key = (user, k)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry[0], list(entry[1])
+
+
+class PopularityFallback:
+    """Model-independent global top-k by item popularity.
+
+    ``popularity`` is any non-negative per-item score (training-set
+    interaction counts are the natural choice; the engine falls back to
+    item-factor norms when no counts are supplied).  The descending
+    order is precomputed once — answering a request is a slice, so this
+    rung cannot stall and cannot produce a non-finite score.
+    """
+
+    def __init__(self, popularity: np.ndarray) -> None:
+        popularity = np.asarray(popularity, dtype=np.float64)
+        if popularity.ndim != 1 or popularity.size == 0:
+            raise ValueError("popularity must be a non-empty 1-D array")
+        if not np.all(np.isfinite(popularity)):
+            raise ValueError("popularity scores must be finite")
+        self._scores = popularity
+        # Stable sort: ties broken by item id, so the baseline is
+        # deterministic across platforms.
+        self._order = np.argsort(-popularity, kind="stable")
+
+    @property
+    def num_items(self) -> int:
+        return int(self._scores.size)
+
+    def top_k(
+        self, k: int, exclude: tuple[int, ...] = ()
+    ) -> list[tuple[int, float]]:
+        """The ``k`` most popular items, skipping ``exclude``."""
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        banned = set(int(i) for i in exclude)
+        out: list[tuple[int, float]] = []
+        for item in self._order:
+            if int(item) in banned:
+                continue
+            out.append((int(item), float(self._scores[item])))
+            if len(out) == k:
+                break
+        return out

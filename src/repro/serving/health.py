@@ -1,0 +1,241 @@
+"""The :class:`ServingHealth` audit log: every request, accounted.
+
+Serving availability is only trustworthy if the engine cannot lose a
+request silently.  ``ServingHealth`` is the serving-side sibling of
+:class:`repro.resilience.health.RunHealth`: an append-only event log
+with plain-data events, a per-kind counter view, and a multiset
+:meth:`audit` that enforces the accounting contract the ISSUE states —
+**every admitted request is exactly one of answered / degraded / shed /
+faulted**, every degraded response names its ladder rung, and every
+fault a :class:`~repro.resilience.faults.ServingFaultPlan` injected
+appears in the log (:meth:`account_faults`).
+
+Event kinds used by the serving engine:
+
+=============================  ==========================================
+``request.submitted``          a request entered :meth:`submit`
+``request.admitted``           the admission queue accepted it
+``request.answered``           full MF top-k served (terminal)
+``request.degraded``           served off-ladder; ``rung`` says how
+``request.shed``               load-shed (queue full / deadline / invalid)
+``request.faulted``            ladder exhausted; ``ServingFault`` raised
+``fault.backend-stall``        injected scoring-backend stall
+``fault.reload-during-traffic``injected hot reload mid-stream
+``fault.corrupt-model-file``   injected reload of a corrupt artifact
+``fault.score-nan``            injected NaN in one scoring lane
+``breaker.open``               circuit breaker tripped open
+``breaker.half-open``          cooldown elapsed; probe allowed
+``breaker.closed``             probe succeeded; normal service resumed
+``reload.swapped``             hot reload installed a new model
+``reload.noop``                reload target was bit-identical; kept
+``reload.rolled-back``         reload target rejected; old model kept
+=============================  ==========================================
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import asdict, dataclass, field
+
+__all__ = [
+    "DEGRADE_RUNGS",
+    "SERVING_EVENT_KINDS",
+    "ServingEvent",
+    "ServingHealth",
+    "TERMINAL_KINDS",
+]
+
+#: Terminal outcomes — each admitted request gets exactly one.
+TERMINAL_KINDS = (
+    "request.answered",
+    "request.degraded",
+    "request.shed",
+    "request.faulted",
+)
+
+#: Valid ``rung`` attributions for a ``request.degraded`` event.
+DEGRADE_RUNGS = ("stale-cache", "popularity")
+
+SERVING_EVENT_KINDS = (
+    "request.submitted",
+    "request.admitted",
+    *TERMINAL_KINDS,
+    "fault.backend-stall",
+    "fault.reload-during-traffic",
+    "fault.corrupt-model-file",
+    "fault.score-nan",
+    "breaker.open",
+    "breaker.half-open",
+    "breaker.closed",
+    "reload.swapped",
+    "reload.noop",
+    "reload.rolled-back",
+)
+
+
+@dataclass(frozen=True)
+class ServingEvent:
+    """One entry of the serving audit log (plain data: JSON-ready)."""
+
+    kind: str
+    tick: int = -1  # engine tick the event occurred on (-1: untimed)
+    request_id: int = -1  # affected request (-1: engine-level event)
+    rung: str = ""  # degradation-ladder attribution (degraded only)
+    detail: str = ""  # human-readable context
+
+    def __post_init__(self) -> None:
+        if self.kind not in SERVING_EVENT_KINDS:
+            raise ValueError(f"unknown serving event kind {self.kind!r}")
+        if self.kind == "request.degraded" and self.rung not in DEGRADE_RUNGS:
+            raise ValueError(
+                f"degraded event must name a ladder rung, got {self.rung!r}"
+            )
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingEvent":
+        return cls(
+            kind=data["kind"],
+            tick=int(data.get("tick", -1)),
+            request_id=int(data.get("request_id", -1)),
+            rung=str(data.get("rung", "")),
+            detail=str(data.get("detail", "")),
+        )
+
+
+@dataclass
+class ServingHealth:
+    """Append-only audit log for one serving engine's lifetime."""
+
+    events: list[ServingEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: str,
+        *,
+        tick: int = -1,
+        request_id: int = -1,
+        rung: str = "",
+        detail: str = "",
+    ) -> ServingEvent:
+        event = ServingEvent(
+            kind=kind, tick=tick, request_id=request_id, rung=rung, detail=detail
+        )
+        self.events.append(event)
+        return event
+
+    # -- queries ------------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        return dict(Counter(e.kind for e in self.events))
+
+    def _ids_of(self, kind: str) -> Counter:
+        return Counter(e.request_id for e in self.events if e.kind == kind)
+
+    @property
+    def submitted(self) -> int:
+        return sum(1 for e in self.events if e.kind == "request.submitted")
+
+    @property
+    def admitted(self) -> int:
+        return sum(1 for e in self.events if e.kind == "request.admitted")
+
+    def availability(self) -> float:
+        """(answered + degraded) / admitted; vacuously 1.0 with no traffic."""
+        counts = self.counts()
+        admitted = counts.get("request.admitted", 0)
+        if admitted == 0:
+            return 1.0
+        served = counts.get("request.answered", 0) + counts.get(
+            "request.degraded", 0
+        )
+        return served / admitted
+
+    def fault_events(self) -> list[ServingEvent]:
+        return [e for e in self.events if e.kind.startswith("fault.")]
+
+    def audit(self) -> list[str]:
+        """Multiset accounting check; returns human-readable violations.
+
+        Empty list means the log balances:
+
+        * every submitted request has **exactly one** terminal outcome;
+        * answered/degraded/faulted requests were admitted first;
+        * no request is admitted twice, or terminal without submission;
+        * every degraded event names a ladder rung (enforced at record
+          time too, but re-checked here for logs restored from JSON).
+        """
+        violations: list[str] = []
+        submitted = self._ids_of("request.submitted")
+        admitted = self._ids_of("request.admitted")
+        terminals = Counter(
+            e.request_id for e in self.events if e.kind in TERMINAL_KINDS
+        )
+        for rid, count in sorted(submitted.items()):
+            if count > 1:
+                violations.append(f"request {rid} submitted {count} times")
+            if terminals.get(rid, 0) != 1:
+                violations.append(
+                    f"request {rid} has {terminals.get(rid, 0)} terminal "
+                    "outcomes (want exactly 1)"
+                )
+        for rid, count in sorted(admitted.items()):
+            if count > 1:
+                violations.append(f"request {rid} admitted {count} times")
+            if rid not in submitted:
+                violations.append(f"request {rid} admitted but never submitted")
+        for rid in sorted(terminals):
+            if rid not in submitted:
+                violations.append(f"request {rid} terminal but never submitted")
+        for e in self.events:
+            if e.kind in ("request.answered", "request.degraded", "request.faulted"):
+                if admitted.get(e.request_id, 0) == 0 and e.detail != "invalid-request":
+                    violations.append(
+                        f"request {e.request_id} {e.kind.split('.')[1]} "
+                        "without admission"
+                    )
+            if e.kind == "request.degraded" and e.rung not in DEGRADE_RUNGS:
+                violations.append(
+                    f"request {e.request_id} degraded without a ladder rung"
+                )
+        return violations
+
+    def account_faults(
+        self, expected: list[tuple[str, int]]
+    ) -> tuple[list, list]:
+        """Diff the log against ``expected`` ``(kind, tick)`` injections.
+
+        Returns ``(missing, extra)`` exactly like
+        :meth:`repro.resilience.health.RunHealth.account`; both empty
+        means every injected serving fault is accounted for.
+        """
+        seen = Counter((e.kind, e.tick) for e in self.fault_events())
+        want = Counter(expected)
+        missing = sorted((want - seen).elements())
+        extra = sorted((seen - want).elements())
+        return missing, extra
+
+    # -- serialization ------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        return {
+            "events": [e.as_dict() for e in self.events],
+            "counts": self.counts(),
+            "availability": self.availability(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingHealth":
+        health = cls()
+        for event in data.get("events", []):
+            health.events.append(ServingEvent.from_dict(event))
+        return health
+
+    def __len__(self) -> int:
+        return len(self.events)

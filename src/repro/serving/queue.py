@@ -1,0 +1,113 @@
+"""Admission control: a bounded, deadline-aware request queue.
+
+The first stage of the serving ladder is refusing work the engine
+cannot finish in time.  :class:`AdmissionQueue` is a bounded FIFO of
+:class:`Request` objects; offers beyond capacity are rejected at the
+door (load shedding), and requests whose per-request deadline has
+already passed when the batcher comes to collect them are expired
+instead of scored — a late answer a client has stopped waiting for is
+pure waste.  Time is the engine's virtual tick counter, never the wall
+clock, so every admission decision replays bit-identically in tests and
+chaos drills.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["AdmissionQueue", "QueueConfig", "Request"]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One top-k recommendation request (plain immutable data).
+
+    ``deadline_tick`` is absolute: the last engine tick at which serving
+    this request is still useful.  ``exclude`` lists item ids the client
+    never wants back (e.g. already-seen items).
+    """
+
+    request_id: int
+    user: int
+    k: int
+    submitted_tick: int
+    deadline_tick: int
+    exclude: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.request_id < 0:
+            raise ValueError("request_id must be non-negative")
+        if self.user < 0:
+            raise ValueError("user must be non-negative")
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if self.submitted_tick < 0:
+            raise ValueError("submitted_tick must be non-negative")
+        if self.deadline_tick < self.submitted_tick:
+            raise ValueError("deadline_tick must not precede submitted_tick")
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Admission-control knobs.
+
+    ``capacity`` bounds the queue (offers beyond it are shed);
+    ``default_budget_ticks`` is the per-request deadline used when a
+    caller does not pass an explicit budget.
+    """
+
+    capacity: int = 64
+    default_budget_ticks: int = 8
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.default_budget_ticks < 0:
+            raise ValueError("default_budget_ticks must be non-negative")
+
+
+class AdmissionQueue:
+    """Bounded FIFO with deadline expiry at collection time."""
+
+    def __init__(self, config: QueueConfig | None = None) -> None:
+        self.config = config if config is not None else QueueConfig()
+        self._items: deque[Request] = deque()
+        self.offered = 0
+        self.rejected = 0
+        self.expired = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def offer(self, request: Request) -> bool:
+        """Admit ``request`` unless the queue is at capacity."""
+        self.offered += 1
+        if len(self._items) >= self.config.capacity:
+            self.rejected += 1
+            return False
+        self._items.append(request)
+        return True
+
+    def take(
+        self, tick: int, max_batch: int
+    ) -> tuple[list[Request], list[Request]]:
+        """Collect up to ``max_batch`` live requests at ``tick``.
+
+        Returns ``(ready, expired)``.  Expired requests — those whose
+        ``deadline_tick`` has already passed — are drained greedily and
+        do **not** count against ``max_batch``: a dead request must
+        never block a live one behind it.
+        """
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        ready: list[Request] = []
+        expired: list[Request] = []
+        while self._items and len(ready) < max_batch:
+            request = self._items.popleft()
+            if request.deadline_tick < tick:
+                expired.append(request)
+                self.expired += 1
+            else:
+                ready.append(request)
+        return ready, expired

@@ -1,0 +1,149 @@
+"""Hot model reload: atomic, checksum-verified factor swaps under traffic.
+
+A serving process must pick up retrained models without dropping
+requests or restarting.  :class:`ModelStore` holds the factors the
+engine scores against and swaps them atomically from a
+persistence-v2 / checkpoint artifact:
+
+* the artifact is loaded and integrity-checked **before** anything is
+  replaced (:func:`repro.persistence.load_factors` verifies per-array
+  SHA-256 checksums, format version, and shape agreement);
+* non-finite factors are rejected the same way a corrupt file is — a
+  model that would serve NaN scores never gets installed;
+* any rejection **rolls back**: the store keeps serving the old
+  factors, and the outcome says why;
+* a swap to a bit-identical model is detected by content digest and
+  becomes a **no-op** — the installed arrays are untouched, so scoring
+  after the reload is bit-equivalent to scoring before it (the chaos
+  drill asserts this byte-for-byte).
+
+Reads are plain attribute access (the GIL makes the reference swap
+atomic for the in-process engine); ``version`` increments only on a
+real swap, which is what lets the stale cache date its entries.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..persistence import load_factors
+from .health import ServingHealth
+
+__all__ = ["ModelStore", "ReloadOutcome"]
+
+
+@dataclass(frozen=True)
+class ReloadOutcome:
+    """Result of one swap attempt (plain data, JSON-ready)."""
+
+    status: str  # "swapped" | "noop" | "rolled-back"
+    version: int  # model version serving *after* the attempt
+    digest: str  # content digest serving after the attempt
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.status not in ("swapped", "noop", "rolled-back"):
+            raise ValueError(f"unknown reload status {self.status!r}")
+
+
+def _factor_digest(x: np.ndarray, theta: np.ndarray) -> str:
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(x, dtype=np.float32).tobytes())
+    h.update(np.ascontiguousarray(theta, dtype=np.float32).tobytes())
+    return h.hexdigest()
+
+
+class ModelStore:
+    """The factors currently being served, with atomic verified swaps."""
+
+    def __init__(self) -> None:
+        self._x: np.ndarray | None = None
+        self._theta: np.ndarray | None = None
+        self.version = 0
+        self.digest = ""
+        self.path = ""
+        self.swaps = 0
+        self.rollbacks = 0
+
+    @property
+    def loaded(self) -> bool:
+        return self._x is not None
+
+    @property
+    def x(self) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("no model loaded; call swap() first")
+        return self._x
+
+    @property
+    def theta(self) -> np.ndarray:
+        if self._theta is None:
+            raise RuntimeError("no model loaded; call swap() first")
+        return self._theta
+
+    def swap(
+        self,
+        path: str | os.PathLike,
+        *,
+        health: ServingHealth | None = None,
+        tick: int = -1,
+    ) -> ReloadOutcome:
+        """Attempt to install the model at ``path``; never degrades service.
+
+        Raises only when there is no previous model to roll back to
+        (initial load) — after that, every failure mode is a recorded
+        ``rolled-back`` outcome and the old factors keep serving.
+        """
+        path = os.fspath(path)
+        try:
+            x, theta, _header = load_factors(path)
+            if not (np.all(np.isfinite(x)) and np.all(np.isfinite(theta))):
+                raise ValueError("corrupt model file: non-finite factors")
+        except ValueError as exc:
+            if self._x is None:
+                raise
+            self.rollbacks += 1
+            outcome = ReloadOutcome(
+                status="rolled-back",
+                version=self.version,
+                digest=self.digest,
+                detail=str(exc),
+            )
+            self._record(health, "reload.rolled-back", tick, str(exc))
+            return outcome
+
+        digest = _factor_digest(x, theta)
+        if self._x is not None and digest == self.digest:
+            # Bit-identical artifact: keep the installed arrays untouched
+            # so post-reload scoring is trivially bit-equivalent.
+            outcome = ReloadOutcome(
+                status="noop",
+                version=self.version,
+                digest=self.digest,
+                detail=f"digest unchanged ({digest[:12]})",
+            )
+            self._record(health, "reload.noop", tick, outcome.detail)
+            return outcome
+
+        self._x = x
+        self._theta = theta
+        self.version += 1
+        self.digest = digest
+        self.path = path
+        self.swaps += 1
+        detail = f"v{self.version} from {os.path.basename(path)}"
+        self._record(health, "reload.swapped", tick, detail)
+        return ReloadOutcome(
+            status="swapped", version=self.version, digest=digest, detail=detail
+        )
+
+    @staticmethod
+    def _record(
+        health: ServingHealth | None, kind: str, tick: int, detail: str
+    ) -> None:
+        if health is not None:
+            health.record(kind, tick=tick, detail=detail)

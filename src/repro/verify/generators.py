@@ -45,6 +45,7 @@ __all__ = [
     "HermitianCase",
     "TrajectoryCase",
     "ResilienceCase",
+    "ServingCase",
     "KernelCase",
     "PatternCase",
     "OccupancyCase",
@@ -57,6 +58,7 @@ __all__ = [
     "draw_hermitian_case",
     "draw_trajectory_case",
     "draw_resilience_case",
+    "draw_serving_case",
     "draw_kernel_case",
     "draw_pattern_case",
     "draw_occupancy_case",
@@ -273,6 +275,55 @@ class ResilienceCase:
                 raise ValueError(f"{name} must be within [0, 1]")
         if self.precision not in {p.value for p in Precision}:
             raise ValueError(f"unknown precision {self.precision!r}")
+        if not 0 <= self.seed < _MAX_SEED:
+            raise ValueError("seed out of range")
+
+
+@dataclass(frozen=True)
+class ServingCase:
+    """A serving engine under a seeded traffic + fault campaign (VF109).
+
+    The serving layer promises that no request is ever lost: whatever
+    the fault plan does, the :class:`ServingHealth` multiset accounting
+    balances, every injected fault is logged tick-exactly, no request
+    faults while the popularity baseline stands, and a no-op hot reload
+    leaves scoring bit-equivalent.  When offered load fits the batch
+    capacity (``max_arrivals <= max_batch``), availability must also
+    clear the ladder's ≥ 99 % floor.
+    """
+
+    m: int
+    n: int
+    f: int
+    requests: int
+    max_arrivals: int
+    queue_capacity: int
+    max_batch: int
+    budget_ticks: int
+    stall_rate: float
+    reload_rate: float
+    corrupt_rate: float
+    score_nan_rate: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.m < 2 or self.n < 2:
+            raise ValueError("m and n must be >= 2")
+        if self.f < 2:
+            raise ValueError("f must be >= 2")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.max_arrivals < 1:
+            raise ValueError("max_arrivals must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.budget_ticks < 0:
+            raise ValueError("budget_ticks must be non-negative")
+        for name in ("stall_rate", "reload_rate", "corrupt_rate", "score_nan_rate"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
         if not 0 <= self.seed < _MAX_SEED:
             raise ValueError("seed out of range")
 
@@ -597,6 +648,31 @@ def draw_resilience_case(rng: np.random.Generator) -> ResilienceCase:
     )
 
 
+def draw_serving_case(rng: np.random.Generator) -> ServingCase:
+    def rate(hi: float) -> float:
+        # ≥1% whenever active so campaigns actually inject faults.
+        return round(float(rng.uniform(0.01, hi)), 4) if rng.random() < 0.8 else 0.0
+
+    max_batch = int(rng.integers(1, 9))
+    return ServingCase(
+        m=int(rng.integers(4, 49)),
+        n=int(rng.integers(4, 41)),
+        f=int(rng.integers(2, 13)),
+        requests=int(rng.integers(10, 81)),
+        # Occasionally oversubscribe the batcher to exercise deadline
+        # sheds and queue-full rejections, not just the happy path.
+        max_arrivals=int(rng.integers(1, max_batch + 3)),
+        queue_capacity=int(rng.integers(2, 33)),
+        max_batch=max_batch,
+        budget_ticks=int(rng.integers(0, 13)),
+        stall_rate=rate(0.3),
+        reload_rate=rate(0.1),
+        corrupt_rate=rate(0.1),
+        score_nan_rate=rate(0.2),
+        seed=_seed(rng),
+    )
+
+
 def draw_kernel_case(rng: np.random.Generator) -> KernelCase:
     for _ in range(32):
         m = int(10.0 ** rng.uniform(0.0, 5.0))
@@ -685,6 +761,15 @@ _SHRINK_MINIMA: dict[str, int | float] = {
     "delay_rate": 0.0,
     "nan_rate": 0.0,
     "overflow_rate": 0.0,
+    "requests": 1,
+    "max_arrivals": 1,
+    "queue_capacity": 1,
+    "max_batch": 1,
+    "budget_ticks": 0,
+    "stall_rate": 0.0,
+    "reload_rate": 0.0,
+    "corrupt_rate": 0.0,
+    "score_nan_rate": 0.0,
 }
 
 
@@ -746,6 +831,7 @@ _CASE_TYPES: dict[str, type] = {
         TrajectoryCase,
         RuntimeCase,
         ResilienceCase,
+        ServingCase,
         KernelCase,
         PatternCase,
         OccupancyCase,

@@ -52,6 +52,8 @@ physical, see docs/verification.md), and exact-LRU cache monotonicity
 from __future__ import annotations
 
 import math
+import os
+import tempfile
 
 import numpy as np
 
@@ -70,11 +72,18 @@ from ..core.als import ALSModel
 from ..core.config import ALSConfig, SolverKind
 from ..data.synthetic import SyntheticConfig, generate_ratings
 from ..metrics.rmse import rmse
-from ..resilience.faults import FaultPlan, expected_fault_events
+from ..persistence import save_model
+from ..resilience.faults import (
+    FaultPlan,
+    ServingFaultPlan,
+    expected_fault_events,
+    expected_serving_faults,
+)
 from ..resilience.guards import GuardPolicy
 from ..resilience.health import RunHealth
 from ..runtime.executor import ShardExecutor
 from ..runtime.plan import RuntimePlan, SupervisionPolicy
+from ..serving.engine import ServingConfig, ServingEngine
 from .generators import (
     CacheCase,
     KernelCase,
@@ -82,6 +91,7 @@ from .generators import (
     PatternCase,
     ResilienceCase,
     RuntimeCase,
+    ServingCase,
     _als_config,
     build_kernel_specs,
     build_runtime_inputs,
@@ -98,6 +108,7 @@ __all__ = [
     "VF106",
     "VF107",
     "VF108",
+    "VF109",
     "check_timing_monotone",
     "check_roofline_bound",
     "check_coalescing_order",
@@ -105,6 +116,7 @@ __all__ = [
     "check_cache_monotone",
     "check_runtime_determinism",
     "check_resilience_recovery",
+    "check_serving_availability",
 ]
 
 VF101 = register_rule(
@@ -146,6 +158,12 @@ VF108 = register_rule(
     "VF108",
     "supervised run failed to recover from injected faults",
     "resilience contract: every fault accounted, factors finite, objective recovered",
+)
+VF109 = register_rule(
+    "VF109",
+    "serving engine lost, misattributed or faulted a request",
+    "serving contract: accounting balances, faults logged, ladder holds, "
+    "no-op reload bit-equivalent (docs/serving.md)",
 )
 
 #: Relative slack for comparing two computed times (pure float noise).
@@ -622,4 +640,150 @@ def check_resilience_recovery(case: ResilienceCase) -> list[Diagnostic]:
                     tolerance=tol,
                 )
             )
+    return findings
+
+
+def _save_serving_artifacts(case: ServingCase, workdir: str) -> tuple[str, str, str]:
+    """Two valid persistence-v2 artifacts plus a byte-flipped corrupt copy."""
+    rng = np.random.default_rng(np.random.SeedSequence([case.seed, 3]))
+    paths = []
+    for tag in ("a", "b"):
+        model = ALSModel(ALSConfig(f=case.f, seed=case.seed))
+        model.x_ = rng.standard_normal((case.m, case.f)).astype(np.float32)
+        model.theta_ = rng.standard_normal((case.n, case.f)).astype(np.float32)
+        path = os.path.join(workdir, f"model-{tag}.npz")
+        save_model(path, model)
+        paths.append(path)
+    corrupt = os.path.join(workdir, "model-corrupt.npz")
+    with open(paths[0], "rb") as fh:
+        blob = bytearray(fh.read())
+    blob[len(blob) // 2] ^= 0xFF
+    with open(corrupt, "wb") as fh:
+        fh.write(bytes(blob))
+    return paths[0], paths[1], corrupt
+
+
+def check_serving_availability(case: ServingCase) -> list[Diagnostic]:
+    """VF109: no request lost, every fault accounted, the ladder holds.
+
+    Replays a seeded traffic stream against a :class:`ServingEngine`
+    carrying the case's :class:`ServingFaultPlan` and asserts the
+    serving contract:
+
+    1. the :class:`ServingHealth` multiset accounting balances — every
+       submitted request has exactly one terminal outcome, admissions
+       and attributions included;
+    2. every fault the plan injects appears in the log tick-exactly,
+       and nothing unplanned does;
+    3. no request faults: the popularity baseline is model-independent,
+       so the ladder's floor is unreachable while it stands;
+    4. a hot reload of the currently-served artifact is a ``noop`` and
+       leaves scoring **bit-equivalent**;
+    5. when offered load fits the batcher (``max_arrivals <=
+       max_batch``), availability clears the ≥ 99 % floor — under
+       structural overload deadline sheds are correct behaviour, so the
+       floor is only asserted where the engine had the capacity.
+    """
+    findings: list[Diagnostic] = []
+    with tempfile.TemporaryDirectory() as workdir:
+        model_a, model_b, corrupt = _save_serving_artifacts(case, workdir)
+        plan = ServingFaultPlan(
+            seed=case.seed,
+            stall_rate=case.stall_rate,
+            reload_rate=case.reload_rate,
+            corrupt_rate=case.corrupt_rate,
+            score_nan_rate=case.score_nan_rate,
+        )
+        engine = ServingEngine(
+            model_a,
+            config=ServingConfig(
+                queue_capacity=case.queue_capacity,
+                max_batch=case.max_batch,
+                budget_ticks=case.budget_ticks,
+            ),
+            faults=plan,
+        )
+        engine.chaos_reload_path = model_b
+        engine.chaos_corrupt_path = corrupt
+
+        traffic = np.random.default_rng(np.random.SeedSequence([case.seed, 5]))
+        k_hi = max(2, min(case.n, 10))
+        submitted = 0
+        while submitted < case.requests:
+            arrivals = min(
+                int(traffic.integers(0, case.max_arrivals + 1)),
+                case.requests - submitted,
+            )
+            for _ in range(arrivals):
+                engine.submit(
+                    int(traffic.integers(0, case.m)),
+                    int(traffic.integers(1, k_hi)),
+                )
+                submitted += 1
+            engine.tick()
+        engine.run_until_drained()
+        ticks = engine.tick_now
+
+        before = engine.probe_scores(0)
+        noop = engine.reload(engine.store.path)
+        after = engine.probe_scores(0)
+
+    health = engine.health
+    violations = health.audit()
+    if violations:
+        findings.append(
+            _violation(
+                VF109,
+                "serving.availability[accounting]",
+                f"{len(violations)} accounting violation(s): {violations[:3]}",
+                violations=float(len(violations)),
+            )
+        )
+    expected = expected_serving_faults(plan, ticks)
+    missing, extra = health.account_faults(expected)
+    if missing or extra:
+        findings.append(
+            _violation(
+                VF109,
+                "serving.availability[faults]",
+                f"health log does not match the fault plan: "
+                f"{len(missing)} planned fault(s) unreported {missing[:4]}, "
+                f"{len(extra)} unplanned fault event(s) {extra[:4]}",
+                missing=float(len(missing)),
+                extra=float(len(extra)),
+                expected=float(len(expected)),
+            )
+        )
+    counts = health.counts()
+    faulted = counts.get("request.faulted", 0)
+    if faulted:
+        findings.append(
+            _violation(
+                VF109,
+                "serving.availability[ladder]",
+                f"{faulted} request(s) fell through the popularity baseline",
+                faulted=float(faulted),
+            )
+        )
+    if noop.status != "noop" or before.tobytes() != after.tobytes():
+        findings.append(
+            _violation(
+                VF109,
+                "serving.availability[reload]",
+                f"no-op hot reload was {noop.status!r} and "
+                f"{'changed' if before.tobytes() != after.tobytes() else 'kept'} "
+                "the served scores",
+            )
+        )
+    availability = health.availability()
+    if case.max_arrivals <= case.max_batch and availability < 0.99:
+        findings.append(
+            _violation(
+                VF109,
+                "serving.availability[floor]",
+                f"availability {availability:.4f} under fitting load "
+                "(arrivals never exceed the batcher) fell below 0.99",
+                availability=float(availability),
+            )
+        )
     return findings

@@ -43,6 +43,7 @@ from .generators import (
     draw_pattern_case,
     draw_resilience_case,
     draw_runtime_case,
+    draw_serving_case,
     draw_spd_case,
     draw_trajectory_case,
     shrink_case,
@@ -61,6 +62,7 @@ from .properties import (
     check_resilience_recovery,
     check_roofline_bound,
     check_runtime_determinism,
+    check_serving_availability,
     check_timing_monotone,
 )
 
@@ -162,6 +164,13 @@ CHECKS: dict[str, CheckDef] = {
             check_resilience_recovery,
             weight=0.25,  # each case trains two supervised models; keep them rare
             summary="fault-injected runs recover, fully accounted (VF108)",
+        ),
+        CheckDef(
+            "serving.availability",
+            draw_serving_case,
+            check_serving_availability,
+            weight=0.5,  # each case replays a full traffic stream; keep modest
+            summary="no request lost under serving chaos (VF109)",
         ),
         CheckDef(
             "gpusim.monotone",

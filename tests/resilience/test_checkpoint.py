@@ -8,9 +8,11 @@ import pytest
 from repro.resilience.checkpoint import (
     Checkpoint,
     CheckpointError,
+    CheckpointManager,
     latest_checkpoint,
     list_checkpoints,
     load_checkpoint,
+    prune_checkpoints,
     save_checkpoint,
 )
 
@@ -136,3 +138,67 @@ class TestCorruption:
         np.savez(path, **data)
         with pytest.raises(CheckpointError, match="unsupported"):
             load_checkpoint(path)
+
+
+class TestRetention:
+    def save_epochs(self, directory, epochs):
+        return [save_checkpoint(directory, make_checkpoint(epoch=e)) for e in epochs]
+
+    def test_none_keeps_everything(self, tmp_path):
+        self.save_epochs(tmp_path, range(1, 5))
+        assert prune_checkpoints(tmp_path, None) == []
+        assert len(list_checkpoints(tmp_path)) == 4
+
+    def test_prunes_oldest_first(self, tmp_path):
+        paths = self.save_epochs(tmp_path, range(1, 6))
+        deleted = prune_checkpoints(tmp_path, 2)
+        assert deleted == paths[:3]  # oldest victims, in deletion order
+        assert list_checkpoints(tmp_path) == paths[3:]
+
+    def test_under_budget_is_a_noop(self, tmp_path):
+        self.save_epochs(tmp_path, range(1, 3))
+        assert prune_checkpoints(tmp_path, 5) == []
+        assert len(list_checkpoints(tmp_path)) == 2
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="keep_last"):
+            prune_checkpoints(tmp_path, 0)
+
+    def test_vanished_victim_is_skipped(self, tmp_path):
+        paths = self.save_epochs(tmp_path, range(1, 5))
+        os.unlink(paths[0])  # concurrent prune got there first
+        deleted = prune_checkpoints(tmp_path, 1)
+        assert deleted == paths[1:3]
+
+    def test_newest_survives_any_crash_prefix(self, tmp_path):
+        # Crash-safety by construction: every prefix of the deletion
+        # order leaves the newest checkpoint resumable.
+        paths = self.save_epochs(tmp_path, range(1, 6))
+        deleted = prune_checkpoints(tmp_path, 2)
+        for prefix in range(len(deleted) + 1):
+            survivors = [p for p in paths if p not in deleted[:prefix]]
+            assert survivors[-1] == paths[-1]
+
+
+class TestCheckpointManager:
+    def test_save_enforces_budget(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path), keep_last=2)
+        for epoch in range(1, 5):
+            manager.save(make_checkpoint(epoch=epoch))
+        assert len(manager.list()) == 2
+        assert manager.load_latest().epoch == 4
+
+    def test_unbounded_by_default(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        for epoch in range(1, 4):
+            manager.save(make_checkpoint(epoch=epoch))
+        assert len(manager.list()) == 3
+
+    def test_empty_directory(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path))
+        assert manager.latest() is None
+        assert manager.load_latest() is None
+
+    def test_budget_validation(self, tmp_path):
+        with pytest.raises(CheckpointError, match="keep_last"):
+            CheckpointManager(str(tmp_path), keep_last=0)

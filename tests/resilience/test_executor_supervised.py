@@ -18,6 +18,7 @@ from repro.resilience.faults import FaultPlan, expected_fault_events
 from repro.resilience.guards import GuardPolicy
 from repro.resilience.health import RunHealth
 from repro.runtime import RuntimePlan, ShardExecutor
+from repro.runtime.executor import _backoff_sleep
 from repro.runtime.plan import SupervisionPolicy
 
 LAM = 0.08
@@ -168,3 +169,35 @@ class TestLifecycle:
                 run_steps(executor, problem, steps=1)
                 raise RuntimeError("boom")
         assert executor._outputs == {}
+
+
+class TestBackoffSchedule:
+    def test_no_plan_means_no_jitter(self):
+        policy = SupervisionPolicy(backoff_seconds=0.01, backoff_factor=2.0)
+        for attempt in range(3):
+            want = 0.01 * 2.0**attempt
+            got = _backoff_sleep(policy, None, 0, 0, attempt)
+            assert got == pytest.approx(want)
+
+    def test_jitter_is_bounded_and_replayable(self):
+        policy = SupervisionPolicy(
+            backoff_seconds=0.01, backoff_factor=2.0, backoff_jitter=0.25
+        )
+        plan = FaultPlan(seed=11)
+        for attempt in range(3):
+            base = 0.01 * 2.0**attempt
+            got = _backoff_sleep(policy, plan, 2, 1, attempt)
+            assert base <= got < base * 1.25
+            again = _backoff_sleep(policy, plan, 2, 1, attempt)
+            assert got == again  # noqa: repro-float-eq - replayable schedule
+
+    def test_jitter_derives_from_plan_seed(self):
+        policy = SupervisionPolicy(backoff_seconds=0.01, backoff_jitter=0.25)
+        a = _backoff_sleep(policy, FaultPlan(seed=1), 0, 0, 0)
+        b = _backoff_sleep(policy, FaultPlan(seed=2), 0, 0, 0)
+        assert a != b  # noqa: repro-float-eq - distinct streams
+
+    def test_zero_jitter_policy_ignores_plan(self):
+        policy = SupervisionPolicy(backoff_seconds=0.01, backoff_jitter=0.0)
+        got = _backoff_sleep(policy, FaultPlan(seed=1), 0, 0, 1)
+        assert got == pytest.approx(0.02)

@@ -9,7 +9,9 @@ from repro.resilience.faults import (
     FaultPlan,
     InjectedWorkerKill,
     NumericalFault,
+    ServingFaultPlan,
     expected_fault_events,
+    expected_serving_faults,
     inject_shard_start,
     solver_fault_hook,
 )
@@ -165,3 +167,87 @@ class TestNumericalFault:
         assert back.args == err.args
         assert back.lanes == err.lanes
         assert back.stage == err.stage
+
+
+class TestBackoffJitter:
+    def test_deterministic_per_site(self):
+        plan = FaultPlan(seed=5)
+        draws = [plan.backoff_jitter(2, 1, a) for a in range(4)]
+        again = [plan.backoff_jitter(2, 1, a) for a in range(4)]
+        assert draws == again  # noqa: repro-float-eq - replay must be exact
+
+    def test_distinct_sites_get_distinct_jitter(self):
+        plan = FaultPlan(seed=5)
+        draws = {
+            plan.backoff_jitter(step, shard, attempt)
+            for step in range(3)
+            for shard in range(3)
+            for attempt in range(3)
+        }
+        assert len(draws) == 27
+
+    def test_range_and_seed_sensitivity(self):
+        a = FaultPlan(seed=1).backoff_jitter(0, 0, 0)
+        b = FaultPlan(seed=2).backoff_jitter(0, 0, 0)
+        assert 0.0 <= a < 1.0 and 0.0 <= b < 1.0
+        assert a != b  # noqa: repro-float-eq - different streams
+
+    def test_independent_of_global_rng(self):
+        plan = FaultPlan(seed=9)
+        before = plan.backoff_jitter(1, 1, 1)
+        np.random.seed(0)
+        np.random.random(100)
+        assert plan.backoff_jitter(1, 1, 1) == before  # noqa: repro-float-eq
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError, match="attempt"):
+            FaultPlan(seed=0).backoff_jitter(0, 0, -1)
+
+
+class TestServingFaultPlan:
+    def make_plan(self, **kw):
+        defaults = dict(
+            seed=0, stall_rate=0.5, reload_rate=0.2,
+            corrupt_rate=0.2, score_nan_rate=0.3,
+        )
+        defaults.update(kw)
+        return ServingFaultPlan(**defaults)
+
+    def test_fires_is_deterministic(self):
+        plan = self.make_plan()
+        for kind in plan.rate_of:
+            for tick in range(8):
+                first = plan.fires(kind, tick)
+                assert all(plan.fires(kind, tick) == first for _ in range(3))
+
+    def test_zero_rate_never_fires(self):
+        plan = self.make_plan(stall_rate=0.0)
+        assert not any(plan.fires("fault.backend-stall", t) for t in range(64))
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError, match="stall_rate"):
+            self.make_plan(stall_rate=1.5)
+        with pytest.raises(ValueError, match="seed"):
+            self.make_plan(seed=-1)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            self.make_plan().fires("fault.gremlin", 0)
+
+    def test_victim_lane_in_range_and_stable(self):
+        plan = self.make_plan(score_nan_rate=1.0)
+        lanes = [plan.victim_lane("fault.score-nan", t, 5) for t in range(16)]
+        assert all(0 <= lane < 5 for lane in lanes)
+        assert lanes == [plan.victim_lane("fault.score-nan", t, 5) for t in range(16)]
+
+    def test_expected_faults_enumeration_matches_fires(self):
+        plan = self.make_plan()
+        expected = expected_serving_faults(plan, 32)
+        rebuilt = [
+            (kind, tick)
+            for tick in range(32)
+            for kind in plan.rate_of
+            if plan.fires(kind, tick)
+        ]
+        assert sorted(expected) == sorted(rebuilt)
+        assert len(expected) > 0

@@ -102,8 +102,46 @@ class TestALSResume:
         with pytest.raises(ValueError, match="checkpoint_every"):
             als_model().fit(train, test, epochs=1, checkpoint_every=0)
 
+    def test_checkpoint_keep_bounds_retention(self, split, tmp_path):
+        train, test = split
+        model = als_model()
+        model.fit(
+            train, test, epochs=4,
+            checkpoint_dir=str(tmp_path), checkpoint_keep=2,
+        )
+        names = sorted(os.listdir(tmp_path))
+        assert names == ["ckpt-000003.npz", "ckpt-000004.npz"]
+
+    def test_checkpoint_keep_resumes_from_survivor(self, split, tmp_path):
+        train, test = split
+        reference = als_model()
+        reference.fit(train, test, epochs=4)
+
+        interrupted = als_model()
+        interrupted.fit(
+            train, test, epochs=2,
+            checkpoint_dir=str(tmp_path), checkpoint_keep=1,
+        )
+        resumed = als_model()
+        resumed.fit(
+            train, test, epochs=4,
+            checkpoint_dir=str(tmp_path), checkpoint_keep=1, resume=True,
+        )
+        np.testing.assert_array_equal(resumed.x_, reference.x_)
+
+    def test_checkpoint_keep_validated(self, split):
+        train, test = split
+        with pytest.raises(ValueError, match="checkpoint_keep"):
+            als_model().fit(train, test, epochs=1, checkpoint_keep=0)
+
 
 class TestImplicitResume:
+    def test_checkpoint_keep_bounds_retention(self, split, tmp_path):
+        train, _ = split
+        model = implicit_model()
+        model.fit(train, epochs=3, checkpoint_dir=str(tmp_path), checkpoint_keep=1)
+        assert sorted(os.listdir(tmp_path)) == ["ckpt-000003.npz"]
+
     def test_kill_and_resume_is_bit_equivalent(self, split, tmp_path):
         train, _ = split
         reference = implicit_model()

@@ -1,0 +1,86 @@
+"""Micro-batcher: one GEMM per batch, NaN detection, arena reuse."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.arena import Workspace
+from repro.serving.batcher import MicroBatcher
+from repro.serving.queue import Request
+
+
+def make_factors(m=6, n=10, f=4, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((m, f)).astype(np.float32)
+    theta = rng.standard_normal((n, f)).astype(np.float32)
+    return x, theta
+
+
+def make_request(rid, user, k=3, exclude=()):
+    return Request(
+        request_id=rid, user=user, k=k,
+        submitted_tick=0, deadline_tick=10, exclude=exclude,
+    )
+
+
+class TestScoreBatch:
+    def test_matches_per_user_gemv(self):
+        x, theta = make_factors()
+        batcher = MicroBatcher()
+        requests = [make_request(i, user=i % 6) for i in range(4)]
+        results, bad = batcher.score_batch(x, theta, requests)
+        assert bad == []
+        for request, got in zip(requests, results):
+            scores = theta @ x[request.user]
+            want = np.argsort(scores)[::-1][: request.k]
+            assert [i for i, _ in got] == list(want)
+            for item, score in got:
+                assert score == pytest.approx(float(scores[item]), rel=1e-6)
+
+    def test_empty_batch(self):
+        x, theta = make_factors()
+        assert MicroBatcher().score_batch(x, theta, []) == ([], [])
+
+    def test_exclusions_never_returned(self):
+        x, theta = make_factors()
+        banned = (0, 1, 2)
+        results, _ = MicroBatcher().score_batch(
+            x, theta, [make_request(0, user=0, k=5, exclude=banned)]
+        )
+        assert not set(banned) & {i for i, _ in results[0]}
+
+    def test_poisoned_row_reported_not_answered(self):
+        x, theta = make_factors()
+        requests = [make_request(i, user=i) for i in range(3)]
+        results, bad = MicroBatcher().score_batch(
+            x, theta, requests, poison_row=1
+        )
+        assert bad == [1]
+        assert results[1] is None
+        assert results[0] is not None and results[2] is not None
+
+    def test_nan_factor_row_detected(self):
+        x, theta = make_factors()
+        x[2, 0] = np.nan
+        results, bad = MicroBatcher().score_batch(
+            x, theta, [make_request(0, user=2)]
+        )
+        assert bad == [0]
+
+    def test_unknown_user_raises(self):
+        x, theta = make_factors(m=4)
+        with pytest.raises(IndexError, match="unknown user"):
+            MicroBatcher().score_batch(x, theta, [make_request(0, user=99)])
+
+    def test_steady_state_performs_zero_allocations(self):
+        x, theta = make_factors()
+        workspace = Workspace()
+        batcher = MicroBatcher(workspace)
+        requests = [make_request(i, user=i % 6) for i in range(5)]
+        batcher.score_batch(x, theta, requests)  # warm-up
+        workspace.reset_counters()
+        for _ in range(10):
+            batcher.score_batch(x, theta, requests)
+        assert workspace.allocations == 0
+        assert workspace.reuses > 0
+        assert batcher.batches == 11
+        assert batcher.requests_scored == 55

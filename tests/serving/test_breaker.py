@@ -1,0 +1,101 @@
+"""Circuit breaker: trip threshold, bounded exponential cooldown, probes."""
+
+import pytest
+
+from repro.serving.breaker import BreakerConfig, CircuitBreaker
+from repro.serving.health import ServingHealth
+
+
+def make_breaker(health=None, **kw):
+    defaults = dict(
+        failure_threshold=3, cooldown_ticks=4, backoff_factor=2,
+        max_cooldown_ticks=16,
+    )
+    defaults.update(kw)
+    return CircuitBreaker(BreakerConfig(**defaults), health)
+
+
+class TestBreakerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            BreakerConfig(failure_threshold=0)
+        with pytest.raises(ValueError, match="cooldown_ticks"):
+            BreakerConfig(cooldown_ticks=0)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            BreakerConfig(backoff_factor=0)
+        with pytest.raises(ValueError, match="max_cooldown_ticks"):
+            BreakerConfig(cooldown_ticks=8, max_cooldown_ticks=4)
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        b = make_breaker()
+        assert b.state == "closed"
+        assert b.allow(0)
+
+    def test_trips_open_after_threshold_consecutive_failures(self):
+        b = make_breaker()
+        for tick in range(2):
+            b.record_failure(tick)
+        assert b.state == "closed"
+        b.record_failure(2)
+        assert b.state == "open"
+        assert not b.allow(3)
+
+    def test_success_resets_the_consecutive_count(self):
+        b = make_breaker()
+        b.record_failure(0)
+        b.record_failure(1)
+        b.record_success(2)
+        b.record_failure(3)
+        b.record_failure(4)
+        assert b.state == "closed"
+
+    def test_half_open_probe_after_cooldown(self):
+        b = make_breaker()
+        for tick in range(3):
+            b.record_failure(tick)
+        # Cooldown is 4 ticks from the trip at tick 2.
+        assert not b.allow(5)
+        assert b.allow(6)
+        assert b.state == "half-open"
+
+    def test_probe_success_closes_and_resets_cooldown(self):
+        b = make_breaker()
+        for tick in range(3):
+            b.record_failure(tick)
+        assert b.allow(6)
+        b.record_success(6)
+        assert b.state == "closed"
+        # A fresh trip uses the base cooldown again.
+        for tick in range(7, 10):
+            b.record_failure(tick)
+        assert not b.allow(12)
+        assert b.allow(13)
+
+    def test_probe_failure_doubles_cooldown_bounded(self):
+        b = make_breaker()
+        for tick in range(3):
+            b.record_failure(tick)  # open at 2; reopen at 6
+        assert b.allow(6)
+        b.record_failure(6)  # cooldown 8; reopen at 14
+        assert b.state == "open"
+        assert not b.allow(13)
+        assert b.allow(14)
+        b.record_failure(14)  # cooldown hits the 16 cap; reopen at 30
+        assert not b.allow(29)
+        assert b.allow(30)
+        b.record_failure(30)  # stays capped at 16; reopen at 46
+        assert not b.allow(45)
+        assert b.allow(46)
+
+    def test_transitions_recorded_in_health_log(self):
+        health = ServingHealth()
+        b = make_breaker(health)
+        for tick in range(3):
+            b.record_failure(tick)
+        assert b.allow(6)
+        b.record_success(6)
+        kinds = [e.kind for e in health.events]
+        assert kinds == ["breaker.open", "breaker.half-open", "breaker.closed"]
+        assert b.trips == 1

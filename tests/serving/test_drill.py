@@ -1,0 +1,54 @@
+"""The chaos drill end to end: smoke and chaos modes must both go green."""
+
+from repro.serving.drill import AVAILABILITY_FLOOR, run_serving_drill
+
+
+class TestSmokeDrill:
+    def test_fault_free_smoke_is_green(self, tmp_path):
+        report = run_serving_drill(
+            seed=0, requests=40, chaos=False, workdir=tmp_path
+        )
+        assert report["ok"] is True
+        assert report["mode"] == "smoke"
+        assert report["expected_faults"] == 0
+        assert report["availability"] == 1.0
+        assert all(report["checks"].values())
+
+    def test_report_shape(self, tmp_path):
+        report = run_serving_drill(
+            seed=0, requests=20, chaos=False, workdir=tmp_path
+        )
+        for key in (
+            "ok", "mode", "seed", "requests", "ticks", "fault_plan",
+            "missing_faults", "unexpected_faults", "accounting_violations",
+            "availability", "availability_floor", "degraded_by_rung",
+            "noop_reload", "event_counts", "engine", "checks", "health",
+        ):
+            assert key in report, key
+        assert report["availability_floor"] == AVAILABILITY_FLOOR
+
+
+class TestChaosDrill:
+    def test_chaos_drill_is_green_and_accounted(self, tmp_path):
+        report = run_serving_drill(
+            seed=0, requests=80, chaos=True, workdir=tmp_path
+        )
+        assert report["ok"] is True, report["checks"]
+        assert report["mode"] == "chaos"
+        # Chaos actually happened and every injection is in the log.
+        assert report["checks"]["faults_injected"] is True
+        assert report["missing_faults"] == []
+        assert report["unexpected_faults"] == []
+        assert report["accounting_violations"] == []
+        assert report["availability"] >= AVAILABILITY_FLOOR
+        assert report["noop_reload"]["bit_equal"] is True
+
+    def test_seeds_differ_but_each_replays(self, tmp_path):
+        first = tmp_path / "a1"
+        second = tmp_path / "a2"
+        first.mkdir()
+        second.mkdir()
+        a1 = run_serving_drill(seed=3, requests=40, chaos=True, workdir=first)
+        a2 = run_serving_drill(seed=3, requests=40, chaos=True, workdir=second)
+        assert a1["event_counts"] == a2["event_counts"]
+        assert a1["availability"] == a2["availability"]  # noqa: repro-float-eq

@@ -1,0 +1,68 @@
+"""Ladder rungs: stale-cache LRU semantics, popularity determinism."""
+
+import numpy as np
+import pytest
+
+from repro.serving.fallback import PopularityFallback, StaleCache
+
+
+class TestStaleCache:
+    def test_miss_then_hit(self):
+        cache = StaleCache(capacity=4)
+        assert cache.get(0, 5) is None
+        cache.put(0, 5, [(1, 2.0)], version=1)
+        assert cache.get(0, 5) == (1, [(1, 2.0)])
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_k_is_part_of_the_key(self):
+        cache = StaleCache(capacity=4)
+        cache.put(0, 5, [(1, 2.0)], version=1)
+        assert cache.get(0, 3) is None
+
+    def test_lru_eviction_order(self):
+        cache = StaleCache(capacity=2)
+        cache.put(0, 1, [(0, 0.0)], version=1)
+        cache.put(1, 1, [(1, 0.0)], version=1)
+        cache.get(0, 1)  # refresh user 0
+        cache.put(2, 1, [(2, 0.0)], version=1)  # evicts user 1
+        assert cache.get(1, 1) is None
+        assert cache.get(0, 1) is not None
+        assert len(cache) == 2
+
+    def test_returned_list_is_a_copy(self):
+        cache = StaleCache(capacity=2)
+        cache.put(0, 1, [(1, 2.0)], version=1)
+        _, recs = cache.get(0, 1)
+        recs.append((9, 9.0))
+        assert cache.get(0, 1) == (1, [(1, 2.0)])
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            StaleCache(capacity=0)
+
+
+class TestPopularityFallback:
+    def test_orders_by_popularity_desc(self):
+        fb = PopularityFallback(np.array([1.0, 5.0, 3.0]))
+        assert [i for i, _ in fb.top_k(3)] == [1, 2, 0]
+
+    def test_ties_break_by_item_id(self):
+        fb = PopularityFallback(np.array([2.0, 2.0, 2.0]))
+        assert [i for i, _ in fb.top_k(3)] == [0, 1, 2]
+
+    def test_exclusions_are_skipped(self):
+        fb = PopularityFallback(np.array([1.0, 5.0, 3.0]))
+        assert [i for i, _ in fb.top_k(2, exclude=(1,))] == [2, 0]
+
+    def test_k_beyond_catalogue_returns_all(self):
+        fb = PopularityFallback(np.array([1.0, 2.0]))
+        assert len(fb.top_k(10)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-empty 1-D"):
+            PopularityFallback(np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="finite"):
+            PopularityFallback(np.array([1.0, np.nan]))
+        with pytest.raises(ValueError, match="k must be"):
+            PopularityFallback(np.array([1.0])).top_k(0)

@@ -1,0 +1,87 @@
+"""Admission queue: bounded capacity, deadline expiry, FIFO order."""
+
+import pytest
+
+from repro.serving.queue import AdmissionQueue, QueueConfig, Request
+
+
+def make_request(rid, *, user=0, k=5, submitted=0, deadline=10):
+    return Request(
+        request_id=rid, user=user, k=k,
+        submitted_tick=submitted, deadline_tick=deadline,
+    )
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="request_id"):
+            make_request(-1)
+        with pytest.raises(ValueError, match="user"):
+            Request(request_id=0, user=-1, k=5, submitted_tick=0, deadline_tick=1)
+        with pytest.raises(ValueError, match="k must be"):
+            make_request(0, k=0)
+        with pytest.raises(ValueError, match="deadline"):
+            make_request(0, submitted=5, deadline=4)
+
+    def test_zero_budget_is_legal(self):
+        # A request may demand same-tick service.
+        make_request(0, submitted=5, deadline=5)
+
+
+class TestQueueConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="capacity"):
+            QueueConfig(capacity=0)
+        with pytest.raises(ValueError, match="default_budget_ticks"):
+            QueueConfig(default_budget_ticks=-1)
+
+
+class TestAdmissionQueue:
+    def test_bounded_capacity_sheds_at_the_door(self):
+        q = AdmissionQueue(QueueConfig(capacity=2))
+        assert q.offer(make_request(0))
+        assert q.offer(make_request(1))
+        assert not q.offer(make_request(2))
+        assert len(q) == 2
+        assert q.offered == 3
+        assert q.rejected == 1
+
+    def test_take_is_fifo_and_respects_batch_limit(self):
+        q = AdmissionQueue(QueueConfig(capacity=8))
+        for rid in range(5):
+            q.offer(make_request(rid))
+        ready, expired = q.take(0, max_batch=3)
+        assert [r.request_id for r in ready] == [0, 1, 2]
+        assert expired == []
+        assert len(q) == 2
+
+    def test_expired_requests_are_drained_not_served(self):
+        q = AdmissionQueue(QueueConfig(capacity=8))
+        q.offer(make_request(0, deadline=1))
+        q.offer(make_request(1, deadline=9))
+        ready, expired = q.take(5, max_batch=4)
+        assert [r.request_id for r in ready] == [1]
+        assert [r.request_id for r in expired] == [0]
+        assert q.expired == 1
+
+    def test_deadline_on_its_last_tick_is_still_live(self):
+        q = AdmissionQueue(QueueConfig(capacity=4))
+        q.offer(make_request(0, deadline=5))
+        ready, expired = q.take(5, max_batch=1)
+        assert [r.request_id for r in ready] == [0]
+        assert expired == []
+
+    def test_dead_requests_never_block_live_ones(self):
+        # Expired entries do not consume the batch budget.
+        q = AdmissionQueue(QueueConfig(capacity=8))
+        for rid in range(3):
+            q.offer(make_request(rid, deadline=0))
+        q.offer(make_request(3, deadline=20))
+        ready, expired = q.take(10, max_batch=1)
+        assert [r.request_id for r in ready] == [3]
+        assert len(expired) == 3
+
+    def test_take_requires_positive_batch(self):
+        q = AdmissionQueue()
+        with pytest.raises(ValueError, match="max_batch"):
+            q.take(0, max_batch=0)

@@ -1,0 +1,116 @@
+"""Hot reload: verified swaps, rollback on corruption, no-op digests."""
+
+import numpy as np
+import pytest
+
+from repro.core.als import ALSModel
+from repro.core.config import ALSConfig
+from repro.persistence import save_model
+from repro.serving.health import ServingHealth
+from repro.serving.reload import ModelStore
+
+
+def save_artifact(path, seed=0, m=6, n=8, f=4, poison=False):
+    rng = np.random.default_rng(seed)
+    model = ALSModel(ALSConfig(f=f, seed=seed))
+    model.x_ = rng.standard_normal((m, f)).astype(np.float32)
+    model.theta_ = rng.standard_normal((n, f)).astype(np.float32)
+    if poison:
+        model.x_[0, 0] = np.nan
+    save_model(path, model)
+    return model
+
+
+def corrupt_file(src, dst):
+    blob = bytearray(src.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    dst.write_bytes(bytes(blob))
+
+
+class TestInitialLoad:
+    def test_loads_factors(self, tmp_path):
+        path = tmp_path / "model.npz"
+        saved = save_artifact(path)
+        store = ModelStore()
+        outcome = store.swap(path)
+        assert outcome.status == "swapped"
+        assert store.version == 1
+        np.testing.assert_array_equal(store.x, saved.x_)
+        np.testing.assert_array_equal(store.theta, saved.theta_)
+
+    def test_initial_corrupt_load_raises(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_artifact(path)
+        bad = tmp_path / "bad.npz"
+        corrupt_file(path, bad)
+        with pytest.raises(ValueError, match="corrupt"):
+            ModelStore().swap(bad)
+
+    def test_unloaded_store_refuses_reads(self):
+        with pytest.raises(RuntimeError, match="no model loaded"):
+            ModelStore().x
+
+
+class TestSwap:
+    def test_swap_to_new_model_bumps_version(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_artifact(a, seed=0)
+        other = save_artifact(b, seed=1)
+        store = ModelStore()
+        store.swap(a)
+        outcome = store.swap(b)
+        assert outcome.status == "swapped"
+        assert store.version == 2
+        np.testing.assert_array_equal(store.x, other.x_)
+
+    def test_corrupt_swap_rolls_back(self, tmp_path):
+        a = tmp_path / "a.npz"
+        saved = save_artifact(a)
+        bad = tmp_path / "bad.npz"
+        corrupt_file(a, bad)
+        health = ServingHealth()
+        store = ModelStore()
+        store.swap(a)
+        outcome = store.swap(bad, health=health, tick=7)
+        assert outcome.status == "rolled-back"
+        assert store.version == 1
+        assert store.rollbacks == 1
+        np.testing.assert_array_equal(store.x, saved.x_)
+        event = health.events[-1]
+        assert event.kind == "reload.rolled-back"
+        assert event.tick == 7
+
+    def test_nonfinite_factors_roll_back(self, tmp_path):
+        a, bad = tmp_path / "a.npz", tmp_path / "nan.npz"
+        save_artifact(a, seed=0)
+        save_artifact(bad, seed=1, poison=True)
+        store = ModelStore()
+        store.swap(a)
+        outcome = store.swap(bad)
+        assert outcome.status == "rolled-back"
+        assert "non-finite" in outcome.detail
+
+    def test_noop_swap_keeps_arrays_bit_identical(self, tmp_path):
+        a = tmp_path / "a.npz"
+        save_artifact(a)
+        store = ModelStore()
+        store.swap(a)
+        x_before = store.x
+        outcome = store.swap(a)
+        assert outcome.status == "noop"
+        assert store.version == 1
+        # Same object — not merely equal — so served scores cannot move.
+        assert store.x is x_before
+
+    def test_health_records_each_outcome(self, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_artifact(a, seed=0)
+        save_artifact(b, seed=1)
+        health = ServingHealth()
+        store = ModelStore()
+        store.swap(a, health=health)
+        store.swap(b, health=health)
+        store.swap(b, health=health)
+        assert [e.kind for e in health.events] == [
+            "reload.swapped", "reload.swapped", "reload.noop",
+        ]

@@ -118,3 +118,43 @@ class TestAnalyze:
         rc = main(["analyze", "--self", "--path", str(tmp_path)])
         assert rc == 1
         assert "AL004" in capsys.readouterr().out
+
+
+class TestServe:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.seed == 0
+        assert args.requests == 200
+        assert not args.smoke
+        assert not args.chaos
+
+    def test_smoke_is_green(self, capsys):
+        rc = main(["serve", "--smoke", "--requests", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serve: ok" in out
+        assert "fault-free smoke" in out
+
+    def test_chaos_drill_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "serve-report.json"
+        rc = main(
+            ["serve", "--requests", "60", "--seed", "1",
+             "--output", str(report_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "injected and accounted" in out
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert report["mode"] == "chaos"
+        assert report["accounting_violations"] == []
+        assert report["availability"] >= report["availability_floor"]
+
+    def test_train_checkpoint_keep_flag(self, tmp_path, capsys):
+        rc = main(
+            ["train", "--scale", "0.05", "--factors", "8", "--epochs", "3",
+             "--checkpoint-dir", str(tmp_path), "--checkpoint-keep", "1"]
+        )
+        assert rc == 0
+        names = [p.name for p in tmp_path.iterdir()]
+        assert names == ["ckpt-000003.npz"]

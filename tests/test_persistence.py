@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import ALSConfig, ALSModel, CGConfig, Precision, ReadScheme, SolverKind
 from repro.data import load_surrogate
-from repro.persistence import load_model, save_model
+from repro.persistence import load_factors, load_model, save_model
 
 
 @pytest.fixture(scope="module")
@@ -145,3 +145,45 @@ class TestHardening:
         np.savez(p, **data)
         again = load_model(p)
         np.testing.assert_array_equal(again.x_, model.x_)
+
+    def test_mid_member_bit_flip_rejected(self, fitted, tmp_path):
+        # A flipped byte inside a compressed zip member surfaces as a
+        # zlib error deep in numpy; it must still come back as the
+        # documented ValueError, not leak a decoder exception.
+        model, _ = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        blob = bytearray(p.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        p.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match="corrupt|truncated"):
+            load_model(p)
+
+
+class TestLoadFactors:
+    def test_returns_arrays_and_header(self, fitted, tmp_path):
+        model, _ = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        x, theta, header = load_factors(p)
+        np.testing.assert_array_equal(x, model.x_)
+        np.testing.assert_array_equal(theta, model.theta_)
+        assert header["format_version"] == 2
+        assert header["f"] == model.config.f
+
+    def test_missing_array_rejected(self, fitted, tmp_path):
+        model, _ = fitted
+        p = tmp_path / "model.npz"
+        save_model(p, model)
+        with np.load(p) as z:
+            data = dict(z)
+        del data["theta"]
+        np.savez(p, **data)
+        with pytest.raises(ValueError, match="corrupt|checksum"):
+            load_factors(p)
+
+    def test_same_integrity_errors_as_load_model(self, tmp_path):
+        p = tmp_path / "model.npz"
+        p.write_bytes(b"not an archive")
+        with pytest.raises(ValueError, match="corrupt|truncated"):
+            load_factors(p)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.data import SyntheticConfig, generate_ratings, train_test_split
-from repro.recommender import MFRecommender
+from repro.recommender import InvalidRatingsError, MFRecommender, UnknownIdError
 
 
 @pytest.fixture(scope="module")
@@ -122,3 +122,62 @@ class TestValidation:
             _ = rec.simulated_seconds
         with pytest.raises(RuntimeError):
             _ = rec.algorithm_used
+
+
+class TestInputValidation:
+    def fit_args(self, users, items, ratings):
+        return (
+            np.asarray(users),
+            np.asarray(items),
+            np.asarray(ratings, dtype=np.float64),
+        )
+
+    def test_duplicate_pairs_rejected_with_indices(self):
+        users = [0, 1, 0, 2, 1]
+        items = [5, 6, 5, 7, 6]  # (0,5) at 0&2, (1,6) at 1&4
+        with pytest.raises(InvalidRatingsError, match="duplicate") as exc:
+            MFRecommender(epochs=1).fit(*self.fit_args(users, items, [1] * 5))
+        assert exc.value.indices == (2, 4)
+        assert "[2, 4" in str(exc.value)
+
+    def test_duplicates_are_also_a_value_error(self):
+        # Callers catching plain ValueError keep working.
+        with pytest.raises(ValueError):
+            MFRecommender(epochs=1).fit(
+                *self.fit_args([0, 0], [1, 1], [1.0, 2.0])
+            )
+
+    def test_nan_and_inf_ratings_rejected_with_indices(self):
+        ratings = [1.0, np.nan, 2.0, np.inf]
+        with pytest.raises(InvalidRatingsError, match="non-finite") as exc:
+            MFRecommender(epochs=1).fit(
+                *self.fit_args([0, 1, 2, 3], [0, 1, 2, 3], ratings)
+            )
+        assert exc.value.indices == (1, 3)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            MFRecommender(epochs=1).fit(
+                *self.fit_args([0, 1], [0, 1, 2], [1.0, 2.0])
+            )
+
+    def test_long_index_lists_are_previewed(self):
+        n = 40
+        users = list(range(n)) * 2
+        items = [0] * (2 * n)
+        with pytest.raises(InvalidRatingsError) as exc:
+            MFRecommender(epochs=1).fit(
+                *self.fit_args(users, items, [1.0] * (2 * n))
+            )
+        assert len(exc.value.indices) == n
+        assert f"({n} total)" in str(exc.value)
+
+    def test_predict_unknown_ids_carry_offenders(self, triplets):
+        (tu, ti, tr), _, _ = triplets
+        rec = MFRecommender(factors=8, algorithm="als", epochs=2).fit(
+            tu, ti, tr, num_users=500, num_items=200
+        )
+        with pytest.raises(UnknownIdError) as exc:
+            rec.predict(np.array([0, 9999, 1]), np.array([0, 0, 4444]))
+        assert exc.value.indices == (1, 2)
+        assert isinstance(exc.value, IndexError)
