@@ -14,6 +14,13 @@ when bandwidth-bound (Observation 1), FP16 storage being safe only under
   overflow / accumulate-vs-store / CG-truncation analysis;
 * :mod:`~repro.analysis.ast_lint` — ``AL001``-``AL005``: repo-convention
   AST lint run over ``src/repro`` itself (``repro analyze --self``);
+* :mod:`~repro.analysis.dataflow` — ``DF001``-``DF005`` /
+  ``RC001``-``RC004``: interprocedural precision-flow and
+  buffer-provenance analysis over the hot-path modules
+  (``repro analyze --dataflow``), paired with the runtime
+  :class:`~repro.runtime.sanitizer.ArenaSanitizer` witness;
+* :mod:`~repro.analysis.baseline` — suppression baselines so
+  ``--strict`` gates on new findings only;
 * :mod:`~repro.analysis.runner` — workload-level glue used by the CLI
   and the tuner.
 
@@ -38,6 +45,18 @@ from .diagnostics import (
 )
 from .kernel_lint import lint_kernel_spec, lint_streaming_l1_request
 from .ast_lint import DEFAULT_IGNORES, lint_file, lint_source, lint_tree
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .dataflow import (
+    DEFAULT_DATAFLOW_PATHS,
+    analyze_dataflow,
+    analyze_sources,
+    build_program,
+)
 from .precision_lint import (
     AUStats,
     lint_precision,
@@ -48,13 +67,20 @@ from .runner import analyze_workload, sample_workload_stats
 
 __all__ = [
     "AUStats",
+    "DEFAULT_BASELINE_NAME",
+    "DEFAULT_DATAFLOW_PATHS",
     "DEFAULT_IGNORES",
     "Diagnostic",
     "RULE_REGISTRY",
     "RuleInfo",
     "Severity",
+    "analyze_dataflow",
+    "analyze_sources",
     "analyze_workload",
+    "apply_baseline",
+    "build_program",
     "has_errors",
+    "load_baseline",
     "lint_file",
     "lint_kernel_spec",
     "lint_precision",
@@ -69,4 +95,5 @@ __all__ = [
     "rule_info",
     "sample_au_stats",
     "sample_workload_stats",
+    "write_baseline",
 ]

@@ -73,9 +73,15 @@ AL005 = register_rule(
 )
 
 #: Path fragments marking the hot path where AL005 applies.  Everything
-#: under repro/core and repro/runtime runs inside training epochs; other
+#: under repro/core and repro/runtime runs inside training epochs, and
+#: the serving batcher/engine run inside the request loop; other
 #: packages (metrics, harness, ...) may allocate in loops freely.
-_HOT_PATH_FRAGMENTS = ("/core/", "/runtime/")
+_HOT_PATH_FRAGMENTS = (
+    "/core/",
+    "/runtime/",
+    "/serving/batcher.py",
+    "/serving/engine.py",
+)
 
 #: numpy constructors AL005 flags when called inside a loop.
 _ALLOC_FUNCS = frozenset(

@@ -1,0 +1,92 @@
+"""Suppression baselines: gate ``--strict`` on *new* findings only.
+
+A baseline file records the accepted pre-existing findings once, as
+stable fingerprints.  ``repro analyze --baseline [FILE]`` subtracts them
+from the current report, so CI can hard-fail on every finding that is
+not in the baseline while a legacy finding is being paid down.
+
+Fingerprints are ``(rule, path, message)`` — deliberately **without the
+line number**, so unrelated edits that shift a finding up or down the
+file do not un-suppress it.  Two identical findings in one file collapse
+to one fingerprint; that is the right granularity for a suppression
+(the baseline answers "is this kind of finding here accepted?", not
+"how many are there?").
+
+The repo's own baseline (``.analysis-baseline.json`` at the repo root)
+is intentionally empty: the tree analyzes clean, and new findings must
+be fixed, not baselined.  Refresh with ``repro analyze --dataflow
+--write-baseline FILE`` only when accepting a documented debt.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .diagnostics import Diagnostic
+
+__all__ = [
+    "BASELINE_SCHEMA",
+    "DEFAULT_BASELINE_NAME",
+    "fingerprint",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_SCHEMA = "repro.analysis-baseline/v1"
+DEFAULT_BASELINE_NAME = ".analysis-baseline.json"
+
+Fingerprint = tuple[str, str, str]
+
+
+def fingerprint(diag: Diagnostic) -> Fingerprint:
+    """Stable identity of one finding: (rule, path-sans-line, message)."""
+    path, sep, line = diag.subject.rpartition(":")
+    if not (sep and line.isdigit()):
+        path = diag.subject
+    return (diag.rule_id, path, diag.message)
+
+
+def load_baseline(path: str | os.PathLike) -> set[Fingerprint]:
+    """Load accepted fingerprints; a malformed file is an error, never
+    an empty baseline (that would silently un-gate CI)."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: expected schema {BASELINE_SCHEMA!r}, "
+            f"got {payload.get('schema')!r}"
+        )
+    out: set[Fingerprint] = set()
+    for entry in payload.get("findings", []):
+        out.add((str(entry["rule"]), str(entry["path"]), str(entry["message"])))
+    return out
+
+
+def write_baseline(path: str | os.PathLike, diagnostics: list[Diagnostic]) -> int:
+    """Record the current findings as the accepted baseline.
+
+    Returns the number of (unique) fingerprints written.  Output is
+    sorted so the file itself diffs cleanly.
+    """
+    prints = sorted({fingerprint(d) for d in diagnostics})
+    payload = {
+        "schema": BASELINE_SCHEMA,
+        "findings": [
+            {"rule": rule, "path": p, "message": message}
+            for rule, p, message in prints
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return len(prints)
+
+
+def apply_baseline(
+    diagnostics: list[Diagnostic], baseline: set[Fingerprint]
+) -> tuple[list[Diagnostic], int]:
+    """Split findings into (new, suppressed-count) against a baseline."""
+    fresh = [d for d in diagnostics if fingerprint(d) not in baseline]
+    return fresh, len(diagnostics) - len(fresh)

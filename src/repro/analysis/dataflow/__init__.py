@@ -1,0 +1,57 @@
+"""Interprocedural dataflow analysis for the hot-path pipeline.
+
+The paper's Solution 4 (FP16 *storage* with FP32 *accumulation*) and the
+runtime layer's shared-memory sharding both rest on invariants that the
+single-function AST lint (``AL0xx``) cannot see: a dtype must survive a
+whole ALS→hermitian→CG→persistence flow, and a buffer's provenance must
+be tracked across ``out=``/``workspace=`` parameters and process
+boundaries.  This package builds a small IR from the ASTs of the
+hot-path modules (``core/``, ``runtime/``, ``serving/batcher.py``,
+``persistence.py``) and runs two analyses over it:
+
+* **precision flow** (``DF001``–``DF005``, :mod:`.precision`) —
+  propagate a dtype lattice (fp16/fp32/fp64/int/unknown) through
+  assignments, NumPy calls and function boundaries (return-dtype
+  summaries plus call-site parameter seeding);
+* **buffer provenance** (``RC001``–``RC004``, :mod:`.provenance`) —
+  track arena-buffer and shared-memory provenance through ``out=``
+  targets, shard row ranges and fork-worker dispatch.
+
+Every static rule has a dynamic witness in the opt-in runtime
+:class:`~repro.runtime.sanitizer.ArenaSanitizer` (``REPRO_SANITIZE=1``),
+so a rule that fires statically can be confirmed (or refuted) by running
+the code under the sanitizer.  Rule IDs and severities are catalogued in
+``docs/static_analysis.md``.
+"""
+
+from __future__ import annotations
+
+from .ir import DType, FunctionIR, ProgramIR, build_program
+from .precision import DF001, DF002, DF003, DF004, DF005, check_precision_flow
+from .provenance import RC001, RC002, RC003, RC004, check_provenance
+from .runner import (
+    DEFAULT_DATAFLOW_PATHS,
+    analyze_dataflow,
+    analyze_sources,
+)
+
+__all__ = [
+    "DEFAULT_DATAFLOW_PATHS",
+    "DF001",
+    "DF002",
+    "DF003",
+    "DF004",
+    "DF005",
+    "DType",
+    "FunctionIR",
+    "ProgramIR",
+    "RC001",
+    "RC002",
+    "RC003",
+    "RC004",
+    "analyze_dataflow",
+    "analyze_sources",
+    "build_program",
+    "check_precision_flow",
+    "check_provenance",
+]

@@ -1,0 +1,640 @@
+"""A small dataflow IR over the hot-path ASTs.
+
+The IR is deliberately modest: per function it carries the AST node, a
+flow-ordered *value environment* mapping names to abstract values
+(:class:`Val` — dtype lattice point, array-ness, arena-buffer
+provenance, alias root), and an :meth:`FunctionIR.infer` oracle that
+evaluates any expression of that function against the environment.  Two
+passes make it interprocedural:
+
+1. every function is inferred with unknown parameters, collecting
+   return dtypes (*summaries*) and the dtypes observed at every call
+   site per callee parameter;
+2. every function is re-inferred with parameters *seeded* from the
+   call-site consensus (seeded only when all observed sites agree — a
+   disagreement degrades to unknown, never to a guess) and callee
+   returns resolved through the summaries.
+
+Unknown never fires a rule, so the analysis is conservative by
+construction: precision rules only trigger on dtypes the lattice
+actually proved.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from dataclasses import dataclass, field, replace
+
+__all__ = ["DType", "Val", "FunctionIR", "ProgramIR", "build_program"]
+
+
+class DType(enum.Enum):
+    """Dtype lattice for the precision-flow analysis."""
+
+    FP16 = "fp16"
+    FP32 = "fp32"
+    FP64 = "fp64"
+    INT = "int"
+    BOOL = "bool"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_float(self) -> bool:
+        return self in (DType.FP16, DType.FP32, DType.FP64)
+
+    @property
+    def rank(self) -> int:
+        """Float precision rank; non-floats have no rank."""
+        return {DType.FP16: 16, DType.FP32: 32, DType.FP64: 64}.get(self, 0)
+
+
+def join(a: DType, b: DType) -> DType:
+    """NumPy-style promotion join; UNKNOWN absorbs (conservative)."""
+    if a is DType.UNKNOWN or b is DType.UNKNOWN:
+        return DType.UNKNOWN
+    if a is b:
+        return a
+    if a.is_float and b.is_float:
+        return a if a.rank >= b.rank else b
+    if a.is_float:
+        return a
+    if b.is_float:
+        return b
+    if DType.INT in (a, b):
+        return DType.INT
+    return DType.UNKNOWN
+
+
+@dataclass(frozen=True)
+class Val:
+    """Abstract value: lattice dtype plus provenance facts.
+
+    ``array`` is True only for values *proved* to be ndarrays — scalars
+    and unknowns never trigger the array-vs-array precision rules.
+    ``arena_key`` records ``workspace.request("key", ...)`` provenance;
+    ``root`` is the alias root (the first name the storage was bound
+    to), so ``b = a`` and later uses of ``b`` resolve back to ``a``.
+    ``from_load`` marks persistence-load results (DF003's sources).
+    """
+
+    dtype: DType = DType.UNKNOWN
+    array: bool = False
+    arena_key: str | None = None
+    root: str | None = None
+    from_load: bool = False
+
+
+UNKNOWN_VAL = Val()
+
+#: numpy dtype spellings -> lattice points.
+_DTYPE_NAMES = {
+    "float16": DType.FP16,
+    "half": DType.FP16,
+    "float32": DType.FP32,
+    "single": DType.FP32,
+    "float64": DType.FP64,
+    "double": DType.FP64,
+    "float_": DType.FP64,
+    "longdouble": DType.FP64,
+    "int8": DType.INT,
+    "int16": DType.INT,
+    "int32": DType.INT,
+    "int64": DType.INT,
+    "intp": DType.INT,
+    "uint8": DType.INT,
+    "uint16": DType.INT,
+    "uint32": DType.INT,
+    "uint64": DType.INT,
+    "bool_": DType.BOOL,
+}
+
+#: Allocators whose missing dtype= silently defaults to float64.
+ALLOC_DEFAULT_FP64 = frozenset({"zeros", "empty", "ones", "full", "linspace"})
+#: Allocators inheriting their prototype's dtype.
+_ALLOC_LIKE = frozenset({"zeros_like", "empty_like", "ones_like", "full_like"})
+#: Functions whose result dtype is the join of their array operands.
+_PRESERVING = frozenset(
+    {
+        "clip", "abs", "absolute", "add", "subtract", "multiply", "minimum",
+        "maximum", "take", "einsum", "matmul", "dot", "tensordot", "reduceat",
+        "concatenate", "stack", "vstack", "hstack", "transpose", "reshape",
+        "ravel", "squeeze", "ascontiguousarray", "sqrt", "square", "negative",
+        "sum", "mean", "prod", "cumsum", "diff", "where", "copy", "power",
+        "divide", "true_divide", "subtract", "multiply", "outer",
+    }
+)
+#: Generator methods returning float64 arrays (np.random.Generator).
+_RNG_FP64 = frozenset(
+    {"normal", "standard_normal", "uniform", "random", "exponential"}
+)
+#: Array methods preserving the receiver's dtype.
+_METHOD_PRESERVING = frozenset(
+    {
+        "copy", "reshape", "transpose", "ravel", "flatten", "squeeze",
+        "sum", "mean", "max", "min", "clip", "round", "cumsum",
+    }
+)
+#: Persistence loaders (DF003 sources).
+LOAD_FUNCS = frozenset({"load_factors", "load_archive", "load", "load_model"})
+
+
+def dtype_of_node(node: ast.expr | None) -> DType:
+    """Resolve a dtype *expression* (``np.float32``, ``"float16"``, ...)."""
+    if node is None:
+        return DType.UNKNOWN
+    if isinstance(node, ast.Attribute):
+        return _DTYPE_NAMES.get(node.attr, DType.UNKNOWN)
+    if isinstance(node, ast.Name):
+        if node.id == "float":
+            return DType.FP64
+        if node.id == "int":
+            return DType.INT
+        if node.id == "bool":
+            return DType.BOOL
+        return _DTYPE_NAMES.get(node.id, DType.UNKNOWN)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _DTYPE_NAMES.get(node.value, DType.UNKNOWN)
+    if isinstance(node, ast.Call):  # np.dtype(np.float32)
+        if _basename(node.func) == "dtype" and node.args:
+            return dtype_of_node(node.args[0])
+    return DType.UNKNOWN
+
+
+def _basename(func: ast.expr) -> str:
+    """Last component of a call target: ``np.add.reduceat`` -> ``reduceat``."""
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _keyword(node: ast.Call, name: str) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def is_arena_request(node: ast.Call) -> bool:
+    """``<ws>.request("key", shape[, dtype])`` / ``<ws>.zeros(...)``."""
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr in ("request", "zeros")
+        and bool(node.args)
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+        # plain ``np.zeros(...)`` must not parse as an arena request
+        and _basename(node.func.value) not in ("np", "numpy")
+    )
+
+
+def arena_request_key(node: ast.Call) -> str:
+    return str(node.args[0].value)  # type: ignore[attr-defined]
+
+
+def arena_request_dtype(node: ast.Call) -> DType:
+    dt = _keyword(node, "dtype")
+    if dt is None and len(node.args) >= 3:
+        dt = node.args[2]
+    if dt is None:
+        return DType.FP32  # Workspace.request's documented default
+    return dtype_of_node(dt)
+
+
+@dataclass
+class FunctionIR:
+    """One analyzed function: AST, location, and its value environment."""
+
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    filename: str
+    qualname: str
+    env: dict[str, Val] = field(default_factory=dict)
+    params: tuple[str, ...] = ()
+    return_val: Val = UNKNOWN_VAL
+    _program: "ProgramIR | None" = None
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    def infer(self, expr: ast.expr) -> Val:
+        """Abstract value of ``expr`` under this function's environment."""
+        return _infer_expr(expr, self.env, self._program)
+
+    def resolve_root(self, expr: ast.expr) -> str | None:
+        """Alias root of an lvalue-ish expression (through views/slices)."""
+        e = expr
+        while True:
+            if isinstance(e, ast.Subscript):
+                e = e.value
+            elif isinstance(e, ast.Attribute):
+                if e.attr in ("T",):
+                    e = e.value
+                else:
+                    return None
+            elif isinstance(e, ast.Call):
+                # view-producing methods: x.reshape(...), x.transpose(...)
+                if (
+                    isinstance(e.func, ast.Attribute)
+                    and e.func.attr in ("reshape", "transpose", "view", "ravel")
+                ):
+                    e = e.func.value
+                else:
+                    return None
+            elif isinstance(e, ast.Name):
+                bound = self.env.get(e.id)
+                if bound is not None and bound.root is not None:
+                    return bound.root
+                return e.id
+            else:
+                return None
+
+
+@dataclass
+class ProgramIR:
+    """All analyzed functions plus the interprocedural summary tables."""
+
+    functions: list[FunctionIR] = field(default_factory=list)
+    #: callee basename -> consensus return value
+    summaries: dict[str, Val] = field(default_factory=dict)
+    #: (callee basename, param name) -> consensus argument dtype
+    param_seeds: dict[tuple[str, str], DType] = field(default_factory=dict)
+    #: call-site observations collected during the current pass
+    _observations: dict[tuple[str, str], set[DType]] = field(default_factory=dict)
+    _local_names: set[str] = field(default_factory=set)
+
+    def observe_call(self, callee: str, param: str, dtype: DType) -> None:
+        self._observations.setdefault((callee, param), set()).add(dtype)
+
+
+# ---------------------------------------------------------------------------
+# expression inference
+# ---------------------------------------------------------------------------
+
+
+def _infer_call(node: ast.Call, env: dict[str, Val], prog: ProgramIR | None) -> Val:
+    base = _basename(node.func)
+    # Distinguish "no dtype= given" (defaults apply) from "dtype= given
+    # but unresolvable" (a parameter-dependent dtype: degrade to unknown,
+    # never to the default).
+    dt_node = _keyword(node, "dtype")
+    dt_given = dt_node is not None
+    dt_kw = dtype_of_node(dt_node)
+
+    if is_arena_request(node):
+        return Val(
+            dtype=arena_request_dtype(node),
+            array=True,
+            arena_key=arena_request_key(node),
+        )
+
+    # np.float32(x) and friends: typed scalars (never promote an array op).
+    if base in _DTYPE_NAMES and isinstance(node.func, ast.Attribute):
+        return Val(dtype=_DTYPE_NAMES[base], array=False)
+
+    if base in ("asarray", "ascontiguousarray", "array", "asfarray"):
+        if dt_given:
+            return Val(dtype=dt_kw, array=True)
+        if node.args:
+            inner = _infer_expr(node.args[0], env, prog)
+            return replace(inner, array=True) if inner.array else UNKNOWN_VAL
+        return UNKNOWN_VAL
+
+    if base in ALLOC_DEFAULT_FP64 and _is_numpy_call(node):
+        # positional dtype: np.zeros(shape, np.float32) / np.full(shape, v, dt)
+        pos = 2 if base == "full" else 1
+        if not dt_given and len(node.args) > pos:
+            dt_given, dt_kw = True, dtype_of_node(node.args[pos])
+        if dt_given:
+            return Val(dtype=dt_kw, array=True)
+        return Val(dtype=DType.FP64, array=True)
+
+    if base in _ALLOC_LIKE and _is_numpy_call(node):
+        if dt_given:
+            return Val(dtype=dt_kw, array=True)
+        if node.args:
+            proto = _infer_expr(node.args[0], env, prog)
+            if proto.array:
+                return Val(dtype=proto.dtype, array=True)
+        return Val(dtype=DType.UNKNOWN, array=True)
+
+    if base == "astype":
+        # x.astype(np.float32): receiver keeps provenance, dtype replaced.
+        recv = (
+            _infer_expr(node.func.value, env, prog)
+            if isinstance(node.func, ast.Attribute)
+            else UNKNOWN_VAL
+        )
+        target = dtype_of_node(node.args[0]) if node.args else dt_kw
+        return replace(recv, dtype=target, array=True)
+
+    if base == "view" and isinstance(node.func, ast.Attribute):
+        recv = _infer_expr(node.func.value, env, prog)
+        if not node.args and _keyword(node, "dtype") is None:
+            return recv  # bare .view() keeps the dtype
+        target = dtype_of_node(node.args[0] if node.args else _keyword(node, "dtype"))
+        # an unresolvable view target must degrade to unknown, not keep
+        # the receiver's dtype — .view(dt) reinterprets the bytes
+        return replace(recv, dtype=target)
+
+    if base in _RNG_FP64 and isinstance(node.func, ast.Attribute):
+        return Val(dtype=DType.FP64, array=True)
+
+    if base in LOAD_FUNCS:
+        return Val(dtype=DType.UNKNOWN, array=True, from_load=True)
+
+    if base in _PRESERVING:
+        if dt_given:
+            return Val(dtype=dt_kw, array=True)
+        operands = []
+        if isinstance(node.func, ast.Attribute) and base in _METHOD_PRESERVING:
+            # method form: x.sum(), x.clip(...) — receiver dominates
+            recv = _infer_expr(node.func.value, env, prog)
+            if recv.array:
+                operands.append(recv)
+        for arg in node.args:
+            if isinstance(arg, ast.Constant):
+                continue  # einsum subscripts, axis literals, weak scalars
+            v = _infer_expr(arg, env, prog)
+            if v.array:
+                operands.append(v)
+        if not operands:
+            return UNKNOWN_VAL
+        out = operands[0].dtype
+        for v in operands[1:]:
+            out = join(out, v.dtype)
+        return Val(dtype=out, array=True)
+
+    # interprocedural: resolve through the summary table
+    if prog is not None and base in prog.summaries:
+        return prog.summaries[base]
+
+    return UNKNOWN_VAL
+
+
+def _is_numpy_call(node: ast.Call) -> bool:
+    return isinstance(node.func, ast.Attribute) and _basename(node.func.value) in (
+        "np",
+        "numpy",
+    )
+
+
+def _infer_expr(
+    expr: ast.expr, env: dict[str, Val], prog: ProgramIR | None
+) -> Val:
+    if isinstance(expr, ast.Name):
+        return env.get(expr.id, UNKNOWN_VAL)
+    if isinstance(expr, ast.Constant):
+        # Python literals are weak scalars: they adopt the array operand's
+        # dtype under NumPy promotion, so they carry no lattice point.
+        return UNKNOWN_VAL
+    if isinstance(expr, ast.Call):
+        return _infer_call(expr, env, prog)
+    if isinstance(expr, ast.Subscript):
+        base = _infer_expr(expr.value, env, prog)
+        return replace(base, arena_key=base.arena_key)
+    if isinstance(expr, ast.Attribute):
+        if expr.attr in ("T", "real"):
+            return _infer_expr(expr.value, env, prog)
+        if expr.attr in ("shape", "size", "nbytes", "ndim", "itemsize"):
+            return Val(dtype=DType.INT, array=False)
+        return UNKNOWN_VAL
+    if isinstance(expr, ast.BinOp):
+        left = _infer_expr(expr.left, env, prog)
+        right = _infer_expr(expr.right, env, prog)
+        arrays = [v for v in (left, right) if v.array]
+        if not arrays:
+            return UNKNOWN_VAL
+        if len(arrays) == 1:
+            return Val(dtype=arrays[0].dtype, array=True)
+        return Val(dtype=join(left.dtype, right.dtype), array=True)
+    if isinstance(expr, ast.UnaryOp):
+        return _infer_expr(expr.operand, env, prog)
+    if isinstance(expr, (ast.Compare, ast.BoolOp)):
+        return Val(dtype=DType.BOOL, array=False)
+    if isinstance(expr, ast.IfExp):
+        a = _infer_expr(expr.body, env, prog)
+        b = _infer_expr(expr.orelse, env, prog)
+        if a.array and b.array:
+            return Val(dtype=join(a.dtype, b.dtype), array=True)
+        return a if a.array else (b if b.array else UNKNOWN_VAL)
+    return UNKNOWN_VAL
+
+
+# ---------------------------------------------------------------------------
+# environment construction
+# ---------------------------------------------------------------------------
+
+
+class _EnvBuilder(ast.NodeVisitor):
+    """Flow-ordered single pass binding names to abstract values."""
+
+    def __init__(
+        self,
+        env: dict[str, Val],
+        prog: ProgramIR | None,
+        collect: bool,
+    ) -> None:
+        self.env = env
+        self.prog = prog
+        self.collect = collect  # record call-site observations this pass?
+        self.returns: list[Val] = []
+
+    def _bind(self, target: ast.expr, value: Val, value_node: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            # plain aliasing (``b = a``) inherits the alias root
+            if isinstance(value_node, ast.Name):
+                src = self.env.get(value_node.id, UNKNOWN_VAL)
+                root = src.root or value_node.id
+                value = replace(src, root=root)
+            elif value.root is None:
+                value = replace(value, root=target.id)
+            self.env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if isinstance(value_node, (ast.Tuple, ast.List)) and len(
+                value_node.elts
+            ) == len(target.elts):
+                for t, v in zip(target.elts, value_node.elts):
+                    self._bind(t, _infer_expr(v, self.env, self.prog), v)
+            else:
+                # tuple-unpack of a summarized call: uniform element dtype
+                for t in target.elts:
+                    self._bind(t, replace(value, root=None), value_node)
+        # subscript/attribute stores do not rebind names
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        value = _infer_expr(node.value, self.env, self.prog)
+        for target in node.targets:
+            self._bind(target, value, node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if node.value is not None:
+            value = _infer_expr(node.value, self.env, self.prog)
+            self._bind(node.target, value, node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node)
+        # x += y keeps x's binding (in-place ops do not change dtype)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        self.generic_visit(node)
+        if node.value is None:
+            return
+        if isinstance(node.value, ast.Tuple):
+            vals = [
+                _infer_expr(e, self.env, self.prog) for e in node.value.elts
+            ]
+            arrays = [v for v in vals if v.array]
+            if arrays and all(
+                v.dtype is arrays[0].dtype and v.dtype is not DType.UNKNOWN
+                for v in arrays
+            ):
+                self.returns.append(Val(dtype=arrays[0].dtype, array=True))
+            else:
+                self.returns.append(UNKNOWN_VAL)
+            return
+        self.returns.append(_infer_expr(node.value, self.env, self.prog))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self.generic_visit(node)
+        if not self.collect or self.prog is None:
+            return
+        callee = _basename(node.func)
+        if callee not in self.prog._local_names:
+            return
+        fn = next(
+            (f for f in self.prog.functions if f.name == callee), None
+        )
+        if fn is None:
+            return
+        # positional args map onto the callee's parameter names
+        for pos, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred) or pos >= len(fn.params):
+                break
+            v = _infer_expr(arg, self.env, self.prog)
+            self.prog.observe_call(callee, fn.params[pos], v.dtype)
+        for kw in node.keywords:
+            if kw.arg is not None and kw.arg in fn.params:
+                v = _infer_expr(kw.value, self.env, self.prog)
+                self.prog.observe_call(callee, kw.arg, v.dtype)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested functions are analyzed as their own FunctionIR
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _module_env(tree: ast.Module, prog: ProgramIR | None) -> dict[str, Val]:
+    """Module-level constant bindings visible to every function."""
+    env: dict[str, Val] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and isinstance(
+            stmt.targets[0], ast.Name
+        ):
+            env[stmt.targets[0].id] = _infer_expr(stmt.value, env, prog)
+    return env
+
+
+def _function_params(node: ast.FunctionDef | ast.AsyncFunctionDef) -> tuple[str, ...]:
+    a = node.args
+    names = [p.arg for p in (*a.posonlyargs, *a.args, *a.kwonlyargs)]
+    return tuple(n for n in names if n not in ("self", "cls"))
+
+
+def _collect_functions(
+    tree: ast.Module, filename: str
+) -> list[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]]:
+    out: list[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]] = []
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                out.append((child, qual))
+                walk(child, f"{qual}.")
+            elif isinstance(child, ast.ClassDef):
+                walk(child, f"{prefix}{child.name}.")
+
+    walk(tree, f"{filename}::")
+    return out
+
+
+def _infer_function(
+    fn: FunctionIR,
+    module_env: dict[str, Val],
+    prog: ProgramIR,
+    collect: bool,
+) -> None:
+    env: dict[str, Val] = dict(module_env)
+    for param in fn.params:
+        seeded = prog.param_seeds.get((fn.name, param), DType.UNKNOWN)
+        env[param] = Val(
+            dtype=seeded, array=seeded is not DType.UNKNOWN, root=param
+        )
+    builder = _EnvBuilder(env, prog, collect)
+    for stmt in fn.node.body:
+        builder.visit(stmt)
+    fn.env = env
+    ret = UNKNOWN_VAL
+    for v in builder.returns:
+        if v.dtype is not DType.UNKNOWN:
+            ret = v if ret.dtype is DType.UNKNOWN else Val(
+                dtype=join(ret.dtype, v.dtype), array=ret.array or v.array
+            )
+        else:
+            ret = UNKNOWN_VAL
+            break  # any unknown return degrades the whole summary
+    fn.return_val = ret
+
+
+def build_program(sources: dict[str, str]) -> ProgramIR:
+    """Parse ``{filename: source}`` and run the two inference passes."""
+    prog = ProgramIR()
+    modules: list[tuple[ast.Module, str]] = []
+    for filename, source in sorted(sources.items()):
+        tree = ast.parse(source, filename=filename)
+        modules.append((tree, filename))
+        for node, qual in _collect_functions(tree, filename):
+            prog.functions.append(
+                FunctionIR(
+                    node=node,
+                    filename=filename,
+                    qualname=qual,
+                    params=_function_params(node),
+                    _program=prog,
+                )
+            )
+    prog._local_names = {f.name for f in prog.functions}
+
+    module_envs = {filename: _module_env(tree, prog) for tree, filename in modules}
+
+    # pass 1: unknown params; collect summaries + call-site observations
+    for fn in prog.functions:
+        _infer_function(fn, module_envs[fn.filename], prog, collect=True)
+    prog.summaries = {
+        fn.name: fn.return_val
+        for fn in prog.functions
+        if fn.return_val.dtype is not DType.UNKNOWN
+    }
+    # consensus-only parameter seeding: all observed sites must agree
+    for (callee, param), dtypes in prog._observations.items():
+        known = {d for d in dtypes if d is not DType.UNKNOWN}
+        if len(known) == 1 and dtypes == known:
+            prog.param_seeds[(callee, param)] = next(iter(known))
+
+    # pass 2: re-infer with seeds and summaries in place
+    for fn in prog.functions:
+        _infer_function(fn, module_envs[fn.filename], prog, collect=False)
+    prog.summaries = {
+        fn.name: fn.return_val
+        for fn in prog.functions
+        if fn.return_val.dtype is not DType.UNKNOWN
+    }
+    return prog

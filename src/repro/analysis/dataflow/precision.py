@@ -1,0 +1,411 @@
+"""Precision-flow rules DF001–DF005 over the dataflow IR.
+
+The paper's Solution 4 stores factors at FP16 but *accumulates* at FP32
+(convert-on-load); every rule here defends one edge of that contract.
+All rules are conservative: they fire only on dtypes the lattice proved,
+so an ``unknown`` operand never produces a finding, and an explicit
+``.astype(...)`` (the paper's sanctioned conversion point) never counts
+as "silent".
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic, Severity, register_rule
+from .ir import DType, FunctionIR, ProgramIR, Val
+
+__all__ = [
+    "DF001",
+    "DF002",
+    "DF003",
+    "DF004",
+    "DF005",
+    "check_precision_flow",
+]
+
+DF001 = register_rule(
+    "DF001",
+    "silent FP16 upcast in a mixed-precision expression",
+    "paper Solution 4: FP16 storage converts explicitly on load, never mid-expression",
+)
+DF002 = register_rule(
+    "DF002",
+    "accumulation performed at FP16 storage precision",
+    "paper Solution 4: accumulate at FP32; FP16 reductions lose the result",
+)
+DF003 = register_rule(
+    "DF003",
+    "dtype-losing round-trip through persistence",
+    "paper Solution 4: disk round-trips must preserve working precision",
+)
+DF004 = register_rule(
+    "DF004",
+    "astype to FP16 ignores the declared precision config",
+    "paper Table 4: precision is a config knob, not a hard-coded cast",
+)
+DF005 = register_rule(
+    "DF005",
+    "silent downcast into a lower-precision destination",
+    "paper Solution 4: downcasts happen only at the declared quantize point",
+)
+
+#: Reductions where an FP16 operand means accumulating at storage
+#: precision (DF002).  Elementwise FP16 math is Solution 4's whole point
+#: and is *not* in this set.
+_REDUCTION_FUNCS = frozenset(
+    {
+        "einsum",
+        "matmul",
+        "dot",
+        "tensordot",
+        "vdot",
+        "inner",
+        "reduceat",
+        "sum",
+        "mean",
+        "prod",
+        "cumsum",
+    }
+)
+
+#: Non-reduction dtype-preserving calls whose implicit promotion DF001
+#: covers (reductions are DF002's jurisdiction).
+_MIXABLE_FUNCS = frozenset(
+    {
+        "add",
+        "subtract",
+        "multiply",
+        "divide",
+        "true_divide",
+        "minimum",
+        "maximum",
+        "where",
+        "clip",
+        "hypot",
+        "power",
+    }
+)
+
+#: Persistence sinks DF003 watches for FP16 payloads.
+_PERSIST_SINKS = frozenset(
+    {"save_model", "save", "savez", "savez_compressed", "atomic_savez", "dump"}
+)
+
+
+def _basename(func: ast.expr) -> str:
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def _keyword(node: ast.Call, name: str) -> ast.expr | None:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _subject(fn: FunctionIR, node: ast.AST) -> str:
+    return f"{fn.filename}:{getattr(node, 'lineno', 0)}"
+
+
+def _known_float_arrays(fn: FunctionIR, exprs: list[ast.expr]) -> list[Val]:
+    vals = []
+    for e in exprs:
+        if isinstance(e, ast.Constant):
+            continue
+        v = fn.infer(e)
+        if v.array and v.dtype.is_float:
+            vals.append(v)
+    return vals
+
+
+def _is_astype(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr == "astype"
+    )
+
+
+def _parents(root: ast.AST) -> dict[ast.AST, ast.AST]:
+    out: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            out[child] = node
+    return out
+
+
+def _mentions_precision(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if isinstance(node, ast.Name) and "precision" in node.id.lower():
+            return True
+        if isinstance(node, ast.Attribute) and node.attr == "precision":
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# DF001 / DF002 — mixed-precision expressions and FP16 accumulation
+# ---------------------------------------------------------------------------
+
+
+def _check_mixing(fn: FunctionIR, out: list[Diagnostic]) -> None:
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.BinOp):
+            operands = [node.left, node.right]
+            vals = _known_float_arrays(fn, operands)
+            if isinstance(node.op, ast.MatMult):
+                if any(v.dtype is DType.FP16 for v in vals):
+                    out.append(
+                        Diagnostic(
+                            rule_id=DF002,
+                            severity=Severity.ERROR,
+                            subject=_subject(fn, node),
+                            message=(
+                                f"matmul in {fn.name} accumulates an FP16 "
+                                "operand at storage precision"
+                            ),
+                            hint="convert to FP32 on load (astype) before reducing",
+                        )
+                    )
+                continue
+            _flag_implicit_mix(fn, node, operands, vals, out)
+        elif isinstance(node, ast.Call):
+            base = _basename(node.func)
+            args = list(node.args)
+            if isinstance(node.func, ast.Attribute) and base in _REDUCTION_FUNCS:
+                args = [node.func.value, *args]
+            vals = _known_float_arrays(fn, args)
+            if base in _REDUCTION_FUNCS:
+                if any(v.dtype is DType.FP16 for v in vals):
+                    out.append(
+                        Diagnostic(
+                            rule_id=DF002,
+                            severity=Severity.ERROR,
+                            subject=_subject(fn, node),
+                            message=(
+                                f"{base} in {fn.name} accumulates an FP16 "
+                                "operand at storage precision"
+                            ),
+                            hint="convert to FP32 on load (astype) before reducing",
+                        )
+                    )
+            elif base in _MIXABLE_FUNCS:
+                _flag_implicit_mix(fn, node, node.args, vals, out)
+
+
+def _flag_implicit_mix(
+    fn: FunctionIR,
+    node: ast.AST,
+    operand_exprs: list[ast.expr],
+    vals: list[Val],
+    out: list[Diagnostic],
+) -> None:
+    ranks = {v.dtype.rank for v in vals}
+    if len(ranks) < 2 or DType.FP16 not in {v.dtype for v in vals}:
+        return
+    # an explicit astype anywhere in the expression marks the conversion
+    # as intentional: that is the sanctioned convert-on-load point
+    if any(_is_astype(e) for e in operand_exprs if not isinstance(e, ast.Constant)):
+        return
+    hi = max(ranks)
+    out.append(
+        Diagnostic(
+            rule_id=DF001,
+            severity=Severity.WARNING,
+            subject=_subject(fn, node),
+            message=(
+                f"expression in {fn.name} silently promotes an FP16 array "
+                f"to fp{hi}"
+            ),
+            hint="make the conversion explicit with astype at the load point",
+        )
+    )
+
+
+# ---------------------------------------------------------------------------
+# DF003 — persistence round-trips
+# ---------------------------------------------------------------------------
+
+
+def _check_persistence(fn: FunctionIR, out: list[Diagnostic]) -> None:
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.Call):
+            continue
+        base = _basename(node.func)
+        if base in _PERSIST_SINKS:
+            exprs = [*node.args, *[kw.value for kw in node.keywords if kw.arg]]
+            for e in exprs:
+                v = fn.infer(e)
+                if v.array and v.dtype is DType.FP16:
+                    out.append(
+                        Diagnostic(
+                            rule_id=DF003,
+                            severity=Severity.WARNING,
+                            subject=_subject(fn, node),
+                            message=(
+                                f"{base} in {fn.name} persists an FP16 array; "
+                                "the load path restores a different precision"
+                            ),
+                            hint="persist the FP32 master copy; FP16 is a storage-"
+                            "side optimization, not an archival format",
+                        )
+                    )
+                    break
+        elif base == "astype" and isinstance(node.func, ast.Attribute):
+            recv = fn.infer(node.func.value)
+            target = fn.infer(node)
+            if recv.from_load and target.dtype is DType.FP16:
+                out.append(
+                    Diagnostic(
+                        rule_id=DF003,
+                        severity=Severity.WARNING,
+                        subject=_subject(fn, node),
+                        message=(
+                            f"{fn.name} downcasts a loaded array to FP16; the "
+                            "persisted precision is lost on this round-trip"
+                        ),
+                        hint="load at the archived precision and quantize via the "
+                        "declared precision config",
+                    )
+                )
+
+
+# ---------------------------------------------------------------------------
+# DF004 — unguarded FP16 casts in precision-parameterized functions
+# ---------------------------------------------------------------------------
+
+
+def _precision_guard_lines(fn: FunctionIR) -> list[int]:
+    """Line numbers of early-return Ifs that test the precision knob."""
+    lines = []
+    for node in ast.walk(fn.node):
+        if (
+            isinstance(node, ast.If)
+            and _mentions_precision(node.test)
+            and node.body
+            and isinstance(node.body[-1], (ast.Return, ast.Raise, ast.Continue))
+        ):
+            lines.append(node.lineno)
+    return lines
+
+
+def _check_declared_precision(fn: FunctionIR, out: list[Diagnostic]) -> None:
+    if not any("precision" in p.lower() for p in fn.params):
+        return
+    parents = _parents(fn.node)
+    guard_lines = _precision_guard_lines(fn)
+    for node in ast.walk(fn.node):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "astype"
+            and fn.infer(node).dtype is DType.FP16
+        ):
+            continue
+        guarded = any(line < node.lineno for line in guard_lines)
+        cursor: ast.AST | None = node
+        while not guarded and cursor is not None:
+            if isinstance(cursor, (ast.If, ast.IfExp)) and _mentions_precision(
+                cursor.test
+            ):
+                guarded = True
+            cursor = parents.get(cursor)
+        if not guarded:
+            out.append(
+                Diagnostic(
+                    rule_id=DF004,
+                    severity=Severity.ERROR,
+                    subject=_subject(fn, node),
+                    message=(
+                        f"{fn.name} takes a precision parameter but casts to "
+                        "FP16 unconditionally"
+                    ),
+                    hint="branch on the declared precision before quantizing",
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
+# DF005 — silent downcasting stores
+# ---------------------------------------------------------------------------
+
+
+def _check_downcasts(fn: FunctionIR, out: list[Diagnostic]) -> None:
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            base = _basename(node.func)
+            if base == "copyto" and len(node.args) >= 2:
+                if _keyword(node, "casting") is not None:
+                    continue  # explicit casting= marks the downcast intentional
+                dst = fn.infer(node.args[0])
+                src = fn.infer(node.args[1])
+                if (
+                    dst.array
+                    and src.array
+                    and dst.dtype.is_float
+                    and src.dtype.is_float
+                    and dst.dtype.rank < src.dtype.rank
+                ):
+                    out.append(_downcast_diag(fn, node, dst, src))
+            else:
+                out_kw = _keyword(node, "out")
+                if out_kw is None:
+                    continue
+                dst = fn.infer(out_kw)
+                srcs = _known_float_arrays(fn, list(node.args))
+                if not (dst.array and dst.dtype.is_float and srcs):
+                    continue
+                hi = max(v.dtype.rank for v in srcs)
+                if dst.dtype.rank < hi:
+                    out.append(
+                        _downcast_diag(
+                            fn, node, dst, max(srcs, key=lambda v: v.dtype.rank)
+                        )
+                    )
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Subscript):
+                    continue
+                if _is_astype(node.value):
+                    continue  # explicit conversion at the store
+                dst = fn.infer(target.value)
+                src = fn.infer(node.value)
+                if (
+                    dst.array
+                    and src.array
+                    and dst.dtype.is_float
+                    and src.dtype.is_float
+                    and dst.dtype.rank < src.dtype.rank
+                ):
+                    out.append(_downcast_diag(fn, node, dst, src))
+
+
+def _downcast_diag(
+    fn: FunctionIR, node: ast.AST, dst: Val, src: Val
+) -> Diagnostic:
+    return Diagnostic(
+        rule_id=DF005,
+        severity=Severity.WARNING,
+        subject=_subject(fn, node),
+        message=(
+            f"store in {fn.name} silently downcasts fp{src.dtype.rank} "
+            f"into an fp{dst.dtype.rank} destination"
+        ),
+        hint="pass casting= (copyto) or astype explicitly at the quantize point",
+    )
+
+
+def check_precision_flow(prog: ProgramIR) -> list[Diagnostic]:
+    """Run DF001–DF005 over every function in the program IR."""
+    out: list[Diagnostic] = []
+    for fn in prog.functions:
+        _check_mixing(fn, out)
+        _check_persistence(fn, out)
+        _check_declared_precision(fn, out)
+        _check_downcasts(fn, out)
+    return out

@@ -1,0 +1,86 @@
+"""Entry points gluing the dataflow analyses to the source tree.
+
+``analyze_dataflow`` scans the hot-path modules of an installed (or
+checked-out) ``repro`` package; ``analyze_sources`` runs the same
+analyses over in-memory sources, which is what the seeded-bug tests and
+the fixture modules use.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..diagnostics import Diagnostic
+from .ir import ProgramIR, build_program
+from .precision import check_precision_flow
+from .provenance import check_provenance
+
+__all__ = ["DEFAULT_DATAFLOW_PATHS", "analyze_dataflow", "analyze_sources"]
+
+#: Hot-path scan set, relative to the ``repro`` package directory.  The
+#: precision contract (paper Solution 4) and the buffer plumbing live in
+#: core/ and runtime/; serving's batcher and the persistence round-trip
+#: are the two consumers that can silently violate them.
+DEFAULT_DATAFLOW_PATHS = (
+    "core",
+    "runtime",
+    "serving/batcher.py",
+    "persistence.py",
+)
+
+
+def _package_root() -> str:
+    # .../repro/analysis/dataflow/runner.py -> .../repro
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.dirname(os.path.dirname(here))
+
+
+def _collect_sources(root: str, paths: tuple[str, ...]) -> dict[str, str]:
+    base = os.path.dirname(root)
+    sources: dict[str, str] = {}
+    for rel in paths:
+        full = os.path.join(root, rel)
+        if os.path.isfile(full):
+            files = [full]
+        elif os.path.isdir(full):
+            files = []
+            for dirpath, dirnames, filenames in os.walk(full):
+                dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+                files.extend(
+                    os.path.join(dirpath, fn)
+                    for fn in sorted(filenames)
+                    if fn.endswith(".py")
+                )
+        else:
+            # a vanished scan root must not read as "clean"
+            raise FileNotFoundError(f"dataflow scan path does not exist: {full}")
+        for path in files:
+            label = os.path.relpath(path, base).replace(os.sep, "/")
+            with open(path, encoding="utf-8") as fh:
+                sources[label] = fh.read()
+    return sources
+
+
+def analyze_sources(
+    sources: dict[str, str],
+) -> tuple[list[Diagnostic], ProgramIR]:
+    """Run precision-flow and provenance analyses over ``{label: source}``."""
+    prog = build_program(sources)
+    diags = check_precision_flow(prog)
+    diags.extend(check_provenance(prog))
+    return diags, prog
+
+
+def analyze_dataflow(
+    root: str | os.PathLike | None = None,
+    *,
+    paths: tuple[str, ...] = DEFAULT_DATAFLOW_PATHS,
+) -> list[Diagnostic]:
+    """Analyze the hot-path modules under ``root`` (the package dir).
+
+    ``root`` defaults to the installed ``repro`` package, so
+    ``repro analyze --dataflow`` checks whatever code it is running.
+    """
+    root = os.path.abspath(os.fspath(root)) if root is not None else _package_root()
+    diags, _ = analyze_sources(_collect_sources(root, paths))
+    return diags

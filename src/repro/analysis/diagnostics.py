@@ -143,40 +143,68 @@ def has_errors(diagnostics: list[Diagnostic]) -> bool:
     return any(d.severity is Severity.ERROR for d in diagnostics)
 
 
+def _subject_key(subject: str) -> tuple[str, int]:
+    """Split a ``path:line`` subject into sortable (path, line).
+
+    Subjects without a numeric line component (kernel names, configs)
+    sort by their full text with line 0, so mixed reports stay stable.
+    """
+    path, sep, line = subject.rpartition(":")
+    if sep and line.isdigit():
+        return path, int(line)
+    return subject, 0
+
+
 def _sorted(diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+    """Dedupe identical findings, then order by (path, line, rule id).
+
+    The positional ordering (severity only breaks ties) keeps JSON
+    reports byte-stable across runs and scan orders, so CI artifacts
+    diff cleanly.  Diagnostics are frozen/hashable; dict.fromkeys
+    dedupes while preserving first-seen order for equal keys.
+    """
+    unique = list(dict.fromkeys(diagnostics))
     return sorted(
-        diagnostics, key=lambda d: (-d.severity.rank, d.rule_id, d.subject)
+        unique,
+        key=lambda d: (
+            *_subject_key(d.subject),
+            d.rule_id,
+            -d.severity.rank,
+            d.message,
+        ),
     )
 
 
 def render_text(diagnostics: list[Diagnostic]) -> str:
-    """Human-readable report, most severe findings first."""
-    if not diagnostics:
+    """Human-readable report in (path, line, rule) order, deduped."""
+    ordered = _sorted(diagnostics)
+    if not ordered:
         return "no findings"
     lines = []
-    for d in _sorted(diagnostics):
+    for d in ordered:
         lines.append(f"{d.severity.value.upper():7s} {d.rule_id} [{d.subject}] {d.message}")
         if d.hint:
             lines.append(f"        hint: {d.hint}")
     counts = {s: 0 for s in Severity}
-    for d in diagnostics:
+    for d in ordered:
         counts[d.severity] += 1
     summary = ", ".join(
         f"{counts[s]} {s.value}" for s in (Severity.ERROR, Severity.WARNING, Severity.INFO)
         if counts[s]
     )
-    lines.append(f"-- {len(diagnostics)} finding(s): {summary}")
+    lines.append(f"-- {len(ordered)} finding(s): {summary}")
     return "\n".join(lines)
 
 
 def render_json(diagnostics: list[Diagnostic]) -> str:
-    """Machine-readable report for CI and tooling."""
+    """Machine-readable report for CI and tooling (deduped, diff-stable)."""
+    ordered = _sorted(diagnostics)
     payload = {
         "schema": "repro.analysis/v1",
-        "count": len(diagnostics),
+        "count": len(ordered),
         "max_severity": (
-            max_severity(diagnostics).value if diagnostics else None
+            max_severity(ordered).value if ordered else None
         ),
-        "diagnostics": [d.as_dict() for d in _sorted(diagnostics)],
+        "diagnostics": [d.as_dict() for d in ordered],
     }
     return json.dumps(payload, indent=2)

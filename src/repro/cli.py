@@ -21,6 +21,7 @@ self-lint sanctions this one exception (see ``analysis.ast_lint``).
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from collections.abc import Sequence
 
@@ -92,8 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
                     help="sample real A_u statistics from the surrogate dataset")
     an.add_argument("--self", dest="self_lint", action="store_true",
                     help="AST-lint the repro source tree instead of a config")
+    an.add_argument("--dataflow", action="store_true",
+                    help="run the interprocedural DF/RC dataflow analysis over "
+                         "the hot-path modules instead of a config")
     an.add_argument("--path", default=None,
-                    help="root directory for --self (default: the installed package)")
+                    help="root directory for --self/--dataflow "
+                         "(default: the installed package)")
+    an.add_argument("--baseline", nargs="?", const=".analysis-baseline.json",
+                    default=None, metavar="FILE",
+                    help="suppress findings recorded in FILE "
+                         "(default: .analysis-baseline.json) so --strict "
+                         "gates on new findings only")
+    an.add_argument("--write-baseline", default=None, metavar="FILE",
+                    help="record the current findings as the accepted "
+                         "baseline in FILE and exit 0")
     an.add_argument("--format", default="text", choices=["text", "json"])
     an.add_argument("--strict", action="store_true",
                     help="exit non-zero on warnings, not just errors")
@@ -265,24 +278,30 @@ def _cmd_tune(args) -> int:
 
 def _cmd_analyze(args) -> int:
     import os
+    import sys
 
     from .analysis import (
         Severity,
+        analyze_dataflow,
         analyze_workload,
+        apply_baseline,
         lint_tree,
+        load_baseline,
         max_severity,
         render_json,
         render_text,
         sample_workload_stats,
+        write_baseline,
     )
 
-    if args.self_lint:
-        if args.path is not None:
-            root = args.path
-        else:
-            root = os.path.dirname(os.path.abspath(__file__))
-        diags = lint_tree(root)
-        fail = bool(diags)  # the source tree must lint clean
+    if args.self_lint or args.dataflow:
+        diags = []
+        if args.self_lint:
+            root = args.path or os.path.dirname(os.path.abspath(__file__))
+            diags.extend(lint_tree(root))
+        if args.dataflow:
+            diags.extend(analyze_dataflow(args.path))
+        fail = True  # the source tree must analyze clean; recomputed below
     else:
         from .core import ALSConfig, CGConfig, Precision, ReadScheme, SolverKind
         from .data import get_dataset, load_surrogate
@@ -316,6 +335,29 @@ def _cmd_analyze(args) -> int:
             use_l1=args.use_l1,
             stats=stats,
         )
+
+    if args.write_baseline is not None:
+        count = write_baseline(args.write_baseline, diags)
+        print(f"wrote {count} baseline fingerprint(s) to {args.write_baseline}",
+              file=sys.stderr)
+        return 0
+
+    suppressed = 0
+    if args.baseline is not None:
+        from .analysis import DEFAULT_BASELINE_NAME
+
+        if args.baseline == DEFAULT_BASELINE_NAME and not os.path.exists(
+            args.baseline
+        ):
+            # bare --baseline outside a repo checkout: nothing to suppress
+            baseline = set()
+        else:
+            baseline = load_baseline(args.baseline)
+        diags, suppressed = apply_baseline(diags, baseline)
+
+    if args.self_lint or args.dataflow:
+        fail = bool(diags)  # the source tree must analyze clean
+    else:
         top = max_severity(diags)
         threshold = Severity.WARNING if args.strict else Severity.ERROR
         fail = top is not None and top >= threshold
@@ -324,6 +366,8 @@ def _cmd_analyze(args) -> int:
         print(render_json(diags))
     else:
         print(render_text(diags))
+    if suppressed:
+        print(f"({suppressed} baselined finding(s) suppressed)", file=sys.stderr)
     return 1 if fail else 0
 
 

@@ -13,13 +13,17 @@ of that discipline for the reproduction's real NumPy numerics:
   occupancy-style tile choice);
 * :mod:`~repro.runtime.bench` — the ``repro bench`` harness guarding all
   of the above against perf regressions (imported lazily by the CLI, not
-  here: it needs the core models, which themselves import this package).
+  here: it needs the core models, which themselves import this package);
+* :mod:`~repro.runtime.sanitizer` — the opt-in ``REPRO_SANITIZE=1``
+  runtime witness for the static dataflow rules (overlap, shard
+  confinement, buffer generations).
 """
 
 from .arena import Workspace
 from .autotune import AutotuneReport, autotune_plan
 from .executor import CsrView, HalfStepResult, ShardExecutor
 from .plan import SERIAL_PLAN, HermitianMethod, RuntimePlan
+from .sanitizer import SanitizerError, sanitizer_enabled
 
 __all__ = [
     "AutotuneReport",
@@ -28,7 +32,9 @@ __all__ = [
     "HermitianMethod",
     "RuntimePlan",
     "SERIAL_PLAN",
+    "SanitizerError",
     "ShardExecutor",
     "Workspace",
     "autotune_plan",
+    "sanitizer_enabled",
 ]

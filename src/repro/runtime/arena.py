@@ -18,6 +18,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from . import sanitizer
+
 __all__ = ["Workspace"]
 
 
@@ -40,10 +42,20 @@ class Workspace:
         Requests served entirely from cache.
     ``bytes_allocated``
         Total bytes of backing storage created since the last reset.
+
+    Every key additionally carries a **generation counter**, bumped when
+    its backing buffer is (re)allocated and when the arena is released.
+    A view handed out before the bump references storage the arena no
+    longer owns; under ``REPRO_SANITIZE=1`` (see
+    :mod:`repro.runtime.sanitizer`) callers pin the generation they
+    borrowed at and :meth:`check_current` turns such a stale view into a
+    hard :class:`~repro.runtime.sanitizer.SanitizerError` instead of a
+    silent read of dead scratch.
     """
 
     def __init__(self) -> None:
         self._buffers: dict[str, np.ndarray] = {}
+        self._generations: dict[str, int] = {}
         self.allocations = 0
         self.reuses = 0
         self.bytes_allocated = 0
@@ -66,6 +78,7 @@ class Workspace:
         if flat is None or flat.nbytes < nbytes:
             flat = np.empty(nbytes, dtype=np.uint8)
             self._buffers[name] = flat
+            self._generations[name] = self._generations.get(name, 0) + 1
             self.allocations += 1
             self.bytes_allocated += nbytes
             resident = self.resident_bytes
@@ -95,8 +108,31 @@ class Workspace:
     def release(self) -> None:
         """Drop every cached buffer (and reset the counters)."""
         self._buffers.clear()
+        for name in self._generations:
+            self._generations[name] += 1  # outstanding views go stale
         self.reset_counters()
         self._peak_resident = 0
+
+    def generation(self, name: str) -> int:
+        """Current generation of ``name`` (0 if never allocated).
+
+        Borrowers pin this value next to the view they received; the
+        pair is the use-after-release token :meth:`check_current`
+        validates under the sanitizer.
+        """
+        return self._generations.get(name, 0)
+
+    def check_current(self, name: str, token: int, *, context: str) -> None:
+        """Sanitizer hook: fail if ``name`` was regrown/released since
+        ``token`` was pinned (the borrowed view no longer aliases the
+        arena's storage).  No-op unless ``REPRO_SANITIZE=1``."""
+        if sanitizer.enabled() and self._generations.get(name, 0) != token:
+            sanitizer.fail(
+                f"sanitizer: workspace key {name!r} was reallocated or "
+                f"released while {context} still held a view "
+                f"(generation {self._generations.get(name, 0)} != "
+                f"borrowed {token})"
+            )
 
     @property
     def resident_bytes(self) -> int:

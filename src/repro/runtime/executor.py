@@ -60,6 +60,7 @@ from ..core.hermitian import hermitian_rows
 from ..core.multi_gpu import partition_rows
 from ..resilience.faults import InjectedWorkerKill, inject_shard_start, solver_fault_hook
 from ..resilience.health import RunHealth
+from . import sanitizer
 from .arena import Workspace
 from .plan import SERIAL_PLAN, RuntimePlan, SupervisionPolicy
 
@@ -168,9 +169,17 @@ def _compute_shard(
         )
     f = fixed.shape[1]
     plan = params.plan
+    san = sanitizer.enabled()
+    if san:
+        sanitizer.check_shard_bounds(
+            lo, hi, out.shape[0], context="_compute_shard"
+        )
     ab_out = None
+    ab_tokens = None
     if ws is not None:
         ab_out = (ws.request("exec.A", (num, f, f)), ws.request("exec.b", (num, f)))
+        if san:
+            ab_tokens = (ws.generation("exec.A"), ws.generation("exec.b"))
     A, b = hermitian_rows(
         ratings,
         fixed,
@@ -194,6 +203,19 @@ def _compute_shard(
         guard.check_normal(A, b, row_offset=lo)
     rows_out = out[lo:hi]
     warm_rows = None if warm is None else warm[lo:hi]
+    witness = None
+    if san:
+        if ws is not None and ab_tokens is not None:
+            ws.check_current("exec.A", ab_tokens[0], context="_compute_shard")
+            ws.check_current("exec.b", ab_tokens[1], context="_compute_shard")
+        # warm may alias out BY DESIGN (ALS warm-starts from the previous
+        # factors living in the very buffer being overwritten; the solver
+        # consumes x0 before writing out) — A and b must not.
+        sanitizer.check_no_overlap("out[lo:hi]", rows_out, [("A", A), ("b", b)])
+        if not forked:
+            # outside-slice snapshot is only sound single-process: under a
+            # fork pool the other shards legitimately write those rows
+            witness = sanitizer.SliceWitness(out, lo, hi)
     if params.solver is SolverKind.CG:
         hook = None
         if params.faults is not None:
@@ -217,6 +239,8 @@ def _compute_shard(
                 attempt=attempt,
                 events=events,
             )
+            if witness is not None:
+                witness.verify(context="_compute_shard (guarded solve)")
             return it, mv, events
         result = cg_solve_batched(
             A,
@@ -229,11 +253,15 @@ def _compute_shard(
             out=rows_out,
             fault_hook=hook,
         )
+        if witness is not None:
+            witness.verify(context="_compute_shard (cg solve)")
         return result.iterations, result.matvec_count, events
     solve = cholesky_solve_batched if params.direct == "cholesky" else lu_solve_batched
     np.copyto(rows_out, solve(A, b))
     if guard is not None:
         guard.check_factors(rows_out, stage="direct-solve", row_offset=lo)
+    if witness is not None:
+        witness.verify(context="_compute_shard (direct solve)")
     return 0, 0, events
 
 
@@ -479,6 +507,8 @@ class ShardExecutor:
         f = fixed.shape[1]
         shape = (ratings.m, f)
         spans = partition_rows(ratings.row_ptr, self.plan.shards)
+        if sanitizer.enabled():
+            sanitizer.check_spans(list(spans), ratings.m, context="half_step")
         workers = min(self.plan.workers, len(spans))
         if workers > 0 and "fork" not in multiprocessing.get_all_start_methods():
             if not self._warned_no_fork:

@@ -1,0 +1,140 @@
+"""Opt-in runtime witness for the static dataflow rules.
+
+Set ``REPRO_SANITIZE=1`` and the runtime layer verifies *dynamically*
+the same claims ``repro analyze --dataflow`` proves statically:
+
+* **overlap** (RC001's witness) — an ``out=`` destination must not share
+  memory with the operands it is computed from (``np.shares_memory``);
+* **shard confinement** (RC002's witness) — shard spans must be
+  in-bounds, disjoint, and cover the row space; on the serial path every
+  shard additionally gets a before/after snapshot of the rows *outside*
+  its slice, proving the solve never wrote beyond ``[lo:hi)``;
+* **generation counters** (RC003/use-after-release witness) — every
+  workspace buffer carries a generation bumped on reallocation and
+  release; a kernel that holds a view across a call that regrew the key
+  trips :meth:`repro.runtime.arena.Workspace.check_current`.
+
+Checks **fail fast**: the first violation raises :class:`SanitizerError`
+(and is appended to :data:`report_log` for post-mortem accounting).
+With the variable unset every hook is a single falsy branch — the
+zero-overhead property of the unsupervised path is preserved.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+__all__ = [
+    "SanitizerError",
+    "SliceWitness",
+    "check_no_overlap",
+    "check_shard_bounds",
+    "check_spans",
+    "enabled",
+    "fail",
+    "report_log",
+    "sanitizer_enabled",
+]
+
+
+class SanitizerError(RuntimeError):
+    """A dynamic violation of an arena/sharding invariant."""
+
+
+#: Messages of every violation raised so far (process-local, append-only).
+#: Tests assert this stays empty across a sanitized tier-1 run.
+report_log: list[str] = []
+
+
+def enabled() -> bool:
+    """True when ``REPRO_SANITIZE=1`` is exported (checked per call, so
+    tests can flip it without reimporting)."""
+    return os.environ.get("REPRO_SANITIZE", "") == "1"
+
+
+#: Package-level alias: ``repro.runtime.sanitizer_enabled()`` reads
+#: better than importing this module just to call ``enabled()``.
+sanitizer_enabled = enabled
+
+
+def fail(message: str) -> None:
+    """Record and raise one violation (fail-fast contract)."""
+    report_log.append(message)
+    raise SanitizerError(message)
+
+
+def check_no_overlap(
+    dst_label: str,
+    dst: np.ndarray,
+    operands: list[tuple[str, np.ndarray | None]],
+) -> None:
+    """RC001 witness: ``dst`` must not share memory with any operand.
+
+    ``None`` operands are skipped so callers can pass optional inputs
+    without branching.  Deliberate aliases (ALS's warm start *is* the
+    output buffer) are simply not passed in.
+    """
+    for label, arr in operands:
+        if arr is not None and np.shares_memory(dst, arr):
+            fail(
+                f"sanitizer: out= destination {dst_label} shares memory "
+                f"with operand {label}"
+            )
+
+
+def check_shard_bounds(lo: int, hi: int, total: int, *, context: str) -> None:
+    """RC002 witness (bounds half): ``[lo:hi)`` must sit inside the output."""
+    if not (0 <= lo <= hi <= total):
+        fail(
+            f"sanitizer: shard slice [{lo}:{hi}) escapes the {total}-row "
+            f"output in {context}"
+        )
+
+
+def check_spans(spans: list[tuple[int, int]], total: int, *, context: str) -> None:
+    """RC002 witness (geometry half): spans disjoint and covering [0, total)."""
+    cursor = 0
+    for lo, hi in spans:
+        if lo != cursor or hi < lo:
+            fail(
+                f"sanitizer: shard spans are not disjoint/contiguous at "
+                f"[{lo}:{hi}) in {context} (expected lo={cursor})"
+            )
+        cursor = hi
+    if cursor != total:
+        fail(
+            f"sanitizer: shard spans cover {cursor} of {total} rows in {context}"
+        )
+
+
+class SliceWitness:
+    """Before/after snapshot proving a writer stayed inside ``[lo:hi)``.
+
+    Snapshots the rows outside the slice at construction; :meth:`verify`
+    re-compares them after the write.  Comparison uses ``equal_nan=True``
+    because the persistent output buffer starts as ``np.empty`` garbage
+    that may contain NaN.  Only valid on single-process paths — under a
+    fork pool, *other* shards legitimately write the outside rows
+    concurrently.
+    """
+
+    def __init__(self, out: np.ndarray, lo: int, hi: int) -> None:
+        self._out = out
+        self._lo = lo
+        self._hi = hi
+        self._head = out[:lo].copy()
+        self._tail = out[hi:].copy()
+
+    def verify(self, *, context: str) -> None:
+        if not np.array_equal(self._out[: self._lo], self._head, equal_nan=True):
+            fail(
+                f"sanitizer: {context} wrote rows below its [{self._lo}:"
+                f"{self._hi}) shard slice"
+            )
+        if not np.array_equal(self._out[self._hi :], self._tail, equal_nan=True):
+            fail(
+                f"sanitizer: {context} wrote rows beyond its [{self._lo}:"
+                f"{self._hi}) shard slice"
+            )

@@ -1,0 +1,88 @@
+"""Tests for suppression baselines: fingerprints, round-trip, gating."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    Severity,
+    apply_baseline,
+    load_baseline,
+    register_rule,
+    write_baseline,
+)
+from repro.analysis.baseline import BASELINE_SCHEMA, fingerprint
+
+TB001 = register_rule("TB001", "baseline test rule")
+
+
+def diag(subject="repro/core/cg.py:42", msg="m"):
+    return Diagnostic(
+        rule_id=TB001, severity=Severity.WARNING, subject=subject, message=msg
+    )
+
+
+class TestFingerprint:
+    def test_line_number_is_stripped(self):
+        assert fingerprint(diag("a/b.py:42")) == fingerprint(diag("a/b.py:99"))
+
+    def test_path_and_message_distinguish(self):
+        assert fingerprint(diag("a/b.py:1")) != fingerprint(diag("a/c.py:1"))
+        assert fingerprint(diag(msg="x")) != fingerprint(diag(msg="y"))
+
+    def test_non_positional_subject_kept_whole(self):
+        fp = fingerprint(diag(subject="kernel:get_hermitian"))
+        assert fp[1] == "kernel:get_hermitian"
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        path = tmp_path / "base.json"
+        n = write_baseline(path, [diag(), diag("a/b.py:7", "other")])
+        assert n == 2
+        loaded = load_baseline(path)
+        assert fingerprint(diag()) in loaded
+        assert len(loaded) == 2
+
+    def test_duplicates_collapse(self, tmp_path):
+        path = tmp_path / "base.json"
+        assert write_baseline(path, [diag("a/b.py:1"), diag("a/b.py:2")]) == 1
+
+    def test_schema_enforced(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "nope", "findings": []}))
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+    def test_file_is_sorted_and_stable(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        write_baseline(a, [diag("z.py:1"), diag("a.py:1")])
+        write_baseline(b, [diag("a.py:9"), diag("z.py:9")])
+        assert a.read_text() == b.read_text()
+
+
+class TestApply:
+    def test_baselined_findings_suppressed(self, tmp_path):
+        path = tmp_path / "base.json"
+        write_baseline(path, [diag()])
+        fresh, suppressed = apply_baseline(
+            [diag("a/b.py:1", "new finding"), diag()], load_baseline(path)
+        )
+        assert suppressed == 1
+        assert [d.message for d in fresh] == ["new finding"]
+
+    def test_empty_baseline_suppresses_nothing(self):
+        fresh, suppressed = apply_baseline([diag()], set())
+        assert suppressed == 0
+        assert len(fresh) == 1
+
+    def test_repo_baseline_is_empty(self):
+        # the shipped tree analyzes clean; its committed baseline must
+        # stay empty so new findings are fixed, not suppressed
+        import pathlib
+
+        repo = pathlib.Path(__file__).resolve().parents[2]
+        payload = json.loads((repo / ".analysis-baseline.json").read_text())
+        assert payload["schema"] == BASELINE_SCHEMA
+        assert payload["findings"] == []

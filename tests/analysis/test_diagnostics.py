@@ -112,12 +112,50 @@ class TestRenderers:
     def test_text_empty(self):
         assert render_text([]) == "no findings"
 
-    def test_text_sorted_most_severe_first(self):
+    def test_text_severity_breaks_ties_at_same_location(self):
         out = render_text([diag(sev=Severity.INFO, msg="low"),
                            diag(sev=Severity.ERROR, msg="high")])
         assert out.index("ERROR") < out.index("INFO")
         assert "2 finding(s)" in out
         assert "1 error, 1 info" in out
+
+    def test_sorted_by_path_then_line_then_rule(self):
+        diags = [
+            diag(subject="b.py:2", msg="later file"),
+            diag(subject="a.py:10", msg="line ten"),
+            diag(subject="a.py:9", msg="line nine", sev=Severity.INFO),
+            diag(rule=TS002, subject="a.py:9", msg="rule two"),
+        ]
+        out = render_text(diags)
+        order = [out.index(m) for m in
+                 ("line nine", "rule two", "line ten", "later file")]
+        assert order == sorted(order)
+
+    def test_line_numbers_sort_numerically_not_lexically(self):
+        out = render_text([diag(subject="a.py:100", msg="hundred"),
+                           diag(subject="a.py:20", msg="twenty")])
+        assert out.index("twenty") < out.index("hundred")
+
+    def test_identical_findings_dedupe(self):
+        d = diag(subject="a.py:5")
+        out = render_text([d, d, d])
+        assert "1 finding(s)" in out
+
+    def test_distinct_findings_not_deduped(self):
+        out = render_text([diag(subject="a.py:5", msg="one"),
+                           diag(subject="a.py:5", msg="two")])
+        assert "2 finding(s)" in out
+
+    def test_json_dedupes_and_counts_unique(self):
+        d = diag(sev=Severity.ERROR)
+        payload = json.loads(render_json([d, d]))
+        assert payload["count"] == 1
+        assert len(payload["diagnostics"]) == 1
+
+    def test_json_byte_stable_across_input_order(self):
+        a = diag(subject="a.py:1", msg="first")
+        b = diag(subject="b.py:1", msg="second")
+        assert render_json([a, b]) == render_json([b, a])
 
     def test_text_includes_hint(self):
         assert "hint: do the thing" in render_text([diag(hint="do the thing")])

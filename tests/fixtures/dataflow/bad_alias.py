@@ -1,0 +1,12 @@
+"""Seeded-bug fixture: ``out=`` aliases an operand of matmul (RC001).
+
+Never imported — read and analyzed by tests/analysis/test_dataflow.py.
+"""
+
+import numpy as np
+
+
+def gram_into_self(ws, n, f):
+    A = ws.request("fixture.A", (n, f, f))
+    np.matmul(A, A, out=A)  # matmul reads A while overwriting it
+    return A

@@ -1,0 +1,12 @@
+"""Seeded-bug fixture: reduction over FP16 storage (DF002).
+
+The exact bug class paper Solution 4 warns about — accumulating at the
+storage precision instead of converting on load.  Never imported.
+"""
+
+import numpy as np
+
+
+def accumulate_at_storage_precision(ws, n, f):
+    halves = ws.request("fixture.A16", (n, f, f), np.float16)
+    return np.einsum("bij,bjk->bik", halves, halves)

@@ -1,0 +1,13 @@
+"""Seeded-bug fixture: shard writer escapes its row slice (RC002).
+
+A ``(out, lo, hi)`` worker must confine every write to ``out[lo:hi]``;
+this one writes from row 0.  Never imported.
+"""
+
+import numpy as np
+
+
+def solve_shard(ratings, out, lo, hi):
+    rows = np.zeros(out.shape, dtype=np.float32)
+    out[0:hi] = rows[0:hi]  # stomps rows below lo owned by another shard
+    return out

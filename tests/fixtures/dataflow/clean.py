@@ -1,0 +1,28 @@
+"""Clean fixture: the sanctioned versions of every seeded bug.
+
+Same shapes as the ``bad_*`` fixtures, written the way the hot path
+actually writes them — the analyzer must report nothing here.
+Never imported.
+"""
+
+import numpy as np
+
+
+def gram_into_scratch(ws, n, f):
+    A = ws.request("fixture.A", (n, f, f))
+    G = ws.request("fixture.G", (n, f, f))
+    np.matmul(A, A, out=G)  # distinct arena key: no aliasing
+    return G
+
+
+def accumulate_at_fp32(ws, n, f):
+    halves = ws.request("fixture.A16", (n, f, f), np.float16)
+    wide = ws.request("fixture.A32", (n, f, f), np.float32)
+    np.copyto(wide, halves)  # convert-on-load upcast (paper Solution 4)
+    return np.einsum("bij,bjk->bik", wide, wide)
+
+
+def solve_shard(ratings, out, lo, hi):
+    rows_out = out[lo:hi]  # the sanctioned write window
+    np.multiply(rows_out, 0.0, out=rows_out)
+    return out
