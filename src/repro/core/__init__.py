@@ -3,6 +3,12 @@
 from .als import ALSModel, EpochBreakdown
 from .ccd import CCDConfig, CCDModel, ccd_epoch_seconds
 from .cg import CGResult, cg_solve_batched
+from .cg_backends import (
+    CGKernelBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .config import ALSConfig, CGConfig, Precision, ReadScheme, SolverKind
 from .direct import cholesky_solve_batched, lu_solve_batched
 from .hermitian import hermitian_and_bias, hermitian_rows
@@ -35,7 +41,11 @@ __all__ = [
     "tune_hermitian",
     "ALSModel",
     "CGConfig",
+    "CGKernelBackend",
     "CGResult",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "EpochBreakdown",
     "ImplicitALSConfig",
     "ImplicitALSModel",

@@ -23,6 +23,12 @@ are return-value bit-identical to the dense sweep — a frozen lane's
 scratch never reaches the returned solution, which only ever reads the
 per-system best iterate recorded while that lane was active.
 
+The primitive kernels of the hot loop — FP16 staging, the batched
+matvec, the lane-wise dots — are pluggable (see
+:mod:`repro.core.cg_backends`): ``backend="reference"`` (the default) is
+bit-identical to the seed implementation, ``backend="fused"`` is the
+batched-GEMM fast path the autotuner selects.
+
 All large intermediates can be staged through a ``workspace`` arena (see
 :mod:`repro.runtime.arena`) and the solution written to a caller-provided
 ``out`` buffer, making steady-state ALS training allocation-free here.
@@ -34,8 +40,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .cg_backends import CGKernelBackend, get_backend
 from .config import CGConfig, Precision
-from .precision import FP16_MAX, quantize
 from .scratch import FRESH
 
 __all__ = ["CGResult", "cg_solve_batched"]
@@ -53,35 +59,6 @@ class CGResult:
     # breakdown (p·Ap ≤ 0) or explosion; only with ``lane_report=True``
 
 
-def _quantize_into(A, ws, rows=None):
-    """Replicate :func:`quantize`'s FP16 round-trip into arena buffers.
-
-    clip(±FP16_MAX) → cast f16 → cast f32, elementwise — bit-identical to
-    ``quantize(A, FP16)`` (np.clip with ``out=`` and ``copyto`` casts use
-    the same IEEE round-to-nearest as ``astype``).  With ``rows``, only
-    those systems are quantized; the rest of the store is zeroed so no
-    garbage can poison the final residual matvec.
-    """
-    batch, f, _ = A.shape
-    store = ws.request("cg.A_store", (batch, f, f))
-    if rows is None:
-        np.clip(A, -FP16_MAX, FP16_MAX, out=store)
-        halves = ws.request("cg.A16", (batch, f, f), np.float16)
-        np.copyto(halves, store, casting="same_kind")
-        np.copyto(store, halves)
-        return store
-    store.fill(0.0)
-    if rows.size:
-        gathered = ws.request("cg.A_gather", (rows.size, f, f))
-        np.take(A, rows, axis=0, out=gathered)
-        np.clip(gathered, -FP16_MAX, FP16_MAX, out=gathered)
-        halves = ws.request("cg.A16", (rows.size, f, f), np.float16)
-        np.copyto(halves, gathered, casting="same_kind")
-        np.copyto(gathered, halves)
-        store[rows] = gathered
-    return store
-
-
 def cg_solve_batched(
     A: np.ndarray,
     b: np.ndarray,
@@ -94,6 +71,7 @@ def cg_solve_batched(
     out: np.ndarray | None = None,
     fault_hook=None,
     lane_report: bool = False,
+    backend: str | CGKernelBackend = "reference",
 ) -> CGResult:
     """Solve the batch of SPD systems ``A[i] @ x[i] = b[i]``.
 
@@ -134,8 +112,16 @@ def cg_solve_batched(
         curvature) or residual explosion and return the boolean mask as
         ``CGResult.fault_lanes``; ``False`` (the default) skips the
         bookkeeping entirely and returns ``fault_lanes=None``.
+    backend:
+        Kernel backend (a registered name or a
+        :class:`~repro.core.cg_backends.CGKernelBackend` instance)
+        supplying the staging/matvec/dot primitives.  ``"reference"``
+        (the default) is bit-identical to the seed implementation;
+        ``"fused"`` is the batched-GEMM fast path, equivalent within the
+        derived tolerances of VF006.
     """
     config = config or CGConfig()
+    kern = get_backend(backend)
     A = np.asarray(A, dtype=np.float32)
     b = np.asarray(b, dtype=np.float32)
     if A.ndim != 3 or A.shape[1] != A.shape[2]:
@@ -155,14 +141,14 @@ def cg_solve_batched(
         # storage their A rows never get loaded: quantize only the rows
         # that will actually be touched (the skipped rows' solutions are
         # the zero warm start, whose residual b − A·0 = b reads no A).
-        entry_rs = np.einsum("bf,bf->b", b, b)
+        entry_rs = kern.dot(b, b)
         entry_active = np.sqrt(entry_rs) >= config.tol
         if precision is Precision.FP16 and not entry_active.all():
-            A_store = _quantize_into(A, ws, rows=np.flatnonzero(entry_active))
-        elif precision is Precision.FP16:
-            A_store = _quantize_into(A, ws)
+            A_store = kern.stage(
+                A, ws, precision, rows=np.flatnonzero(entry_active)
+            )
         else:
-            A_store = quantize(A, precision)
+            A_store = kern.stage(A, ws, precision)
         if fault_hook is not None:
             if A_store is A:  # FP32 staging aliases A; corrupt a copy only
                 A_store = A.copy()
@@ -172,21 +158,19 @@ def cg_solve_batched(
     else:
         if x0.shape != b.shape:
             raise ValueError("x0 must match b's shape")
-        A_store = _quantize_into(A, ws) if precision is Precision.FP16 else (
-            quantize(A, precision)
-        )
+        A_store = kern.stage(A, ws, precision)
         if fault_hook is not None:
             if A_store is A:
                 A_store = A.copy()
             fault_hook(A_store)
         np.copyto(x, np.asarray(x0, dtype=np.float32))
-        np.einsum("bfg,bg->bf", A_store, x, out=tmp)
+        kern.matvec(A_store, x, tmp)
         np.subtract(b, tmp, out=r)
 
     p = ws.request("cg.p", (batch, f))
     np.copyto(p, r)
     ap = ws.request("cg.ap", (batch, f))
-    rsold = np.einsum("bf,bf->b", r, r)
+    rsold = kern.dot(r, r)
     rs_start = np.maximum(rsold.copy(), np.float32(1e-30))
     active = np.sqrt(rsold) >= config.tol
     # Guards must be RELATIVE to each system's own scale: an absolute
@@ -234,12 +218,12 @@ def cg_solve_batched(
             pg = ws.request("cg.cpg", (nact, f))
             np.take(p, lanes, axis=0, out=pg)
             apg = ws.request("cg.capg", (nact, f))
-            np.einsum("bfg,bg->bf", Ag, pg, out=apg)
+            kern.matvec(Ag, pg, apg)
             ap.fill(0.0)
             ap[lanes] = apg
         else:
-            np.einsum("bfg,bg->bf", A_store, p, out=ap)
-        denom = np.einsum("bf,bf->b", p, ap)
+            kern.matvec(A_store, p, ap)
+        denom = kern.dot(p, ap)
         # Negative curvature means quantization (or a caller bug) broke
         # positive-definiteness for that system: freeze it as-is rather
         # than letting the whole batch overflow.
@@ -254,7 +238,7 @@ def cg_solve_batched(
         np.add(x, tmp, out=x)
         np.multiply(ap, alpha[:, None], out=tmp)
         np.subtract(r, tmp, out=r)
-        rsnew = np.einsum("bf,bf->b", r, r)
+        rsnew = kern.dot(r, r)
         exploded = active & ~(rsnew <= explode_limit)  # catches NaN too
         if fault_mask is not None:
             fault_mask |= exploded
@@ -281,12 +265,12 @@ def cg_solve_batched(
     else:
         solution = best_x
 
-    np.einsum("bfg,bg->bf", A_store, solution, out=tmp)
+    kern.matvec(A_store, solution, tmp)
     np.subtract(b, tmp, out=tmp)
     return CGResult(
         x=solution,
         iterations=iters,
         matvec_count=matvecs,
-        residual_norms=np.sqrt(np.einsum("bf,bf->b", tmp, tmp)),
+        residual_norms=np.sqrt(kern.dot(tmp, tmp)),
         fault_lanes=fault_mask,
     )

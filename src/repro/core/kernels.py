@@ -220,6 +220,13 @@ def bias_spec(device: DeviceSpec, shape: WorkloadShape) -> KernelSpec:
     )
 
 
+#: Instruction efficiency per CG kernel backend: memory traffic is
+#: identical (same A stream), but the fused backend's single batched
+#: GEMM issues fewer, denser instructions per A element than the
+#: reference einsum loop, so more of the streamed bytes arrive at peak.
+_CG_BACKEND_EFFICIENCY = {"reference": 0.6, "fused": 0.75}
+
+
 def cg_iteration_spec(
     device: DeviceSpec,
     batch: int,
@@ -227,6 +234,7 @@ def cg_iteration_spec(
     precision: Precision,
     *,
     use_l1: bool = False,
+    backend: str = "reference",
 ) -> KernelSpec:
     """Cost spec of ONE batched CG iteration over ``batch`` systems.
 
@@ -234,10 +242,18 @@ def cg_iteration_spec(
     ``batch x f x f`` array of A matrices from DRAM — which is why FP16
     storage halves the time (Figure 5) and why L1 cannot help: the data
     is touched once per iteration and is far too large to stay resident
-    (``use_l1`` exists to demonstrate exactly that).
+    (``use_l1`` exists to demonstrate exactly that).  ``backend`` selects
+    the instruction-efficiency profile of the kernel backend being
+    modelled (see :mod:`repro.core.cg_backends`); the memory phases are
+    backend-independent.
     """
     if batch <= 0 or f <= 0:
         raise ValueError("batch and f must be positive")
+    if backend not in _CG_BACKEND_EFFICIENCY:
+        raise ValueError(
+            f"unknown CG backend {backend!r}; "
+            f"known: {sorted(_CG_BACKEND_EFFICIENCY)}"
+        )
     elem = precision.itemsize
     res = KernelResources(
         registers_per_thread=40,
@@ -271,7 +287,7 @@ def cg_iteration_spec(
             MemoryPhase("a_read", a_read, LevelFractions.from_hit_rates(l1_hit, l2_hit)),
             MemoryPhase("vectors", vec_traffic, LevelFractions.all_dram()),
         ),
-        instruction_efficiency=0.6,
+        instruction_efficiency=_CG_BACKEND_EFFICIENCY[backend],
         compute_dtype_bytes=compute_bytes,
         overlap="max",
     )

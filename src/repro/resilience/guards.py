@@ -147,6 +147,7 @@ def guarded_solve(
     precision: Precision,
     workspace=None,
     compact: bool | None = None,
+    backend: str = "reference",
     fault_hook=None,
     row_offset: int = 0,
     step: int = -1,
@@ -174,6 +175,7 @@ def guarded_solve(
             precision=precision,
             workspace=workspace,
             compact=compact,
+            backend=backend,
             out=out,
             fault_hook=fault_hook,
             lane_report=True,
@@ -210,6 +212,7 @@ def guarded_solve(
             x0=None if warm is None else np.ascontiguousarray(warm[lanes]),
             config=cg_config,
             precision=Precision.FP32,
+            backend=backend,
             lane_report=True,
         )
         iterations = max(iterations, sub.iterations)

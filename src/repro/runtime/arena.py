@@ -42,6 +42,9 @@ class Workspace:
         Requests served entirely from cache.
     ``bytes_allocated``
         Total bytes of backing storage created since the last reset.
+    ``allocations_by_key``
+        Per-key breakdown of ``allocations`` — when a steady-state probe
+        trips, this names the buffer (and thus the kernel) that grew.
 
     Every key additionally carries a **generation counter**, bumped when
     its backing buffer is (re)allocated and when the arena is released.
@@ -59,6 +62,7 @@ class Workspace:
         self.allocations = 0
         self.reuses = 0
         self.bytes_allocated = 0
+        self.allocations_by_key: dict[str, int] = {}
         self._peak_resident = 0
 
     def request(
@@ -81,6 +85,9 @@ class Workspace:
             self._generations[name] = self._generations.get(name, 0) + 1
             self.allocations += 1
             self.bytes_allocated += nbytes
+            self.allocations_by_key[name] = (
+                self.allocations_by_key.get(name, 0) + 1
+            )
             resident = self.resident_bytes
             if resident > self._peak_resident:
                 self._peak_resident = resident
@@ -104,6 +111,7 @@ class Workspace:
         self.allocations = 0
         self.reuses = 0
         self.bytes_allocated = 0
+        self.allocations_by_key.clear()
 
     def release(self) -> None:
         """Drop every cached buffer (and reset the counters)."""

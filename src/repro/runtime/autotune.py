@@ -23,9 +23,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..core.cg import cg_solve_batched
+from ..core.config import CGConfig, Precision
 from ..core.hermitian import hermitian_rows
 from .arena import Workspace
-from .plan import HERMITIAN_METHODS, RuntimePlan
+from .plan import CG_BACKENDS, HERMITIAN_METHODS, RuntimePlan
 
 __all__ = ["AutotuneReport", "CHUNK_CANDIDATES", "autotune_plan"]
 
@@ -48,6 +50,8 @@ class AutotuneReport:
     plan: RuntimePlan
     timings: tuple  # ((method, chunk_elems, best_seconds), ...) per candidate
     warmup_rows: int  # rows of the warm-up slice actually measured
+    cg_timings: tuple = ()  # ((backend, compact, best_seconds), ...) per
+    # CG candidate; empty when the CG sweep was skipped (cg_backends=())
 
     def __post_init__(self) -> None:
         if self.warmup_rows < 1:
@@ -63,6 +67,10 @@ class AutotuneReport:
             "timings": [
                 {"method": m, "chunk_elems": c, "seconds": s}
                 for m, c, s in self.timings
+            ],
+            "cg_timings": [
+                {"backend": b, "compact": c, "seconds": s}
+                for b, c, s in self.cg_timings
             ],
         }
 
@@ -81,6 +89,8 @@ def autotune_plan(
     warmup_nnz: int = 100_000,
     repeats: int = 2,
     methods: tuple[str, ...] = HERMITIAN_METHODS,
+    cg_backends: tuple[str, ...] = CG_BACKENDS,
+    cg_config: CGConfig | None = None,
     workers: int | None = None,
     arena: bool = True,
 ) -> AutotuneReport:
@@ -98,6 +108,15 @@ def autotune_plan(
     repeats:
         Timed repetitions per candidate after one untimed warm-up call;
         the best (minimum) time is kept, which rejects scheduler noise.
+    cg_backends:
+        CG kernel backends to sweep (each crossed with the compaction
+        modes ``None``/``True``); the fastest pair becomes the plan's
+        ``cg_backend``/``compact_cg``.  Pass ``()`` to skip the CG
+        sweep and keep the plan defaults (``reference``, ``None``).
+    cg_config:
+        CG configuration the sweep should time under; ``None`` uses the
+        solver default.  Bench passes its real per-epoch config so the
+        tuner measures the iteration count training will actually run.
     workers:
         Process count for the plan; ``None`` derives it from the CPU
         budget (serial unless >1 CPUs are actually available).
@@ -109,6 +128,9 @@ def autotune_plan(
     for method in methods:
         if method not in HERMITIAN_METHODS:
             raise ValueError(f"unknown hermitian method {method!r}")
+    for backend in cg_backends:
+        if backend not in CG_BACKENDS:
+            raise ValueError(f"unknown CG backend {backend!r}")
 
     rows = _warmup_rows(ratings.row_ptr, warmup_nnz)
     rng = np.random.default_rng(0)
@@ -139,8 +161,51 @@ def autotune_plan(
             timings.append((method, chunk, elapsed))
             if best is None or elapsed < best[0]:
                 best = (elapsed, method, chunk)
-    ws.release()
     assert best is not None  # methods is non-empty and candidates exist
+
+    # CG candidate sweep: time the solver the way the executor runs it
+    # (FP16 store, arena workspace, warm start, out= buffer) on the
+    # systems of the same warm-up slice, crossing each backend with the
+    # compaction modes.  Numerics are not a selection concern here: every
+    # registered backend passes the conformance suite, so the sweep is
+    # free to pick purely on time.
+    cg_timings: list[tuple[str, bool | None, float]] = []
+    cg_best: tuple[float, str, bool | None] | None = None
+    if cg_backends:
+        A_w, b_w = hermitian_rows(
+            ratings,
+            theta,
+            0.05,
+            rows=slice(0, rows),
+            method=best[1],
+            chunk_elems=best[2],
+            workspace=ws,
+        )
+        A_w = A_w.copy()  # detach from the arena before reusing it below
+        b_w = b_w.copy()
+        x_warm = rng.standard_normal(b_w.shape).astype(np.float32)
+        out = np.empty_like(b_w)
+        cfg = cg_config or CGConfig()
+        for backend in cg_backends:
+            for compact in (None, True):
+                solve = dict(
+                    x0=x_warm,
+                    config=cfg,
+                    precision=Precision.FP16,
+                    workspace=ws,
+                    compact=compact,
+                    out=out,
+                    backend=backend,
+                )
+                cg_solve_batched(A_w, b_w, **solve)  # warm the arena
+                elapsed = min(
+                    _timed(lambda: cg_solve_batched(A_w, b_w, **solve))
+                    for _ in range(repeats)
+                )
+                cg_timings.append((backend, compact, elapsed))
+                if cg_best is None or elapsed < cg_best[0]:
+                    cg_best = (elapsed, backend, compact)
+    ws.release()
 
     if workers is None:
         cpus = os.cpu_count() or 1
@@ -151,9 +216,16 @@ def autotune_plan(
         chunk_elems=best[2],
         shards=shards,
         workers=workers,
+        compact_cg=cg_best[2] if cg_best is not None else None,
+        cg_backend=cg_best[1] if cg_best is not None else "reference",
         arena=arena,
     )
-    return AutotuneReport(plan=plan, timings=tuple(timings), warmup_rows=rows)
+    return AutotuneReport(
+        plan=plan,
+        timings=tuple(timings),
+        warmup_rows=rows,
+        cg_timings=tuple(cg_timings),
+    )
 
 
 def _timed(fn) -> float:

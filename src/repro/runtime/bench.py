@@ -6,8 +6,9 @@ scaled down so CI finishes in seconds), once along the **legacy** path
 (the seed implementation: fresh scratch per chunk, dense CG sweeps, no
 sharding) and once along the **optimized** path (autotuned plan through
 :class:`~repro.runtime.executor.ShardExecutor`).  When the tuned plan
-keeps the ``reduceat`` kernel the factors are bit-identical and the
-report asserts it; a ``grouped`` plan reorders float sums, so there the
+keeps the ``reduceat`` kernel and the ``reference`` CG backend the
+factors are bit-identical and the report asserts it; a ``grouped`` plan
+or the ``fused`` CG backend reorders float sums, so there the
 report asserts *objective equivalence* — both epochs reach the same
 training loss — which is the paper's approximate-computing contract
 (truncated CG iterates are chaotic in their low bits by design, the
@@ -118,7 +119,7 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
 
     report = autotune_plan(
         data, cfg.f, warmup_nnz=max(cfg.nnz // 4, 1), repeats=cfg.repeats,
-        workers=workers,
+        cg_config=cg_cfg, workers=workers,
     )
     plan = report.plan
     executor = ShardExecutor(plan)
@@ -143,13 +144,14 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
         ),
     )
 
-    # -- CG: dense sweeps + fresh scratch vs compaction + arena -----------
+    # -- CG: legacy (reference kernels, dense sweeps, fresh scratch) vs the
+    # tuned solver (plan's backend + compaction on the arena) -------------
     A_ref, b_ref = hermitian_and_bias(data, theta, cfg.lam)
     legacy_cg = _best_of(
         cfg.repeats,
         lambda: cg_solve_batched(
             A_ref, b_ref, x0=x_warm, config=cg_cfg,
-            precision=Precision.FP16, compact=False,
+            precision=Precision.FP16, compact=False, backend="reference",
         ),
     )
     cg_out = np.empty_like(b_ref)
@@ -159,6 +161,7 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
         lambda: cg_solve_batched(
             A_ref, b_ref, x0=x_warm, config=cg_cfg,
             precision=Precision.FP16, workspace=cg_ws, out=cg_out,
+            compact=plan.compact_cg, backend=plan.cg_backend,
         ),
     )
 
@@ -167,12 +170,12 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
         A, b = hermitian_and_bias(data, theta, cfg.lam)
         x = cg_solve_batched(
             A, b, x0=x_warm, config=cg_cfg, precision=precision,
-            compact=False,
+            compact=False, backend="reference",
         ).x
         A, b = hermitian_and_bias(data_t, x, cfg.lam)
         return cg_solve_batched(
             A, b, x0=theta, config=cg_cfg, precision=precision,
-            compact=False,
+            compact=False, backend="reference",
         ).x
 
     def optimized_epoch(precision: Precision = Precision.FP16) -> np.ndarray:
@@ -212,8 +215,10 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
     ).x
     theta_legacy = legacy_epoch(Precision.FP32)
     theta_opt = optimized_epoch(Precision.FP32).copy()
-    identical = plan.method == "reduceat" and bool(
-        np.array_equal(theta_legacy, theta_opt)
+    identical = (
+        plan.method == "reduceat"
+        and plan.cg_backend == "reference"
+        and bool(np.array_equal(theta_legacy, theta_opt))
     )
     sse_legacy = objective(x_probe, theta_legacy)
     sse_opt = objective(x_probe, theta_opt)

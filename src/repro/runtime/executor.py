@@ -232,6 +232,7 @@ def _compute_shard(
                 precision=params.precision,
                 workspace=ws,
                 compact=plan.compact_cg,
+                backend=plan.cg_backend,
                 fault_hook=hook,
                 row_offset=lo,
                 step=params.step,
@@ -250,6 +251,7 @@ def _compute_shard(
             precision=params.precision,
             workspace=ws,
             compact=plan.compact_cg,
+            backend=plan.cg_backend,
             out=rows_out,
             fault_hook=hook,
         )

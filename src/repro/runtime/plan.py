@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["HermitianMethod", "RuntimePlan", "SERIAL_PLAN", "SupervisionPolicy"]
+__all__ = [
+    "CG_BACKENDS",
+    "HermitianMethod",
+    "RuntimePlan",
+    "SERIAL_PLAN",
+    "SupervisionPolicy",
+]
 
 #: The two host kernels for forming the normal equations.  ``reduceat``
 #: is the seed implementation (outer products + segment reduction), kept
@@ -25,6 +31,15 @@ __all__ = ["HermitianMethod", "RuntimePlan", "SERIAL_PLAN", "SupervisionPolicy"]
 #: count and runs one batched BLAS matmul per bucket — the same
 #: regularize-the-irregular trick the paper's register tiling performs.
 HERMITIAN_METHODS = ("reduceat", "grouped")
+
+#: Kernel backends of the batched CG solver.  ``reference`` is the seed
+#: implementation's kernels, kept as the bit-exact oracle; ``fused``
+#: replaces the per-iteration einsum with one batched GEMM and stages
+#: FP16 in the float32 bit domain (cuMF_ALS's fused-batched-solver
+#: shape).  Plain strings mirroring ``repro.core.cg_backends`` — this
+#: module deliberately imports nothing from ``core``; a test pins the
+#: two registries in sync.
+CG_BACKENDS = ("reference", "fused")
 
 #: Type alias used in signatures (plain strings keep plans JSON-ready).
 HermitianMethod = str
@@ -51,6 +66,11 @@ class RuntimePlan:
         Forwarded to the CG solver's frozen-system compaction:
         ``None`` lets the solver decide per iteration, ``True``/``False``
         force it (results are bit-identical either way).
+    cg_backend:
+        CG kernel backend, one of :data:`CG_BACKENDS`.  ``"reference"``
+        (the default) keeps the plan's numerics bit-identical to the
+        seed; ``"fused"`` is the autotuner's fast path, equivalent
+        within the VF006-derived tolerances.
     arena:
         Reuse workspace buffers across chunks and epochs.  Disabling
         restores the seed's allocate-per-chunk behaviour (the bench's
@@ -62,12 +82,18 @@ class RuntimePlan:
     shards: int = 1
     workers: int = 0
     compact_cg: bool | None = None
+    cg_backend: str = "reference"
     arena: bool = True
 
     def __post_init__(self) -> None:
         if self.method not in HERMITIAN_METHODS:
             raise ValueError(
                 f"method must be one of {HERMITIAN_METHODS}, got {self.method!r}"
+            )
+        if self.cg_backend not in CG_BACKENDS:
+            raise ValueError(
+                f"cg_backend must be one of {CG_BACKENDS}, "
+                f"got {self.cg_backend!r}"
             )
         if self.chunk_elems < 1:
             raise ValueError("chunk_elems must be positive")
@@ -86,8 +112,23 @@ class RuntimePlan:
             "shards": self.shards,
             "workers": self.workers,
             "compact_cg": self.compact_cg,
+            "cg_backend": self.cg_backend,
             "arena": self.arena,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> RuntimePlan:
+        """Rebuild a plan from :meth:`as_dict` output (bench reports).
+
+        Missing keys fall back to the field defaults so reports written
+        before a field existed still load; unknown keys are an error so
+        a typo'd report can't silently deserialize to the default plan.
+        """
+        fields = cls.__dataclass_fields__
+        unknown = set(data) - set(fields)
+        if unknown:
+            raise ValueError(f"unknown RuntimePlan keys: {sorted(unknown)}")
+        return cls(**data)
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,18 @@ within a *derived* tolerance — never a magic constant alone:
            epoch-wise gap ≈ 0.015 across seeds).
 ``VF005``  any non-finite value in any solver output is an
            unconditional error (NaN contagion is how CG bugs surface).
+``VF006``  every non-reference CG kernel backend vs the ``reference``
+           oracle on the same solve: the fused GEMM reorders float sums
+           and its FP16 rounding resolves exact ties half-up, both
+           eps32/eps16-scale perturbations that κ amplifies like any
+           input rounding — converged solves bounded by ``C·κ·eps32``
+           (FP32 store) / ``C·κ·eps16`` (FP16 store), capped at 1.0;
+           truncated iterates are chaotic in such perturbations, so
+           there (as in VF002) only the residual contract applies.
+           Iteration counts are deliberately not compared: near
+           convergence the relative rs-floor freeze may trip one
+           iteration apart between backends, changing counters but not
+           contracted outputs.
 =========  ============================================================
 """
 
@@ -48,6 +60,7 @@ import numpy as np
 from ..analysis.diagnostics import Diagnostic, Severity, register_rule
 from ..core.als import ALSModel
 from ..core.cg import cg_solve_batched
+from ..core.cg_backends import backend_names
 from ..core.config import ALSConfig, CGConfig, Precision, SolverKind
 from ..core.direct import cholesky_solve_batched, lu_solve_batched
 from .generators import (
@@ -66,11 +79,14 @@ __all__ = [
     "VF003",
     "VF004",
     "VF005",
+    "VF006",
+    "backend_pair_tolerance",
     "check_exact_pair",
     "check_cg_vs_direct",
     "check_fp16_noise_floor",
     "check_hermitian_solvers",
     "check_rmse_trajectory",
+    "check_backend_equivalence",
 ]
 
 VF001 = register_rule(
@@ -98,6 +114,11 @@ VF005 = register_rule(
     "solver produced a non-finite value",
     "repo convention: approximate paths may lose accuracy, never finiteness",
 )
+VF006 = register_rule(
+    "VF006",
+    "CG kernel backend diverges from the reference backend",
+    "repo convention: every registered backend is tolerance-equivalent to the frozen oracle",
+)
 
 EPS64 = float(np.finfo(np.float64).eps)  # ~2.2e-16
 EPS32 = float(np.finfo(np.float32).eps)  # ~1.19e-7
@@ -108,6 +129,9 @@ EPS16 = float(np.finfo(np.float16).eps)  # ~9.77e-4; unit roundoff is eps/2
 EXACT_PAIR_C = 64.0
 CG_KRYLOV_C = 512.0
 FP16_FLOOR_C = 16.0
+#: Backend-pair bound (VF006): worst observed C ≈ 186 (FP32) / 108
+#: (FP16) over 400 seeded converged cases; ~5x margin, like CG_KRYLOV_C.
+BACKEND_PAIR_C = 1024.0
 #: Relative-residual contract slack for truncated CG (best-iterate
 #: tracking guarantees the residual never exceeds the zero-start one).
 RESIDUAL_SLACK = 1.0 + 1e-4
@@ -273,6 +297,106 @@ def check_fp16_noise_floor(case: SPDCase) -> list[Diagnostic]:
                 hint="quantize() must round-trip through binary16 exactly once",
             )
         )
+    return findings
+
+
+def backend_pair_tolerance(cond: float, precision: Precision) -> float:
+    """Derived backend-vs-reference bound for one *converged* solve.
+
+    Backends differ by summation order in the matvec (an eps32-scale
+    perturbation of every A·p product) and, under FP16 storage, by the
+    resolution of exact rounding ties (≤ 1 binary16 ulp on a
+    measure-zero input set, i.e. eps16-scale on A).  Run to convergence,
+    first-order perturbation theory amplifies either by at most κ along
+    the whole Krylov trajectory, so the bound is ``C·κ·eps`` with the
+    eps of whichever effect dominates the store — capped at 1.0, past
+    which a relative bound is vacuous (VF002's cap).  Truncated
+    intermediate iterates are chaotic in perturbations (measured C up to
+    ~4e3), so for them only the residual contract is meaningful.
+    """
+    eps = EPS16 if precision is Precision.FP16 else EPS32
+    return min(1.0, BACKEND_PAIR_C * max(1.0, cond) * eps)
+
+
+def check_backend_equivalence(case: SPDCase) -> list[Diagnostic]:
+    """VF002/VF005/VF006: every backend tracks the reference oracle.
+
+    Runs the same solve through every registered backend at both storage
+    precisions.  Converged cases (``fs == 0``) hold each non-reference
+    backend to the derived κ-scaled tolerance against ``reference`` —
+    for FP16 storage only on the κ ≤ :data:`FP16_COND_DOMAIN` domain,
+    because past it κ·eps16 ≥ 1 and the backends' (equally valid)
+    quantized systems have genuinely different solutions, exactly the
+    VF003 rationale.  Every case additionally enforces the VF002
+    residual contract (a fast backend must still *descend*) and
+    finiteness.  Iteration and matvec counters are deliberately
+    unchecked: the relative rs-floor freeze may trip one iteration apart
+    between backends near convergence without changing any contracted
+    output.
+    """
+    A, b, _ = build_spd_batch(case)
+    cfg = CGConfig(max_iters=case.max_iters, tol=0.0)
+    b64 = b.astype(np.float64)
+    b_norms = np.sqrt(np.einsum("bf,bf->b", b64, b64))
+    limit = RESIDUAL_SLACK * b_norms + 64.0 * EPS32 * np.max(b_norms)
+    findings: list[Diagnostic] = []
+    for precision in (Precision.FP32, Precision.FP16):
+        ref = cg_solve_batched(A, b, config=cfg, precision=precision)
+        for name in backend_names():
+            if name == "reference":
+                continue
+            subject = f"solver.backend.{name}.{precision.value}"
+            result = cg_solve_batched(
+                A, b, config=cfg, precision=precision, backend=name
+            )
+            bad = _nonfinite(
+                subject,
+                x=result.x,
+                residual_norms=result.residual_norms,
+                x_reference=ref.x,
+            )
+            if bad:
+                findings.extend(bad)
+                continue
+            rel = _rel_diff(result.x, ref.x)
+            tol = backend_pair_tolerance(case.cond, precision)
+            in_domain = (
+                precision is not Precision.FP16
+                or case.cond <= FP16_COND_DOMAIN
+            )
+            if case.fs == 0 and in_domain and rel > tol:
+                findings.append(
+                    _mismatch(
+                        VF006,
+                        subject,
+                        f"backend {name!r} off the reference oracle by "
+                        f"{rel:.3e} (tol {tol:.3e}, κ={case.cond:.1e}, "
+                        f"{precision.value})",
+                        rel,
+                        tol,
+                        case.cond,
+                        hint="backend kernels must agree to rounding; "
+                        "check the matvec layout and FP16 staging",
+                    )
+                )
+            worst = int(np.argmax(result.residual_norms - limit))
+            if result.residual_norms[worst] > limit[worst]:
+                rel = float(
+                    result.residual_norms[worst] / max(b_norms[worst], 1e-30)
+                )
+                findings.append(
+                    _mismatch(
+                        VF002,
+                        subject,
+                        f"backend {name!r} worsened the residual: "
+                        f"‖b−Ax‖/‖b‖ = {rel:.4f} after "
+                        f"{result.iterations} iteration(s)",
+                        rel,
+                        RESIDUAL_SLACK,
+                        case.cond,
+                        hint="best-iterate tracking is backend-independent",
+                    )
+                )
     return findings
 
 

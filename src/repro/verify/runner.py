@@ -49,6 +49,7 @@ from .generators import (
     shrink_case,
 )
 from .oracles import (
+    check_backend_equivalence,
     check_cg_vs_direct,
     check_exact_pair,
     check_fp16_noise_floor,
@@ -137,6 +138,12 @@ CHECKS: dict[str, CheckDef] = {
             _draw_fp16_spd,
             check_fp16_noise_floor,
             summary="FP16-storage CG within the eps16 noise floor (VF003)",
+        ),
+        CheckDef(
+            "solver.backends",
+            _draw_truncated_spd,
+            check_backend_equivalence,
+            summary="CG kernel backends vs the reference oracle (VF006)",
         ),
         CheckDef(
             "solver.hermitian",

@@ -262,7 +262,7 @@ class TestDF005SilentDowncast:
         assert "DF005" in rules(diags)
 
     def test_explicit_casting_kwarg_is_sanctioned(self):
-        # the shape of cg._quantize_into's copyto
+        # the shape of cg_backends.ReferenceBackend.stage's copyto
         assert run("""
             import numpy as np
             def f(ws, n):

@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core.cg import cg_solve_batched
+from repro.core.cg_backends import backend_names
 from repro.core.config import CGConfig, Precision
 from repro.runtime import Workspace
 
@@ -146,3 +147,76 @@ class TestEntryFrozenQuantizeSkip:
             assert np.array_equal(res.x, b)
             assert res.iterations == 0
             assert res.matvec_count == 0
+
+
+@pytest.mark.parametrize("backend", backend_names())
+class TestCompactionEdgeCases:
+    """Degenerate freeze patterns, pinned bit-identical per backend.
+
+    Compaction only changes *which lanes* the matvec touches, never the
+    per-lane arithmetic, so compacted and uncompacted sweeps must agree
+    bitwise even in the degenerate shapes: everything frozen at entry, a
+    single surviving lane (gather of one), and lanes that freeze on the
+    very last permitted iteration (compaction engaged for zero remaining
+    iterations).
+    """
+
+    def all_modes(self, A, b, backend, cfg=CFG, x0=None, precision=Precision.FP32):
+        return [
+            cg_solve_batched(
+                A, b, x0=x0, config=cfg, precision=precision,
+                compact=mode, backend=backend,
+            )
+            for mode in (False, True, None)
+        ]
+
+    @pytest.mark.parametrize("precision", [Precision.FP32, Precision.FP16])
+    def test_all_lanes_frozen_at_entry(self, backend, precision):
+        A, _ = spd_batch(6, 5, seed=8)
+        b = np.zeros((6, 5), np.float32)
+        results = self.all_modes(A, b, backend, precision=precision)
+        for res in results:
+            assert res.iterations == 0
+            assert res.matvec_count == 0
+            assert np.array_equal(res.x, b)
+        for res in results[1:]:
+            assert_results_equal(res, results[0])
+
+    @pytest.mark.parametrize("precision", [Precision.FP32, Precision.FP16])
+    def test_single_active_lane(self, backend, precision):
+        # Every lane but one converged at entry: forced compaction runs
+        # the whole solve through (1, f, f) gathers.
+        A, b = spd_batch(10, 6, seed=9)
+        b[:] = 0.0
+        rng = np.random.default_rng(10)
+        b[7] = rng.normal(0, 1.0, 6).astype(np.float32)
+        results = self.all_modes(A, b, backend, precision=precision)
+        ref = results[0]
+        assert ref.matvec_count == ref.iterations  # one lane pays per iter
+        assert ref.iterations > 0
+        for res in results[1:]:
+            assert_results_equal(res, results[0])
+        np.testing.assert_array_equal(ref.x[:7], 0.0)
+
+    def test_lane_freezes_on_final_permitted_iteration(self, backend):
+        # Sweep max_iters so some budget has a lane crossing tol exactly
+        # on its last permitted iteration (residual history proves it);
+        # compaction must stay bit-identical right at that boundary.
+        A, b = spd_batch(16, 6, seed=11)
+        boundary_hit = False
+        for max_iters in range(1, 9):
+            cfg = CGConfig(max_iters=max_iters, tol=1e-2)
+            results = self.all_modes(A, b, backend, cfg=cfg)
+            ref = results[0]
+            for res in results[1:]:
+                assert_results_equal(res, ref)
+            if max_iters > 1:
+                prev = cg_solve_batched(
+                    A, b, config=CGConfig(max_iters=max_iters - 1, tol=1e-2),
+                    compact=False, backend=backend,
+                )
+                crossed = (prev.residual_norms >= 1e-2) & (
+                    ref.residual_norms < 1e-2
+                )
+                boundary_hit |= bool(crossed.any())
+        assert boundary_hit  # the sweep really exercised the boundary

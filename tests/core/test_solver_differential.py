@@ -1,11 +1,12 @@
 """Differential coverage: direct vs CG on ill-conditioned SPD systems.
 
 Pytest-native slice of the ``repro verify`` oracles (see
-docs/verification.md): the exact O(f³) paths and the truncated CG of
-paper Solution 3 are compared across condition numbers 1e2–1e8,
-parametrized over f ∈ {10, 40, 100} and f_s ∈ {3, 5, f}.  Tolerances are
-the calibrated Krylov bounds from ``repro.verify.oracles``, so a failure
-here and a fuzz-campaign failure mean the same thing.
+docs/verification.md): the exact O(f³) paths, the truncated CG of paper
+Solution 3, and the fused-vs-reference CG kernel backends (VF006) are
+compared across condition numbers 1e2–1e8, parametrized over
+f ∈ {10, 40, 100} and f_s ∈ {3, 5, f}.  Tolerances are the calibrated
+Krylov bounds from ``repro.verify.oracles``, so a failure here and a
+fuzz-campaign failure mean the same thing.
 """
 
 import math
@@ -14,13 +15,17 @@ import numpy as np
 import pytest
 
 from repro.core import CGConfig, cg_solve_batched, cholesky_solve_batched, lu_solve_batched
+from repro.core.config import Precision
 from repro.verify.generators import SPDCase, build_spd_batch
 from repro.verify.oracles import (
     CG_KRYLOV_C,
     EPS32,
     EPS64,
     EXACT_PAIR_C,
+    FP16_COND_DOMAIN,
     RESIDUAL_SLACK,
+    backend_pair_tolerance,
+    check_backend_equivalence,
 )
 
 FACTORS = [10, 40, 100]
@@ -92,3 +97,66 @@ class TestTruncatedCG:
         shorter = cg_solve_batched(A, b, config=CGConfig(max_iters=fs, tol=0.0))
         longer = cg_solve_batched(A, b, config=CGConfig(max_iters=2 * fs, tol=0.0))
         assert a_norm_err(longer.x) <= 1.05 * a_norm_err(shorter.x) + 1e-12
+
+
+class TestFusedVsReference:
+    """Differential oracle for the CG kernel backends (VF006).
+
+    Same shape as the exact-vs-CG classes above: the fused backend is an
+    independent implementation of the same solve, held to the calibrated
+    ``backend_pair_tolerance`` — and the pytest grid runs the *same*
+    check function the fuzz campaign schedules, so a failure here and a
+    ``solver.backends`` campaign failure mean the same thing.
+    """
+
+    @pytest.mark.parametrize("f", FACTORS)
+    @pytest.mark.parametrize("cond", CONDS)
+    def test_converged_fused_tracks_reference(self, f, cond):
+        A, b, _ = build_spd_batch(_case(f, cond))
+        cfg = CGConfig(max_iters=2 * f, tol=0.0)
+        ref = cg_solve_batched(A, b, config=cfg, backend="reference")
+        res = cg_solve_batched(A, b, config=cfg, backend="fused")
+        assert np.isfinite(res.x).all()
+        assert _rel_err(res.x, ref.x) <= backend_pair_tolerance(
+            cond, Precision.FP32
+        )
+
+    @pytest.mark.parametrize("f", FACTORS)
+    def test_converged_fused_tracks_reference_fp16(self, f):
+        cond = FP16_COND_DOMAIN  # beyond it the eps16 bound is vacuous
+        A, b, _ = build_spd_batch(_case(f, cond))
+        cfg = CGConfig(max_iters=2 * f, tol=0.0)
+        ref = cg_solve_batched(
+            A, b, config=cfg, precision=Precision.FP16, backend="reference"
+        )
+        res = cg_solve_batched(
+            A, b, config=cfg, precision=Precision.FP16, backend="fused"
+        )
+        assert np.isfinite(res.x).all()
+        assert _rel_err(res.x, ref.x) <= backend_pair_tolerance(
+            cond, Precision.FP16
+        )
+
+    @pytest.mark.parametrize("f", FACTORS)
+    @pytest.mark.parametrize("fs_kind", [3, 5, "f"])
+    def test_truncated_fused_residual_contract(self, f, fs_kind):
+        fs = f if fs_kind == "f" else fs_kind
+        for cond in CONDS:
+            A, b, _ = build_spd_batch(_case(f, cond, fs=fs))
+            res = cg_solve_batched(
+                A, b, config=CGConfig(max_iters=fs, tol=0.0), backend="fused"
+            )
+            assert np.isfinite(res.x).all()
+            b64 = b.astype(np.float64)
+            b_norms = np.sqrt(np.einsum("bf,bf->b", b64, b64))
+            limit = RESIDUAL_SLACK * b_norms + 64.0 * EPS32 * b_norms.max()
+            assert (res.residual_norms <= limit).all(), f"cond={cond:g}"
+
+    @pytest.mark.parametrize("cond", CONDS)
+    @pytest.mark.parametrize("fs_kind", [0, 3, "f"])
+    def test_campaign_oracle_clean_on_grid(self, cond, fs_kind):
+        # The exact check the campaign runner schedules, on the pytest
+        # grid: zero diagnostics for the shipped backends.
+        f = 24
+        fs = f if fs_kind == "f" else fs_kind
+        assert check_backend_equivalence(_case(f, cond, fs=fs)) == []

@@ -1,0 +1,222 @@
+"""CG fast-path properties: allocation-free steady state, tuned plans,
+plan serialization, and the gated ``cg`` bench floor.
+
+The speed *ratio* itself is asserted conservatively here (tiny shapes on
+shared CI hardware are noisy); the real 2x floor is enforced by the
+``bench-smoke`` CI job against ``benchmarks/baseline.json`` at the QUICK
+shape, where the measurement is stable.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.cg import cg_solve_batched
+from repro.core.cg_backends import backend_names
+from repro.core.config import CGConfig, Precision
+from repro.data import SyntheticConfig, generate_ratings
+from repro.runtime.arena import Workspace
+from repro.runtime.autotune import autotune_plan
+from repro.runtime.bench import BenchConfig, compare_against, run_bench
+from repro.runtime.plan import CG_BACKENDS, RuntimePlan
+
+TINY = BenchConfig(m=250, n=60, nnz=1_800, f=8, repeats=1, cg_iters=3)
+
+
+def spd_problem(batch=400, f=24, seed=0):
+    rng = np.random.default_rng(seed)
+    M = rng.normal(0, 0.3, (batch, f, f)).astype(np.float32)
+    A = np.einsum("bij,bkj->bik", M, M) + 0.1 * np.eye(f, dtype=np.float32)
+    b = rng.normal(0, 1.0, (batch, f)).astype(np.float32)
+    warm = rng.normal(0, 0.1, (batch, f)).astype(np.float32)
+    return A, b, warm
+
+
+class TestZeroSteadyStateAllocations:
+    @pytest.mark.parametrize("backend", backend_names())
+    def test_warm_solver_never_allocates(self, backend):
+        A, b, warm = spd_problem()
+        ws = Workspace()
+        out = np.empty_like(b)
+        cfg = CGConfig(max_iters=5, tol=1e-5)
+
+        def solve(compact):
+            return cg_solve_batched(
+                A, b, x0=warm, config=cfg, precision=Precision.FP16,
+                workspace=ws, compact=compact, out=out, backend=backend,
+            )
+
+        for compact in (False, True, None):
+            solve(compact)  # warm every buffer each mode touches
+        ws.reset_counters()
+        for compact in (False, True, None):
+            solve(compact)
+            solve(compact)
+        assert ws.allocations == 0, (
+            f"backend {backend!r} allocated in steady state: "
+            f"{ws.allocations_by_key}"
+        )
+        assert ws.allocations_by_key == {}
+        assert ws.reuses > 0
+
+    def test_per_key_counter_names_the_grower(self):
+        # The observability contract the assertion above relies on: when
+        # a steady-state probe trips, allocations_by_key names the
+        # buffer, so the failure message points at the kernel to blame.
+        ws = Workspace()
+        ws.request("cg.x", (4, 8))
+        ws.request("cg.x", (4, 8))  # reuse: no new entry
+        ws.request("cg.x", (16, 8))  # growth: counted again
+        ws.request("cg.r", (4, 8))
+        assert ws.allocations_by_key == {"cg.x": 2, "cg.r": 1}
+        assert sum(ws.allocations_by_key.values()) == ws.allocations
+        ws.reset_counters()
+        assert ws.allocations_by_key == {}
+
+
+class TestFusedFasterThanLegacy:
+    def test_fused_beats_legacy_cg_leg(self):
+        # Conservative floor (the committed baseline says 2x at the
+        # bench shape; 1.1x here keeps tiny-shape CI noise out).
+        A, b, warm = spd_problem(batch=1500, f=32, seed=1)
+        cfg = CGConfig(max_iters=6, tol=1e-5)
+
+        def best_of(k, fn):
+            best = float("inf")
+            for _ in range(k):
+                t0 = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - t0)
+            return best
+
+        legacy = best_of(5, lambda: cg_solve_batched(
+            A, b, x0=warm, config=cfg, precision=Precision.FP16,
+            compact=False, backend="reference",
+        ))
+        ws = Workspace()
+        out = np.empty_like(b)
+
+        def fused():
+            cg_solve_batched(
+                A, b, x0=warm, config=cfg, precision=Precision.FP16,
+                workspace=ws, out=out, backend="fused",
+            )
+
+        fused()  # warm
+        assert legacy / best_of(5, fused) >= 1.1
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    return generate_ratings(SyntheticConfig(m=200, n=50, nnz=2_000, seed=4))
+
+
+class TestAutotunedCGCandidates:
+    def test_sweeps_backend_compact_cross(self, ratings):
+        report = autotune_plan(ratings, 8, warmup_nnz=500, repeats=1, workers=0)
+        swept = {(b, c) for b, c, _ in report.cg_timings}
+        assert swept == {
+            (b, c) for b in CG_BACKENDS for c in (None, True)
+        }
+        assert all(s >= 0.0 for _, _, s in report.cg_timings)
+
+    def test_winner_is_fastest_cg_candidate(self, ratings):
+        report = autotune_plan(ratings, 8, warmup_nnz=500, repeats=1, workers=0)
+        best = min(report.cg_timings, key=lambda t: t[2])
+        assert (report.plan.cg_backend, report.plan.compact_cg) == best[:2]
+
+    def test_skipping_sweep_keeps_reference_defaults(self, ratings):
+        report = autotune_plan(
+            ratings, 8, warmup_nnz=500, repeats=1, workers=0, cg_backends=()
+        )
+        assert report.cg_timings == ()
+        assert report.plan.cg_backend == "reference"
+        assert report.plan.compact_cg is None
+
+    def test_unknown_backend_rejected(self, ratings):
+        with pytest.raises(ValueError, match="unknown CG backend"):
+            autotune_plan(ratings, 8, cg_backends=("nope",))
+
+    def test_report_dict_carries_cg_timings(self, ratings):
+        payload = autotune_plan(
+            ratings, 8, warmup_nnz=500, repeats=1, workers=0
+        ).as_dict()
+        assert {"backend", "compact", "seconds"} == set(payload["cg_timings"][0])
+
+
+class TestPlanRoundTrip:
+    def test_selected_plan_round_trips_through_json(self, ratings):
+        plan = autotune_plan(
+            ratings, 8, warmup_nnz=500, repeats=1, workers=0
+        ).plan
+        revived = RuntimePlan.from_dict(json.loads(json.dumps(plan.as_dict())))
+        assert revived == plan
+
+    @pytest.mark.parametrize("backend", CG_BACKENDS)
+    @pytest.mark.parametrize("compact", [None, True, False])
+    def test_every_backend_compact_pair_round_trips(self, backend, compact):
+        plan = RuntimePlan(cg_backend=backend, compact_cg=compact)
+        assert RuntimePlan.from_dict(plan.as_dict()) == plan
+
+    def test_pre_backend_reports_load_with_defaults(self):
+        # Reports written before cg_backend existed must still load.
+        legacy = RuntimePlan().as_dict()
+        del legacy["cg_backend"]
+        assert RuntimePlan.from_dict(legacy).cg_backend == "reference"
+
+    def test_unknown_keys_rejected(self):
+        payload = RuntimePlan().as_dict() | {"cg_backnd": "fused"}
+        with pytest.raises(ValueError, match="cg_backnd"):
+            RuntimePlan.from_dict(payload)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="cg_backend"):
+            RuntimePlan(cg_backend="nope")
+
+
+class TestBenchEmitsCGSection:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_bench(TINY, workers=0)
+
+    def test_cg_section_present_with_speedup(self, result):
+        section = result["sections"]["cg"]
+        assert section["speedup"] > 0
+        assert section["legacy_seconds"] > 0
+        assert result["plan"]["cg_backend"] in CG_BACKENDS
+
+    def test_autotune_payload_reports_cg_sweep(self, result):
+        assert result["autotune"]["cg_timings"], (
+            "bench must measure CG candidates, not only hermitian methods"
+        )
+
+    def test_committed_baseline_gates_cg_floor(self, result):
+        # The committed baseline demands >= 2x at the bench shape; prove
+        # the gate machinery *would* fail a regressed cg section rather
+        # than asserting tiny-shape timings here.
+        baseline = {
+            "schema": "repro.bench-baseline/v1",
+            "tolerance": 0.0,
+            "sections": {"cg": {"speedup": result["sections"]["cg"]["speedup"]}},
+        }
+        ok, messages = compare_against(result, baseline)
+        assert any("cg" in m and m.startswith("PASS") for m in messages)
+        regressed = dict(result)
+        regressed["sections"] = dict(result["sections"])
+        regressed["sections"]["cg"] = dict(result["sections"]["cg"])
+        regressed["sections"]["cg"]["speedup"] = (
+            result["sections"]["cg"]["speedup"] * 0.5
+        )
+        ok, messages = compare_against(regressed, baseline)
+        assert not ok
+        assert any("FAIL cg" in m for m in messages)
+
+    def test_committed_baseline_requires_2x_cg(self):
+        committed = json.loads(
+            (Path(__file__).parents[2] / "benchmarks" / "baseline.json")
+            .read_text()
+        )
+        assert committed["sections"]["cg"]["speedup"] >= 2.0
