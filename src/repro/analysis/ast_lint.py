@@ -21,9 +21,11 @@ Generic linters cannot know this codebase's conventions; these rules can:
   inside a loop there quietly reintroduces per-epoch churn — request a
   workspace buffer (or hoist the allocation) instead.
 
-``lint_tree`` walks a directory; per-file ignores cover the one
-deliberate exception (``cli.py`` lazily imports heavy subsystems inside
-subcommands to keep ``repro --help`` fast).
+``lint_tree`` walks a directory; per-file ignores cover the deliberate
+exceptions (``cli.py`` lazily imports heavy subsystems inside
+subcommands to keep ``repro --help`` fast; the runtime autotuner/bench
+lazily import the serving-layer retrieval index to keep the layering
+acyclic).  See :data:`DEFAULT_IGNORES`.
 """
 
 from __future__ import annotations
@@ -97,11 +99,16 @@ _ALLOC_FUNCS = frozenset(
     }
 )
 
-#: Relative-path suffixes mapped to the rule IDs ignored there.  cli.py is
-#: the one sanctioned exception: its subcommands import numpy-heavy
-#: subsystems lazily so ``repro --help`` stays instant.
+#: Relative-path suffixes mapped to the rule IDs ignored there.  cli.py's
+#: subcommands import numpy-heavy subsystems lazily so ``repro --help``
+#: stays instant; the runtime's autotuner and bench harness import the
+#: serving layer's retrieval index lazily because serving sits *above*
+#: the runtime in the layering — a module-scope import there would point
+#: the dependency arrow the wrong way.
 DEFAULT_IGNORES: Mapping[str, frozenset[str]] = {
     "cli.py": frozenset({AL004}),
+    "runtime/autotune.py": frozenset({AL004}),
+    "runtime/bench.py": frozenset({AL004}),
 }
 
 #: Exact float values allowed in equality comparisons (exact sentinels).

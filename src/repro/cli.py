@@ -181,6 +181,16 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--chaos", action="store_true",
                    help="inject the serving fault campaign (default when "
                         "--smoke is not given)")
+    s.add_argument("--nprobe", type=int, default=None, metavar="P",
+                   help="retrieval-index cells probed per request "
+                        "(default: ceil(ncells/2); >= ncells is exact "
+                        "brute force)")
+    s.add_argument("--index", dest="index", action="store_true",
+                   default=True,
+                   help="serve through the IVF retrieval index (default)")
+    s.add_argument("--no-index", dest="index", action="store_false",
+                   help="disable the retrieval index: every request is "
+                        "scored by the full brute-force GEMM")
     s.add_argument("--workdir", default=None, metavar="DIR",
                    help="where model artifacts are staged "
                         "(default: a temporary directory)")
@@ -474,6 +484,8 @@ def _cmd_serve(args) -> int:
         seed=args.seed,
         requests=args.requests,
         chaos=chaos,
+        index=args.index,
+        nprobe=args.nprobe,
         workdir=args.workdir,
     )
     if args.output:
@@ -484,6 +496,7 @@ def _cmd_serve(args) -> int:
     if not report["ok"]:
         print("serve: FAILED (see report above)", file=sys.stderr)
         return 1
+    retrieval = report["retrieval"]
     print(
         f"serve: ok — {report['requests']} request(s) over "
         f"{report['ticks']} tick(s), availability "
@@ -492,6 +505,12 @@ def _cmd_serve(args) -> int:
             f", {report['expected_faults']} fault(s) injected and accounted"
             if report["mode"] == "chaos"
             else " (fault-free smoke)"
+        )
+        + (
+            f", recall@{retrieval['k']} {retrieval['recall_at_k']:.3f} at "
+            f"nprobe {retrieval['nprobe']}/{retrieval['ncells']}"
+            if retrieval["enabled"]
+            else ", index disabled"
         )
     )
     return 0

@@ -52,6 +52,8 @@ class AutotuneReport:
     warmup_rows: int  # rows of the warm-up slice actually measured
     cg_timings: tuple = ()  # ((backend, compact, best_seconds), ...) per
     # CG candidate; empty when the CG sweep was skipped (cg_backends=())
+    index_unit_seconds: float | None = None  # measured seconds per
+    # item·iteration of IVF index build; None when the probe was skipped
 
     def __post_init__(self) -> None:
         if self.warmup_rows < 1:
@@ -72,6 +74,7 @@ class AutotuneReport:
                 {"backend": b, "compact": c, "seconds": s}
                 for b, c, s in self.cg_timings
             ],
+            "index_unit_seconds": self.index_unit_seconds,
         }
 
 
@@ -93,6 +96,7 @@ def autotune_plan(
     cg_config: CGConfig | None = None,
     workers: int | None = None,
     arena: bool = True,
+    index_build_seconds: float | None = None,
 ) -> AutotuneReport:
     """Measure candidate configurations and return the winning plan.
 
@@ -120,6 +124,13 @@ def autotune_plan(
     workers:
         Process count for the plan; ``None`` derives it from the CPU
         budget (serial unless >1 CPUs are actually available).
+    index_build_seconds:
+        Wall-clock allowance for one serving-side IVF index build at
+        model-install time.  ``None`` skips the probe and leaves
+        ``plan.index_budget`` unmetered; otherwise a one-iteration
+        build on a small seeded catalogue measures the per-unit cost
+        and the allowance converts to item·iteration units (``0``
+        yields budget 0: index builds always skipped).
     """
     if f < 1:
         raise ValueError("f must be positive")
@@ -207,6 +218,28 @@ def autotune_plan(
                     cg_best = (elapsed, backend, compact)
     ws.release()
 
+    # Index-build probe: one Lloyd iteration on a small seeded catalogue
+    # measures the per-item·iteration cost, and the operator's wall-clock
+    # allowance converts to the plan's work-unit budget.  Imported lazily
+    # — serving sits above the runtime in the layering.
+    index_unit_seconds: float | None = None
+    index_budget: int | None = None
+    if index_build_seconds is not None:
+        if index_build_seconds < 0:
+            raise ValueError("index_build_seconds must be non-negative")
+        from ..serving.index import IndexConfig, build_index, clustered_catalog
+
+        probe_items = 8192
+        _, theta_probe = clustered_catalog(1, probe_items, f, seed=0)
+        probe_cfg = IndexConfig(iters=1, seed=0)
+        build_index(theta_probe, probe_cfg)  # warm (BLAS init, caches)
+        elapsed = min(
+            _timed(lambda: build_index(theta_probe, probe_cfg))
+            for _ in range(repeats)
+        )
+        index_unit_seconds = elapsed / probe_items
+        index_budget = int(index_build_seconds / index_unit_seconds)
+
     if workers is None:
         cpus = os.cpu_count() or 1
         workers = min(4, cpus) if cpus > 1 else 0
@@ -219,12 +252,14 @@ def autotune_plan(
         compact_cg=cg_best[2] if cg_best is not None else None,
         cg_backend=cg_best[1] if cg_best is not None else "reference",
         arena=arena,
+        index_budget=index_budget,
     )
     return AutotuneReport(
         plan=plan,
         timings=tuple(timings),
         warmup_rows=rows,
         cg_timings=tuple(cg_timings),
+        index_unit_seconds=index_unit_seconds,
     )
 
 

@@ -54,7 +54,16 @@ BASELINE_SCHEMA = "repro.bench-baseline/v1"
 
 @dataclass(frozen=True)
 class BenchConfig:
-    """Shape and repetition knobs of one bench run."""
+    """Shape and repetition knobs of one bench run.
+
+    The ``catalog_*``/``retrieval_*`` fields shape the serving-side
+    retrieval leg: a clustered item catalogue
+    (:func:`repro.serving.index.clustered_catalog`) scored brute-force
+    versus through the IVF index at its default ``nprobe``.  The
+    catalogue is deliberately much larger than the training shape —
+    sublinear retrieval only matters (and only wins) at catalogue
+    scale.
+    """
 
     m: int = 10_000
     n: int = 1_500
@@ -64,6 +73,12 @@ class BenchConfig:
     cg_iters: int = 6
     lam: float = 0.05
     seed: int = 0
+    catalog_items: int = 262_144
+    catalog_clusters: int = 64
+    retrieval_users: int = 4_096
+    retrieval_requests: int = 256
+    retrieval_batch: int = 32
+    retrieval_k: int = 10
 
     def __post_init__(self) -> None:
         if min(self.m, self.n, self.nnz, self.f) < 1:
@@ -74,6 +89,15 @@ class BenchConfig:
             raise ValueError("cg_iters must be >= 1")
         if self.lam < 0:
             raise ValueError("lam must be non-negative")
+        if min(
+            self.catalog_items,
+            self.catalog_clusters,
+            self.retrieval_users,
+            self.retrieval_requests,
+            self.retrieval_batch,
+            self.retrieval_k,
+        ) < 1:
+            raise ValueError("retrieval shape values must be positive")
 
     def as_dict(self) -> dict:
         return {
@@ -85,11 +109,20 @@ class BenchConfig:
             "cg_iters": self.cg_iters,
             "lam": self.lam,
             "seed": self.seed,
+            "catalog_items": self.catalog_items,
+            "catalog_clusters": self.catalog_clusters,
+            "retrieval_users": self.retrieval_users,
+            "retrieval_requests": self.retrieval_requests,
+            "retrieval_batch": self.retrieval_batch,
+            "retrieval_k": self.retrieval_k,
         }
 
 
 #: The CI perf-smoke shape: finishes in a few seconds yet still large
 #: enough that the chunk/kernel choice dominates interpreter overhead.
+#: The retrieval catalogue stays at full size — the ISSUE's ≥ 5x floor
+#: is stated at ``n_items ≥ 100K`` and the probed path's fixed
+#: per-request overhead would dominate a scaled-down catalogue.
 QUICK_BENCH = BenchConfig(m=3_000, n=600, nnz=60_000, f=32, repeats=2)
 
 #: The default local shape (Netflix-like row/column skew, scaled down).
@@ -231,12 +264,16 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
     # -- steady-state allocation probe -------------------------------------
     steady_allocs = -1
     resident = 0
+    peak_resident = 0
     if executor.workspace is not None:
         executor.workspace.reset_counters()
         optimized_epoch()
         steady_allocs = executor.workspace.allocations
         resident = executor.workspace.resident_bytes
+        peak_resident = executor.workspace.peak_resident_bytes
     executor.close()
+
+    retrieval, retrieval_allocs = _bench_retrieval(cfg)
 
     def section(legacy: float, optimized: float) -> dict:
         return {
@@ -254,6 +291,7 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
             "hermitian": section(legacy_herm, opt_herm),
             "cg": section(legacy_cg, opt_cg),
             "epoch": section(legacy_epoch_s, opt_epoch_s),
+            "retrieval": retrieval,
         },
         "numerics": {
             "bit_identical": identical,
@@ -264,8 +302,108 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
         "arena": {
             "steady_state_allocations": steady_allocs,
             "resident_bytes": resident,
+            "peak_resident_bytes": peak_resident,
+            "retrieval_steady_state_allocations": retrieval_allocs,
         },
     }
+
+
+def _bench_retrieval(cfg: BenchConfig) -> tuple[dict, int]:
+    """Time brute-force vs probed top-k serving; return (section, allocs).
+
+    Both legs run the same request stream through
+    :class:`~repro.serving.batcher.MicroBatcher` (the production scoring
+    path) over a clustered catalogue at the index's **default** nprobe —
+    the same operating point the committed baseline floors gate
+    (speedup *and* recall@k).  The second return value is the probed
+    leg's steady-state arena allocation count (0 once warm).
+    """
+    # Serving sits above the runtime in the layering; import lazily so
+    # the runtime package stays importable on its own.
+    from ..serving.batcher import MicroBatcher
+    from ..serving.index import IndexConfig, build_index, clustered_catalog
+    from ..serving.queue import Request
+    from .arena import Workspace
+
+    x, theta = clustered_catalog(
+        cfg.retrieval_users,
+        cfg.catalog_items,
+        cfg.f,
+        clusters=cfg.catalog_clusters,
+        seed=cfg.seed,
+    )
+    build_start = time.perf_counter()
+    index = build_index(theta, IndexConfig(seed=cfg.seed))
+    build_seconds = time.perf_counter() - build_start
+
+    rng = np.random.default_rng(cfg.seed + 1)
+    requests = [
+        Request(
+            request_id=i,
+            user=int(rng.integers(cfg.retrieval_users)),
+            k=cfg.retrieval_k,
+            submitted_tick=0,
+            deadline_tick=1 << 30,
+        )
+        for i in range(cfg.retrieval_requests)
+    ]
+    batches = [
+        requests[i : i + cfg.retrieval_batch]
+        for i in range(0, len(requests), cfg.retrieval_batch)
+    ]
+
+    def stream(batcher: MicroBatcher, use_index: bool) -> list:
+        out: list = []
+        for batch in batches:
+            results, _bad = batcher.score_batch(
+                x, theta, batch, index=index if use_index else None
+            )
+            out.extend(results)
+        return out
+
+    brute_batcher = MicroBatcher(Workspace())
+    probed_batcher = MicroBatcher(Workspace())
+    brute_results = stream(brute_batcher, False)  # warm + recall reference
+    probed_results = stream(probed_batcher, True)
+    legacy_seconds = _best_of(cfg.repeats, lambda: stream(brute_batcher, False))
+    optimized_seconds = _best_of(
+        cfg.repeats, lambda: stream(probed_batcher, True)
+    )
+
+    k = cfg.retrieval_k
+    recall = float(
+        np.mean(
+            [
+                len({i for i, _ in ref} & {i for i, _ in got}) / k
+                for ref, got in zip(brute_results, probed_results)
+            ]
+        )
+    )
+    scored = probed_batcher.items_scored / max(
+        probed_batcher.requests_scored * cfg.catalog_items, 1
+    )
+
+    probed_batcher.workspace.reset_counters()
+    stream(probed_batcher, True)
+    retrieval_allocs = probed_batcher.workspace.allocations
+    brute_batcher.workspace.release()
+    probed_batcher.workspace.release()
+
+    return (
+        {
+            "legacy_seconds": legacy_seconds,
+            "optimized_seconds": optimized_seconds,
+            "speedup": legacy_seconds / max(optimized_seconds, 1e-12),
+            "recall_at_k": recall,
+            "k": k,
+            "items": cfg.catalog_items,
+            "ncells": index.ncells,
+            "nprobe": index.nprobe,
+            "build_seconds": build_seconds,
+            "scored_fraction": float(scored),
+        },
+        retrieval_allocs,
+    )
 
 
 def compare_against(
@@ -277,8 +415,11 @@ def compare_against(
     """Gate ``result`` against a committed baseline of speedup ratios.
 
     A section regresses when its measured speedup falls below
-    ``baseline_speedup · (1 − tolerance)``; the arena probe fails when
-    any steady-state allocation happened.  Returns (ok, messages) where
+    ``baseline_speedup · (1 − tolerance)``; a baseline section carrying
+    a ``recall_floor`` additionally fails when the measured
+    ``recall_at_k`` drops below it (a hard floor — approximation
+    quality gets no tolerance band); the arena probe fails when any
+    steady-state allocation happened.  Returns (ok, messages) where
     messages describe every check, pass or fail.
     """
     if baseline.get("schema") != BASELINE_SCHEMA:
@@ -292,7 +433,8 @@ def compare_against(
     ok = True
     messages: list[str] = []
     for name, ref in baseline.get("sections", {}).items():
-        measured = result["sections"].get(name, {}).get("speedup")
+        section = result["sections"].get(name, {})
+        measured = section.get("speedup")
         floor = ref["speedup"] * (1 - tol)
         if measured is None:
             ok = False
@@ -305,6 +447,14 @@ def compare_against(
             f"{measured:.2f}x vs baseline {ref['speedup']:.2f}x "
             f"(floor {floor:.2f}x)"
         )
+        if "recall_floor" in ref:
+            recall = section.get("recall_at_k", -1.0)
+            verdict = recall >= ref["recall_floor"]
+            ok &= verdict
+            messages.append(
+                f"{'PASS' if verdict else 'FAIL'} {name}: recall@k "
+                f"{recall:.4f} vs floor {ref['recall_floor']:.2f}"
+            )
     allocs = result.get("arena", {}).get("steady_state_allocations", -1)
     if allocs == 0:
         messages.append("PASS arena: zero steady-state allocations")
@@ -313,6 +463,20 @@ def compare_against(
         messages.append(
             f"FAIL arena: {allocs} steady-state allocations (expected 0)"
         )
+    retrieval_allocs = result.get("arena", {}).get(
+        "retrieval_steady_state_allocations"
+    )
+    if retrieval_allocs is not None:
+        if retrieval_allocs == 0:
+            messages.append(
+                "PASS arena: zero steady-state retrieval allocations"
+            )
+        else:
+            ok = False
+            messages.append(
+                f"FAIL arena: {retrieval_allocs} steady-state retrieval "
+                "allocations (expected 0)"
+            )
     if not result.get("numerics", {}).get("equivalent", False):
         ok = False
         messages.append("FAIL numerics: optimized epoch diverged from legacy")

@@ -75,6 +75,15 @@ class RuntimePlan:
         Reuse workspace buffers across chunks and epochs.  Disabling
         restores the seed's allocate-per-chunk behaviour (the bench's
         "legacy" leg).
+    index_budget:
+        Build budget for the serving-side IVF retrieval index, in
+        item·iteration work units (one unit = one item visited by one
+        Lloyd pass; see :class:`repro.serving.index.IndexConfig`).
+        ``None`` leaves builds unmetered; ``0`` never affords a build,
+        so an index-enabled engine serves the brute-force rung.  The
+        autotuner derives it from a measured per-unit cost and a
+        wall-clock allowance so a model install never stalls serving
+        longer than the operator budgeted.
     """
 
     method: str = "reduceat"
@@ -84,6 +93,7 @@ class RuntimePlan:
     compact_cg: bool | None = None
     cg_backend: str = "reference"
     arena: bool = True
+    index_budget: int | None = None
 
     def __post_init__(self) -> None:
         if self.method not in HERMITIAN_METHODS:
@@ -103,6 +113,8 @@ class RuntimePlan:
             raise ValueError("workers must be >= 0 (0 = serial in-process)")
         if self.workers > self.shards:
             raise ValueError("workers beyond shards would idle; lower workers")
+        if self.index_budget is not None and self.index_budget < 0:
+            raise ValueError("index_budget must be non-negative (or None)")
 
     def as_dict(self) -> dict:
         """JSON-ready representation (bench reports, fixtures)."""
@@ -114,6 +126,7 @@ class RuntimePlan:
             "compact_cg": self.compact_cg,
             "cg_backend": self.cg_backend,
             "arena": self.arena,
+            "index_budget": self.index_budget,
         }
 
     @classmethod

@@ -10,6 +10,9 @@ loaded factor model and keeps answering them when things go wrong:
   collection);
 * :mod:`repro.serving.batcher` — micro-batching: many top-k requests,
   one GEMM through the runtime workspace arena;
+* :mod:`repro.serving.index` — the IVF retrieval index over item
+  factors: coarse k-means cells, ball-bound probing, a per-request
+  ``nprobe`` exactness knob (sublinear top-k);
 * :mod:`repro.serving.breaker` — a closed/open/half-open circuit
   breaker with bounded exponential cooldown over virtual ticks;
 * :mod:`repro.serving.fallback` — the degradation ladder's lower
@@ -30,6 +33,7 @@ from .breaker import BreakerConfig, CircuitBreaker
 from .engine import ServingConfig, ServingEngine, ServingFault
 from .fallback import PopularityFallback, StaleCache
 from .health import ServingEvent, ServingHealth
+from .index import IndexConfig, ItemIndex, build_index
 from .queue import AdmissionQueue, QueueConfig, Request
 from .reload import ModelStore, ReloadOutcome
 
@@ -37,6 +41,8 @@ __all__ = [
     "AdmissionQueue",
     "BreakerConfig",
     "CircuitBreaker",
+    "IndexConfig",
+    "ItemIndex",
     "MicroBatcher",
     "ModelStore",
     "PopularityFallback",
@@ -49,4 +55,5 @@ __all__ = [
     "ServingFault",
     "ServingHealth",
     "StaleCache",
+    "build_index",
 ]

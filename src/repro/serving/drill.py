@@ -18,7 +18,12 @@ serve-smoke job.  One invocation:
    * availability (answered + degraded) ≥ 99 % of admitted;
    * every degraded response is attributed to a ladder rung;
    * every planned fault appears in the log, and nothing unplanned;
-   * a no-op hot reload leaves scoring **bit-equivalent**.
+   * a no-op hot reload leaves scoring **bit-equivalent**;
+   * with the retrieval index active (the default): the index was
+     built at install time, measured recall@10 at the serving probe
+     count clears the calibrated floor, and — chaos tier only — an
+     invalidated index degrades to the distinct ``brute-force`` rung
+     (exact answers, attributed) rather than losing requests.
 
 The returned report is plain JSON-able data with an overall ``ok``
 flag, mirroring :func:`repro.resilience.chaos.run_chaos`, so CI can
@@ -40,7 +45,11 @@ from ..core.config import ALSConfig, CGConfig, Precision, SolverKind
 from ..data.sparse import RatingMatrix
 from ..persistence import save_model
 from ..resilience.faults import ServingFaultPlan, expected_serving_faults
+from .batcher import MicroBatcher
 from .engine import ServingConfig, ServingEngine
+from .health import DEGRADE_RUNGS
+from .index import IndexConfig, recall_floor
+from .queue import Request
 
 __all__ = ["AVAILABILITY_FLOOR", "DRILL_RATES", "run_serving_drill"]
 
@@ -108,24 +117,74 @@ def _drive_stream(
     engine.run_until_drained()
 
 
+def _probe_recall(engine: ServingEngine, k: int) -> float:
+    """Mean recall@k of the engine's probed path vs brute force.
+
+    Scores every known user once brute-force and once through the
+    installed index at the engine's effective probe count, through a
+    *separate* batcher so the measurement never touches the serving
+    arena or the engine's health accounting.
+    """
+    store = engine.store
+    x, theta = store.x, store.theta
+    requests = [
+        Request(
+            request_id=i,
+            user=i,
+            k=k,
+            submitted_tick=0,
+            deadline_tick=1 << 30,
+        )
+        for i in range(x.shape[0])
+    ]
+    batcher = MicroBatcher()
+    reference, _ = batcher.score_batch(x, theta, requests)
+    probed, _ = batcher.score_batch(
+        x, theta, requests, index=store.index, nprobe=engine.nprobe
+    )
+    batcher.workspace.release()
+    recalls = [
+        len({i for i, _ in got} & {i for i, _ in want}) / len(want)
+        for got, want in zip(probed, reference)
+    ]
+    return float(np.mean(recalls))
+
+
 def run_serving_drill(
     seed: int = 0,
     *,
     requests: int = 200,
     chaos: bool = True,
+    index: bool = True,
+    nprobe: int | None = None,
     workdir: str | None = None,
 ) -> dict:
     """Run one audited serving drill; returns a JSON-able report.
 
     ``chaos=False`` is the smoke tier: same stream, no fault plan —
-    every request must come back fully answered.
+    every request must come back fully answered.  With ``index`` (the
+    default) the engine serves through the IVF retrieval index: the
+    drill additionally gates measured recall@10 against the calibrated
+    :func:`~repro.serving.index.recall_floor` at the effective probe
+    count, and the chaos tier drops the index mid-run to prove the
+    distinct ``brute-force`` ladder rung answers (exactly, attributed).
+    ``nprobe`` overrides the probe count; ``None`` serves
+    ``ceil(ncells/2)`` — on the drill's tiny catalogue the derived
+    default probes too small a fraction to gate recall meaningfully.
     """
     if requests < 1:
         raise ValueError("requests must be >= 1")
+    if nprobe is not None and nprobe < 1:
+        raise ValueError("nprobe must be >= 1 (or None for the default)")
     if workdir is None:
         with tempfile.TemporaryDirectory() as tmp:
             return run_serving_drill(
-                seed, requests=requests, chaos=chaos, workdir=tmp
+                seed,
+                requests=requests,
+                chaos=chaos,
+                index=index,
+                nprobe=nprobe,
+                workdir=tmp,
             )
 
     m, n, f = 64, 48, 8
@@ -143,9 +202,16 @@ def run_serving_drill(
         config=ServingConfig(queue_capacity=32, max_batch=8, budget_ticks=10),
         popularity=popularity,
         faults=plan,
+        index_config=IndexConfig(seed=seed) if index else None,
+        nprobe=nprobe,
     )
     engine.chaos_reload_path = model_b
     engine.chaos_corrupt_path = corrupt
+    if index and nprobe is None:
+        # ceil(ncells/2): the smallest probe fraction with a
+        # non-vacuous calibrated floor — sqrt-sized quantizers on a
+        # 48-item catalogue make the derived default probe 1 cell.
+        engine.nprobe = -(-engine.store.index.ncells // 2)
 
     _drive_stream(engine, seed, requests, num_users=m)
     ticks = engine.tick_now
@@ -156,6 +222,42 @@ def run_serving_drill(
     noop = engine.reload(engine.store.path)
     after = engine.probe_scores(probe_user)
     noop_bit_equal = bool(before.tobytes() == after.tobytes())
+
+    # Retrieval gate: measured recall at the serving operating point
+    # must clear the calibrated distribution-free floor.
+    retrieval: dict | None = None
+    brute_exercised = 0
+    if index:
+        ncells = engine.store.index.ncells
+        eff_nprobe = min(engine.nprobe, ncells)
+        floor = recall_floor(eff_nprobe, ncells)
+        recall = _probe_recall(engine, k=10)
+        retrieval = {
+            "enabled": True,
+            "ncells": ncells,
+            "nprobe": eff_nprobe,
+            "k": 10,
+            "recall_at_k": recall,
+            "recall_floor": floor,
+            "index_builds": engine.store.index_builds,
+            "index_routed": engine.batcher.index_routed,
+            "brute_routed": engine.batcher.brute_routed,
+        }
+    if index and chaos:
+        # Drop the index mid-service and prove the distinct brute-force
+        # rung answers (exactly, and attributed).  The fault plan is
+        # detached first — its expectation was already pinned at
+        # ``ticks`` — and the breaker gets its worst-case cooldown so
+        # the exercise measures the rung, not an open breaker.
+        engine.faults = None
+        for _ in range(engine.breaker.config.max_cooldown_ticks + 1):
+            engine.tick()
+        engine.store.invalidate_index()
+        brute_exercised = 8
+        for i in range(brute_exercised):
+            engine.submit(i, 5)
+            engine.tick()
+        engine.run_until_drained()
 
     health = engine.health
     violations = health.audit()
@@ -176,10 +278,19 @@ def run_serving_drill(
         "accounting_balanced": not violations,
         "faults_accounted": not missing and not extra,
         "availability_met": bool(availability >= AVAILABILITY_FLOOR),
-        "degraded_attributed": all(r in ("stale-cache", "popularity") for r in rungs),
+        "degraded_attributed": all(r in DEGRADE_RUNGS for r in rungs),
         "noop_reload": bool(noop.status == "noop" and noop_bit_equal),
         "faults_injected": (len(expected) > 0) if chaos else True,
     }
+    if index:
+        checks["index_built"] = engine.store.index_builds >= 1
+        checks["recall_met"] = bool(
+            retrieval["recall_at_k"] >= retrieval["recall_floor"]
+        )
+        if chaos:
+            checks["brute_force_rung"] = (
+                rungs.get("brute-force", 0) >= brute_exercised
+            )
     report = {
         "mode": "chaos" if chaos else "smoke",
         "seed": seed,
@@ -194,6 +305,7 @@ def run_serving_drill(
         "availability_floor": AVAILABILITY_FLOOR,
         "degraded_by_rung": rungs,
         "noop_reload": {"status": noop.status, "bit_equal": noop_bit_equal},
+        "retrieval": retrieval if retrieval is not None else {"enabled": False},
         "event_counts": counts,
         "engine": engine.stats(),
         "checks": checks,

@@ -9,9 +9,13 @@ Ties the serving subsystem together around a virtual tick clock:
 * **scoring** — each :meth:`tick` collects up to ``max_batch`` live
   requests and scores them as **one** GEMM through the
   :class:`~repro.serving.batcher.MicroBatcher` (runtime workspace
-  arena; zero steady-state allocations).
-* **degradation ladder** — full MF top-k → stale cache → popularity
-  baseline → structured :class:`ServingFault`.  A
+  arena; zero steady-state allocations).  With an
+  :class:`~repro.serving.index.IndexConfig` the batch routes through
+  the sublinear IVF probe path instead, ``nprobe`` cells per user
+  (per-request override via :meth:`submit`).
+* **degradation ladder** — full MF top-k → brute force (index enabled
+  but missing/stale: exact scores at full cost) → stale cache →
+  popularity baseline → structured :class:`ServingFault`.  A
   :class:`~repro.serving.breaker.CircuitBreaker` skips doomed scoring
   attempts while the backend is failing.
 * **hot reload** — :meth:`reload` swaps factors mid-traffic through the
@@ -40,6 +44,7 @@ from .batcher import MicroBatcher
 from .breaker import BreakerConfig, CircuitBreaker
 from .fallback import PopularityFallback, StaleCache
 from .health import ServingHealth
+from .index import IndexConfig
 from .queue import AdmissionQueue, QueueConfig, Request
 from .reload import ModelStore, ReloadOutcome
 
@@ -99,10 +104,17 @@ class ServingEngine:
         popularity: np.ndarray | None = None,
         faults: ServingFaultPlan | None = None,
         workspace: Workspace | None = None,
+        index_config: IndexConfig | None = None,
+        nprobe: int | None = None,
     ) -> None:
+        if nprobe is not None and nprobe < 1:
+            raise ValueError("nprobe must be >= 1 (or None for the default)")
         self.config = config if config is not None else ServingConfig()
         self.health = ServingHealth()
-        self.store = ModelStore()
+        #: Engine-level probe default (below per-request ``nprobe``,
+        #: above the index's own derived default).
+        self.nprobe = nprobe
+        self.store = ModelStore(index_config=index_config)
         self.store.swap(model_path)  # initial load: raises on corrupt file
         if popularity is None:
             # Factor-norm proxy, snapshotted now: the baseline must keep
@@ -140,8 +152,14 @@ class ServingEngine:
         *,
         budget_ticks: int | None = None,
         exclude: tuple[int, ...] = (),
+        nprobe: int | None = None,
     ) -> int:
         """Submit a top-k request; returns its id.
+
+        ``nprobe`` is the per-request exactness knob of the retrieval
+        index (cells to probe; >= the index's ``ncells`` serves the
+        request brute-force, i.e. exactly).  ``None`` defers to the
+        engine default, then the index default.
 
         Invalid requests (unknown user, bad k) are faulted immediately
         with a structured :class:`ServingFault` recorded against the
@@ -178,6 +196,7 @@ class ServingEngine:
                 submitted_tick=tick,
                 deadline_tick=tick + budget,
                 exclude=tuple(int(i) for i in exclude),
+                nprobe=nprobe,
             )
         except (ServingFault, ValueError) as exc:
             fault = (
@@ -249,8 +268,27 @@ class ServingEngine:
             poison_row = self.faults.victim_lane(
                 "fault.score-nan", tick, len(ready)
             )
+        # Index routing: a *current* index serves the probed sublinear
+        # path as full top-k.  An enabled-but-missing/stale index (e.g.
+        # a budget-skipped build after a swap) is the ladder's first
+        # rung: the batch is scored by the exact brute-force GEMM and
+        # each answer is attributed ``rung="brute-force"`` — a distinct
+        # terminal from ``request.answered`` so the audit partition
+        # never double-counts an index miss.
+        index = None
+        brute_fallback = False
+        if self.store.index_enabled:
+            if self.store.index_current:
+                index = self.store.index
+            else:
+                brute_fallback = True
         results, bad_rows = self.batcher.score_batch(
-            self.store.x, self.store.theta, ready, poison_row=poison_row
+            self.store.x,
+            self.store.theta,
+            ready,
+            poison_row=poison_row,
+            index=index,
+            nprobe=self.nprobe,
         )
         self.breaker.record_success(tick)
         bad = set(bad_rows)
@@ -262,12 +300,28 @@ class ServingEngine:
             self.cache.put(
                 request.user, request.k, results[i], self.store.version
             )
-            self.health.record(
-                "request.answered", tick=tick, request_id=request.request_id
-            )
+            if brute_fallback:
+                self.health.record(
+                    "request.degraded",
+                    tick=tick,
+                    request_id=request.request_id,
+                    rung="brute-force",
+                    detail="index missing or stale",
+                )
+            else:
+                self.health.record(
+                    "request.answered",
+                    tick=tick,
+                    request_id=request.request_id,
+                )
 
     def _degrade(self, request: Request, tick: int) -> None:
-        """Walk the ladder: stale cache → popularity → ServingFault."""
+        """Walk the lower ladder: stale cache → popularity → ServingFault.
+
+        (The ``brute-force`` rung above these lives in
+        :meth:`_serve_batch`: it still *scores* the batch, so it is a
+        routing decision, not a scoring-failure fallback.)
+        """
         rid = request.request_id
         cached = self.cache.get(request.user, request.k)
         if cached is not None:
@@ -361,6 +415,14 @@ class ServingEngine:
             "model_version": self.store.version,
             "model_swaps": self.store.swaps,
             "model_rollbacks": self.store.rollbacks,
+            "index_enabled": self.store.index_enabled,
+            "index_current": self.store.index_current,
+            "index_builds": self.store.index_builds,
+            "index": (
+                self.store.index.stats() if self.store.index_current else None
+            ),
+            "index_routed": self.batcher.index_routed,
+            "brute_routed": self.batcher.brute_routed,
             "availability": self.health.availability(),
             "workspace_resident_bytes": self.batcher.workspace.resident_bytes,
             "workspace_peak_bytes": self.batcher.workspace.peak_resident_bytes,

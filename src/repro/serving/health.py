@@ -19,6 +19,8 @@ Event kinds used by the serving engine:
 ``request.degraded``           served off-ladder; ``rung`` says how
 ``request.shed``               load-shed (queue full / deadline / invalid)
 ``request.faulted``            ladder exhausted; ``ServingFault`` raised
+``index.built``                retrieval index fit at model install
+``index.skipped``              index build skipped (budget below one pass)
 ``fault.backend-stall``        injected scoring-backend stall
 ``fault.reload-during-traffic``injected hot reload mid-stream
 ``fault.corrupt-model-file``   injected reload of a corrupt artifact
@@ -54,8 +56,15 @@ TERMINAL_KINDS = (
     "request.faulted",
 )
 
-#: Valid ``rung`` attributions for a ``request.degraded`` event.
-DEGRADE_RUNGS = ("stale-cache", "popularity")
+#: Valid ``rung`` attributions for a ``request.degraded`` event, in
+#: ladder order.  ``brute-force`` is the rung above stale-cache: the
+#: retrieval index is enabled but missing or stale (e.g. a budget-
+#: skipped build after a swap), so the request was served by the exact
+#: full GEMM instead of the probed path — fresh scores, higher cost.
+#: It is distinct from ``request.answered`` (full top-k *as configured*)
+#: so :meth:`ServingHealth.audit`'s partition never double-counts a
+#: request when the index misses.
+DEGRADE_RUNGS = ("brute-force", "stale-cache", "popularity")
 
 SERVING_EVENT_KINDS = (
     "request.submitted",
@@ -71,6 +80,8 @@ SERVING_EVENT_KINDS = (
     "reload.swapped",
     "reload.noop",
     "reload.rolled-back",
+    "index.built",
+    "index.skipped",
 )
 
 

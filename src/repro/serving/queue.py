@@ -25,7 +25,11 @@ class Request:
 
     ``deadline_tick`` is absolute: the last engine tick at which serving
     this request is still useful.  ``exclude`` lists item ids the client
-    never wants back (e.g. already-seen items).
+    never wants back (e.g. already-seen items).  ``nprobe`` is the
+    per-request exactness knob of the retrieval index: how many IVF
+    cells to probe (``None`` defers to the engine/index default; at or
+    above the index's ``ncells`` the request is served brute-force,
+    i.e. exactly).
     """
 
     request_id: int
@@ -34,6 +38,7 @@ class Request:
     submitted_tick: int
     deadline_tick: int
     exclude: tuple[int, ...] = ()
+    nprobe: int | None = None
 
     def __post_init__(self) -> None:
         if self.request_id < 0:
@@ -46,6 +51,8 @@ class Request:
             raise ValueError("submitted_tick must be non-negative")
         if self.deadline_tick < self.submitted_tick:
             raise ValueError("deadline_tick must not precede submitted_tick")
+        if self.nprobe is not None and self.nprobe < 1:
+            raise ValueError("nprobe must be >= 1 (or None for the default)")
 
 
 @dataclass(frozen=True)

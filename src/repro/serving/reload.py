@@ -15,7 +15,13 @@ persistence-v2 / checkpoint artifact:
 * a swap to a bit-identical model is detected by content digest and
   becomes a **no-op** — the installed arrays are untouched, so scoring
   after the reload is bit-equivalent to scoring before it (the chaos
-  drill asserts this byte-for-byte).
+  drill asserts this byte-for-byte);
+* with an :class:`~repro.serving.index.IndexConfig`, every *real* swap
+  rebuilds the IVF retrieval index over the new item factors at
+  install time; the digest-noop path **skips the rebuild** (the
+  installed index is over the identical factors), and a budget-skipped
+  build leaves the store index-less — the engine then serves the
+  brute-force rung until the next successful build.
 
 Reads are plain attribute access (the GIL makes the reference swap
 atomic for the in-process engine); ``version`` increments only on a
@@ -32,6 +38,7 @@ import numpy as np
 
 from ..persistence import load_factors
 from .health import ServingHealth
+from .index import IndexConfig, ItemIndex, build_index
 
 __all__ = ["ModelStore", "ReloadOutcome"]
 
@@ -60,7 +67,7 @@ def _factor_digest(x: np.ndarray, theta: np.ndarray) -> str:
 class ModelStore:
     """The factors currently being served, with atomic verified swaps."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, index_config: IndexConfig | None = None) -> None:
         self._x: np.ndarray | None = None
         self._theta: np.ndarray | None = None
         self.version = 0
@@ -68,10 +75,34 @@ class ModelStore:
         self.path = ""
         self.swaps = 0
         self.rollbacks = 0
+        self.index_config = index_config
+        self._index: ItemIndex | None = None
+        self.index_version = -1  # model version the index was built for
+        self.index_builds = 0
 
     @property
     def loaded(self) -> bool:
         return self._x is not None
+
+    @property
+    def index_enabled(self) -> bool:
+        """Whether this store was configured to build retrieval indexes."""
+        return self.index_config is not None
+
+    @property
+    def index(self) -> ItemIndex | None:
+        return self._index
+
+    @property
+    def index_current(self) -> bool:
+        """The installed index was built over the *serving* factors."""
+        return self._index is not None and self.index_version == self.version
+
+    def invalidate_index(self) -> None:
+        """Drop the index (operator/chaos hook): next batches serve the
+        brute-force rung until a swap rebuilds it."""
+        self._index = None
+        self.index_version = -1
 
     @property
     def x(self) -> np.ndarray:
@@ -119,7 +150,9 @@ class ModelStore:
         digest = _factor_digest(x, theta)
         if self._x is not None and digest == self.digest:
             # Bit-identical artifact: keep the installed arrays untouched
-            # so post-reload scoring is trivially bit-equivalent.
+            # so post-reload scoring is trivially bit-equivalent.  The
+            # retrieval index is a pure function of (theta, config), so
+            # the rebuild is skipped too — the installed index stays.
             outcome = ReloadOutcome(
                 status="noop",
                 version=self.version,
@@ -137,8 +170,42 @@ class ModelStore:
         self.swaps += 1
         detail = f"v{self.version} from {os.path.basename(path)}"
         self._record(health, "reload.swapped", tick, detail)
+        if self.index_config is not None:
+            self._build_index(health, tick)
         return ReloadOutcome(
             status="swapped", version=self.version, digest=digest, detail=detail
+        )
+
+    def _build_index(self, health: ServingHealth | None, tick: int) -> None:
+        """Fit the IVF index over the just-installed factors.
+
+        A budget-skipped build (``build_index`` returned ``None``)
+        leaves the store index-less: the engine serves the distinct
+        ``brute-force`` ladder rung until a later swap affords the
+        build.  A stale index is never served.
+        """
+        index = build_index(self._theta, self.index_config)
+        if index is None:
+            self._index = None
+            self.index_version = -1
+            budget = self.index_config.budget
+            self._record(
+                health,
+                "index.skipped",
+                tick,
+                f"budget {budget} below one Lloyd pass over "
+                f"{self._theta.shape[0]} items",
+            )
+            return
+        self._index = index
+        self.index_version = self.version
+        self.index_builds += 1
+        self._record(
+            health,
+            "index.built",
+            tick,
+            f"v{self.version}: {index.ncells} cells over "
+            f"{index.n_items} items ({index.iters_run} Lloyd pass(es))",
         )
 
     @staticmethod

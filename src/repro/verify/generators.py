@@ -46,6 +46,7 @@ __all__ = [
     "TrajectoryCase",
     "ResilienceCase",
     "ServingCase",
+    "RetrievalCase",
     "KernelCase",
     "PatternCase",
     "OccupancyCase",
@@ -59,6 +60,7 @@ __all__ = [
     "draw_trajectory_case",
     "draw_resilience_case",
     "draw_serving_case",
+    "draw_retrieval_case",
     "draw_kernel_case",
     "draw_pattern_case",
     "draw_occupancy_case",
@@ -324,6 +326,46 @@ class ServingCase:
         for name in ("stall_rate", "reload_rate", "corrupt_rate", "score_nan_rate"):
             if not 0.0 <= getattr(self, name) <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1]")
+        if not 0 <= self.seed < _MAX_SEED:
+            raise ValueError("seed out of range")
+
+
+@dataclass(frozen=True)
+class RetrievalCase:
+    """An IVF retrieval index probed against its brute-force oracle (VF110).
+
+    The catalogue is a seeded clustered surrogate
+    (:func:`~repro.serving.index.clustered_catalog`) so the draw spans
+    everything from strongly clustered (IVF's home turf) to a single
+    isotropic blob (its adversarial worst case).  ``ncells == 0`` lets
+    the build derive ``sqrt(n_items)``; a positive value pins the
+    quantizer size to exercise off-default cell counts.
+    """
+
+    n_items: int
+    f: int
+    users: int
+    k: int
+    ncells: int  # 0 = derive sqrt(n_items)
+    clusters: int
+    spread: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.n_items < 2:
+            raise ValueError("n_items must be >= 2")
+        if self.f < 2:
+            raise ValueError("f must be >= 2")
+        if self.users < 1:
+            raise ValueError("users must be >= 1")
+        if not 1 <= self.k <= self.n_items:
+            raise ValueError("k must be within [1, n_items]")
+        if not 0 <= self.ncells <= self.n_items:
+            raise ValueError("ncells must be within [0, n_items] (0 = derive)")
+        if self.clusters < 1:
+            raise ValueError("clusters must be >= 1")
+        if not 0.0 < self.spread <= 1.0:
+            raise ValueError("spread must be in (0, 1]")
         if not 0 <= self.seed < _MAX_SEED:
             raise ValueError("seed out of range")
 
@@ -673,6 +715,23 @@ def draw_serving_case(rng: np.random.Generator) -> ServingCase:
     )
 
 
+def draw_retrieval_case(rng: np.random.Generator) -> RetrievalCase:
+    n_items = int(rng.integers(64, 2049))
+    return RetrievalCase(
+        n_items=n_items,
+        f=int(rng.integers(4, 33)),
+        users=int(rng.integers(4, 33)),
+        # k small relative to the catalogue: top-k serving's regime, and
+        # the one the calibrated recall floors were measured on.
+        k=int(rng.integers(1, min(16, n_items // 8) + 1)),
+        # Mostly derive sqrt(n_items); sometimes pin an off-default size.
+        ncells=int(rng.integers(2, 33)) if rng.random() < 0.25 else 0,
+        clusters=int(rng.integers(1, 17)),
+        spread=round(float(rng.uniform(0.05, 0.6)), 4),
+        seed=_seed(rng),
+    )
+
+
 def draw_kernel_case(rng: np.random.Generator) -> KernelCase:
     for _ in range(32):
         m = int(10.0 ** rng.uniform(0.0, 5.0))
@@ -770,6 +829,12 @@ _SHRINK_MINIMA: dict[str, int | float] = {
     "reload_rate": 0.0,
     "corrupt_rate": 0.0,
     "score_nan_rate": 0.0,
+    "n_items": 2,
+    "users": 1,
+    "k": 1,
+    "ncells": 0,
+    "clusters": 1,
+    "spread": 0.05,
 }
 
 
@@ -832,6 +897,7 @@ _CASE_TYPES: dict[str, type] = {
         RuntimeCase,
         ResilienceCase,
         ServingCase,
+        RetrievalCase,
         KernelCase,
         PatternCase,
         OccupancyCase,

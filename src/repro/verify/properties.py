@@ -40,6 +40,15 @@ structure — a violation is a bug, never noise:
            at FP32 (repairs re-solve pristine systems with identical
            arithmetic), within the FP16 noise floor otherwise (see
            docs/resilience.md).
+``VF110``  the IVF retrieval index keeps its approximation contract:
+           the built index is structurally sound (cell-contiguous
+           permutation, exact ``theta_perm`` gather, radii that truly
+           bound every member — the ball-bound's soundness premise),
+           rebuilds bit-identically, honours the build budget, recall
+           versus the brute-force oracle is monotone in ``nprobe`` and
+           clears the calibrated :func:`recall_floor` at every grid
+           point, and ``nprobe = ncells`` is *bit-identical* to
+           serving without an index (docs/serving.md).
 =========  ============================================================
 
 Deliberately *not* asserted: hermitian timing monotone in ``f`` or ``m``
@@ -83,13 +92,23 @@ from ..resilience.guards import GuardPolicy
 from ..resilience.health import RunHealth
 from ..runtime.executor import ShardExecutor
 from ..runtime.plan import RuntimePlan, SupervisionPolicy
+from ..serving.batcher import MicroBatcher
 from ..serving.engine import ServingConfig, ServingEngine
+from ..serving.index import (
+    IndexConfig,
+    build_index,
+    clustered_catalog,
+    default_nprobe,
+    recall_floor,
+)
+from ..serving.queue import Request
 from .generators import (
     CacheCase,
     KernelCase,
     OccupancyCase,
     PatternCase,
     ResilienceCase,
+    RetrievalCase,
     RuntimeCase,
     ServingCase,
     _als_config,
@@ -109,6 +128,7 @@ __all__ = [
     "VF107",
     "VF108",
     "VF109",
+    "VF110",
     "check_timing_monotone",
     "check_roofline_bound",
     "check_coalescing_order",
@@ -117,6 +137,7 @@ __all__ = [
     "check_runtime_determinism",
     "check_resilience_recovery",
     "check_serving_availability",
+    "check_serving_recall",
 ]
 
 VF101 = register_rule(
@@ -164,6 +185,13 @@ VF109 = register_rule(
     "serving engine lost, misattributed or faulted a request",
     "serving contract: accounting balances, faults logged, ladder holds, "
     "no-op reload bit-equivalent (docs/serving.md)",
+)
+VF110 = register_rule(
+    "VF110",
+    "IVF retrieval index broke its approximation contract",
+    "serving index contract: sound structure, deterministic build, "
+    "budget honoured, recall monotone in nprobe above the calibrated "
+    "floor, exact at nprobe=ncells (docs/serving.md)",
 )
 
 #: Relative slack for comparing two computed times (pure float noise).
@@ -784,6 +812,219 @@ def check_serving_availability(case: ServingCase) -> list[Diagnostic]:
                 f"availability {availability:.4f} under fitting load "
                 "(arrivals never exceed the batcher) fell below 0.99",
                 availability=float(availability),
+            )
+        )
+    return findings
+
+
+def check_serving_recall(case: RetrievalCase) -> list[Diagnostic]:
+    """VF110: the retrieval index keeps its approximation contract.
+
+    Builds the IVF index over a seeded clustered catalogue and asserts,
+    against the brute-force :class:`MicroBatcher` oracle:
+
+    1. **structure** — ``perm`` is a permutation, ``cell_ptr`` is a
+       monotone partition of the catalogue, ``theta_perm`` is exactly
+       the permuted factors, and every item's distance to its centroid
+       is bounded by the cell radius (the premise that makes the
+       ball-bound cell ranking an upper bound, hence probe sets
+       meaningful);
+    2. **determinism** — a second build from the same factors and
+       config is bit-identical;
+    3. **budget** — a budget below one Lloyd pass skips the build
+       (``None``), never returns a half-fit index;
+    4. **recall** — mean recall@k over the user panel is monotone
+       non-decreasing along the probe grid and clears the calibrated
+       :func:`recall_floor` at every grid point;
+    5. **exactness** — ``nprobe = ncells`` reproduces the brute-force
+       top-k lists bit-for-bit (ids and float scores), and the probed
+       path's steady state performs zero arena allocations.
+    """
+    findings: list[Diagnostic] = []
+    x, theta = clustered_catalog(
+        case.users,
+        case.n_items,
+        case.f,
+        clusters=case.clusters,
+        spread=case.spread,
+        seed=case.seed,
+    )
+    cfg = IndexConfig(ncells=case.ncells or None, seed=case.seed)
+    index = build_index(theta, cfg)
+    if index is None:
+        return [
+            _violation(
+                VF110,
+                "serving.recall[build]",
+                "unmetered build returned None",
+            )
+        ]
+    ncells = index.ncells
+
+    # -- structure -----------------------------------------------------
+    n = case.n_items
+    if not np.array_equal(np.sort(index.perm), np.arange(n)):
+        findings.append(
+            _violation(
+                VF110,
+                "serving.recall[perm]",
+                "perm is not a permutation of the catalogue",
+            )
+        )
+    ptr = index.cell_ptr
+    if ptr[0] != 0 or ptr[-1] != n or np.any(np.diff(ptr) < 0):
+        findings.append(
+            _violation(
+                VF110,
+                "serving.recall[cell_ptr]",
+                "cell_ptr is not a monotone partition of [0, n_items]",
+            )
+        )
+    if index.theta_perm.tobytes() != theta[index.perm].tobytes():
+        findings.append(
+            _violation(
+                VF110,
+                "serving.recall[gather]",
+                "theta_perm differs from theta[perm]",
+            )
+        )
+    # Ball-bound soundness: every member sits inside its cell's ball.
+    # Radii are float32 roundings of float64 distances, so allow the
+    # relative float noise of the computation itself.
+    cell_of = np.repeat(np.arange(ncells), np.diff(ptr))
+    diff = index.theta_perm.astype(np.float64) - index.centroids[
+        cell_of
+    ].astype(np.float64)
+    dist = np.sqrt(np.einsum("nf,nf->n", diff, diff))
+    slack = 1e-5 * (1.0 + np.abs(dist))
+    overshoot = dist - (index.radii[cell_of].astype(np.float64) + slack)
+    if np.any(overshoot > 0):
+        worst = float(overshoot.max())
+        findings.append(
+            _violation(
+                VF110,
+                "serving.recall[radii]",
+                f"{int((overshoot > 0).sum())} item(s) outside their "
+                f"cell ball (worst overshoot {worst:.3e}) — the probe "
+                "bound is unsound",
+                overshoot=worst,
+            )
+        )
+    if findings:
+        return findings  # a broken layout makes the probes meaningless
+
+    # -- determinism and budget ---------------------------------------
+    twin = build_index(theta, cfg)
+    same = twin is not None and all(
+        getattr(twin, a).tobytes() == getattr(index, a).tobytes()
+        for a in ("centroids", "radii", "perm", "cell_ptr", "theta_perm")
+    )
+    if not same:
+        findings.append(
+            _violation(
+                VF110,
+                "serving.recall[determinism]",
+                "rebuild from identical factors/config is not bit-identical",
+            )
+        )
+    starved = build_index(
+        theta, IndexConfig(ncells=case.ncells or None, seed=case.seed, budget=n - 1)
+    )
+    if starved is not None:
+        findings.append(
+            _violation(
+                VF110,
+                "serving.recall[budget]",
+                "budget below one Lloyd pass still built an index",
+            )
+        )
+
+    # -- recall grid against the brute-force oracle --------------------
+    requests = [
+        Request(
+            request_id=i,
+            user=i,
+            k=case.k,
+            submitted_tick=0,
+            deadline_tick=1 << 30,
+        )
+        for i in range(case.users)
+    ]
+    batcher = MicroBatcher()
+    reference, bad = batcher.score_batch(x, theta, requests)
+    grid = sorted(
+        {1, default_nprobe(ncells), -(-ncells // 4), -(-ncells // 2), ncells}
+    )
+    probed: dict[int, list] = {}
+    for p in grid:
+        probed[p], bad_p = batcher.score_batch(
+            x, theta, requests, index=index, nprobe=p
+        )
+        bad += bad_p
+    if bad:
+        batcher.workspace.release()
+        return [
+            _violation(
+                VF110,
+                "serving.recall[finite]",
+                f"{len(bad)} scoring row(s) came out non-finite",
+            )
+        ]
+
+    ref_sets = [frozenset(i for i, _ in row) for row in reference]
+    prev = -1.0
+    for p in grid:
+        recalls = [
+            len(frozenset(i for i, _ in row) & s) / len(s)
+            for row, s in zip(probed[p], ref_sets)
+        ]
+        recall = float(np.mean(recalls))
+        floor = recall_floor(p, ncells)
+        if recall < floor:
+            findings.append(
+                _violation(
+                    VF110,
+                    "serving.recall[floor]",
+                    f"recall@{case.k} {recall:.4f} at nprobe={p}/{ncells} "
+                    f"below the calibrated floor {floor:.2f}",
+                    recall=recall,
+                    nprobe=float(p),
+                )
+            )
+        if recall < prev - _REL_EPS:
+            findings.append(
+                _violation(
+                    VF110,
+                    "serving.recall[monotone]",
+                    f"recall fell from {prev:.4f} to {recall:.4f} when "
+                    f"nprobe rose to {p} — probe sets are not nested",
+                    recall=recall,
+                    nprobe=float(p),
+                )
+            )
+        prev = recall
+    if probed[ncells] != reference:
+        findings.append(
+            _violation(
+                VF110,
+                "serving.recall[exactness]",
+                "nprobe=ncells is not bit-identical to brute force",
+            )
+        )
+
+    # -- steady state: the probed path allocates nothing ---------------
+    batcher.workspace.reset_counters()
+    batcher.score_batch(x, theta, requests, index=index, nprobe=grid[0])
+    allocations = batcher.workspace.allocations
+    batcher.workspace.release()
+    if allocations:
+        findings.append(
+            _violation(
+                VF110,
+                "serving.recall[arena]",
+                f"warm probed batch performed {allocations} arena "
+                "allocation(s); steady-state serving must allocate nothing",
+                allocations=float(allocations),
             )
         )
     return findings

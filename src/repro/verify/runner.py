@@ -42,6 +42,7 @@ from .generators import (
     draw_occupancy_case,
     draw_pattern_case,
     draw_resilience_case,
+    draw_retrieval_case,
     draw_runtime_case,
     draw_serving_case,
     draw_spd_case,
@@ -64,6 +65,7 @@ from .properties import (
     check_roofline_bound,
     check_runtime_determinism,
     check_serving_availability,
+    check_serving_recall,
     check_timing_monotone,
 )
 
@@ -178,6 +180,13 @@ CHECKS: dict[str, CheckDef] = {
             check_serving_availability,
             weight=0.5,  # each case replays a full traffic stream; keep modest
             summary="no request lost under serving chaos (VF109)",
+        ),
+        CheckDef(
+            "serving.recall",
+            draw_retrieval_case,
+            check_serving_recall,
+            weight=0.5,  # each case builds 3 indexes + a probe grid; keep modest
+            summary="IVF index recall/exactness vs brute force (VF110)",
         ),
         CheckDef(
             "gpusim.monotone",

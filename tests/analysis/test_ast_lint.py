@@ -149,6 +149,20 @@ class TestAL004FunctionBodyImports:
         assert lint(code, filename="repro/cli.py") == []
         assert rules(lint(code, filename="repro/other.py")) == {"AL004"}
 
+    def test_runtime_layering_exceptions(self):
+        # The autotuner/bench probe the serving-layer index lazily; a
+        # module-scope import would invert the runtime<-serving layering.
+        code = """
+        def probe():
+            from ..serving.index import build_index
+            return build_index
+        """
+        assert lint(code, filename="repro/runtime/autotune.py") == []
+        assert lint(code, filename="repro/runtime/bench.py") == []
+        assert rules(lint(code, filename="repro/runtime/arena.py")) == {
+            "AL004"
+        }
+
 
 class TestAL005LoopAllocations:
     HOT = "repro/core/solver.py"

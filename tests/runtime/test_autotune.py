@@ -73,6 +73,52 @@ class TestAutotunePlan:
             autotune_plan(ratings, 4, methods=("simd",))
 
 
+class TestIndexProbe:
+    def test_skipped_by_default(self, ratings):
+        report = autotune_plan(ratings, 4, warmup_nnz=100, workers=0)
+        assert report.index_unit_seconds is None
+        assert report.plan.index_budget is None
+
+    def test_allowance_converts_to_work_unit_budget(self, ratings):
+        report = autotune_plan(
+            ratings, 4, warmup_nnz=100, workers=0,
+            index_build_seconds=0.05,
+        )
+        assert report.index_unit_seconds is not None
+        assert report.index_unit_seconds > 0
+        budget = report.plan.index_budget
+        assert budget == int(0.05 / report.index_unit_seconds)
+        assert budget > 0
+
+    def test_zero_allowance_means_zero_budget(self, ratings):
+        report = autotune_plan(
+            ratings, 4, warmup_nnz=100, workers=0, index_build_seconds=0.0
+        )
+        # Budget 0 is the explicit "never build" sentinel downstream.
+        assert report.plan.index_budget == 0
+        assert report.index_unit_seconds is not None
+
+    def test_negative_allowance_rejected(self, ratings):
+        with pytest.raises(ValueError):
+            autotune_plan(
+                ratings, 4, warmup_nnz=100, workers=0,
+                index_build_seconds=-1.0,
+            )
+
+    def test_as_dict_carries_probe_and_plan_budget(self, ratings):
+        payload = autotune_plan(
+            ratings, 4, warmup_nnz=100, workers=0,
+            index_build_seconds=0.02,
+        ).as_dict()
+        assert payload["index_unit_seconds"] > 0
+        revived = RuntimePlan(**payload["plan"])
+        assert revived.index_budget == payload["plan"]["index_budget"]
+
+    def test_plan_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            RuntimePlan(index_budget=-1)
+
+
 class TestWarmupRows:
     def test_prefix_covers_requested_nnz(self):
         ptr = np.array([0, 3, 7, 9, 20])

@@ -14,7 +14,11 @@ from repro.runtime.bench import (
     write_report,
 )
 
-TINY = BenchConfig(m=250, n=60, nnz=1_800, f=8, repeats=1, cg_iters=3)
+TINY = BenchConfig(
+    m=250, n=60, nnz=1_800, f=8, repeats=1, cg_iters=3,
+    catalog_items=3_000, retrieval_users=128, retrieval_requests=32,
+    retrieval_batch=8, retrieval_k=5,
+)
 
 
 @pytest.fixture(scope="module")
@@ -35,13 +39,25 @@ def make_baseline(**sections):
 class TestRunBench:
     def test_report_shape(self, result):
         assert result["schema"] == SCHEMA
-        assert set(result["sections"]) == {"hermitian", "cg", "epoch"}
+        assert set(result["sections"]) == {
+            "hermitian", "cg", "epoch", "retrieval"
+        }
         for section in result["sections"].values():
             assert section["legacy_seconds"] > 0
             assert section["optimized_seconds"] > 0
             assert section["speedup"] > 0
         assert result["config"] == TINY.as_dict()
         assert result["plan"] == result["autotune"]["plan"]
+
+    def test_retrieval_section_shape(self, result):
+        retrieval = result["sections"]["retrieval"]
+        assert retrieval["items"] == TINY.catalog_items
+        assert retrieval["k"] == TINY.retrieval_k
+        assert retrieval["ncells"] >= 1
+        assert 1 <= retrieval["nprobe"] <= retrieval["ncells"]
+        assert retrieval["build_seconds"] > 0
+        assert 0.0 < retrieval["scored_fraction"] <= 1.0
+        assert 0.0 <= retrieval["recall_at_k"] <= 1.0
 
     def test_optimized_path_matches_legacy(self, result):
         assert result["numerics"]["equivalent"] is True
@@ -50,6 +66,10 @@ class TestRunBench:
         """The acceptance criterion, measured end-to-end by the harness."""
         assert result["arena"]["steady_state_allocations"] == 0
         assert result["arena"]["resident_bytes"] > 0
+        assert result["arena"]["peak_resident_bytes"] >= (
+            result["arena"]["resident_bytes"]
+        )
+        assert result["arena"]["retrieval_steady_state_allocations"] == 0
 
     def test_config_validation(self):
         with pytest.raises(ValueError):
@@ -58,6 +78,10 @@ class TestRunBench:
             BenchConfig(repeats=0)
         with pytest.raises(ValueError):
             BenchConfig(lam=-0.1)
+        with pytest.raises(ValueError):
+            BenchConfig(catalog_items=0)
+        with pytest.raises(ValueError):
+            BenchConfig(retrieval_k=0)
         assert QUICK_BENCH.repeats >= 1
 
 
@@ -87,6 +111,39 @@ class TestCompareAgainst:
         ok, messages = compare_against(dirty, make_baseline())
         assert not ok
         assert any("FAIL arena" in m for m in messages)
+
+    def test_recall_floor_passes_when_met(self, result):
+        baseline = make_baseline(retrieval=1e-6)
+        baseline["sections"]["retrieval"]["recall_floor"] = 0.0
+        ok, messages = compare_against(result, baseline)
+        assert ok
+        assert any("recall@k" in m and m.startswith("PASS") for m in messages)
+
+    def test_recall_floor_is_a_hard_floor(self, result):
+        # The floor ignores the tolerance band entirely: a measured
+        # recall below it fails even at the widest allowed tolerance.
+        dirty = dict(result)
+        dirty["sections"] = dict(result["sections"])
+        dirty["sections"]["retrieval"] = dict(
+            result["sections"]["retrieval"], recall_at_k=0.10
+        )
+        baseline = make_baseline(retrieval=1e-6)
+        baseline["sections"]["retrieval"]["recall_floor"] = 0.95
+        ok, messages = compare_against(dirty, baseline, tolerance=0.99)
+        assert not ok
+        assert any(
+            m.startswith("FAIL retrieval") and "recall@k" in m
+            for m in messages
+        )
+
+    def test_fails_on_retrieval_steady_state_allocations(self, result):
+        dirty = dict(
+            result,
+            arena=dict(result["arena"], retrieval_steady_state_allocations=2),
+        )
+        ok, messages = compare_against(dirty, make_baseline())
+        assert not ok
+        assert any("retrieval" in m and m.startswith("FAIL") for m in messages)
 
     def test_fails_on_numeric_divergence(self, result):
         dirty = dict(result, numerics={"equivalent": False})

@@ -71,6 +71,42 @@ class TestScoreBatch:
         with pytest.raises(IndexError, match="unknown user"):
             MicroBatcher().score_batch(x, theta, [make_request(0, user=99)])
 
+    def test_ties_at_boundary_pinned_to_ascending_id(self):
+        # Four identical item rows tie exactly; with k=2 the survivors
+        # must be the two *lowest* ids regardless of partition order.
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((1, 4)).astype(np.float32)
+        theta = np.tile(rng.standard_normal((1, 4)), (6, 1)).astype(
+            np.float32
+        )
+        theta[4] *= 2.0  # one clear winner above the tied block
+        results, _ = MicroBatcher().score_batch(
+            x, theta, [make_request(0, user=0, k=3)]
+        )
+        ids = [i for i, _ in results[0]]
+        if float(theta[4] @ x[0]) > float(theta[0] @ x[0]):
+            assert ids == [4, 0, 1]
+        else:
+            assert ids == [0, 1, 2]
+
+    def test_probed_path_pins_ties_like_brute_force(self):
+        # Tied scores that straddle cell boundaries must resolve to the
+        # same pinned order (score desc, id asc) on both routes.
+        from repro.serving.index import IndexConfig, build_index
+
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((4, 4)).astype(np.float32)
+        base = rng.standard_normal((8, 4)).astype(np.float32)
+        theta = np.repeat(base, 3, axis=0)  # every score appears thrice
+        index = build_index(theta, IndexConfig(seed=3))
+        batcher = MicroBatcher()
+        requests = [make_request(i, user=i, k=5) for i in range(4)]
+        brute, _ = batcher.score_batch(x, theta, requests)
+        probed, _ = batcher.score_batch(
+            x, theta, requests, index=index, nprobe=index.ncells
+        )
+        assert probed == brute
+
     def test_steady_state_performs_zero_allocations(self):
         x, theta = make_factors()
         workspace = Workspace()

@@ -52,3 +52,49 @@ class TestChaosDrill:
         a2 = run_serving_drill(seed=3, requests=40, chaos=True, workdir=second)
         assert a1["event_counts"] == a2["event_counts"]
         assert a1["availability"] == a2["availability"]  # noqa: repro-float-eq
+
+
+class TestRetrievalInDrill:
+    def test_smoke_reports_recall_above_floor(self, tmp_path):
+        report = run_serving_drill(
+            seed=0, requests=30, chaos=False, workdir=tmp_path
+        )
+        retrieval = report["retrieval"]
+        assert retrieval["enabled"] is True
+        assert retrieval["index_builds"] >= 1
+        assert retrieval["recall_at_k"] >= retrieval["recall_floor"]
+        assert report["checks"]["index_built"] is True
+        assert report["checks"]["recall_met"] is True
+        # Smoke answers through the index: full answers, no rungs.
+        assert report["degraded_by_rung"] == {}
+
+    def test_chaos_exercises_brute_force_rung(self, tmp_path):
+        report = run_serving_drill(
+            seed=0, requests=60, chaos=True, workdir=tmp_path
+        )
+        assert report["ok"] is True, report["checks"]
+        assert report["checks"]["brute_force_rung"] is True
+        assert report["degraded_by_rung"].get("brute-force", 0) >= 8
+        # The extra rung exercise must not unbalance the accounting.
+        assert report["accounting_violations"] == []
+        assert report["missing_faults"] == []
+        assert report["unexpected_faults"] == []
+
+    def test_index_disabled_drill(self, tmp_path):
+        report = run_serving_drill(
+            seed=1, requests=30, chaos=True, index=False, workdir=tmp_path
+        )
+        assert report["ok"] is True, report["checks"]
+        assert report["retrieval"] == {"enabled": False}
+        assert "recall_met" not in report["checks"]
+        assert "brute-force" not in report["degraded_by_rung"]
+
+    def test_explicit_nprobe_is_exact_at_ncells(self, tmp_path):
+        report = run_serving_drill(
+            seed=0, requests=20, chaos=False, nprobe=64, workdir=tmp_path
+        )
+        retrieval = report["retrieval"]
+        # Clamped to ncells: the exactness endpoint of the knob.
+        assert retrieval["nprobe"] == retrieval["ncells"]
+        assert retrieval["recall_at_k"] == 1.0
+        assert retrieval["recall_floor"] == 1.0

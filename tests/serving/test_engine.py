@@ -210,3 +210,70 @@ class TestChaosDeterminism:
         missing, extra = engine.health.account_faults(expected)
         assert missing == [] and extra == []
         assert engine.health.audit() == []
+
+
+class TestRetrievalIndex:
+    def make_indexed(self, model_path, *, nprobe=None, faults=None):
+        from repro.serving.index import IndexConfig
+
+        return ServingEngine(
+            model_path,
+            config=ServingConfig(queue_capacity=8, max_batch=4, budget_ticks=6),
+            faults=faults,
+            index_config=IndexConfig(seed=0),
+            nprobe=nprobe,
+        )
+
+    def test_init_validates_nprobe(self, model_path):
+        with pytest.raises(ValueError, match="nprobe"):
+            self.make_indexed(model_path, nprobe=0)
+
+    def test_index_built_at_install_and_answers(self, model_path):
+        engine = self.make_indexed(model_path)
+        stats = engine.stats()
+        assert stats["index_enabled"] and stats["index_current"]
+        assert stats["index_builds"] == 1
+        rid = engine.submit(user=1, k=3)
+        engine.run_until_drained()
+        assert len(engine.results[rid]) == 3
+        # Served through the probed path as a full answer, not a rung.
+        kinds = [e.kind for e in engine.health.events]
+        assert "request.answered" in kinds
+        assert engine.batcher.index_routed == 1
+        assert engine.health.availability() == pytest.approx(1.0)
+
+    def test_nprobe_ncells_matches_exact_topk(self, model_path):
+        engine = self.make_indexed(model_path)
+        ncells = engine.store.index.ncells
+        rid = engine.submit(user=3, k=4, nprobe=ncells)
+        engine.run_until_drained()
+        scores = engine.probe_scores(3)
+        want = list(np.argsort(scores)[::-1][:4])
+        assert [i for i, _ in engine.results[rid]] == want
+
+    def test_missing_index_serves_brute_force_rung(self, model_path):
+        engine = self.make_indexed(model_path)
+        engine.store.invalidate_index()
+        rid = engine.submit(user=2, k=4)
+        engine.run_until_drained()
+        # Answered exactly (the brute GEMM) but attributed to the rung.
+        scores = engine.probe_scores(2)
+        want = list(np.argsort(scores)[::-1][:4])
+        assert [i for i, _ in engine.results[rid]] == want
+        degraded = [
+            e for e in engine.health.events if e.kind == "request.degraded"
+        ]
+        assert [e.rung for e in degraded] == ["brute-force"]
+        # The rung is a terminal outcome: the audit still partitions.
+        assert engine.health.audit() == []
+        assert engine.health.availability() == pytest.approx(1.0)
+
+    def test_no_index_config_serves_plain_answers(self, model_path):
+        engine = make_engine(model_path)
+        stats = engine.stats()
+        assert not stats["index_enabled"]
+        assert stats["index"] is None
+        rid = engine.submit(user=0, k=2)
+        engine.run_until_drained()
+        assert len(engine.results[rid]) == 2
+        assert engine.batcher.index_routed == 0

@@ -114,3 +114,70 @@ class TestSwap:
         assert [e.kind for e in health.events] == [
             "reload.swapped", "reload.swapped", "reload.noop",
         ]
+
+
+class TestIndexLifecycle:
+    def test_swap_builds_index_noop_skips_rebuild(self, tmp_path):
+        from repro.serving.index import IndexConfig
+
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        save_artifact(a, seed=0)
+        save_artifact(b, seed=1)
+        health = ServingHealth()
+        store = ModelStore(index_config=IndexConfig(seed=0))
+        store.swap(a, health=health)
+        assert store.index_enabled and store.index_current
+        assert store.index_builds == 1
+        installed = store.index
+        # Digest-noop reload: the installed index must survive untouched
+        # (the rebuild is a pure function of factors that did not move).
+        outcome = store.swap(a, health=health)
+        assert outcome.status == "noop"
+        assert store.index_builds == 1
+        assert store.index is installed
+        # A real swap rebuilds over the new factors.
+        store.swap(b, health=health)
+        assert store.index_builds == 2
+        assert store.index is not installed and store.index_current
+        kinds = [e.kind for e in health.events]
+        assert kinds == [
+            "reload.swapped", "index.built", "reload.noop",
+            "reload.swapped", "index.built",
+        ]
+
+    def test_budget_skip_leaves_store_indexless(self, tmp_path):
+        from repro.serving.index import IndexConfig
+
+        a = tmp_path / "a.npz"
+        save_artifact(a, n=20)
+        health = ServingHealth()
+        store = ModelStore(index_config=IndexConfig(budget=0))
+        store.swap(a, health=health)
+        assert store.index_enabled
+        assert store.index is None and not store.index_current
+        assert store.index_builds == 0
+        assert "index.skipped" in [e.kind for e in health.events]
+
+    def test_invalidate_drops_the_index(self, tmp_path):
+        from repro.serving.index import IndexConfig
+
+        a = tmp_path / "a.npz"
+        save_artifact(a)
+        store = ModelStore(index_config=IndexConfig(seed=0))
+        store.swap(a)
+        assert store.index_current
+        store.invalidate_index()
+        assert store.index is None and not store.index_current
+
+    def test_rollback_keeps_served_index_current(self, tmp_path):
+        from repro.serving.index import IndexConfig
+
+        a, bad = tmp_path / "a.npz", tmp_path / "bad.npz"
+        save_artifact(a)
+        corrupt_file(a, bad)
+        store = ModelStore(index_config=IndexConfig(seed=0))
+        store.swap(a)
+        installed = store.index
+        assert store.swap(bad).status == "rolled-back"
+        # The old factors keep serving, so the old index stays current.
+        assert store.index is installed and store.index_current

@@ -127,6 +127,14 @@ class TestServe:
         assert args.requests == 200
         assert not args.smoke
         assert not args.chaos
+        assert args.index is True
+        assert args.nprobe is None
+
+    def test_parser_index_flags(self):
+        assert build_parser().parse_args(["serve", "--no-index"]).index is (
+            False
+        )
+        assert build_parser().parse_args(["serve", "--nprobe", "9"]).nprobe == 9
 
     def test_smoke_is_green(self, capsys):
         rc = main(["serve", "--smoke", "--requests", "40"])
@@ -134,6 +142,24 @@ class TestServe:
         out = capsys.readouterr().out
         assert "serve: ok" in out
         assert "fault-free smoke" in out
+        assert "recall@10" in out
+
+    def test_smoke_without_index(self, capsys):
+        rc = main(["serve", "--smoke", "--requests", "40", "--no-index"])
+        assert rc == 0
+        assert "index disabled" in capsys.readouterr().out
+
+    def test_nprobe_at_ncells_reports_exact_recall(self, tmp_path, capsys):
+        report_path = tmp_path / "serve-report.json"
+        rc = main(
+            ["serve", "--smoke", "--requests", "30", "--nprobe", "99",
+             "--output", str(report_path)]
+        )
+        assert rc == 0
+        report = json.loads(report_path.read_text())
+        retrieval = report["retrieval"]
+        assert retrieval["nprobe"] == retrieval["ncells"]
+        assert retrieval["recall_at_k"] == 1.0
 
     def test_chaos_drill_writes_report(self, tmp_path, capsys):
         report_path = tmp_path / "serve-report.json"
