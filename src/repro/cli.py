@@ -181,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--chaos", action="store_true",
                    help="inject the serving fault campaign (default when "
                         "--smoke is not given)")
+    s.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="run the multi-process fleet drill with N supervised "
+                        "scoring workers (0, the default, keeps the "
+                        "single-process engine drill)")
     s.add_argument("--nprobe", type=int, default=None, metavar="P",
                    help="retrieval-index cells probed per request "
                         "(default: ceil(ncells/2); >= ncells is exact "
@@ -477,17 +481,28 @@ def _cmd_chaos(args) -> int:
 def _cmd_serve(args) -> int:
     import json
 
-    from .serving.drill import run_serving_drill
+    from .serving.drill import run_fleet_drill, run_serving_drill
 
     chaos = not args.smoke or args.chaos
-    report = run_serving_drill(
-        seed=args.seed,
-        requests=args.requests,
-        chaos=chaos,
-        index=args.index,
-        nprobe=args.nprobe,
-        workdir=args.workdir,
-    )
+    if args.workers > 0:
+        report = run_fleet_drill(
+            seed=args.seed,
+            requests=args.requests,
+            workers=args.workers,
+            chaos=chaos,
+            index=args.index,
+            nprobe=args.nprobe,
+            workdir=args.workdir,
+        )
+    else:
+        report = run_serving_drill(
+            seed=args.seed,
+            requests=args.requests,
+            chaos=chaos,
+            index=args.index,
+            nprobe=args.nprobe,
+            workdir=args.workdir,
+        )
     if args.output:
         with open(args.output, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2)
@@ -496,6 +511,22 @@ def _cmd_serve(args) -> int:
     if not report["ok"]:
         print("serve: FAILED (see report above)", file=sys.stderr)
         return 1
+    if args.workers > 0:
+        throughput = report["throughput"]
+        print(
+            f"serve: ok — {report['requests']} request(s) over "
+            f"{report['ticks']} tick(s) across {report['workers']} "
+            f"worker(s), availability {report['availability']:.4f}, "
+            f"{throughput['requests_per_s']:.0f} req/s"
+            + (
+                f", {report['expected_faults']} fault(s) injected and "
+                "accounted"
+                if report["mode"] == "fleet-chaos"
+                else " (fault-free smoke)"
+            )
+            + ", single-worker fleet bit-identical to in-process engine"
+        )
+        return 0
     retrieval = report["retrieval"]
     print(
         f"serve: ok — {report['requests']} request(s) over "

@@ -185,11 +185,26 @@ class FaultPlan:
 #:   artifact is triggered (must roll back to the serving model).
 #: * ``fault.score-nan`` — one scored lane of the batch is flipped to
 #:   NaN after the GEMM (bit-rot model); only that request may degrade.
+#:
+#: The ``fleet-`` kinds target the multi-process
+#: :class:`~repro.serving.fleet.FleetEngine` (they are recorded as
+#: no-op firings by the single-process engine, so accounting stays
+#: exact whichever engine carries the plan):
+#:
+#: * ``fault.fleet-worker-kill`` — one scoring worker is SIGKILLed
+#:   mid-batch; its requests must be re-routed, never lost.
+#: * ``fault.fleet-worker-reload`` — one worker is restarted during
+#:   traffic (single-worker rolling reload).
+#: * ``fault.fleet-heartbeat-stall`` — one worker stalls long enough to
+#:   miss its heartbeat; the supervisor must detect and respawn it.
 SERVING_FAULT_KINDS = (
     "fault.backend-stall",
     "fault.reload-during-traffic",
     "fault.corrupt-model-file",
     "fault.score-nan",
+    "fault.fleet-worker-kill",
+    "fault.fleet-worker-reload",
+    "fault.fleet-heartbeat-stall",
 )
 
 _SERVING_STREAMS = {
@@ -197,6 +212,9 @@ _SERVING_STREAMS = {
     "fault.reload-during-traffic": 102,
     "fault.corrupt-model-file": 103,
     "fault.score-nan": 104,
+    "fault.fleet-worker-kill": 105,
+    "fault.fleet-worker-reload": 106,
+    "fault.fleet-heartbeat-stall": 107,
 }
 
 
@@ -216,11 +234,22 @@ class ServingFaultPlan:
     reload_rate: float = 0.0
     corrupt_rate: float = 0.0
     score_nan_rate: float = 0.0
+    worker_kill_rate: float = 0.0
+    worker_reload_rate: float = 0.0
+    heartbeat_stall_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.seed < 0:
             raise ValueError("seed must be non-negative")
-        for name in ("stall_rate", "reload_rate", "corrupt_rate", "score_nan_rate"):
+        for name in (
+            "stall_rate",
+            "reload_rate",
+            "corrupt_rate",
+            "score_nan_rate",
+            "worker_kill_rate",
+            "worker_reload_rate",
+            "heartbeat_stall_rate",
+        ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1], got {rate}")
@@ -232,6 +261,9 @@ class ServingFaultPlan:
             "fault.reload-during-traffic": self.reload_rate,
             "fault.corrupt-model-file": self.corrupt_rate,
             "fault.score-nan": self.score_nan_rate,
+            "fault.fleet-worker-kill": self.worker_kill_rate,
+            "fault.fleet-worker-reload": self.worker_reload_rate,
+            "fault.fleet-heartbeat-stall": self.heartbeat_stall_rate,
         }
 
     def as_dict(self) -> dict:
@@ -246,16 +278,24 @@ class ServingFaultPlan:
         """Whether ``kind`` fires at engine tick ``tick``."""
         rates = self.rate_of
         if kind not in rates:
-            raise ValueError(f"unknown serving fault kind {kind!r}")
+            raise ValueError(
+                f"unknown serving fault kind {kind!r}; valid kinds: "
+                + ", ".join(SERVING_FAULT_KINDS)
+            )
         rate = rates[kind]
         if rate <= 0.0:
             return False
         return bool(self._rng(kind, tick).random() < rate)
 
     def victim_lane(self, kind: str, tick: int, num_lanes: int) -> int:
-        """Deterministic victim lane for a score corruption at a tick."""
+        """Deterministic victim lane/slot for a corruption or kill at a tick."""
         if num_lanes < 1:
             raise ValueError("num_lanes must be positive")
+        if kind not in _SERVING_STREAMS:
+            raise ValueError(
+                f"unknown serving fault kind {kind!r}; valid kinds: "
+                + ", ".join(SERVING_FAULT_KINDS)
+            )
         rng = self._rng(kind, tick)
         rng.random()  # consume the fire draw
         return int(rng.integers(0, num_lanes))

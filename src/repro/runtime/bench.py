@@ -79,6 +79,12 @@ class BenchConfig:
     retrieval_requests: int = 256
     retrieval_batch: int = 32
     retrieval_k: int = 10
+    fleet_users: int = 2_048
+    fleet_items: int = 16_384
+    fleet_requests: int = 512
+    fleet_batch: int = 64
+    fleet_workers: int = 2
+    fleet_k: int = 10
 
     def __post_init__(self) -> None:
         if min(self.m, self.n, self.nnz, self.f) < 1:
@@ -98,6 +104,15 @@ class BenchConfig:
             self.retrieval_k,
         ) < 1:
             raise ValueError("retrieval shape values must be positive")
+        if min(
+            self.fleet_users,
+            self.fleet_items,
+            self.fleet_requests,
+            self.fleet_batch,
+            self.fleet_workers,
+            self.fleet_k,
+        ) < 1:
+            raise ValueError("fleet shape values must be positive")
 
     def as_dict(self) -> dict:
         return {
@@ -115,6 +130,12 @@ class BenchConfig:
             "retrieval_requests": self.retrieval_requests,
             "retrieval_batch": self.retrieval_batch,
             "retrieval_k": self.retrieval_k,
+            "fleet_users": self.fleet_users,
+            "fleet_items": self.fleet_items,
+            "fleet_requests": self.fleet_requests,
+            "fleet_batch": self.fleet_batch,
+            "fleet_workers": self.fleet_workers,
+            "fleet_k": self.fleet_k,
         }
 
 
@@ -274,6 +295,7 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
     executor.close()
 
     retrieval, retrieval_allocs = _bench_retrieval(cfg)
+    fleet = _bench_fleet(cfg)
 
     def section(legacy: float, optimized: float) -> dict:
         return {
@@ -292,6 +314,7 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
             "cg": section(legacy_cg, opt_cg),
             "epoch": section(legacy_epoch_s, opt_epoch_s),
             "retrieval": retrieval,
+            "fleet": fleet,
         },
         "numerics": {
             "bit_identical": identical,
@@ -406,6 +429,131 @@ def _bench_retrieval(cfg: BenchConfig) -> tuple[dict, int]:
     )
 
 
+def _bench_fleet(cfg: BenchConfig) -> dict:
+    """Sustained serving throughput: single engine vs the worker fleet.
+
+    Both legs replay the identical arrival-limited request stream
+    (``fleet_batch`` submissions per tick) against the same saved factor
+    model, end to end through the production engines — admission queue,
+    micro-batcher, health accounting.  The *legacy* leg is the
+    single-process :class:`~repro.serving.engine.ServingEngine`; the
+    *optimized* leg is a fault-free
+    :class:`~repro.serving.fleet.FleetEngine` with ``fleet_workers``
+    scoring processes.  A fresh engine is built per repetition so cache
+    state and process spawn cost never leak into the timed drive.
+
+    Alongside the machine-independent speedup ratio the section reports
+    the throughput observables the baseline hard-gates: the
+    deadline-miss rate (deterministic — request deadlines live on the
+    virtual tick clock) and the p99 virtual-tick latency.
+    """
+    # Serving sits above the runtime in the layering; import lazily so
+    # the runtime package stays importable on its own.
+    import os
+    import tempfile
+
+    from ..core.als import ALSModel
+    from ..core.config import ALSConfig
+    from ..persistence import save_model
+    from ..serving.engine import ServingConfig, ServingEngine
+    from ..serving.fleet import FleetConfig, FleetEngine
+
+    rng = np.random.default_rng(cfg.seed + 5)
+    users = rng.integers(0, cfg.fleet_users, size=cfg.fleet_requests)
+
+    def drive(engine) -> float:
+        submitted = 0
+        start = time.perf_counter()
+        while submitted < cfg.fleet_requests:
+            arrivals = min(cfg.fleet_batch, cfg.fleet_requests - submitted)
+            for _ in range(arrivals):
+                engine.submit(int(users[submitted]), cfg.fleet_k)
+                submitted += 1
+            engine.tick()
+        engine.run_until_drained()
+        return time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        model = ALSModel(ALSConfig(f=cfg.f, seed=cfg.seed))
+        model.x_ = rng.standard_normal(
+            (cfg.fleet_users, cfg.f)
+        ).astype(np.float32)
+        model.theta_ = rng.standard_normal(
+            (cfg.fleet_items, cfg.f)
+        ).astype(np.float32)
+        path = os.path.join(tmp, "fleet-model.npz")
+        save_model(path, model)
+        serving_cfg = ServingConfig(
+            queue_capacity=4 * cfg.fleet_batch,
+            max_batch=cfg.fleet_batch,
+            budget_ticks=8,
+        )
+
+        legacy_seconds = float("inf")
+        for _ in range(cfg.repeats):
+            engine = ServingEngine(path, config=serving_cfg)
+            legacy_seconds = min(legacy_seconds, drive(engine))
+
+        optimized_seconds = float("inf")
+        health = None
+        for _ in range(cfg.repeats):
+            fleet_engine = FleetEngine(
+                path,
+                config=serving_cfg,
+                fleet=FleetConfig(
+                    workers=cfg.fleet_workers,
+                    heartbeat_timeout=1.0,
+                ),
+            )
+            try:
+                elapsed = drive(fleet_engine)
+            finally:
+                fleet_engine.close()
+            if elapsed < optimized_seconds:
+                optimized_seconds = elapsed
+                health = fleet_engine.health
+
+    counts = health.counts()
+    admitted = counts.get("request.admitted", 0)
+    deadline_misses = sum(
+        1
+        for e in health.events
+        if e.kind == "request.shed" and e.detail == "deadline"
+    )
+    submitted_ticks = {
+        e.request_id: e.tick
+        for e in health.events
+        if e.kind == "request.submitted"
+    }
+    latencies = [
+        e.tick - submitted_ticks[e.request_id]
+        for e in health.events
+        if e.kind in ("request.answered", "request.degraded")
+    ]
+    return {
+        "legacy_seconds": legacy_seconds,
+        "optimized_seconds": optimized_seconds,
+        "speedup": legacy_seconds / max(optimized_seconds, 1e-12),
+        "workers": cfg.fleet_workers,
+        "requests": cfg.fleet_requests,
+        "items": cfg.fleet_items,
+        "batch": cfg.fleet_batch,
+        "requests_per_s": cfg.fleet_requests / max(optimized_seconds, 1e-12),
+        "legacy_requests_per_s": (
+            cfg.fleet_requests / max(legacy_seconds, 1e-12)
+        ),
+        "deadline_misses": deadline_misses,
+        "deadline_miss_rate": (
+            float(deadline_misses / admitted) if admitted else 0.0
+        ),
+        "p99_latency_ticks": (
+            float(np.percentile(np.asarray(latencies, dtype=np.float64), 99))
+            if latencies
+            else None
+        ),
+    }
+
+
 def compare_against(
     result: dict,
     baseline: dict,
@@ -417,10 +565,14 @@ def compare_against(
     A section regresses when its measured speedup falls below
     ``baseline_speedup · (1 − tolerance)``; a baseline section carrying
     a ``recall_floor`` additionally fails when the measured
-    ``recall_at_k`` drops below it (a hard floor — approximation
-    quality gets no tolerance band); the arena probe fails when any
-    steady-state allocation happened.  Returns (ok, messages) where
-    messages describe every check, pass or fail.
+    ``recall_at_k`` drops below it, and one carrying a
+    ``deadline_miss_ceiling`` fails when the measured
+    ``deadline_miss_rate`` exceeds it (both hard gates — approximation
+    quality and serving deadline conformance get no tolerance band; the
+    miss rate is deterministic because request deadlines live on the
+    virtual tick clock); the arena probe fails when any steady-state
+    allocation happened.  Returns (ok, messages) where messages
+    describe every check, pass or fail.
     """
     if baseline.get("schema") != BASELINE_SCHEMA:
         raise ValueError(
@@ -454,6 +606,18 @@ def compare_against(
             messages.append(
                 f"{'PASS' if verdict else 'FAIL'} {name}: recall@k "
                 f"{recall:.4f} vs floor {ref['recall_floor']:.2f}"
+            )
+        if "deadline_miss_ceiling" in ref:
+            miss_rate = section.get("deadline_miss_rate")
+            verdict = (
+                miss_rate is not None
+                and miss_rate <= ref["deadline_miss_ceiling"]
+            )
+            ok &= verdict
+            shown = "missing" if miss_rate is None else f"{miss_rate:.4f}"
+            messages.append(
+                f"{'PASS' if verdict else 'FAIL'} {name}: deadline-miss "
+                f"rate {shown} vs ceiling {ref['deadline_miss_ceiling']:.2f}"
             )
     allocs = result.get("arena", {}).get("steady_state_allocations", -1)
     if allocs == 0:

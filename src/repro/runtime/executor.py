@@ -427,17 +427,22 @@ class ShardExecutor:
         Exception-safe and idempotent: every segment gets its close and
         unlink attempted even if earlier ones fail (a segment another
         process already unlinked must not leak the remaining ones).
+        Segments are detached from ``self`` *before* teardown so that a
+        re-entrant call — ``close()`` racing ``__del__`` at interpreter
+        shutdown — sees an empty map and cannot unlink a segment twice
+        (a second unlink trips the multiprocessing resource_tracker's
+        "leaked shared_memory" warning path).
         """
-        for blk in self._shm.values():
+        shm, self._shm = self._shm, {}
+        for blk in shm.values():
             try:
                 blk.close()
-            except OSError:
+            except Exception:
                 pass
             try:
                 blk.unlink()
-            except OSError:
+            except Exception:
                 pass
-        self._shm.clear()
         self._outputs.clear()
         if self.workspace is not None:
             try:

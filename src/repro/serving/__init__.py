@@ -21,7 +21,11 @@ loaded factor model and keeps answering them when things go wrong:
   atomic factor swaps with rollback and no-op bit-equivalence;
 * :mod:`repro.serving.health` — the :class:`ServingHealth` audit log
   whose multiset accounting proves no request is ever lost;
-* :mod:`repro.serving.drill` — the ``repro serve`` chaos drill
+* :mod:`repro.serving.fleet` — the multi-process :class:`FleetEngine`:
+  N supervised scoring workers over shared-memory factors, with
+  heartbeats, death detection, bounded-backoff respawn, in-tick
+  re-routing and a degrade latch to the in-process path;
+* :mod:`repro.serving.drill` — the ``repro serve`` chaos drills
   (imported lazily; it pulls in the trainers).
 
 See ``docs/serving.md`` for the architecture and the availability
@@ -32,6 +36,7 @@ from .batcher import MicroBatcher
 from .breaker import BreakerConfig, CircuitBreaker
 from .engine import ServingConfig, ServingEngine, ServingFault
 from .fallback import PopularityFallback, StaleCache
+from .fleet import FleetConfig, FleetEngine
 from .health import ServingEvent, ServingHealth
 from .index import IndexConfig, ItemIndex, build_index
 from .queue import AdmissionQueue, QueueConfig, Request
@@ -41,6 +46,8 @@ __all__ = [
     "AdmissionQueue",
     "BreakerConfig",
     "CircuitBreaker",
+    "FleetConfig",
+    "FleetEngine",
     "IndexConfig",
     "ItemIndex",
     "MicroBatcher",

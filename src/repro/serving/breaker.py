@@ -12,6 +12,11 @@ the engine's virtual tick clock:
 * **half-open** — cooldown elapsed; exactly one probe batch is allowed
   through.  Success closes the breaker and resets the cooldown; failure
   re-opens it with the cooldown doubled (bounded exponential backoff).
+  "Exactly one" holds even when several callers share the breaker
+  (fleet workers interleaving with the in-process path): while the
+  probe is in flight every other :meth:`CircuitBreaker.allow` call is
+  refused, until :meth:`record_success` or :meth:`record_failure`
+  settles the probe's outcome.
 
 All transitions are recorded in the :class:`ServingHealth` log so a
 chaos drill can reconstruct exactly when and why service degraded.
@@ -64,6 +69,7 @@ class CircuitBreaker:
         self._failures = 0
         self._cooldown = self.config.cooldown_ticks
         self._reopen_tick = -1
+        self._probe_inflight = False
         self.trips = 0
 
     def _record(self, kind: str, tick: int, detail: str) -> None:
@@ -74,14 +80,23 @@ class CircuitBreaker:
         """May a full-scoring attempt proceed at ``tick``?
 
         An open breaker whose cooldown has elapsed transitions to
-        half-open as a side effect and admits the probe.
+        half-open as a side effect and admits the probe.  A half-open
+        breaker admits exactly one probe: concurrent callers are
+        refused until the in-flight probe settles via
+        :meth:`record_success` / :meth:`record_failure`.
         """
         if self.state == OPEN:
             if tick >= self._reopen_tick:
                 self.state = HALF_OPEN
+                self._probe_inflight = True
                 self._record("breaker.half-open", tick, "cooldown elapsed; probing")
                 return True
             return False
+        if self.state == HALF_OPEN:
+            if self._probe_inflight:
+                return False
+            self._probe_inflight = True
+            return True
         return True
 
     def record_success(self, tick: int) -> None:
@@ -90,11 +105,13 @@ class CircuitBreaker:
             self.state = CLOSED
             self._cooldown = self.config.cooldown_ticks
             self._record("breaker.closed", tick, "probe succeeded")
+        self._probe_inflight = False
         self._failures = 0
 
     def record_failure(self, tick: int) -> None:
         """A full-scoring attempt failed (stall, non-finite batch, ...)."""
         if self.state == HALF_OPEN:
+            self._probe_inflight = False
             self._cooldown = min(
                 self._cooldown * self.config.backoff_factor,
                 self.config.max_cooldown_ticks,

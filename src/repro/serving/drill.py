@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import os
 import tempfile
+import time
 from collections import Counter
 
 import numpy as np
@@ -47,11 +48,18 @@ from ..persistence import save_model
 from ..resilience.faults import ServingFaultPlan, expected_serving_faults
 from .batcher import MicroBatcher
 from .engine import ServingConfig, ServingEngine
-from .health import DEGRADE_RUNGS
+from .fleet import FleetConfig, FleetEngine
+from .health import DEGRADE_RUNGS, TERMINAL_KINDS
 from .index import IndexConfig, recall_floor
 from .queue import Request
 
-__all__ = ["AVAILABILITY_FLOOR", "DRILL_RATES", "run_serving_drill"]
+__all__ = [
+    "AVAILABILITY_FLOOR",
+    "DRILL_RATES",
+    "FLEET_DRILL_RATES",
+    "run_fleet_drill",
+    "run_serving_drill",
+]
 
 #: Availability floor from the ISSUE: (answered + degraded) / admitted.
 AVAILABILITY_FLOOR = 0.99
@@ -62,6 +70,20 @@ DRILL_RATES = {
     "reload_rate": 0.03,
     "corrupt_rate": 0.03,
     "score_nan_rate": 0.06,
+}
+
+#: Default injection rates for the fleet chaos drill: the fleet-scoped
+#: kinds (worker kill mid-batch, single-worker rolling reload, heartbeat
+#: stall) on top of a lighter helping of the shared serving kinds, so
+#: worker supervision and the degradation ladder are drilled together.
+FLEET_DRILL_RATES = {
+    "stall_rate": 0.04,
+    "reload_rate": 0.02,
+    "corrupt_rate": 0.02,
+    "score_nan_rate": 0.04,
+    "worker_kill_rate": 0.08,
+    "worker_reload_rate": 0.04,
+    "heartbeat_stall_rate": 0.04,
 }
 
 
@@ -308,6 +330,253 @@ def run_serving_drill(
         "retrieval": retrieval if retrieval is not None else {"enabled": False},
         "event_counts": counts,
         "engine": engine.stats(),
+        "checks": checks,
+        "health": health.as_dict(),
+    }
+    report["ok"] = bool(all(checks.values()))
+    return report
+
+
+def _terminals_of(engine: ServingEngine) -> dict[int, str]:
+    """request_id → terminal kind (the audit guarantees uniqueness)."""
+    return {
+        e.request_id: e.kind
+        for e in engine.health.events
+        if e.kind in TERMINAL_KINDS
+    }
+
+
+def _latency_stats(engine: ServingEngine) -> dict:
+    """Virtual-tick latency distribution of the served requests.
+
+    Latency is terminal tick minus submission tick for every answered
+    or degraded request — deterministic, because both ends live on the
+    engine's virtual clock.
+    """
+    submitted = {
+        e.request_id: e.tick
+        for e in engine.health.events
+        if e.kind == "request.submitted"
+    }
+    latencies = [
+        e.tick - submitted[e.request_id]
+        for e in engine.health.events
+        if e.kind in ("request.answered", "request.degraded")
+        and e.request_id in submitted
+    ]
+    if not latencies:
+        return {"served": 0, "p50_ticks": None, "p99_ticks": None}
+    arr = np.asarray(latencies, dtype=np.float64)
+    return {
+        "served": int(arr.size),
+        "p50_ticks": float(np.percentile(arr, 50)),
+        "p99_ticks": float(np.percentile(arr, 99)),
+    }
+
+
+def run_fleet_drill(
+    seed: int = 0,
+    *,
+    requests: int = 200,
+    workers: int = 3,
+    chaos: bool = True,
+    index: bool = True,
+    nprobe: int | None = None,
+    workdir: str | None = None,
+) -> dict:
+    """Chaos-drill the multi-process serving fleet; JSON-able report.
+
+    Two legs, mirroring the ISSUE's acceptance criteria:
+
+    1. **equivalence** (always): the same fault-free request stream is
+       served by the single-process :class:`ServingEngine` and by a
+       one-worker :class:`~repro.serving.fleet.FleetEngine`; every
+       result must be **bit-identical** and every request must reach
+       the same terminal kind.  One worker makes the router's partition
+       the identity, so batch composition — and hence the GEMM bits —
+       match exactly.
+    2. **fleet** (*chaos* tier): ``workers`` workers under
+       :data:`FLEET_DRILL_RATES` — worker kills mid-batch, rolling
+       single-worker reloads, heartbeat stalls, plus the shared serving
+       kinds.  Gates: the :class:`~repro.serving.health.ServingHealth`
+       accounting stays an exact partition (zero lost or duplicated
+       requests, re-routes included), every planned fault is accounted
+       tick-exactly, kills and rolling reloads actually fired, and
+       availability ≥ 99 %.  ``chaos=False`` runs the same fleet
+       fault-free (the smoke tier).
+
+    The report's ``throughput`` block is the sustained-throughput
+    observable the bench gates: requests/s over the drive phase, p50 /
+    p99 virtual-tick latency, and the deadline-miss rate.
+    """
+    if requests < 1:
+        raise ValueError("requests must be >= 1")
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if nprobe is not None and nprobe < 1:
+        raise ValueError("nprobe must be >= 1 (or None for the default)")
+    if workdir is None:
+        with tempfile.TemporaryDirectory() as tmp:
+            return run_fleet_drill(
+                seed,
+                requests=requests,
+                workers=workers,
+                chaos=chaos,
+                index=index,
+                nprobe=nprobe,
+                workdir=tmp,
+            )
+
+    m, n, f = 64, 48, 8
+    train, popularity = _synthetic_workload(seed, m=m, n=n, nnz=1200)
+    model_a = os.path.join(workdir, "model-a.npz")
+    model_b = os.path.join(workdir, "model-b.npz")
+    corrupt = os.path.join(workdir, "model-corrupt.npz")
+    _train_and_save(model_a, train, seed, f)
+    _train_and_save(model_b, train, seed + 1, f)
+    _corrupt_copy(model_a, corrupt)
+
+    config = ServingConfig(queue_capacity=32, max_batch=8, budget_ticks=10)
+    index_config = IndexConfig(seed=seed) if index else None
+
+    def make_engine(cls, *, faults=None, fleet=None):
+        kwargs = dict(
+            config=config,
+            popularity=popularity,
+            faults=faults,
+            index_config=index_config,
+            nprobe=nprobe,
+        )
+        if fleet is not None:
+            kwargs["fleet"] = fleet
+        engine = cls(model_a, **kwargs)
+        engine.chaos_reload_path = model_b
+        engine.chaos_corrupt_path = corrupt
+        if index and nprobe is None:
+            engine.nprobe = -(-engine.store.index.ncells // 2)
+        return engine
+
+    # -- leg 1: fault-free read-equivalence, fleet(1) vs single ------------
+    single = make_engine(ServingEngine)
+    _drive_stream(single, seed, requests, num_users=m)
+    fleet_one = make_engine(
+        FleetEngine,
+        fleet=FleetConfig(workers=1, heartbeat_timeout=0.05),
+    )
+    try:
+        _drive_stream(fleet_one, seed, requests, num_users=m)
+        ids_match = set(single.results) == set(fleet_one.results)
+        bit_identical = ids_match and all(
+            single.results[rid] == fleet_one.results[rid]
+            for rid in single.results
+        )
+        terminals_match = _terminals_of(single) == _terminals_of(fleet_one)
+        equiv_audits = single.health.audit() + fleet_one.health.audit()
+    finally:
+        fleet_one.close()
+    equivalence = {
+        "requests": requests,
+        "results_compared": len(single.results),
+        "bit_identical": bool(bit_identical),
+        "terminals_match": bool(terminals_match),
+        "audit_violations": equiv_audits,
+    }
+
+    # -- leg 2: the fleet under chaos (or fault-free smoke) ----------------
+    plan = ServingFaultPlan(seed=seed, **FLEET_DRILL_RATES) if chaos else None
+    fleet_cfg = FleetConfig(
+        workers=workers,
+        heartbeat_timeout=0.05,
+        batch_deadline=10.0,
+        max_respawns=64,
+        fleet_fault_limit=10_000,  # the drill wants the pool alive throughout
+    )
+    fleet = make_engine(FleetEngine, faults=plan, fleet=fleet_cfg)
+    try:
+        t0 = time.perf_counter()
+        _drive_stream(fleet, seed, requests, num_users=m)
+        elapsed = time.perf_counter() - t0
+        ticks = fleet.tick_now
+        health = fleet.health
+        violations = health.audit()
+        if chaos:
+            expected = expected_serving_faults(plan, ticks)
+            missing, extra = health.account_faults(expected)
+        else:
+            expected, missing, extra = [], [], []
+        stats = fleet.stats()
+    finally:
+        fleet.close()
+    expected_by_kind = Counter(kind for kind, _ in expected)
+    availability = health.availability()
+    counts = health.counts()
+    rungs = dict(
+        Counter(e.rung for e in health.events if e.kind == "request.degraded")
+    )
+    latency = _latency_stats(fleet)
+    admitted = counts.get("request.admitted", 0)
+    deadline_misses = sum(
+        1
+        for e in health.events
+        if e.kind == "request.shed" and e.detail == "deadline"
+    )
+    throughput = {
+        "workers": workers,
+        "elapsed_s": float(elapsed),
+        "requests_per_s": float(requests / elapsed) if elapsed > 0 else None,
+        "ticks": ticks,
+        "deadline_misses": deadline_misses,
+        "deadline_miss_rate": (
+            float(deadline_misses / admitted) if admitted else 0.0
+        ),
+        **latency,
+    }
+
+    checks = {
+        "equivalence_bit_identical": equivalence["bit_identical"],
+        "equivalence_terminals_match": equivalence["terminals_match"],
+        "equivalence_accounting": not equivalence["audit_violations"],
+        "accounting_balanced": not violations,
+        "faults_accounted": not missing and not extra,
+        "availability_met": bool(availability >= AVAILABILITY_FLOOR),
+        "degraded_attributed": all(r in DEGRADE_RUNGS for r in rungs),
+        "deadline_misses_bounded": throughput["deadline_miss_rate"] <= 0.05,
+    }
+    if chaos:
+        checks["worker_kills_injected"] = (
+            expected_by_kind.get("fault.fleet-worker-kill", 0) >= 1
+        )
+        checks["worker_reloads_injected"] = (
+            expected_by_kind.get("fault.fleet-worker-reload", 0) >= 1
+        )
+        checks["heartbeat_stalls_injected"] = (
+            expected_by_kind.get("fault.fleet-heartbeat-stall", 0) >= 1
+        )
+        checks["workers_died"] = counts.get("worker.died", 0) >= 1
+        checks["workers_respawned"] = counts.get("worker.respawned", 0) >= 1
+    else:
+        checks["all_answered"] = counts.get("request.answered", 0) == admitted
+
+    report = {
+        "mode": "fleet-chaos" if chaos else "fleet-smoke",
+        "seed": seed,
+        "requests": requests,
+        "workers": workers,
+        "ticks": ticks,
+        "fault_plan": plan.as_dict() if plan is not None else None,
+        "expected_faults": len(expected),
+        "expected_by_kind": dict(expected_by_kind),
+        "missing_faults": [list(site) for site in missing],
+        "unexpected_faults": [list(site) for site in extra],
+        "accounting_violations": violations,
+        "availability": float(availability),
+        "availability_floor": AVAILABILITY_FLOOR,
+        "degraded_by_rung": rungs,
+        "rerouted": counts.get("request.rerouted", 0),
+        "equivalence": equivalence,
+        "throughput": throughput,
+        "event_counts": counts,
+        "engine": stats,
         "checks": checks,
         "health": health.as_dict(),
     }

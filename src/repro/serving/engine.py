@@ -395,6 +395,21 @@ class ServingEngine:
             self.health.record("fault.corrupt-model-file", tick=tick)
             if self.chaos_corrupt_path is not None:
                 self.reload(self.chaos_corrupt_path)
+        # Fleet-scoped kinds: the single-process engine has no workers,
+        # so the firings are recorded as no-ops — accounting still
+        # balances when a fleet plan replays against this engine.  The
+        # FleetEngine overrides the hook to actually hurt a worker.
+        for kind in (
+            "fault.fleet-worker-kill",
+            "fault.fleet-worker-reload",
+            "fault.fleet-heartbeat-stall",
+        ):
+            if plan.fires(kind, tick):
+                self.health.record(kind, tick=tick)
+                self._on_fleet_fault(kind, tick)
+
+    def _on_fleet_fault(self, kind: str, tick: int) -> None:
+        """Hook for fleet-scoped chaos; no-op without a worker pool."""
 
     # -- introspection ------------------------------------------------------
 

@@ -19,12 +19,21 @@ Event kinds used by the serving engine:
 ``request.degraded``           served off-ladder; ``rung`` says how
 ``request.shed``               load-shed (queue full / deadline / invalid)
 ``request.faulted``            ladder exhausted; ``ServingFault`` raised
+``request.rerouted``           dispatched worker died; served in-process
 ``index.built``                retrieval index fit at model install
 ``index.skipped``              index build skipped (budget below one pass)
 ``fault.backend-stall``        injected scoring-backend stall
 ``fault.reload-during-traffic``injected hot reload mid-stream
 ``fault.corrupt-model-file``   injected reload of a corrupt artifact
 ``fault.score-nan``            injected NaN in one scoring lane
+``fault.fleet-worker-kill``    injected SIGKILL of one fleet worker
+``fault.fleet-worker-reload``  injected single-worker rolling restart
+``fault.fleet-heartbeat-stall``injected heartbeat-missing worker stall
+``worker.spawned``             a fleet scoring worker process started
+``worker.respawned``           a dead/stalled worker was replaced
+``worker.died``                worker loss detected (pipe EOF / no result)
+``worker.heartbeat-miss``      a live worker failed to answer a ping
+``fleet.degrade-inline``       fleet latched to the in-process path
 ``breaker.open``               circuit breaker tripped open
 ``breaker.half-open``          cooldown elapsed; probe allowed
 ``breaker.closed``             probe succeeded; normal service resumed
@@ -32,6 +41,11 @@ Event kinds used by the serving engine:
 ``reload.noop``                reload target was bit-identical; kept
 ``reload.rolled-back``         reload target rejected; old model kept
 =============================  ==========================================
+
+``request.rerouted`` is deliberately **not** terminal: it marks the
+hand-off from a dead worker back to the in-process scorer, and the
+re-routed request still gets exactly one terminal outcome afterwards —
+:meth:`ServingHealth.audit` enforces both directions.
 """
 
 from __future__ import annotations
@@ -74,6 +88,15 @@ SERVING_EVENT_KINDS = (
     "fault.reload-during-traffic",
     "fault.corrupt-model-file",
     "fault.score-nan",
+    "fault.fleet-worker-kill",
+    "fault.fleet-worker-reload",
+    "fault.fleet-heartbeat-stall",
+    "request.rerouted",
+    "worker.spawned",
+    "worker.respawned",
+    "worker.died",
+    "worker.heartbeat-miss",
+    "fleet.degrade-inline",
     "breaker.open",
     "breaker.half-open",
     "breaker.closed",
@@ -94,6 +117,7 @@ class ServingEvent:
     request_id: int = -1  # affected request (-1: engine-level event)
     rung: str = ""  # degradation-ladder attribution (degraded only)
     detail: str = ""  # human-readable context
+    worker: int = -1  # fleet worker slot (-1: in-process / not a fleet run)
 
     def __post_init__(self) -> None:
         if self.kind not in SERVING_EVENT_KINDS:
@@ -114,6 +138,7 @@ class ServingEvent:
             request_id=int(data.get("request_id", -1)),
             rung=str(data.get("rung", "")),
             detail=str(data.get("detail", "")),
+            worker=int(data.get("worker", -1)),
         )
 
 
@@ -131,9 +156,15 @@ class ServingHealth:
         request_id: int = -1,
         rung: str = "",
         detail: str = "",
+        worker: int = -1,
     ) -> ServingEvent:
         event = ServingEvent(
-            kind=kind, tick=tick, request_id=request_id, rung=rung, detail=detail
+            kind=kind,
+            tick=tick,
+            request_id=request_id,
+            rung=rung,
+            detail=detail,
+            worker=worker,
         )
         self.events.append(event)
         return event
@@ -177,7 +208,9 @@ class ServingHealth:
         * answered/degraded/faulted requests were admitted first;
         * no request is admitted twice, or terminal without submission;
         * every degraded event names a ladder rung (enforced at record
-          time too, but re-checked here for logs restored from JSON).
+          time too, but re-checked here for logs restored from JSON);
+        * every ``request.rerouted`` names a request that was admitted —
+          a fleet may only re-route work it had dispatched.
         """
         violations: list[str] = []
         submitted = self._ids_of("request.submitted")
@@ -211,6 +244,10 @@ class ServingHealth:
             if e.kind == "request.degraded" and e.rung not in DEGRADE_RUNGS:
                 violations.append(
                     f"request {e.request_id} degraded without a ladder rung"
+                )
+            if e.kind == "request.rerouted" and admitted.get(e.request_id, 0) == 0:
+                violations.append(
+                    f"request {e.request_id} rerouted without admission"
                 )
         return violations
 

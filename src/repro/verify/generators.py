@@ -46,6 +46,7 @@ __all__ = [
     "TrajectoryCase",
     "ResilienceCase",
     "ServingCase",
+    "FleetCase",
     "RetrievalCase",
     "KernelCase",
     "PatternCase",
@@ -60,6 +61,7 @@ __all__ = [
     "draw_trajectory_case",
     "draw_resilience_case",
     "draw_serving_case",
+    "draw_fleet_case",
     "draw_retrieval_case",
     "draw_kernel_case",
     "draw_pattern_case",
@@ -324,6 +326,58 @@ class ServingCase:
         if self.budget_ticks < 0:
             raise ValueError("budget_ticks must be non-negative")
         for name in ("stall_rate", "reload_rate", "corrupt_rate", "score_nan_rate"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be within [0, 1]")
+        if not 0 <= self.seed < _MAX_SEED:
+            raise ValueError("seed out of range")
+
+
+@dataclass(frozen=True)
+class FleetCase:
+    """A multi-process serving fleet under worker-scoped chaos (VF111).
+
+    The :class:`~repro.serving.fleet.FleetEngine` promises everything
+    the single-process engine does — exact multiset accounting, no lost
+    or duplicated request — *plus* fleet-specific contracts: with one
+    worker and no faults it is read-equivalent (bit-identical results,
+    identical terminal kinds) to :class:`ServingEngine`; under worker
+    kills, rolling reloads and heartbeat stalls every re-route is
+    audited against an admission and the drill replays
+    deterministically on the virtual tick clock.
+    """
+
+    m: int
+    n: int
+    f: int
+    requests: int
+    max_arrivals: int
+    queue_capacity: int
+    max_batch: int
+    budget_ticks: int
+    workers: int
+    worker_kill_rate: float
+    worker_reload_rate: float
+    heartbeat_stall_rate: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.m < 2 or self.n < 2:
+            raise ValueError("m and n must be >= 2")
+        if self.f < 2:
+            raise ValueError("f must be >= 2")
+        if self.requests < 1:
+            raise ValueError("requests must be >= 1")
+        if self.max_arrivals < 1:
+            raise ValueError("max_arrivals must be >= 1")
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.budget_ticks < 0:
+            raise ValueError("budget_ticks must be non-negative")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        for name in ("worker_kill_rate", "worker_reload_rate", "heartbeat_stall_rate"):
             if not 0.0 <= getattr(self, name) <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1]")
         if not 0 <= self.seed < _MAX_SEED:
@@ -715,6 +769,32 @@ def draw_serving_case(rng: np.random.Generator) -> ServingCase:
     )
 
 
+def draw_fleet_case(rng: np.random.Generator) -> FleetCase:
+    def rate(hi: float) -> float:
+        # ≥1% whenever active so campaigns actually inject faults.
+        return round(float(rng.uniform(0.01, hi)), 4) if rng.random() < 0.8 else 0.0
+
+    max_batch = int(rng.integers(1, 9))
+    return FleetCase(
+        m=int(rng.integers(4, 33)),
+        n=int(rng.integers(4, 33)),
+        f=int(rng.integers(2, 9)),
+        requests=int(rng.integers(8, 49)),
+        max_arrivals=int(rng.integers(1, max_batch + 2)),
+        queue_capacity=int(rng.integers(4, 33)),
+        max_batch=max_batch,
+        budget_ticks=int(rng.integers(2, 13)),
+        # Keep the pool small: each worker is a forked process, and the
+        # equivalence leg at workers == 1 must stay common enough to
+        # exercise the bit-identity contract.
+        workers=int(rng.integers(1, 4)),
+        worker_kill_rate=rate(0.15),
+        worker_reload_rate=rate(0.1),
+        heartbeat_stall_rate=rate(0.1),
+        seed=_seed(rng),
+    )
+
+
 def draw_retrieval_case(rng: np.random.Generator) -> RetrievalCase:
     n_items = int(rng.integers(64, 2049))
     return RetrievalCase(
@@ -829,6 +909,9 @@ _SHRINK_MINIMA: dict[str, int | float] = {
     "reload_rate": 0.0,
     "corrupt_rate": 0.0,
     "score_nan_rate": 0.0,
+    "worker_kill_rate": 0.0,
+    "worker_reload_rate": 0.0,
+    "heartbeat_stall_rate": 0.0,
     "n_items": 2,
     "users": 1,
     "k": 1,
@@ -897,6 +980,7 @@ _CASE_TYPES: dict[str, type] = {
         RuntimeCase,
         ResilienceCase,
         ServingCase,
+        FleetCase,
         RetrievalCase,
         KernelCase,
         PatternCase,

@@ -49,6 +49,15 @@ structure — a violation is a bug, never noise:
            clears the calibrated :func:`recall_floor` at every grid
            point, and ``nprobe = ncells`` is *bit-identical* to
            serving without an index (docs/serving.md).
+``VF111``  the multi-process serving fleet is accounting-exact under
+           worker chaos: a one-worker fleet serving a fault-free
+           stream is bit-identical to the in-process engine (same
+           results, same terminal kinds), and under worker kills,
+           rolling reloads and heartbeat stalls the multiset
+           accounting stays an exact partition — every re-route
+           audited against an admission, every planned fault logged
+           tick-exactly, the drill replaying deterministically on the
+           virtual tick clock (docs/serving.md).
 =========  ============================================================
 
 Deliberately *not* asserted: hermitian timing monotone in ``f`` or ``m``
@@ -94,6 +103,8 @@ from ..runtime.executor import ShardExecutor
 from ..runtime.plan import RuntimePlan, SupervisionPolicy
 from ..serving.batcher import MicroBatcher
 from ..serving.engine import ServingConfig, ServingEngine
+from ..serving.fleet import FleetConfig, FleetEngine
+from ..serving.health import TERMINAL_KINDS
 from ..serving.index import (
     IndexConfig,
     build_index,
@@ -104,6 +115,7 @@ from ..serving.index import (
 from ..serving.queue import Request
 from .generators import (
     CacheCase,
+    FleetCase,
     KernelCase,
     OccupancyCase,
     PatternCase,
@@ -129,6 +141,7 @@ __all__ = [
     "VF108",
     "VF109",
     "VF110",
+    "VF111",
     "check_timing_monotone",
     "check_roofline_bound",
     "check_coalescing_order",
@@ -138,6 +151,7 @@ __all__ = [
     "check_resilience_recovery",
     "check_serving_availability",
     "check_serving_recall",
+    "check_fleet_accounting",
 ]
 
 VF101 = register_rule(
@@ -192,6 +206,13 @@ VF110 = register_rule(
     "serving index contract: sound structure, deterministic build, "
     "budget honoured, recall monotone in nprobe above the calibrated "
     "floor, exact at nprobe=ncells (docs/serving.md)",
+)
+VF111 = register_rule(
+    "VF111",
+    "serving fleet lost, duplicated or misattributed a request",
+    "fleet contract: one fault-free worker bit-identical to the "
+    "in-process engine, accounting an exact partition under worker "
+    "chaos, replay deterministic (docs/serving.md)",
 )
 
 #: Relative slack for comparing two computed times (pure float noise).
@@ -671,7 +692,9 @@ def check_resilience_recovery(case: ResilienceCase) -> list[Diagnostic]:
     return findings
 
 
-def _save_serving_artifacts(case: ServingCase, workdir: str) -> tuple[str, str, str]:
+def _save_serving_artifacts(
+    case: ServingCase | FleetCase, workdir: str
+) -> tuple[str, str, str]:
     """Two valid persistence-v2 artifacts plus a byte-flipped corrupt copy."""
     rng = np.random.default_rng(np.random.SeedSequence([case.seed, 3]))
     paths = []
@@ -812,6 +835,219 @@ def check_serving_availability(case: ServingCase) -> list[Diagnostic]:
                 f"availability {availability:.4f} under fitting load "
                 "(arrivals never exceed the batcher) fell below 0.99",
                 availability=float(availability),
+            )
+        )
+    return findings
+
+
+def _fleet_terminals(engine: ServingEngine) -> dict[int, str]:
+    """request_id → terminal kind (exactly one per request when balanced)."""
+    return {
+        e.request_id: e.kind
+        for e in engine.health.events
+        if e.kind in TERMINAL_KINDS
+    }
+
+
+def _drive_fleet_traffic(engine: ServingEngine, case: FleetCase) -> None:
+    """The seeded stream both VF111 legs replay (same derivation as VF109)."""
+    traffic = np.random.default_rng(np.random.SeedSequence([case.seed, 5]))
+    k_hi = max(2, min(case.n, 10))
+    submitted = 0
+    while submitted < case.requests:
+        arrivals = min(
+            int(traffic.integers(0, case.max_arrivals + 1)),
+            case.requests - submitted,
+        )
+        for _ in range(arrivals):
+            engine.submit(
+                int(traffic.integers(0, case.m)),
+                int(traffic.integers(1, k_hi)),
+            )
+            submitted += 1
+        engine.tick()
+    engine.run_until_drained()
+
+
+def check_fleet_accounting(case: FleetCase) -> list[Diagnostic]:
+    """VF111: the fleet never loses a request, and one worker is exact.
+
+    Three legs against the same seeded stream:
+
+    1. **read-equivalence** — a one-worker, fault-free
+       :class:`FleetEngine` versus the in-process
+       :class:`ServingEngine`: identical result bits for every request
+       and identical terminal kinds.  One worker makes the router's
+       user partition the identity, so batch composition — and hence
+       the GEMM — matches exactly;
+    2. **chaos accounting** — ``case.workers`` workers under the case's
+       worker-kill / rolling-reload / heartbeat-stall rates: the
+       multiset accounting balances (re-routes audited against
+       admissions), every planned fault is logged tick-exactly and
+       nothing unplanned, no request falls through the ladder, every
+       terminal is attributed to a worker lane (or ``-1`` for the
+       in-process path), and availability clears the ≥ 99 % floor when
+       offered load fits the batcher;
+    3. **replay determinism** — a second identical chaos run must
+       reproduce the same result bits and terminal kinds: request
+       accounting lives on the virtual tick clock, so wall-clock
+       supervision (heartbeats, respawn backoff) may never leak into
+       what a request receives.
+    """
+    findings: list[Diagnostic] = []
+    config = ServingConfig(
+        queue_capacity=case.queue_capacity,
+        max_batch=case.max_batch,
+        budget_ticks=case.budget_ticks,
+    )
+    plan = ServingFaultPlan(
+        seed=case.seed,
+        worker_kill_rate=case.worker_kill_rate,
+        worker_reload_rate=case.worker_reload_rate,
+        heartbeat_stall_rate=case.heartbeat_stall_rate,
+    )
+
+    with tempfile.TemporaryDirectory() as workdir:
+        model_a, model_b, corrupt = _save_serving_artifacts(case, workdir)
+
+        def fleet_engine(*, workers: int, faults: ServingFaultPlan | None):
+            engine = FleetEngine(
+                model_a,
+                config=config,
+                fleet=FleetConfig(
+                    workers=workers,
+                    heartbeat_timeout=0.2,
+                    max_respawns=64,
+                    fleet_fault_limit=10_000,
+                ),
+                faults=faults,
+            )
+            engine.chaos_reload_path = model_b
+            engine.chaos_corrupt_path = corrupt
+            return engine
+
+        # -- leg 1: one fault-free worker vs the in-process engine ------
+        single = ServingEngine(model_a, config=config)
+        _drive_fleet_traffic(single, case)
+        fleet_one = fleet_engine(workers=1, faults=None)
+        try:
+            _drive_fleet_traffic(fleet_one, case)
+            ids_match = set(single.results) == set(fleet_one.results)
+            bit_identical = ids_match and all(
+                single.results[rid] == fleet_one.results[rid]
+                for rid in single.results
+            )
+            terminals_match = _fleet_terminals(single) == _fleet_terminals(
+                fleet_one
+            )
+        finally:
+            fleet_one.close()
+        if not bit_identical or not terminals_match:
+            findings.append(
+                _violation(
+                    VF111,
+                    "serving.fleet[equivalence]",
+                    "one-worker fault-free fleet diverged from the "
+                    "in-process engine: results "
+                    f"{'bit-identical' if bit_identical else 'DIFFER'}, "
+                    "terminal kinds "
+                    f"{'match' if terminals_match else 'DIFFER'}",
+                    results=float(len(single.results)),
+                )
+            )
+
+        # -- legs 2+3: worker chaos, run twice ---------------------------
+        runs = []
+        for _ in range(2):
+            fleet = fleet_engine(workers=case.workers, faults=plan)
+            try:
+                _drive_fleet_traffic(fleet, case)
+                runs.append(
+                    (
+                        dict(fleet.results),
+                        _fleet_terminals(fleet),
+                        fleet.health,
+                        fleet.tick_now,
+                    )
+                )
+            finally:
+                fleet.close()
+        results, terminals, health, ticks = runs[0]
+
+    violations = health.audit()
+    if violations:
+        findings.append(
+            _violation(
+                VF111,
+                "serving.fleet[accounting]",
+                f"{len(violations)} accounting violation(s): {violations[:3]}",
+                violations=float(len(violations)),
+            )
+        )
+    expected = expected_serving_faults(plan, ticks)
+    missing, extra = health.account_faults(expected)
+    if missing or extra:
+        findings.append(
+            _violation(
+                VF111,
+                "serving.fleet[faults]",
+                f"health log does not match the fault plan: "
+                f"{len(missing)} planned fault(s) unreported {missing[:4]}, "
+                f"{len(extra)} unplanned fault event(s) {extra[:4]}",
+                missing=float(len(missing)),
+                extra=float(len(extra)),
+                expected=float(len(expected)),
+            )
+        )
+    counts = health.counts()
+    faulted = counts.get("request.faulted", 0)
+    if faulted:
+        findings.append(
+            _violation(
+                VF111,
+                "serving.fleet[ladder]",
+                f"{faulted} request(s) fell through the popularity baseline",
+                faulted=float(faulted),
+            )
+        )
+    bad_lanes = [
+        e
+        for e in health.events
+        if e.kind in TERMINAL_KINDS
+        and not (-1 <= e.worker < case.workers)
+    ]
+    if bad_lanes:
+        findings.append(
+            _violation(
+                VF111,
+                "serving.fleet[attribution]",
+                f"{len(bad_lanes)} terminal event(s) attributed outside "
+                f"[-1, {case.workers}): first {bad_lanes[0].worker}",
+                bad=float(len(bad_lanes)),
+            )
+        )
+    availability = health.availability()
+    if case.max_arrivals <= case.max_batch and availability < 0.99:
+        findings.append(
+            _violation(
+                VF111,
+                "serving.fleet[floor]",
+                f"availability {availability:.4f} under fitting load "
+                "(arrivals never exceed the batcher) fell below 0.99",
+                availability=float(availability),
+            )
+        )
+    replay_results, replay_terminals = runs[1][0], runs[1][1]
+    if results != replay_results or terminals != replay_terminals:
+        findings.append(
+            _violation(
+                VF111,
+                "serving.fleet[replay]",
+                "chaos run did not replay deterministically: results "
+                f"{'match' if results == replay_results else 'DIFFER'}, "
+                "terminal kinds "
+                f"{'match' if terminals == replay_terminals else 'DIFFER'}",
+                results=float(len(results)),
             )
         )
     return findings

@@ -37,6 +37,7 @@ from .generators import (
     case_from_dict,
     case_to_dict,
     draw_cache_case,
+    draw_fleet_case,
     draw_hermitian_case,
     draw_kernel_case,
     draw_occupancy_case,
@@ -60,6 +61,7 @@ from .oracles import (
 from .properties import (
     check_cache_monotone,
     check_coalescing_order,
+    check_fleet_accounting,
     check_occupancy_invariance,
     check_resilience_recovery,
     check_roofline_bound,
@@ -180,6 +182,13 @@ CHECKS: dict[str, CheckDef] = {
             check_serving_availability,
             weight=0.5,  # each case replays a full traffic stream; keep modest
             summary="no request lost under serving chaos (VF109)",
+        ),
+        CheckDef(
+            "serving.fleet",
+            draw_fleet_case,
+            check_fleet_accounting,
+            weight=0.25,  # each case forks worker pools thrice; keep them rare
+            summary="fleet accounting exact under worker chaos (VF111)",
         ),
         CheckDef(
             "serving.recall",

@@ -6,6 +6,7 @@ import numpy as np
 import pytest
 
 from repro.resilience.faults import (
+    SERVING_FAULT_KINDS,
     FaultPlan,
     InjectedWorkerKill,
     NumericalFault,
@@ -233,6 +234,34 @@ class TestServingFaultPlan:
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown"):
             self.make_plan().fires("fault.gremlin", 0)
+
+    def test_unknown_kind_error_lists_every_valid_kind(self):
+        # The message is the API's discovery surface: it must name all
+        # seven kinds, fleet-scoped ones included, from both entry points.
+        plan = self.make_plan()
+        for trigger in (
+            lambda: plan.fires("fault.gremlin", 0),
+            lambda: plan.victim_lane("fault.gremlin", 0, 3),
+        ):
+            with pytest.raises(ValueError) as excinfo:
+                trigger()
+            message = str(excinfo.value)
+            for kind in SERVING_FAULT_KINDS:
+                assert kind in message
+        assert "fault.fleet-worker-kill" in message
+
+    def test_fleet_rates_default_to_zero_and_enumerate(self):
+        # Back-compat: a plan built without the fleet rates never fires
+        # a fleet kind, yet still enumerates all seven kinds in rate_of.
+        plan = self.make_plan()
+        assert set(plan.rate_of) == set(SERVING_FAULT_KINDS)
+        for kind in (
+            "fault.fleet-worker-kill",
+            "fault.fleet-worker-reload",
+            "fault.fleet-heartbeat-stall",
+        ):
+            assert plan.rate_of[kind] == 0.0
+            assert not any(plan.fires(kind, t) for t in range(64))
 
     def test_victim_lane_in_range_and_stable(self):
         plan = self.make_plan(score_nan_rate=1.0)

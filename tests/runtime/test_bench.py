@@ -18,6 +18,8 @@ TINY = BenchConfig(
     m=250, n=60, nnz=1_800, f=8, repeats=1, cg_iters=3,
     catalog_items=3_000, retrieval_users=128, retrieval_requests=32,
     retrieval_batch=8, retrieval_k=5,
+    fleet_users=64, fleet_items=256, fleet_requests=32, fleet_batch=8,
+    fleet_workers=2, fleet_k=5,
 )
 
 
@@ -40,7 +42,7 @@ class TestRunBench:
     def test_report_shape(self, result):
         assert result["schema"] == SCHEMA
         assert set(result["sections"]) == {
-            "hermitian", "cg", "epoch", "retrieval"
+            "hermitian", "cg", "epoch", "retrieval", "fleet"
         }
         for section in result["sections"].values():
             assert section["legacy_seconds"] > 0
@@ -58,6 +60,18 @@ class TestRunBench:
         assert retrieval["build_seconds"] > 0
         assert 0.0 < retrieval["scored_fraction"] <= 1.0
         assert 0.0 <= retrieval["recall_at_k"] <= 1.0
+
+    def test_fleet_section_shape(self, result):
+        fleet = result["sections"]["fleet"]
+        assert fleet["workers"] == TINY.fleet_workers
+        assert fleet["requests"] == TINY.fleet_requests
+        assert fleet["requests_per_s"] > 0
+        assert fleet["legacy_requests_per_s"] > 0
+        assert fleet["deadline_misses"] >= 0
+        assert 0.0 <= fleet["deadline_miss_rate"] <= 1.0
+        assert fleet["p99_latency_ticks"] is None or (
+            fleet["p99_latency_ticks"] >= 0
+        )
 
     def test_optimized_path_matches_legacy(self, result):
         assert result["numerics"]["equivalent"] is True
@@ -135,6 +149,43 @@ class TestCompareAgainst:
             m.startswith("FAIL retrieval") and "recall@k" in m
             for m in messages
         )
+
+    def test_deadline_miss_ceiling_passes_when_met(self, result):
+        baseline = make_baseline(fleet=1e-6)
+        baseline["sections"]["fleet"]["deadline_miss_ceiling"] = 1.0
+        ok, messages = compare_against(result, baseline)
+        assert ok
+        assert any(
+            "deadline-miss" in m and m.startswith("PASS") for m in messages
+        )
+
+    def test_deadline_miss_ceiling_is_a_hard_gate(self, result):
+        # Like recall_floor, the ceiling ignores the tolerance band: a
+        # measured miss rate above it fails at any tolerance.
+        dirty = dict(result)
+        dirty["sections"] = dict(result["sections"])
+        dirty["sections"]["fleet"] = dict(
+            result["sections"]["fleet"], deadline_miss_rate=0.5
+        )
+        baseline = make_baseline(fleet=1e-6)
+        baseline["sections"]["fleet"]["deadline_miss_ceiling"] = 0.01
+        ok, messages = compare_against(dirty, baseline, tolerance=0.99)
+        assert not ok
+        assert any(
+            m.startswith("FAIL fleet") and "deadline-miss" in m
+            for m in messages
+        )
+
+    def test_deadline_miss_ceiling_fails_when_rate_missing(self, result):
+        dirty = dict(result)
+        dirty["sections"] = dict(result["sections"])
+        fleet = dict(result["sections"]["fleet"])
+        fleet.pop("deadline_miss_rate")
+        dirty["sections"]["fleet"] = fleet
+        baseline = make_baseline(fleet=1e-6)
+        baseline["sections"]["fleet"]["deadline_miss_ceiling"] = 0.01
+        ok, messages = compare_against(dirty, baseline)
+        assert not ok
 
     def test_fails_on_retrieval_steady_state_allocations(self, result):
         dirty = dict(

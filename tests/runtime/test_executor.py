@@ -181,3 +181,42 @@ class TestDataTypes:
             HalfStepResult(
                 factors=factors, cg_iterations=-1, cg_matvec_count=0, shards=1
             )
+
+
+class TestTeardown:
+    """close() / __del__ racing must unlink each shm segment exactly once."""
+
+    def _executor_with_segments(self, problem):
+        ratings, theta, warm = problem
+        executor = ShardExecutor(RuntimePlan(shards=2, workers=2))
+        executor.half_step(ratings, theta, warm, lam=LAM, cg_config=CG)
+        assert executor._shm  # the forked run staged factors in shm
+        return executor
+
+    @pytest.mark.filterwarnings("error")
+    def test_close_is_idempotent(self, problem):
+        executor = self._executor_with_segments(problem)
+        names = [blk.name for blk in executor._shm.values()]
+        executor.close()
+        assert executor._shm == {}
+        executor.close()  # second close: nothing to do, nothing raised
+        from multiprocessing import shared_memory
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    @pytest.mark.filterwarnings("error")
+    def test_close_then_del_does_not_double_unlink(self, problem):
+        executor = self._executor_with_segments(problem)
+        executor.close()
+        executor.__del__()  # simulates gc after an explicit close
+
+    @pytest.mark.filterwarnings("error")
+    def test_del_alone_releases_segments(self, problem):
+        executor = self._executor_with_segments(problem)
+        names = [blk.name for blk in executor._shm.values()]
+        executor.__del__()
+        from multiprocessing import shared_memory
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)

@@ -89,6 +89,34 @@ class TestCircuitBreaker:
         assert not b.allow(45)
         assert b.allow(46)
 
+    def test_half_open_admits_exactly_one_probe_under_interleaving(self):
+        # A fleet shares one breaker across callers: while the probe is
+        # in flight, every other allow() at the same (or a later) tick
+        # must be refused — otherwise a second caller could hammer the
+        # backend the breaker is supposed to be protecting.
+        b = make_breaker()
+        for tick in range(3):
+            b.record_failure(tick)
+        assert b.allow(6)  # first caller wins the probe
+        assert b.state == "half-open"
+        assert not b.allow(6)  # interleaved caller, same tick
+        assert not b.allow(7)  # interleaved caller, later tick
+        b.record_success(7)
+        assert b.state == "closed"
+        assert b.allow(7)  # closed again: everyone admitted
+
+    def test_probe_slot_reopens_after_probe_failure(self):
+        b = make_breaker()
+        for tick in range(3):
+            b.record_failure(tick)
+        assert b.allow(6)
+        assert not b.allow(6)
+        b.record_failure(6)  # probe failed: back to open, slot cleared
+        assert b.state == "open"
+        assert not b.allow(13)
+        assert b.allow(14)  # next cooldown expiry admits a fresh probe
+        assert not b.allow(14)
+
     def test_transitions_recorded_in_health_log(self):
         health = ServingHealth()
         b = make_breaker(health)

@@ -1,6 +1,14 @@
 """The chaos drill end to end: smoke and chaos modes must both go green."""
 
-from repro.serving.drill import AVAILABILITY_FLOOR, run_serving_drill
+import multiprocessing
+
+import pytest
+
+from repro.serving.drill import (
+    AVAILABILITY_FLOOR,
+    run_fleet_drill,
+    run_serving_drill,
+)
 
 
 class TestSmokeDrill:
@@ -52,6 +60,48 @@ class TestChaosDrill:
         a2 = run_serving_drill(seed=3, requests=40, chaos=True, workdir=second)
         assert a1["event_counts"] == a2["event_counts"]
         assert a1["availability"] == a2["availability"]  # noqa: repro-float-eq
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fleet workers need the fork start method",
+)
+class TestFleetDrill:
+    def test_fleet_smoke_is_green_and_bit_identical(self, tmp_path):
+        report = run_fleet_drill(
+            seed=0, requests=40, workers=2, chaos=False, workdir=tmp_path
+        )
+        assert report["ok"] is True, report["checks"]
+        assert report["mode"] == "fleet-smoke"
+        assert report["equivalence"]["bit_identical"] is True
+        assert report["equivalence"]["terminals_match"] is True
+        assert report["checks"]["all_answered"] is True
+        assert report["availability"] == 1.0
+        assert report["throughput"]["requests_per_s"] > 0
+
+    def test_fleet_chaos_is_green_and_accounted(self, tmp_path):
+        # seed 3 is the cheapest stream where every fleet kind fires at
+        # this length (CI's fleet-smoke job drills seed 0 at 200).
+        report = run_fleet_drill(
+            seed=3, requests=80, workers=3, chaos=True, workdir=tmp_path
+        )
+        assert report["ok"] is True, report["checks"]
+        assert report["mode"] == "fleet-chaos"
+        assert report["missing_faults"] == []
+        assert report["unexpected_faults"] == []
+        assert report["accounting_violations"] == []
+        assert report["availability"] >= AVAILABILITY_FLOOR
+        # The fleet kinds actually fired and actually hurt workers.
+        assert report["checks"]["worker_kills_injected"] is True
+        assert report["checks"]["workers_died"] is True
+        assert report["checks"]["workers_respawned"] is True
+        assert report["engine"]["fleet_worker_deaths"] >= 1
+
+    def test_fleet_drill_validates_arguments(self, tmp_path):
+        with pytest.raises(ValueError, match="workers"):
+            run_fleet_drill(seed=0, requests=10, workers=0, workdir=tmp_path)
+        with pytest.raises(ValueError, match="requests"):
+            run_fleet_drill(seed=0, requests=0, workdir=tmp_path)
 
 
 class TestRetrievalInDrill:

@@ -81,6 +81,32 @@ class TestHappyPath:
         assert len(shed) == 1 and shed[0].detail == "deadline"
         assert engine.health.audit() == []
 
+    def test_same_tick_burst_sheds_overflow_and_partitions_exactly(
+        self, model_path
+    ):
+        # A burst bigger than the queue within one tick: the overflow is
+        # shed at the door, and the terminals still form an exact
+        # partition — every submitted request ends in exactly one of
+        # answered / shed, nothing lost or double-counted.
+        engine = make_engine(model_path, queue_capacity=4, max_batch=2)
+        rids = [engine.submit(user=i % NUM_USERS, k=1) for i in range(10)]
+        counts = engine.health.counts()
+        assert counts["request.admitted"] == 4
+        assert counts["request.shed"] == 6
+        door_sheds = [
+            e for e in engine.health.events if e.kind == "request.shed"
+        ]
+        assert all(e.detail == "queue-full" for e in door_sheds)
+        engine.run_until_drained()
+        assert engine.health.audit() == []
+        from repro.serving.health import TERMINAL_KINDS
+
+        terminals = [
+            e for e in engine.health.events if e.kind in TERMINAL_KINDS
+        ]
+        assert sorted(e.request_id for e in terminals) == sorted(rids)
+        assert engine.health.counts()["request.answered"] == 4
+
     def test_invalid_requests_fault_without_queueing(self, model_path):
         engine = make_engine(model_path)
         bad_user = engine.submit(user=99, k=1)

@@ -71,6 +71,19 @@ class TestAdmissionQueue:
         assert [r.request_id for r in ready] == [0]
         assert expired == []
 
+    def test_expiry_boundary_is_exactly_one_tick_past_deadline(self):
+        # deadline_tick is inclusive: live when collected at the deadline
+        # itself, expired on the very next tick — no off-by-one grace.
+        q = AdmissionQueue(QueueConfig(capacity=4))
+        q.offer(make_request(0, deadline=5))
+        q.offer(make_request(1, deadline=5))
+        ready, expired = q.take(5, max_batch=1)
+        assert [r.request_id for r in ready] == [0]
+        assert expired == []
+        ready, expired = q.take(6, max_batch=1)
+        assert ready == []
+        assert [r.request_id for r in expired] == [1]
+
     def test_dead_requests_never_block_live_ones(self):
         # Expired entries do not consume the batch budget.
         q = AdmissionQueue(QueueConfig(capacity=8))

@@ -176,6 +176,37 @@ class TestServe:
         assert report["accounting_violations"] == []
         assert report["availability"] >= report["availability_floor"]
 
+    def test_workers_defaults_to_single_process(self):
+        assert build_parser().parse_args(["serve"]).workers == 0
+        assert build_parser().parse_args(
+            ["serve", "--workers", "3"]
+        ).workers == 3
+
+    def test_fleet_smoke_is_green(self, capsys):
+        rc = main(["serve", "--workers", "2", "--smoke", "--requests", "40"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serve: ok" in out
+        assert "2 worker(s)" in out
+        assert "bit-identical" in out
+
+    def test_fleet_chaos_drill_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "fleet-report.json"
+        rc = main(
+            ["serve", "--workers", "3", "--requests", "80", "--seed", "3",
+             "--output", str(report_path)]
+        )
+        assert rc == 0
+        assert "injected and accounted" in capsys.readouterr().out
+        report = json.loads(report_path.read_text())
+        assert report["ok"] is True
+        assert report["mode"] == "fleet-chaos"
+        assert report["workers"] == 3
+        assert report["checks"]["equivalence_bit_identical"] is True
+        assert report["accounting_violations"] == []
+        assert report["availability"] >= report["availability_floor"]
+        assert report["throughput"]["requests_per_s"] > 0
+
     def test_train_checkpoint_keep_flag(self, tmp_path, capsys):
         rc = main(
             ["train", "--scale", "0.05", "--factors", "8", "--epochs", "3",

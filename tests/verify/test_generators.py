@@ -7,6 +7,7 @@ import pytest
 
 from repro.verify.generators import (
     CacheCase,
+    FleetCase,
     HermitianCase,
     KernelCase,
     OccupancyCase,
@@ -18,6 +19,7 @@ from repro.verify.generators import (
     case_from_dict,
     case_to_dict,
     draw_cache_case,
+    draw_fleet_case,
     draw_hermitian_case,
     draw_kernel_case,
     draw_occupancy_case,
@@ -37,6 +39,7 @@ ALL_DRAWS = [
     draw_pattern_case,
     draw_occupancy_case,
     draw_cache_case,
+    draw_fleet_case,
 ]
 
 
@@ -73,6 +76,23 @@ class TestValidation:
     def test_pattern_rejects_bad_element_size(self):
         with pytest.raises(ValueError):
             PatternCase(num_elements=10, element_bytes=3, stride_elements=1)
+
+    def test_fleet_rejects_bad_fields(self):
+        good = dict(
+            m=8, n=8, f=4, requests=10, max_arrivals=2, queue_capacity=8,
+            max_batch=4, budget_ticks=4, workers=2, worker_kill_rate=0.1,
+            worker_reload_rate=0.1, heartbeat_stall_rate=0.1, seed=0,
+        )
+        FleetCase(**good)  # sanity: the base config is valid
+        for bad in (
+            {"workers": 0},
+            {"worker_kill_rate": 1.5},
+            {"heartbeat_stall_rate": -0.1},
+            {"max_batch": 0},
+            {"requests": 0},
+        ):
+            with pytest.raises(ValueError):
+                FleetCase(**{**good, **bad})
 
 
 class TestBuilders:
@@ -139,6 +159,20 @@ class TestShrinking:
         shrunk = shrink_case(case, lambda c: c.nnz > 1000 and c.f > 4)
         assert shrunk.nnz > 1000 and shrunk.f > 4
         assert shrunk.m <= case.m and shrunk.threads_per_block <= case.threads_per_block
+
+    def test_fleet_workers_shrink_stops_at_one(self):
+        # _SHRINK_MINIMA maps "workers" to 0 (the RuntimeCase floor),
+        # but FleetCase validation rejects 0 — the shrinker must skip
+        # the invalid candidate and settle at 1.
+        case = FleetCase(
+            m=8, n=8, f=4, requests=10, max_arrivals=2, queue_capacity=8,
+            max_batch=4, budget_ticks=4, workers=3, worker_kill_rate=0.1,
+            worker_reload_rate=0.0, heartbeat_stall_rate=0.0, seed=0,
+        )
+        shrunk = shrink_case(case, lambda c: True)
+        assert shrunk.workers == 1
+        assert shrunk.requests == 1
+        assert shrunk.worker_kill_rate == 0.0
 
     def test_zero_attempts_is_identity(self):
         case = CacheCase(cache_bytes=4096, base_working_set_bytes=100, reuse_factor=3.0)

@@ -39,6 +39,11 @@ class TestConfig:
         with pytest.raises(ValueError, match="no.such.check"):
             VerifyConfig(checks=("no.such.check",))
 
+    def test_fleet_check_is_registered(self):
+        check = CHECKS["serving.fleet"]
+        assert check.weight == 0.25  # forks worker pools; deliberately rare
+        assert "VF111" in check.summary
+
 
 class TestScheduling:
     def test_every_check_runs_with_budget_at_count(self):
@@ -90,6 +95,20 @@ class TestCleanCampaign:
         )
         text = render_report_text(result)
         assert all(name in text for name in FAST_CHECKS)
+
+
+class TestFleetCheck:
+    def test_vf111_green_on_a_pinned_case(self):
+        # One deterministic VF111 case end to end: equivalence leg,
+        # chaos leg, replay leg — all through the real worker pool.
+        case = generators.FleetCase(
+            m=8, n=8, f=4, requests=8, max_arrivals=2, queue_capacity=8,
+            max_batch=4, budget_ticks=4, workers=2, worker_kill_rate=0.3,
+            worker_reload_rate=0.2, heartbeat_stall_rate=0.0, seed=4,
+        )
+        diags, crashed = run_check_once("serving.fleet", case)
+        assert not crashed
+        assert diags == []
 
 
 class TestCrashContainment:
