@@ -33,8 +33,10 @@ from .checkpoint import (
     load_checkpoint,
     prune_checkpoints,
     save_checkpoint,
+    sweep_orphan_tmp,
 )
 from .faults import (
+    INGEST_FAULT_KINDS,
     SERVING_FAULT_KINDS,
     FaultPlan,
     InjectedWorkerKill,
@@ -58,6 +60,7 @@ __all__ = [
     "CheckpointManager",
     "FaultPlan",
     "GuardPolicy",
+    "INGEST_FAULT_KINDS",
     "HealthEvent",
     "InjectedWorkerKill",
     "NumericalFault",
@@ -74,4 +77,5 @@ __all__ = [
     "load_checkpoint",
     "prune_checkpoints",
     "save_checkpoint",
+    "sweep_orphan_tmp",
 ]

@@ -27,12 +27,35 @@ import zlib
 
 import numpy as np
 
-__all__ = ["array_checksum", "atomic_savez", "load_archive"]
+__all__ = ["array_checksum", "atomic_savez", "fsync_directory", "load_archive"]
 
 
 def array_checksum(arr: np.ndarray) -> str:
     """SHA-256 over an array's raw bytes (shape/dtype guarded separately)."""
     return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+
+def fsync_directory(directory: str | os.PathLike) -> None:
+    """fsync a directory fd so a completed rename survives power loss.
+
+    ``os.replace`` makes the rename atomic with respect to *readers*, but
+    the directory entry itself lives in the parent directory's data — on
+    a crash before the journal flushes, the rename can be rolled back and
+    the destination reverts to the old file (or nothing).  Syncing the
+    parent directory pins the rename durably.  Platforms that cannot open
+    a directory read-only (or fsync one) are skipped silently; the write
+    path stays atomic there, just not rename-durable.
+    """
+    try:
+        dirfd = os.open(os.fspath(directory) or ".", os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dirfd)
+    except OSError:
+        pass
+    finally:
+        os.close(dirfd)
 
 
 def atomic_savez(
@@ -58,6 +81,7 @@ def atomic_savez(
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_directory(directory)
     except BaseException:
         try:
             os.unlink(tmp)

@@ -39,6 +39,7 @@ __all__ = [
     "load_checkpoint",
     "prune_checkpoints",
     "save_checkpoint",
+    "sweep_orphan_tmp",
 ]
 
 #: On-disk schema version; bump when the header layout changes.
@@ -151,6 +152,33 @@ def list_checkpoints(directory: str | os.PathLike) -> list[str]:
     return [path for _, path in sorted(found)]
 
 
+def sweep_orphan_tmp(directory: str | os.PathLike) -> list[str]:
+    """Delete temp files a crash mid-write left behind; returns deletions.
+
+    :func:`repro.resilience.atomicio.atomic_savez` stages archives as
+    ``mkstemp``-named ``*.tmp-npz`` files in the destination directory and
+    unlinks them on any failure — but a hard kill (SIGKILL, power loss)
+    between ``mkstemp`` and ``os.replace`` can orphan one.  Orphans are
+    harmless to correctness (``list_checkpoints`` never matches them) but
+    leak disk forever, so the manager sweeps them at startup.  Plain
+    ``*.tmp`` files are swept too for older layouts.  A file that vanishes
+    underneath us (concurrent sweep) is skipped, not an error.
+    """
+    if not os.path.isdir(directory):
+        return []
+    deleted = []
+    for name in sorted(os.listdir(directory)):
+        if not (name.endswith(".tmp-npz") or name.endswith(".tmp")):
+            continue
+        path = os.path.join(os.fspath(directory), name)
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        deleted.append(path)
+    return deleted
+
+
 def latest_checkpoint(directory: str | os.PathLike) -> str | None:
     """The newest (highest-epoch) checkpoint in ``directory``, if any."""
     paths = list_checkpoints(directory)
@@ -207,6 +235,9 @@ class CheckpointManager:
         self.directory = os.fspath(self.directory)
         if self.keep_last is not None and self.keep_last < 1:
             raise CheckpointError("keep_last must be >= 1 (or None to keep all)")
+        # A crash between mkstemp and os.replace orphans a temp file;
+        # sweep them now so a restart-loop cannot leak disk.
+        sweep_orphan_tmp(self.directory)
 
     def save(self, ckpt: Checkpoint) -> str:
         """Write ``ckpt`` atomically, then enforce the retention budget."""

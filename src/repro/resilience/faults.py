@@ -41,6 +41,7 @@ import numpy as np
 
 __all__ = [
     "FaultPlan",
+    "INGEST_FAULT_KINDS",
     "InjectedWorkerKill",
     "NumericalFault",
     "SERVING_FAULT_KINDS",
@@ -197,6 +198,20 @@ class FaultPlan:
 #:   traffic (single-worker rolling reload).
 #: * ``fault.fleet-heartbeat-stall`` — one worker stalls long enough to
 #:   miss its heartbeat; the supervisor must detect and respawn it.
+#:
+#: The ``ingest`` kinds target the streaming ingestion plane
+#: (:mod:`repro.streaming`); like the fleet kinds they are recorded as
+#: no-op firings by engines without an ingest pipeline attached:
+#:
+#: * ``fault.wal-torn-write`` — a WAL append is torn mid-record (the
+#:   tail bytes are truncated, as a power loss would); recovery must
+#:   drop exactly the torn record and keep every earlier one.
+#: * ``fault.fold-in-nan`` — one folded row of a fold-in solve is
+#:   flipped to NaN before install; the ingest engine must detect it and
+#:   re-solve rather than publish a poisoned row.
+#: * ``fault.delta-apply-during-traffic`` — a delta-checkpoint apply is
+#:   forced onto the store mid-traffic (must be invisible to scoring
+#:   except for the rows it legitimately updates).
 SERVING_FAULT_KINDS = (
     "fault.backend-stall",
     "fault.reload-during-traffic",
@@ -205,7 +220,14 @@ SERVING_FAULT_KINDS = (
     "fault.fleet-worker-kill",
     "fault.fleet-worker-reload",
     "fault.fleet-heartbeat-stall",
+    "fault.wal-torn-write",
+    "fault.fold-in-nan",
+    "fault.delta-apply-during-traffic",
 )
+
+#: The ingestion kinds, as a tuple of their own — drills that only run
+#: an ingest pipeline iterate these without re-listing them.
+INGEST_FAULT_KINDS = SERVING_FAULT_KINDS[7:]
 
 _SERVING_STREAMS = {
     "fault.backend-stall": 101,
@@ -215,6 +237,9 @@ _SERVING_STREAMS = {
     "fault.fleet-worker-kill": 105,
     "fault.fleet-worker-reload": 106,
     "fault.fleet-heartbeat-stall": 107,
+    "fault.wal-torn-write": 108,
+    "fault.fold-in-nan": 109,
+    "fault.delta-apply-during-traffic": 110,
 }
 
 
@@ -237,6 +262,9 @@ class ServingFaultPlan:
     worker_kill_rate: float = 0.0
     worker_reload_rate: float = 0.0
     heartbeat_stall_rate: float = 0.0
+    wal_torn_rate: float = 0.0
+    foldin_nan_rate: float = 0.0
+    delta_apply_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.seed < 0:
@@ -249,6 +277,9 @@ class ServingFaultPlan:
             "worker_kill_rate",
             "worker_reload_rate",
             "heartbeat_stall_rate",
+            "wal_torn_rate",
+            "foldin_nan_rate",
+            "delta_apply_rate",
         ):
             rate = getattr(self, name)
             if not 0.0 <= rate <= 1.0:
@@ -264,6 +295,9 @@ class ServingFaultPlan:
             "fault.fleet-worker-kill": self.worker_kill_rate,
             "fault.fleet-worker-reload": self.worker_reload_rate,
             "fault.fleet-heartbeat-stall": self.heartbeat_stall_rate,
+            "fault.wal-torn-write": self.wal_torn_rate,
+            "fault.fold-in-nan": self.foldin_nan_rate,
+            "fault.delta-apply-during-traffic": self.delta_apply_rate,
         }
 
     def as_dict(self) -> dict:

@@ -85,6 +85,8 @@ class BenchConfig:
     fleet_batch: int = 64
     fleet_workers: int = 2
     fleet_k: int = 10
+    ingest_delta_ratings: int = 64
+    ingest_shards: int = 4
 
     def __post_init__(self) -> None:
         if min(self.m, self.n, self.nnz, self.f) < 1:
@@ -113,6 +115,8 @@ class BenchConfig:
             self.fleet_k,
         ) < 1:
             raise ValueError("fleet shape values must be positive")
+        if min(self.ingest_delta_ratings, self.ingest_shards) < 1:
+            raise ValueError("ingest shape values must be positive")
 
     def as_dict(self) -> dict:
         return {
@@ -136,6 +140,8 @@ class BenchConfig:
             "fleet_batch": self.fleet_batch,
             "fleet_workers": self.fleet_workers,
             "fleet_k": self.fleet_k,
+            "ingest_delta_ratings": self.ingest_delta_ratings,
+            "ingest_shards": self.ingest_shards,
         }
 
 
@@ -296,6 +302,7 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
 
     retrieval, retrieval_allocs = _bench_retrieval(cfg)
     fleet = _bench_fleet(cfg)
+    ingest = _bench_ingest(cfg)
 
     def section(legacy: float, optimized: float) -> dict:
         return {
@@ -315,6 +322,7 @@ def run_bench(cfg: BenchConfig = FULL_BENCH, *, workers: int = 0) -> dict:
             "epoch": section(legacy_epoch_s, opt_epoch_s),
             "retrieval": retrieval,
             "fleet": fleet,
+            "ingest": ingest,
         },
         "numerics": {
             "bit_identical": identical,
@@ -554,6 +562,84 @@ def _bench_fleet(cfg: BenchConfig) -> dict:
     }
 
 
+def _bench_ingest(cfg: BenchConfig) -> dict:
+    """Online fold-in of a streamed delta vs the batch alternative.
+
+    The *legacy* way to absorb new ratings is what the trainers do: a
+    full alternating half-step pair over the whole corpus (every user
+    row, then every item row).  The *optimized* leg streams
+    ``ingest_delta_ratings`` new ratings into an
+    :class:`~repro.streaming.IngestEngine` and times one :meth:`apply`
+    — fold-in solves for the dirty rows only, plus the durable delta
+    checkpoint it writes.  The reported ``foldin_ms`` is the latency
+    observable the baseline hard-gates (``foldin_ms_ceiling``): the
+    point of online ingestion is that freshness costs milliseconds,
+    not an epoch.
+    """
+    # Streaming sits above the runtime in the layering; import lazily
+    # so the runtime package stays importable on its own.
+    import os
+    import tempfile
+
+    from ..streaming import IngestConfig, IngestEngine
+
+    data = generate_ratings(
+        SyntheticConfig(m=cfg.m, n=cfg.n, nnz=cfg.nnz, seed=cfg.seed)
+    )
+    data_t = data.transpose()
+    rng = np.random.default_rng(cfg.seed + 9)
+    theta = rng.normal(0, 0.1, (cfg.n, cfg.f)).astype(np.float32)
+    x = rng.normal(0, 0.1, (cfg.m, cfg.f)).astype(np.float32)
+    cg_cfg = CGConfig(max_iters=cfg.cg_iters, tol=1e-5)
+    deltas = [
+        (
+            int(rng.integers(0, cfg.m)),
+            int(rng.integers(0, cfg.n)),
+            float(np.float32(rng.uniform(1.0, 5.0))),
+        )
+        for _ in range(cfg.ingest_delta_ratings)
+    ]
+
+    def full_half_steps() -> None:
+        A, b = hermitian_and_bias(data, theta, cfg.lam)
+        x_new = cg_solve_batched(A, b, x0=x, config=cg_cfg).x
+        A, b = hermitian_and_bias(data_t, x_new, cfg.lam)
+        cg_solve_batched(A, b, x0=theta, config=cg_cfg)
+
+    legacy_seconds = _best_of(cfg.repeats, full_half_steps)
+
+    foldin_seconds = float("inf")
+    rows_folded = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for rep in range(cfg.repeats):
+            engine = IngestEngine(
+                x,
+                theta,
+                data,
+                config=IngestConfig(
+                    lam=cfg.lam, shards=cfg.ingest_shards, cg=cg_cfg
+                ),
+                directory=os.path.join(tmp, f"rep-{rep}"),
+            )
+            for user, item, rating in deltas:
+                engine.ingest(user, item, rating)
+            start = time.perf_counter()
+            result = engine.apply()
+            foldin_seconds = min(foldin_seconds, time.perf_counter() - start)
+            rows_folded = int(result.users.size + result.items.size)
+            engine.close()
+
+    return {
+        "legacy_seconds": legacy_seconds,
+        "optimized_seconds": foldin_seconds,
+        "speedup": legacy_seconds / max(foldin_seconds, 1e-12),
+        "foldin_ms": foldin_seconds * 1e3,
+        "delta_ratings": cfg.ingest_delta_ratings,
+        "rows_folded": rows_folded,
+        "shards": cfg.ingest_shards,
+    }
+
+
 def compare_against(
     result: dict,
     baseline: dict,
@@ -567,12 +653,16 @@ def compare_against(
     a ``recall_floor`` additionally fails when the measured
     ``recall_at_k`` drops below it, and one carrying a
     ``deadline_miss_ceiling`` fails when the measured
-    ``deadline_miss_rate`` exceeds it (both hard gates — approximation
-    quality and serving deadline conformance get no tolerance band; the
-    miss rate is deterministic because request deadlines live on the
-    virtual tick clock); the arena probe fails when any steady-state
-    allocation happened.  Returns (ok, messages) where messages
-    describe every check, pass or fail.
+    ``deadline_miss_rate`` exceeds it, and one carrying a
+    ``foldin_ms_ceiling`` fails when the measured fold-in latency
+    ``foldin_ms`` exceeds it (all hard gates — approximation quality,
+    serving deadline conformance and ingestion freshness get no
+    tolerance band; the miss rate is deterministic because request
+    deadlines live on the virtual tick clock, and the fold-in ceiling
+    is set generously above any plausible machine so it only trips on
+    a complexity regression, not a slow runner); the arena probe fails
+    when any steady-state allocation happened.  Returns (ok, messages)
+    where messages describe every check, pass or fail.
     """
     if baseline.get("schema") != BASELINE_SCHEMA:
         raise ValueError(
@@ -618,6 +708,18 @@ def compare_against(
             messages.append(
                 f"{'PASS' if verdict else 'FAIL'} {name}: deadline-miss "
                 f"rate {shown} vs ceiling {ref['deadline_miss_ceiling']:.2f}"
+            )
+        if "foldin_ms_ceiling" in ref:
+            foldin_ms = section.get("foldin_ms")
+            verdict = (
+                foldin_ms is not None
+                and foldin_ms <= ref["foldin_ms_ceiling"]
+            )
+            ok &= verdict
+            shown = "missing" if foldin_ms is None else f"{foldin_ms:.1f} ms"
+            messages.append(
+                f"{'PASS' if verdict else 'FAIL'} {name}: fold-in latency "
+                f"{shown} vs ceiling {ref['foldin_ms_ceiling']:.0f} ms"
             )
     allocs = result.get("arena", {}).get("steady_state_allocations", -1)
     if allocs == 0:

@@ -307,12 +307,14 @@ class ServingEngine:
                     request_id=request.request_id,
                     rung="brute-force",
                     detail="index missing or stale",
+                    user=request.user,
                 )
             else:
                 self.health.record(
                     "request.answered",
                     tick=tick,
                     request_id=request.request_id,
+                    user=request.user,
                 )
 
     def _degrade(self, request: Request, tick: int) -> None:
@@ -407,9 +409,30 @@ class ServingEngine:
             if plan.fires(kind, tick):
                 self.health.record(kind, tick=tick)
                 self._on_fleet_fault(kind, tick)
+        # Ingest-scoped kinds: same record-even-if-noop discipline.  The
+        # ingest drill wires the hook to arm the streaming engine's
+        # torn-append / poisoned-fold-in / forced-apply behaviours.
+        for kind in (
+            "fault.wal-torn-write",
+            "fault.fold-in-nan",
+            "fault.delta-apply-during-traffic",
+        ):
+            if plan.fires(kind, tick):
+                self.health.record(kind, tick=tick)
+                self._on_ingest_fault(kind, tick)
 
     def _on_fleet_fault(self, kind: str, tick: int) -> None:
         """Hook for fleet-scoped chaos; no-op without a worker pool."""
+
+    def _on_ingest_fault(self, kind: str, tick: int) -> None:
+        """Hook for ingest-scoped chaos; no-op without an ingest pipeline.
+
+        The streaming drill assigns ``on_ingest_fault`` to intercept
+        firings without subclassing.
+        """
+        callback = getattr(self, "on_ingest_fault", None)
+        if callback is not None:
+            callback(kind, tick)
 
     # -- introspection ------------------------------------------------------
 

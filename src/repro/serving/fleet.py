@@ -544,6 +544,7 @@ class FleetEngine(ServingEngine):
                     rung="brute-force",
                     detail="index missing or stale",
                     worker=wid,
+                    user=request.user,
                 )
             else:
                 self.health.record(
@@ -551,6 +552,7 @@ class FleetEngine(ServingEngine):
                     tick=tick,
                     request_id=request.request_id,
                     worker=wid,
+                    user=request.user,
                 )
         return dispatched
 

@@ -40,12 +40,27 @@ Event kinds used by the serving engine:
 ``reload.swapped``             hot reload installed a new model
 ``reload.noop``                reload target was bit-identical; kept
 ``reload.rolled-back``         reload target rejected; old model kept
+``reload.delta``               folded rows installed without full reload
+``ingest.acked``               a WAL append went durable (``request_id``
+                               carries the WAL sequence, ``user`` the rater)
+``ingest.applied``             that sequence's fold-in reached the store
+``ingest.compacted``           delta chain compacted to a full checkpoint
+``wal.recovered``              WAL recovery truncated a torn tail
+``fault.wal-torn-write``       injected torn WAL append
+``fault.fold-in-nan``          injected NaN in one folded row
+``fault.delta-apply-during-traffic`` injected mid-traffic delta apply
 =============================  ==========================================
 
 ``request.rerouted`` is deliberately **not** terminal: it marks the
 hand-off from a dead worker back to the in-process scorer, and the
 re-routed request still gets exactly one terminal outcome afterwards —
 :meth:`ServingHealth.audit` enforces both directions.
+
+The ``ingest.*`` pair is what makes **read-your-writes** auditable
+(:meth:`ServingHealth.read_your_writes_audit`): each acked ingest is a
+promise that the user's next *freshly scored* terminal reflects the
+write, and the log must show the matching ``ingest.applied`` landing in
+between — multiset-accounted per WAL sequence, exactly like faults.
 """
 
 from __future__ import annotations
@@ -103,8 +118,16 @@ SERVING_EVENT_KINDS = (
     "reload.swapped",
     "reload.noop",
     "reload.rolled-back",
+    "reload.delta",
     "index.built",
     "index.skipped",
+    "ingest.acked",
+    "ingest.applied",
+    "ingest.compacted",
+    "wal.recovered",
+    "fault.wal-torn-write",
+    "fault.fold-in-nan",
+    "fault.delta-apply-during-traffic",
 )
 
 
@@ -114,10 +137,11 @@ class ServingEvent:
 
     kind: str
     tick: int = -1  # engine tick the event occurred on (-1: untimed)
-    request_id: int = -1  # affected request (-1: engine-level event)
+    request_id: int = -1  # affected request, or WAL seq for ingest.* events
     rung: str = ""  # degradation-ladder attribution (degraded only)
     detail: str = ""  # human-readable context
     worker: int = -1  # fleet worker slot (-1: in-process / not a fleet run)
+    user: int = -1  # user attribution (scored terminals, ingest.acked)
 
     def __post_init__(self) -> None:
         if self.kind not in SERVING_EVENT_KINDS:
@@ -139,6 +163,7 @@ class ServingEvent:
             rung=str(data.get("rung", "")),
             detail=str(data.get("detail", "")),
             worker=int(data.get("worker", -1)),
+            user=int(data.get("user", -1)),
         )
 
 
@@ -157,6 +182,7 @@ class ServingHealth:
         rung: str = "",
         detail: str = "",
         worker: int = -1,
+        user: int = -1,
     ) -> ServingEvent:
         event = ServingEvent(
             kind=kind,
@@ -165,6 +191,7 @@ class ServingHealth:
             rung=rung,
             detail=detail,
             worker=worker,
+            user=user,
         )
         self.events.append(event)
         return event
@@ -249,6 +276,72 @@ class ServingHealth:
                 violations.append(
                     f"request {e.request_id} rerouted without admission"
                 )
+        return violations
+
+    def read_your_writes_audit(self) -> list[str]:
+        """Per-user read-your-writes ordering check; returns violations.
+
+        The contract the streaming plane must uphold: once an ingest for
+        user ``u`` is **acked** (``ingest.acked``, ``request_id`` = WAL
+        sequence, ``user`` = u), the matching ``ingest.applied`` must land
+        before u's next *freshly scored* terminal — a later request must
+        see the write.  Freshly scored means ``request.answered`` or a
+        ``request.degraded`` at the ``brute-force`` rung (both score
+        against the live factors); the ``stale-cache``/``popularity``
+        rungs advertise staleness by name and are exempt.
+
+        Checks, multiset-accounted like everything else:
+
+        * every acked WAL sequence has **exactly one** ``ingest.applied``;
+        * no sequence is applied without (or before) its ack;
+        * no user's freshly scored terminal at tick ``t`` has an ack from
+          a strictly earlier tick still unapplied at ``t``.
+        """
+        violations: list[str] = []
+        acked: dict[int, ServingEvent] = {}
+        applied: Counter = Counter()
+        applied_tick: dict[int, int] = {}
+        for e in self.events:
+            if e.kind == "ingest.acked":
+                if e.request_id in acked:
+                    violations.append(f"wal seq {e.request_id} acked twice")
+                acked[e.request_id] = e
+            elif e.kind == "ingest.applied":
+                applied[e.request_id] += 1
+                prev = applied_tick.get(e.request_id)
+                applied_tick[e.request_id] = (
+                    e.tick if prev is None else min(prev, e.tick)
+                )
+        for seq, ack in sorted(acked.items()):
+            count = applied.get(seq, 0)
+            if count != 1:
+                violations.append(
+                    f"wal seq {seq} acked but applied {count} times "
+                    "(want exactly 1)"
+                )
+            if count and applied_tick[seq] < ack.tick:
+                violations.append(
+                    f"wal seq {seq} applied at tick {applied_tick[seq]} "
+                    f"before its ack at tick {ack.tick}"
+                )
+        for seq in sorted(applied):
+            if seq not in acked:
+                violations.append(f"wal seq {seq} applied but never acked")
+        for e in self.events:
+            fresh = e.kind == "request.answered" or (
+                e.kind == "request.degraded" and e.rung == "brute-force"
+            )
+            if not fresh or e.user < 0:
+                continue
+            for seq, ack in acked.items():
+                if ack.user != e.user or not (0 <= ack.tick < e.tick):
+                    continue
+                landed = applied.get(seq, 0) and applied_tick[seq] <= e.tick
+                if not landed:
+                    violations.append(
+                        f"user {e.user} scored at tick {e.tick} while wal "
+                        f"seq {seq} (acked tick {ack.tick}) was unapplied"
+                    )
         return violations
 
     def account_faults(

@@ -253,6 +253,52 @@ class ItemIndex:
         cells.sort()
         return cells.astype(np.int64, copy=False)
 
+    def update_items(
+        self, item_ids: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Install new factor rows for ``item_ids`` in place; returns the
+        affected cell ids.
+
+        This is the fold-in path's index surgery: the cell geometry
+        (``perm``/``cell_ptr``/assignments) is kept, the moved items'
+        ``theta_perm`` rows are overwritten, and the affected cells'
+        cached ball bounds — now invalid — are recomputed **exactly**
+        from their members, so ``select_cells``'s upper bound stays
+        sound (``dot(u, t) ≤ dot(u, c_j) + |u|·r_j`` holds for any
+        member set once ``r_j`` is the true max member distance).
+        Untouched cells keep their arrays bit-identical.  Assignments
+        are deliberately not revisited: a drifted item stays in its old
+        cell with a (possibly larger) exact radius, trading a little
+        probe efficiency for O(changed items) update cost; the next
+        full rebuild re-buckets it.
+        """
+        ids = np.asarray(item_ids, dtype=np.int64)
+        rows32 = np.ascontiguousarray(rows, dtype=np.float32)
+        if ids.ndim != 1 or rows32.shape != (ids.shape[0], self.f):
+            raise ValueError(
+                f"item_ids {ids.shape} and rows {rows32.shape} must be "
+                f"(k,) and (k, {self.f})"
+            )
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int64)
+        if ids.min() < 0 or ids.max() >= self.n_items:
+            raise ValueError("item id out of range for this index")
+        inv = np.empty(self.n_items, dtype=np.int64)
+        inv[self.perm] = np.arange(self.n_items, dtype=np.int64)
+        pos = inv[ids]
+        self.theta_perm[pos] = rows32
+        cells = np.unique(np.searchsorted(self.cell_ptr, pos, side="right") - 1)
+        for c in cells:
+            lo, hi = int(self.cell_ptr[c]), int(self.cell_ptr[c + 1])
+            if hi <= lo:
+                self.radii[c] = np.float32(0.0)
+                continue
+            diff = self.theta_perm[lo:hi] - self.centroids[c]
+            self.radii[c] = np.float32(
+                math.sqrt(float(np.einsum("if,if->i", diff, diff).max()))
+            )
+        return cells
+
     def probe_ranges(self, cells: np.ndarray) -> list[tuple[int, int]]:
         """Merge sorted probed cells into contiguous ``[lo, hi)`` slices.
 

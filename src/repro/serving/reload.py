@@ -47,13 +47,13 @@ __all__ = ["ModelStore", "ReloadOutcome"]
 class ReloadOutcome:
     """Result of one swap attempt (plain data, JSON-ready)."""
 
-    status: str  # "swapped" | "noop" | "rolled-back"
+    status: str  # "swapped" | "noop" | "rolled-back" | "delta-applied"
     version: int  # model version serving *after* the attempt
     digest: str  # content digest serving after the attempt
     detail: str = ""
 
     def __post_init__(self) -> None:
-        if self.status not in ("swapped", "noop", "rolled-back"):
+        if self.status not in ("swapped", "noop", "rolled-back", "delta-applied"):
             raise ValueError(f"unknown reload status {self.status!r}")
 
 
@@ -79,6 +79,7 @@ class ModelStore:
         self._index: ItemIndex | None = None
         self.index_version = -1  # model version the index was built for
         self.index_builds = 0
+        self.deltas_applied = 0
 
     @property
     def loaded(self) -> bool:
@@ -174,6 +175,110 @@ class ModelStore:
             self._build_index(health, tick)
         return ReloadOutcome(
             status="swapped", version=self.version, digest=digest, detail=detail
+        )
+
+    def apply_delta(
+        self,
+        *,
+        users: np.ndarray | None = None,
+        user_rows: np.ndarray | None = None,
+        items: np.ndarray | None = None,
+        item_rows: np.ndarray | None = None,
+        seq: int = -1,
+        health: ServingHealth | None = None,
+        tick: int = -1,
+    ) -> ReloadOutcome:
+        """Install folded factor rows **without** a full reload.
+
+        This is the streaming fold-in's publish step
+        (:class:`repro.streaming.IngestEngine`): the given user/item rows
+        are written into the serving arrays in place — O(changed rows),
+        no artifact load, no index rebuild.  Semantics mirror
+        :meth:`swap` where they can:
+
+        * non-finite rows are rejected before anything is touched and
+          the attempt **rolls back** (old rows keep serving);
+        * the content **digest chain** advances — the new digest hashes
+          the old digest together with the delta's ids and bytes, so
+          every install remains detectable while costing O(delta), not
+          O(model).  (A later :meth:`swap` of bit-identical factors will
+          therefore *not* be detected as a noop; that path conservatively
+          does a real swap.)
+        * ``version`` increments so the stale cache dates its entries;
+        * a current IVF index gets **cell surgery** instead of a rebuild
+          (:meth:`~repro.serving.index.ItemIndex.update_items`): changed
+          item rows are installed at their permuted slots and only the
+          affected cells' ball bounds are invalidated and recomputed —
+          untouched cells stay bit-identical and keep serving.
+        """
+        users_a = np.empty(0, dtype=np.int64) if users is None else np.asarray(users, dtype=np.int64)
+        items_a = np.empty(0, dtype=np.int64) if items is None else np.asarray(items, dtype=np.int64)
+        urows = None if user_rows is None else np.ascontiguousarray(user_rows, dtype=np.float32)
+        irows = None if item_rows is None else np.ascontiguousarray(item_rows, dtype=np.float32)
+        if self._x is None:
+            raise RuntimeError("no model loaded; call swap() first")
+        if users_a.size == 0 and items_a.size == 0:
+            outcome = ReloadOutcome(
+                status="noop",
+                version=self.version,
+                digest=self.digest,
+                detail="empty delta",
+            )
+            self._record(health, "reload.noop", tick, outcome.detail)
+            return outcome
+        bad = (
+            (urows is not None and not np.all(np.isfinite(urows)))
+            or (irows is not None and not np.all(np.isfinite(irows)))
+        )
+        if bad:
+            self.rollbacks += 1
+            detail = f"delta seq {seq}: non-finite folded rows rejected"
+            self._record(health, "reload.rolled-back", tick, detail)
+            return ReloadOutcome(
+                status="rolled-back",
+                version=self.version,
+                digest=self.digest,
+                detail=detail,
+            )
+        h = hashlib.sha256()
+        h.update(self.digest.encode())
+        if users_a.size:
+            if urows is None or urows.shape != (users_a.size, self._x.shape[1]):
+                raise ValueError("user_rows must be (len(users), f)")
+            self._x[users_a] = urows
+            h.update(b"users")
+            h.update(users_a.tobytes())
+            h.update(urows.tobytes())
+        if items_a.size:
+            if irows is None or irows.shape != (items_a.size, self._theta.shape[1]):
+                raise ValueError("item_rows must be (len(items), f)")
+            self._theta[items_a] = irows
+            h.update(b"items")
+            h.update(items_a.tobytes())
+            h.update(irows.tobytes())
+        was_current = self.index_current
+        self.version += 1
+        self.digest = h.hexdigest()
+        self.deltas_applied += 1
+        cells_touched = 0
+        if was_current and self._index is not None:
+            if items_a.size:
+                cells_touched = int(
+                    self._index.update_items(items_a, irows).size
+                )
+            # User rows never enter the item index; after item surgery the
+            # index covers the new factors exactly, so it stays current.
+            self.index_version = self.version
+        detail = (
+            f"v{self.version} delta seq {seq}: {users_a.size} user / "
+            f"{items_a.size} item rows, {cells_touched} cells re-bounded"
+        )
+        self._record(health, "reload.delta", tick, detail)
+        return ReloadOutcome(
+            status="delta-applied",
+            version=self.version,
+            digest=self.digest,
+            detail=detail,
         )
 
     def _build_index(self, health: ServingHealth | None, tick: int) -> None:

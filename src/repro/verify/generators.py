@@ -47,6 +47,7 @@ __all__ = [
     "ResilienceCase",
     "ServingCase",
     "FleetCase",
+    "IngestCase",
     "RetrievalCase",
     "KernelCase",
     "PatternCase",
@@ -62,6 +63,7 @@ __all__ = [
     "draw_resilience_case",
     "draw_serving_case",
     "draw_fleet_case",
+    "draw_ingest_case",
     "draw_retrieval_case",
     "draw_kernel_case",
     "draw_pattern_case",
@@ -380,6 +382,62 @@ class FleetCase:
         for name in ("worker_kill_rate", "worker_reload_rate", "heartbeat_stall_rate"):
             if not 0.0 <= getattr(self, name) <= 1.0:
                 raise ValueError(f"{name} must be within [0, 1]")
+        if not 0 <= self.seed < _MAX_SEED:
+            raise ValueError("seed out of range")
+
+
+@dataclass(frozen=True)
+class IngestCase:
+    """A streamed fold-in against its crash-replay + retrain oracles (VF112).
+
+    The streaming layer promises that (1) a run killed mid-stream — WAL
+    tail torn mid-record — resumes from ``base checkpoint + deltas +
+    WAL replay`` into **bit-identical** factors, (2) rows outside the
+    dirty sets are bit-identical to the pre-stream factors (fold-in
+    touches only dirty shards), and (3) explicit-mode fold-in stays
+    within a calibrated RMSE envelope of a full retrain over the
+    updated corpus.  ``alpha == 0`` draws the explicit ALS-WR
+    objective; positive alpha exercises the implicit hooks (replay and
+    clean-row contracts only — RMSE is not implicit feedback's loss).
+    """
+
+    m: int
+    n: int
+    f: int
+    nnz: int
+    streamed: int
+    apply_every: int
+    kill_at: int
+    shards: int
+    compact_every: int
+    fs: int
+    lam: float
+    alpha: float
+    seed: int
+
+    def __post_init__(self) -> None:
+        if self.m < 2 or self.n < 2:
+            raise ValueError("m and n must be >= 2")
+        if self.f < 2:
+            raise ValueError("f must be >= 2")
+        if self.nnz < 1:
+            raise ValueError("nnz must be >= 1")
+        if self.streamed < 1:
+            raise ValueError("streamed must be >= 1")
+        if self.apply_every < 1:
+            raise ValueError("apply_every must be >= 1")
+        if not 0 <= self.kill_at <= self.streamed:
+            raise ValueError("kill_at must be within [0, streamed]")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        if self.compact_every < 1:
+            raise ValueError("compact_every must be >= 1")
+        if self.fs < 1:
+            raise ValueError("fs must be >= 1")
+        if self.lam <= 0:
+            raise ValueError("lam must be positive")
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative (0 = explicit)")
         if not 0 <= self.seed < _MAX_SEED:
             raise ValueError("seed out of range")
 
@@ -795,6 +853,30 @@ def draw_fleet_case(rng: np.random.Generator) -> FleetCase:
     )
 
 
+def draw_ingest_case(rng: np.random.Generator) -> IngestCase:
+    m = int(rng.integers(12, 41))
+    n = int(rng.integers(10, 33))
+    streamed = int(rng.integers(4, 25))
+    return IngestCase(
+        m=m,
+        n=n,
+        f=int(rng.integers(3, 9)),
+        nnz=int(rng.integers(4 * m, min(8 * m, m * n // 2) + 1)),
+        streamed=streamed,
+        apply_every=int(rng.integers(1, 7)),
+        # Anywhere in the stream, including 0 (resume before anything
+        # was applied) and streamed (resume of a finished run).
+        kill_at=int(rng.integers(0, streamed + 1)),
+        shards=int(rng.integers(1, 5)),
+        compact_every=int(rng.integers(1, 4)),
+        fs=int(rng.integers(2, 7)),
+        lam=round(float(10.0 ** rng.uniform(-2, 0.0)), 6),
+        # Implicit-mode hooks in a minority of draws; 0 = explicit.
+        alpha=round(float(rng.uniform(0.5, 40.0)), 4) if rng.random() < 0.25 else 0.0,
+        seed=_seed(rng),
+    )
+
+
 def draw_retrieval_case(rng: np.random.Generator) -> RetrievalCase:
     n_items = int(rng.integers(64, 2049))
     return RetrievalCase(
@@ -912,6 +994,11 @@ _SHRINK_MINIMA: dict[str, int | float] = {
     "worker_kill_rate": 0.0,
     "worker_reload_rate": 0.0,
     "heartbeat_stall_rate": 0.0,
+    "streamed": 1,
+    "apply_every": 1,
+    "kill_at": 0,
+    "compact_every": 1,
+    "alpha": 0.0,
     "n_items": 2,
     "users": 1,
     "k": 1,
@@ -981,6 +1068,7 @@ _CASE_TYPES: dict[str, type] = {
         ResilienceCase,
         ServingCase,
         FleetCase,
+        IngestCase,
         RetrievalCase,
         KernelCase,
         PatternCase,

@@ -39,6 +39,7 @@ from .generators import (
     draw_cache_case,
     draw_fleet_case,
     draw_hermitian_case,
+    draw_ingest_case,
     draw_kernel_case,
     draw_occupancy_case,
     draw_pattern_case,
@@ -68,6 +69,7 @@ from .properties import (
     check_runtime_determinism,
     check_serving_availability,
     check_serving_recall,
+    check_streaming_foldin,
     check_timing_monotone,
 )
 
@@ -196,6 +198,13 @@ CHECKS: dict[str, CheckDef] = {
             check_serving_recall,
             weight=0.5,  # each case builds 3 indexes + a probe grid; keep modest
             summary="IVF index recall/exactness vs brute force (VF110)",
+        ),
+        CheckDef(
+            "streaming.foldin",
+            draw_ingest_case,
+            check_streaming_foldin,
+            weight=0.25,  # each case trains two models + three streams; rare
+            summary="fold-in kill-replay/clean-row/RMSE contracts (VF112)",
         ),
         CheckDef(
             "gpusim.monotone",

@@ -1,0 +1,66 @@
+"""Atomic archive plumbing: rename durability and directory fsync."""
+
+import os
+
+import numpy as np
+
+from repro.resilience import atomicio
+from repro.resilience.atomicio import atomic_savez, fsync_directory, load_archive
+
+
+class TestDirectoryFsync:
+    def test_atomic_savez_fsyncs_the_parent_directory(self, tmp_path, monkeypatch):
+        # os.replace makes the rename atomic for readers, but only an
+        # fsync of the parent directory makes it *durable* — track every
+        # fsynced fd and assert one of them was the destination dir.
+        synced_dirs = []
+        real_fsync = os.fsync
+
+        def tracking_fsync(fd):
+            try:
+                if os.path.isdir(f"/proc/self/fd/{fd}") or os.fstat(fd).st_mode & 0o040000:
+                    synced_dirs.append(os.path.realpath(f"/proc/self/fd/{fd}"))
+            except OSError:
+                pass
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", tracking_fsync)
+        atomic_savez(
+            tmp_path / "a.npz",
+            {"schema": 1},
+            {"x": np.ones((2, 2), dtype=np.float32)},
+        )
+        assert os.path.realpath(tmp_path) in synced_dirs
+
+    def test_fsync_directory_tolerates_missing_path(self, tmp_path):
+        fsync_directory(tmp_path / "nope")  # must not raise
+
+    def test_fsync_directory_tolerates_unfsyncable_fd(self, tmp_path, monkeypatch):
+        # Some platforms cannot fsync a directory fd; the helper must
+        # swallow that and leave the write path merely non-durable.
+        def refusing_fsync(fd):
+            raise OSError("EINVAL")
+
+        monkeypatch.setattr(os, "fsync", refusing_fsync)
+        fsync_directory(tmp_path)
+
+
+class TestAtomicity:
+    def test_failed_write_leaves_no_temp_and_old_file(self, tmp_path, monkeypatch):
+        path = tmp_path / "a.npz"
+        atomic_savez(path, {"v": 1}, {"x": np.zeros(3, dtype=np.float32)})
+        before = path.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(atomicio.os, "replace", exploding_replace)
+        try:
+            atomic_savez(path, {"v": 2}, {"x": np.ones(3, dtype=np.float32)})
+        except OSError:
+            pass
+        assert path.read_bytes() == before
+        assert [n for n in os.listdir(tmp_path) if n.endswith(".tmp-npz")] == []
+        header, arrays = load_archive(path)
+        assert header["v"] == 1
+        np.testing.assert_array_equal(arrays["x"], np.zeros(3, dtype=np.float32))

@@ -202,3 +202,51 @@ class TestCheckpointManager:
     def test_budget_validation(self, tmp_path):
         with pytest.raises(CheckpointError, match="keep_last"):
             CheckpointManager(str(tmp_path), keep_last=0)
+
+
+class TestForeignFilenamePrune:
+    def test_prune_ignores_streaming_artifacts(self, tmp_path):
+        # A streaming directory interleaves full checkpoints with delta
+        # checkpoints, corpus snapshots and WAL segments; retention must
+        # only ever count (and delete) full checkpoints.
+        paths = [
+            save_checkpoint(tmp_path, make_checkpoint(epoch=e)) for e in (1, 2, 3)
+        ]
+        foreign = [
+            tmp_path / "ckpt-000002.delta.npz",
+            tmp_path / "corpus-000002.npz",
+            tmp_path / "wal-000000.log",
+            tmp_path / "notes.txt",
+        ]
+        for path in foreign:
+            path.write_bytes(b"not a full checkpoint")
+        deleted = prune_checkpoints(tmp_path, 1)
+        assert deleted == paths[:2]
+        assert list_checkpoints(tmp_path) == paths[2:]
+        for path in foreign:
+            assert path.exists()
+
+
+class TestOrphanSweep:
+    def test_sweeps_tmp_files_only(self, tmp_path):
+        from repro.resilience.checkpoint import sweep_orphan_tmp
+
+        keep = save_checkpoint(tmp_path, make_checkpoint(epoch=1))
+        orphans = [tmp_path / "tmpabc123.tmp-npz", tmp_path / "old-layout.tmp"]
+        for path in orphans:
+            path.write_bytes(b"crash left me behind")
+        deleted = sweep_orphan_tmp(tmp_path)
+        assert sorted(deleted) == sorted(os.fspath(p) for p in orphans)
+        assert not any(p.exists() for p in orphans)
+        assert os.path.exists(keep)
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        from repro.resilience.checkpoint import sweep_orphan_tmp
+
+        assert sweep_orphan_tmp(tmp_path / "nope") == []
+
+    def test_manager_sweeps_at_startup(self, tmp_path):
+        orphan = tmp_path / "tmpxyz.tmp-npz"
+        orphan.write_bytes(b"leak")
+        CheckpointManager(os.fspath(tmp_path))
+        assert not orphan.exists()

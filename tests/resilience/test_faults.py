@@ -280,3 +280,51 @@ class TestServingFaultPlan:
         ]
         assert sorted(expected) == sorted(rebuilt)
         assert len(expected) > 0
+
+
+class TestFaultStreamRegistry:
+    """The docs/resilience.md registry table is authoritative.
+
+    Stream numbers are part of the on-disk chaos contract (they seed the
+    per-kind SeedSequence streams); this test pins the code's maps to the
+    documented table so neither can drift silently.
+    """
+
+    def parse_docs_table(self):
+        import os
+        import re
+
+        here = os.path.dirname(os.path.abspath(__file__))
+        path = os.path.join(here, "..", "..", "docs", "resilience.md")
+        rows = {}
+        row_re = re.compile(r"^\|\s*(\d+)\s*\|\s*`([^`]+)`\s*\|")
+        for line in open(path, encoding="utf-8"):
+            match = row_re.match(line)
+            if match:
+                rows[match.group(2)] = int(match.group(1))
+        return rows
+
+    def test_docs_match_code_exactly(self):
+        from repro.resilience.faults import _KIND_STREAMS, _SERVING_STREAMS
+
+        documented = self.parse_docs_table()
+        in_code = dict(_KIND_STREAMS)
+        in_code.update(_SERVING_STREAMS)
+        assert documented == in_code
+
+    def test_every_serving_kind_has_a_stream(self):
+        from repro.resilience.faults import (
+            _SERVING_STREAMS,
+            INGEST_FAULT_KINDS,
+            SERVING_FAULT_KINDS,
+        )
+
+        assert set(_SERVING_STREAMS) == set(SERVING_FAULT_KINDS)
+        # Ingestion kinds occupy the 108-110 block, contiguously.
+        assert [_SERVING_STREAMS[k] for k in INGEST_FAULT_KINDS] == [108, 109, 110]
+
+    def test_streams_are_unique_across_planes(self):
+        from repro.resilience.faults import _KIND_STREAMS, _SERVING_STREAMS
+
+        streams = list(_KIND_STREAMS.values()) + list(_SERVING_STREAMS.values())
+        assert len(streams) == len(set(streams))

@@ -42,7 +42,7 @@ class TestRunBench:
     def test_report_shape(self, result):
         assert result["schema"] == SCHEMA
         assert set(result["sections"]) == {
-            "hermitian", "cg", "epoch", "retrieval", "fleet"
+            "hermitian", "cg", "epoch", "retrieval", "fleet", "ingest"
         }
         for section in result["sections"].values():
             assert section["legacy_seconds"] > 0
@@ -72,6 +72,14 @@ class TestRunBench:
         assert fleet["p99_latency_ticks"] is None or (
             fleet["p99_latency_ticks"] >= 0
         )
+
+    def test_ingest_section_shape(self, result):
+        ingest = result["sections"]["ingest"]
+        assert ingest["delta_ratings"] == TINY.ingest_delta_ratings
+        assert ingest["shards"] == TINY.ingest_shards
+        assert ingest["rows_folded"] > 0
+        assert ingest["foldin_ms"] > 0
+        assert ingest["foldin_ms"] == ingest["optimized_seconds"] * 1e3
 
     def test_optimized_path_matches_legacy(self, result):
         assert result["numerics"]["equivalent"] is True
@@ -175,6 +183,42 @@ class TestCompareAgainst:
             m.startswith("FAIL fleet") and "deadline-miss" in m
             for m in messages
         )
+
+    def test_foldin_ceiling_passes_when_met(self, result):
+        baseline = make_baseline(ingest=1e-6)
+        baseline["sections"]["ingest"]["foldin_ms_ceiling"] = 1e9
+        ok, messages = compare_against(result, baseline)
+        assert ok
+        assert any(
+            "fold-in latency" in m and m.startswith("PASS") for m in messages
+        )
+
+    def test_foldin_ceiling_is_a_hard_gate(self, result):
+        dirty = dict(result)
+        dirty["sections"] = dict(result["sections"])
+        dirty["sections"]["ingest"] = dict(
+            result["sections"]["ingest"], foldin_ms=5_000.0
+        )
+        baseline = make_baseline(ingest=1e-6)
+        baseline["sections"]["ingest"]["foldin_ms_ceiling"] = 100.0
+        ok, messages = compare_against(dirty, baseline, tolerance=0.99)
+        assert not ok
+        assert any(
+            m.startswith("FAIL ingest") and "fold-in latency" in m
+            for m in messages
+        )
+
+    def test_foldin_ceiling_fails_when_latency_missing(self, result):
+        dirty = dict(result)
+        dirty["sections"] = dict(result["sections"])
+        ingest = dict(result["sections"]["ingest"])
+        ingest.pop("foldin_ms")
+        dirty["sections"]["ingest"] = ingest
+        baseline = make_baseline(ingest=1e-6)
+        baseline["sections"]["ingest"]["foldin_ms_ceiling"] = 1e9
+        ok, messages = compare_against(dirty, baseline)
+        assert not ok
+        assert any("missing" in m and "fold-in" in m for m in messages)
 
     def test_deadline_miss_ceiling_fails_when_rate_missing(self, result):
         dirty = dict(result)

@@ -128,3 +128,95 @@ class TestSerialization:
         assert len(restored) == len(health)
         assert restored.audit() == health.audit() == []
         assert restored.counts() == health.counts()
+
+
+class TestReadYourWrites:
+    def ack(self, health, seq, user, tick):
+        health.record("ingest.acked", tick=tick, request_id=seq, user=user)
+
+    def applied(self, health, seq, tick):
+        health.record("ingest.applied", tick=tick, request_id=seq)
+
+    def scored(self, health, user, tick, kind="request.answered", rung=""):
+        health.record(kind, tick=tick, request_id=900 + tick, user=user, rung=rung)
+
+    def test_clean_ordering_balances(self):
+        health = ServingHealth()
+        self.ack(health, seq=0, user=3, tick=1)
+        self.applied(health, seq=0, tick=2)
+        self.scored(health, user=3, tick=4)
+        assert health.read_your_writes_audit() == []
+
+    def test_unapplied_ack_before_fresh_score_is_a_violation(self):
+        health = ServingHealth()
+        self.ack(health, seq=0, user=3, tick=1)
+        self.scored(health, user=3, tick=4)
+        self.applied(health, seq=0, tick=6)  # too late
+        violations = health.read_your_writes_audit()
+        assert any("unapplied" in v for v in violations)
+
+    def test_other_users_writes_do_not_block(self):
+        health = ServingHealth()
+        self.ack(health, seq=0, user=1, tick=1)
+        self.scored(health, user=2, tick=3)  # different user
+        self.applied(health, seq=0, tick=5)
+        assert health.read_your_writes_audit() == []
+
+    def test_stale_rungs_are_exempt(self):
+        # stale-cache and popularity advertise staleness by name; only
+        # freshly scored terminals carry the read-your-writes promise.
+        health = ServingHealth()
+        self.ack(health, seq=0, user=3, tick=1)
+        self.scored(
+            health, user=3, tick=3, kind="request.degraded", rung="stale-cache"
+        )
+        self.applied(health, seq=0, tick=5)
+        assert health.read_your_writes_audit() == []
+
+    def test_brute_force_rung_is_fresh(self):
+        health = ServingHealth()
+        self.ack(health, seq=0, user=3, tick=1)
+        self.scored(
+            health, user=3, tick=3, kind="request.degraded", rung="brute-force"
+        )
+        self.applied(health, seq=0, tick=5)
+        violations = health.read_your_writes_audit()
+        assert any("unapplied" in v for v in violations)
+
+    def test_ack_without_apply_is_a_violation(self):
+        health = ServingHealth()
+        self.ack(health, seq=0, user=1, tick=1)
+        violations = health.read_your_writes_audit()
+        assert any("applied 0 times" in v for v in violations)
+
+    def test_apply_without_ack_is_a_violation(self):
+        health = ServingHealth()
+        self.applied(health, seq=7, tick=2)
+        violations = health.read_your_writes_audit()
+        assert any("never acked" in v for v in violations)
+
+    def test_double_ack_and_double_apply_are_violations(self):
+        health = ServingHealth()
+        self.ack(health, seq=0, user=1, tick=1)
+        self.ack(health, seq=0, user=1, tick=2)
+        self.applied(health, seq=0, tick=3)
+        self.applied(health, seq=0, tick=4)
+        violations = health.read_your_writes_audit()
+        assert any("acked twice" in v for v in violations)
+        assert any("applied 2 times" in v for v in violations)
+
+    def test_apply_before_ack_tick_is_a_violation(self):
+        health = ServingHealth()
+        self.applied(health, seq=0, tick=1)
+        self.ack(health, seq=0, user=1, tick=3)
+        violations = health.read_your_writes_audit()
+        assert any("before its ack" in v for v in violations)
+
+    def test_same_tick_apply_satisfies_the_promise(self):
+        # Publishing at the top of the serving tick is the drill's
+        # pattern: apply and score on the same tick is legal.
+        health = ServingHealth()
+        self.ack(health, seq=0, user=3, tick=1)
+        self.applied(health, seq=0, tick=4)
+        self.scored(health, user=3, tick=4)
+        assert health.read_your_writes_audit() == []

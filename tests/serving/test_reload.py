@@ -181,3 +181,119 @@ class TestIndexLifecycle:
         assert store.swap(bad).status == "rolled-back"
         # The old factors keep serving, so the old index stays current.
         assert store.index is installed and store.index_current
+
+
+class TestInvalidateNoopRace:
+    def test_noop_reload_does_not_resurrect_invalidated_index(self, tmp_path):
+        # Race seen in the drill: an operator invalidates the index, and
+        # a digest-noop reload of the same artifact lands right after.
+        # The noop path skips the rebuild *because the installed index is
+        # over identical factors* — but here there is no installed index,
+        # and the noop must not bring the dropped one back from anywhere.
+        from repro.serving.index import IndexConfig
+
+        a = tmp_path / "a.npz"
+        save_artifact(a)
+        store = ModelStore(index_config=IndexConfig(seed=0))
+        store.swap(a)
+        assert store.index_current
+        store.invalidate_index()
+        outcome = store.swap(a)  # bit-identical artifact: digest noop
+        assert outcome.status == "noop"
+        assert store.index is None and not store.index_current
+        assert store.index_builds == 1  # no hidden rebuild either
+
+
+class TestApplyDelta:
+    def install(self, tmp_path, index=False):
+        from repro.serving.index import IndexConfig
+
+        a = tmp_path / "a.npz"
+        save_artifact(a, m=8, n=10, f=4)
+        store = ModelStore(
+            index_config=IndexConfig(seed=0) if index else None
+        )
+        store.swap(a)
+        return store
+
+    def test_installs_rows_and_advances_digest_chain(self, tmp_path):
+        store = self.install(tmp_path)
+        before_digest = store.digest
+        user_rows = np.full((2, 4), 0.5, dtype=np.float32)
+        item_rows = np.full((1, 4), -1.5, dtype=np.float32)
+        health = ServingHealth()
+        outcome = store.apply_delta(
+            users=np.array([1, 3]),
+            user_rows=user_rows,
+            items=np.array([7]),
+            item_rows=item_rows,
+            seq=12,
+            health=health,
+            tick=5,
+        )
+        assert outcome.status == "delta-applied"
+        assert store.version == 2 and store.deltas_applied == 1
+        assert store.digest != before_digest
+        np.testing.assert_array_equal(store.x[[1, 3]], user_rows)
+        np.testing.assert_array_equal(store.theta[7], item_rows[0])
+        event = health.events[-1]
+        assert event.kind == "reload.delta" and event.tick == 5
+
+    def test_nonfinite_rows_roll_back(self, tmp_path):
+        store = self.install(tmp_path)
+        x_before = store.x.copy()
+        bad = np.full((1, 4), np.nan, dtype=np.float32)
+        outcome = store.apply_delta(users=np.array([0]), user_rows=bad, seq=3)
+        assert outcome.status == "rolled-back"
+        assert store.version == 1 and store.rollbacks == 1
+        np.testing.assert_array_equal(store.x, x_before)
+
+    def test_empty_delta_is_noop(self, tmp_path):
+        store = self.install(tmp_path)
+        outcome = store.apply_delta(seq=4)
+        assert outcome.status == "noop"
+        assert store.version == 1 and store.deltas_applied == 0
+
+    def test_requires_a_loaded_model(self):
+        with pytest.raises(RuntimeError, match="no model loaded"):
+            ModelStore().apply_delta(
+                users=np.array([0]),
+                user_rows=np.zeros((1, 2), dtype=np.float32),
+            )
+
+    def test_row_shape_mismatch_rejected(self, tmp_path):
+        store = self.install(tmp_path)
+        with pytest.raises(ValueError, match="user_rows"):
+            store.apply_delta(
+                users=np.array([0, 1]),
+                user_rows=np.zeros((1, 4), dtype=np.float32),
+            )
+
+    def test_current_index_gets_cell_surgery(self, tmp_path):
+        store = self.install(tmp_path, index=True)
+        assert store.index_current
+        installed = store.index
+        item_rows = np.full((2, 4), 3.0, dtype=np.float32)
+        store.apply_delta(items=np.array([2, 9]), item_rows=item_rows, seq=8)
+        # Surgery, not a rebuild: same index object, still current.
+        assert store.index is installed
+        assert store.index_current and store.index_builds == 1
+
+    def test_user_only_delta_keeps_index_current(self, tmp_path):
+        store = self.install(tmp_path, index=True)
+        store.apply_delta(
+            users=np.array([0]),
+            user_rows=np.zeros((1, 4), dtype=np.float32),
+            seq=2,
+        )
+        assert store.index_current  # user rows never enter the item index
+
+    def test_stale_index_is_not_resurrected(self, tmp_path):
+        store = self.install(tmp_path, index=True)
+        store.invalidate_index()
+        store.apply_delta(
+            items=np.array([0]),
+            item_rows=np.ones((1, 4), dtype=np.float32),
+            seq=2,
+        )
+        assert store.index is None and not store.index_current

@@ -1,0 +1,1 @@
+"""Streaming ingestion: WAL, delta checkpoints, online fold-in."""

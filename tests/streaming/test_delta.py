@@ -1,0 +1,225 @@
+"""Delta checkpoints: digest chains, compaction, crash-safe resume."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.resilience.checkpoint import Checkpoint, save_checkpoint
+from repro.streaming.delta import (
+    DeltaCheckpoint,
+    DeltaError,
+    compact,
+    list_corpus_snapshots,
+    list_deltas,
+    load_delta,
+    resume_state,
+    save_delta,
+    state_digest,
+)
+
+
+def make_base(directory, m=6, n=5, f=3, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((m, f)).astype(np.float32)
+    theta = rng.standard_normal((n, f)).astype(np.float32)
+    save_checkpoint(
+        directory,
+        Checkpoint(epoch=0, x=x, theta=theta, extra={"applied_seq": -1}),
+    )
+    return x, theta
+
+
+def fold_rows(x, theta, users, items, seed):
+    """One synthetic fold-in: bump the named rows deterministically."""
+    rng = np.random.default_rng(seed)
+    user_rows = (x[users] + rng.standard_normal((len(users), x.shape[1]))).astype(
+        np.float32
+    )
+    item_rows = (
+        theta[items] + rng.standard_normal((len(items), theta.shape[1]))
+    ).astype(np.float32)
+    x[users] = user_rows
+    theta[items] = item_rows
+    return user_rows, item_rows
+
+
+def chain_delta(directory, x, theta, ordinal, seq, users, items, parent):
+    user_rows, item_rows = fold_rows(x, theta, users, items, seed=ordinal)
+    delta = DeltaCheckpoint(
+        ordinal=ordinal,
+        parent_digest=parent,
+        result_digest=state_digest(x, theta),
+        applied_seq=seq,
+        users=np.asarray(users, dtype=np.int64),
+        user_rows=user_rows,
+        items=np.asarray(items, dtype=np.int64),
+        item_rows=item_rows,
+    )
+    save_delta(directory, delta)
+    return delta.result_digest
+
+
+class TestDeltaArchive:
+    def test_save_load_round_trip(self, tmp_path):
+        delta = DeltaCheckpoint(
+            ordinal=3,
+            parent_digest="p" * 64,
+            result_digest="r" * 64,
+            applied_seq=17,
+            users=np.array([1, 4]),
+            user_rows=np.ones((2, 3), dtype=np.float32),
+            items=np.array([0]),
+            item_rows=np.full((1, 3), 2.0, dtype=np.float32),
+        )
+        path = save_delta(tmp_path, delta)
+        loaded = load_delta(path)
+        assert loaded.ordinal == 3 and loaded.applied_seq == 17
+        np.testing.assert_array_equal(loaded.users, delta.users)
+        np.testing.assert_array_equal(loaded.item_rows, delta.item_rows)
+
+    def test_row_shape_mismatch_rejected(self):
+        with pytest.raises(DeltaError, match="one row per user"):
+            DeltaCheckpoint(
+                ordinal=1,
+                parent_digest="p",
+                result_digest="r",
+                applied_seq=0,
+                users=np.array([1, 2]),
+                user_rows=np.ones((1, 3), dtype=np.float32),
+            )
+
+    def test_corrupt_delta_rejected(self, tmp_path):
+        delta = DeltaCheckpoint(
+            ordinal=1, parent_digest="p", result_digest="r", applied_seq=0
+        )
+        path = save_delta(tmp_path, delta)
+        blob = open(path, "rb").read()
+        open(path, "wb").write(blob[: len(blob) // 2])
+        with pytest.raises(DeltaError, match="corrupt|truncated"):
+            load_delta(path)
+
+    def test_list_deltas_sorted_and_foreign_ignored(self, tmp_path):
+        for ordinal in (5, 2):
+            save_delta(
+                tmp_path,
+                DeltaCheckpoint(
+                    ordinal=ordinal, parent_digest="p", result_digest="r", applied_seq=0
+                ),
+            )
+        (tmp_path / "ckpt-000001.npz").write_bytes(b"full checkpoint, not a delta")
+        (tmp_path / "notes.txt").write_text("hi")
+        names = [os.path.basename(p) for p in list_deltas(tmp_path)]
+        assert names == ["ckpt-000002.delta.npz", "ckpt-000005.delta.npz"]
+
+
+class TestResume:
+    def test_base_plus_chain_replays_bit_identically(self, tmp_path):
+        x, theta = make_base(tmp_path)
+        digest = state_digest(x, theta)
+        digest = chain_delta(tmp_path, x, theta, 1, 4, [0, 2], [1], digest)
+        digest = chain_delta(tmp_path, x, theta, 2, 9, [3], [0, 4], digest)
+        state = resume_state(tmp_path)
+        assert state.digest == digest
+        assert state.applied_seq == 9 and state.ordinal == 2
+        assert state.deltas_applied == 2
+        assert state.x.tobytes() == x.tobytes()
+        assert state.theta.tobytes() == theta.tobytes()
+
+    def test_broken_chain_detected(self, tmp_path):
+        x, theta = make_base(tmp_path)
+        digest = state_digest(x, theta)
+        chain_delta(tmp_path, x, theta, 1, 4, [0], [1], digest)
+        chain_delta(tmp_path, x, theta, 2, 9, [3], [0], "f" * 64)  # bad parent
+        with pytest.raises(DeltaError, match="does not chain"):
+            resume_state(tmp_path)
+
+    def test_lying_result_digest_detected(self, tmp_path):
+        x, theta = make_base(tmp_path)
+        digest = state_digest(x, theta)
+        user_rows, item_rows = fold_rows(x, theta, [0], [1], seed=1)
+        save_delta(
+            tmp_path,
+            DeltaCheckpoint(
+                ordinal=1,
+                parent_digest=digest,
+                result_digest="f" * 64,  # claims a state it does not produce
+                applied_seq=4,
+                users=np.array([0]),
+                user_rows=user_rows,
+                items=np.array([1]),
+                item_rows=item_rows,
+            ),
+        )
+        with pytest.raises(DeltaError, match="digest mismatch"):
+            resume_state(tmp_path)
+
+    def test_no_base_checkpoint_raises(self, tmp_path):
+        with pytest.raises(DeltaError, match="no base checkpoint"):
+            resume_state(tmp_path)
+
+
+class TestCompaction:
+    def test_compact_collapses_chain_and_prunes(self, tmp_path):
+        x, theta = make_base(tmp_path)
+        digest = state_digest(x, theta)
+        digest = chain_delta(tmp_path, x, theta, 1, 3, [0], [1], digest)
+        digest = chain_delta(tmp_path, x, theta, 2, 7, [1], [2], digest)
+        compact(
+            tmp_path,
+            ordinal=2,
+            x=x,
+            theta=theta,
+            applied_seq=7,
+            corpus_users=np.array([0, 1]),
+            corpus_items=np.array([1, 2]),
+            corpus_ratings=np.array([4.0, 2.0], dtype=np.float32),
+        )
+        assert list_deltas(tmp_path) == []
+        assert len(list_corpus_snapshots(tmp_path)) == 1
+        state = resume_state(tmp_path)
+        assert state.digest == digest
+        assert state.applied_seq == 7 and state.corpus_seq == 7
+        np.testing.assert_array_equal(state.corpus_users, [0, 1])
+        np.testing.assert_array_equal(state.corpus_ratings, [4.0, 2.0])
+
+    def test_deltas_after_compaction_chain_off_new_base(self, tmp_path):
+        x, theta = make_base(tmp_path)
+        digest = state_digest(x, theta)
+        digest = chain_delta(tmp_path, x, theta, 1, 3, [0], [1], digest)
+        compact(
+            tmp_path,
+            ordinal=1,
+            x=x,
+            theta=theta,
+            applied_seq=3,
+            corpus_users=np.array([0]),
+            corpus_items=np.array([1]),
+            corpus_ratings=np.array([4.0], dtype=np.float32),
+        )
+        digest = chain_delta(tmp_path, x, theta, 2, 8, [2], [0], digest)
+        state = resume_state(tmp_path)
+        assert state.digest == digest and state.deltas_applied == 1
+        assert state.x.tobytes() == x.tobytes()
+
+    def test_stale_pre_compaction_delta_is_skipped(self, tmp_path):
+        # A crash can leave a delta whose ordinal the compacted base
+        # already covers; resume must skip it, not double-apply.
+        x, theta = make_base(tmp_path)
+        digest = state_digest(x, theta)
+        digest = chain_delta(tmp_path, x, theta, 1, 3, [0], [1], digest)
+        stale = list_deltas(tmp_path)[0]
+        blob = open(stale, "rb").read()
+        compact(
+            tmp_path,
+            ordinal=1,
+            x=x,
+            theta=theta,
+            applied_seq=3,
+            corpus_users=np.empty(0, dtype=np.int64),
+            corpus_items=np.empty(0, dtype=np.int64),
+            corpus_ratings=np.empty(0, dtype=np.float32),
+        )
+        open(stale, "wb").write(blob)  # resurrect the pre-compaction leftover
+        state = resume_state(tmp_path)
+        assert state.deltas_applied == 0 and state.digest == digest

@@ -1,0 +1,39 @@
+"""The streaming-ingestion chaos drill end to end (small budgets)."""
+
+from repro.streaming.drill import INGEST_DRILL_RATES, run_ingest_drill
+
+
+class TestIngestDrill:
+    def test_smoke_mode_passes_every_check(self):
+        report = run_ingest_drill(seed=0, events=60, chaos=False)
+        assert report["ok"], report["checks"]
+        assert report["mode"] == "smoke"
+        assert report["fault_plan"] is None
+        assert report["kill_replay"]["bit_identical"]
+        assert report["kill_replay"]["compaction_crossed"]
+        assert report["deltas_published"] >= 1
+
+    def test_chaos_mode_accounts_every_fault(self):
+        report = run_ingest_drill(seed=0, events=60, chaos=True)
+        assert report["ok"], report["checks"]
+        assert report["mode"] == "chaos"
+        assert report["missing_faults"] == []
+        assert report["unexpected_faults"] == []
+        assert report["read_your_writes_violations"] == []
+        assert report["availability"] >= report["availability_floor"]
+        checks = report["checks"]
+        assert checks["replay_bit_identical"]
+        assert checks["clean_rows_bit_identical"]
+        assert checks["serving_matches_ingest"]
+        assert checks["index_current"]
+
+    def test_reports_are_deterministic_per_seed(self):
+        a = run_ingest_drill(seed=3, events=40, chaos=True)
+        b = run_ingest_drill(seed=3, events=40, chaos=True)
+        assert a["ingest"]["digest"] == b["ingest"]["digest"]
+        assert a["expected_faults"] == b["expected_faults"]
+
+    def test_rate_table_covers_ingest_kinds(self):
+        assert {"wal_torn_rate", "foldin_nan_rate", "delta_apply_rate"} <= set(
+            INGEST_DRILL_RATES
+        )
